@@ -1,0 +1,589 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§4) and, optionally, runs bechamel timing measurements.
+
+     dune exec bench/main.exe            -- all tables and figures
+     dune exec bench/main.exe table1     -- one experiment
+     dune exec bench/main.exe bechamel   -- timing measurements
+
+   Paper reference values are printed next to the measured ones; see
+   EXPERIMENTS.md for the shape discussion. *)
+
+module Vecsched = Vecsched_core.Vecsched
+open Eit_dsl
+
+let merged g = (Merge.run g).Merge.graph
+let qrd () = merged (Apps.Qrd.graph (Apps.Qrd.build ()))
+let qrd_sorted () = merged (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ()))
+let arf () = merged (Apps.Arf.graph (Apps.Arf.build ()))
+let matmul () = merged (Apps.Matmul.graph (Apps.Matmul.build ()))
+
+let line = String.make 78 '-'
+
+let header title = Format.printf "@.%s@.%s@.%s@." line title line
+
+(* ------------------------------------------------------------------ *)
+(* Graph properties (§4.2 text + Table 3 column 2)                     *)
+
+let graphs () =
+  header
+    "Graph properties (paper: QRD (143,194,169) #v_data=49, ARF (88,128,56), \
+     MATMUL (44,68,8))";
+  List.iter
+    (fun (name, g) -> Format.printf "%-8s %a@." name Stats.pp (Stats.of_ir g))
+    [ ("QRD", qrd ()); ("QRD-sorted", qrd_sorted ()); ("ARF", arf ());
+      ("MATMUL", matmul ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: scheduling one QRD iteration under memory sweeps           *)
+
+let table1 () =
+  header
+    "Table 1: QRD with memory allocation (paper: length 173 cc at 64/32/16/10 \
+     slots using 33/28/16/10; timeout at 9; no solution at 8)";
+  Format.printf "%-18s %-10s %-12s %-10s %-10s@." "slots available" "status"
+    "length (cc)" "slots used" "opt. time (ms)";
+  let g = qrd () in
+  List.iter
+    (fun slots ->
+      let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
+      let o = Sched.Solve.run ~arch ~budget:(Fd.Search.time_budget 30_000.) g in
+      match o.Sched.Solve.schedule with
+      | Some sch ->
+        Format.printf "%-18d %-10s %-12d %-10d %-10.0f@." slots
+          (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+          sch.Sched.Schedule.makespan
+          (Sched.Schedule.slots_used sch)
+          o.Sched.Solve.stats.Fd.Search.time_ms
+      | None ->
+        Format.printf "%-18d %-10s %-12s %-10s %-10.0f@." slots
+          (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+          "-" "-" o.Sched.Solve.stats.Fd.Search.time_ms)
+    [ 64; 32; 16; 10; 9; 8; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: overlapped execution, manual vs automated                  *)
+
+let table2 () =
+  header
+    "Table 2: overlapping 12 QRD iterations (paper: manual 460 cc / 18 rec / \
+     0.026 it/cc vs automated 540 cc / 24 rec / 0.022 it/cc)";
+  let g = qrd () in
+  let m = 12 in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 30_000.) g in
+  let rows =
+    [
+      ("Manual", Sched.Manual_baseline.overlapped g Eit.Arch.default ~m);
+      ( "Automated",
+        match o.Sched.Solve.schedule with
+        | Some sch -> Sched.Overlap.run sch ~m
+        | None -> failwith "table2: QRD scheduling failed" );
+    ]
+  in
+  Format.printf "%-12s %-14s %-16s %-10s %-18s %-20s@." "" "length (cc)"
+    "# instructions" "# reconf." "# reconf./iter" "throughput (it/cc)";
+  List.iter
+    (fun (name, ov) ->
+      Format.printf "%-12s %-14d %-16d %-10d %-18.2f %-20.3f@." name
+        ov.Sched.Overlap.length ov.Sched.Overlap.n_instructions
+        ov.Sched.Overlap.reconfigurations
+        (float_of_int ov.Sched.Overlap.reconfigurations /. float_of_int m)
+        ov.Sched.Overlap.throughput)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: modulo scheduling with/without reconfigurations            *)
+
+let table3 ?(budget_excl = 60_000.) ?(budget_incl = 120_000.) () =
+  header
+    "Table 3: pipelining via modulo scheduling (paper: QRD 32->55 actual \
+     (0.018) vs 46 (0.022); ARF 16->32 (0.031) vs 24 (0.042); MATMUL 4 (0.250) \
+     both)";
+  Format.printf "%-8s %-22s %-11s %-7s %-10s %-12s | %-8s %-12s %-10s@." "app"
+    "(|V|,|E|,|Cr.P|)" "initial II" "# rec" "actual II" "thr (it/cc)" "II incl"
+    "thr (it/cc)" "time (ms)";
+  List.iter
+    (fun (name, g) ->
+      let s = Stats.of_ir g in
+      let excl = Sched.Modulo.solve_excluding ~budget_ms:budget_excl g in
+      let incl = Sched.Modulo.solve_including ~budget_ms:budget_incl g in
+      let shape = Printf.sprintf "(%d, %d, %d)" s.Stats.v s.Stats.e s.Stats.crp in
+      match (excl, incl) with
+      | Some e, Some i ->
+        (match Sched.Modulo.validate g Eit.Arch.default e with
+        | Ok () -> ()
+        | Error msg -> Format.printf "!! excl kernel invalid: %s@." msg);
+        (match Sched.Modulo.validate g Eit.Arch.default i with
+        | Ok () -> ()
+        | Error msg -> Format.printf "!! incl kernel invalid: %s@." msg);
+        Format.printf
+          "%-8s %-22s %-11d %-7d %-10d %-12.3f | %-8d %-12.3f %-10.0f@." name
+          shape e.Sched.Modulo.ii e.Sched.Modulo.reconfigurations
+          e.Sched.Modulo.actual_ii e.Sched.Modulo.throughput
+          i.Sched.Modulo.actual_ii i.Sched.Modulo.throughput
+          i.Sched.Modulo.time_ms
+      | _ -> Format.printf "%-8s %-22s timeout@." name shape)
+    [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: the IR of listing 1                                         *)
+
+let fig3 () =
+  header "Fig. 3: intermediate representation of listing 1 (MATMUL)";
+  let g = Apps.Matmul.graph (Apps.Matmul.build ()) in
+  Format.printf "%a@." Stats.pp (Stats.of_ir g);
+  Format.printf "categories:";
+  List.iter
+    (fun (c, n) -> if n > 0 then Format.printf " %s=%d" (Ir.category_name c) n)
+    (Stats.of_ir g).Stats.by_category;
+  Format.printf "@.";
+  let dot_path = "matmul_ir.dot" and xml_path = "matmul_ir.xml" in
+  Dot.save dot_path g;
+  Xml.save xml_path g;
+  Format.printf "wrote %s and %s (render with: dot -Tpdf %s)@." dot_path
+    xml_path dot_path
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 4/5: matrix op vs vector expansion                            *)
+
+let fig45 () =
+  header "Figs. 4/5: A.m_squsum as one matrix op vs four vector ops + merge";
+  let rows = [ [1.;2.;3.;4.]; [2.;3.;4.;5.]; [5.;6.;7.;8.]; [0.;1.;0.;1.] ] in
+  let mctx = Dsl.create () in
+  let m = Dsl.matrix_input_f mctx rows in
+  let mr = Dsl.m_squsum mctx m in
+  let vctx = Dsl.create () in
+  let mv = Dsl.matrix_input_f vctx rows in
+  let parts = List.init 4 (fun i -> Dsl.v_squsum vctx (Dsl.row mv i)) in
+  let vr =
+    match parts with [ a; b; c; d ] -> Dsl.merge vctx a b c d | _ -> assert false
+  in
+  Format.printf "matrix form:  %a -> %s@." Stats.pp
+    (Stats.of_ir (Dsl.graph mctx))
+    (Eit.Value.to_string (Eit.Value.Vector (Dsl.vector_value mr)));
+  Format.printf "vector form:  %a -> %s@." Stats.pp
+    (Stats.of_ir (Dsl.graph vctx))
+    (Eit.Value.to_string (Eit.Value.Vector (Dsl.vector_value vr)));
+  Format.printf
+    "the matrix form removes the merge node and shrinks the graph, as §3.2.2 \
+     describes@."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: the two merge-pass patterns                                 *)
+
+let fig6 () =
+  header "Fig. 6: pipeline fusion examples";
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.vector_input_f ctx [ 2.; 2.; 2.; 2. ] in
+  let c = Dsl.v_conj ctx a in
+  let _ = Dsl.v_dotp ctx c b in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Format.printf "left  (conj -> v_dotP):      %d -> %d nodes (%d fusion)@."
+    (Ir.size g) (Ir.size r.Merge.graph) r.Merge.fusions;
+  let ctx = Dsl.create () in
+  let m =
+    Dsl.matrix_input_f ctx
+      [ [1.;2.;3.;4.]; [4.;3.;2.;1.]; [1.;1.;1.;1.]; [2.;2.;2.;2.] ]
+  in
+  let s = Dsl.m_squsum ctx m in
+  let _ = Dsl.v_sort ctx s in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Format.printf "right (m_squsum -> sort):    %d -> %d nodes (%d fusion)@."
+    (Ir.size g) (Ir.size r.Merge.graph) r.Merge.fusions;
+  List.iter
+    (fun i ->
+      Format.printf "  fused node: %s@."
+        (Eit.Opcode.name (Ir.opcode r.Merge.graph i)))
+    (Ir.op_nodes r.Merge.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: memory access legality                                      *)
+
+let fig8 () =
+  header "Fig. 8: simultaneous access (paper: only C is accessible in one cycle)";
+  let arch = { Eit.Arch.default with Eit.Arch.lines = 3 } in
+  let slot ~bank ~line = Eit.Mem.slot_of arch ~bank ~line in
+  let cases =
+    [
+      ( "A",
+        [ slot ~bank:0 ~line:0; slot ~bank:1 ~line:0;
+          slot ~bank:0 ~line:1; slot ~bank:1 ~line:1 ] );
+      ( "B",
+        [ slot ~bank:8 ~line:0; slot ~bank:9 ~line:0;
+          slot ~bank:10 ~line:0; slot ~bank:11 ~line:1 ] );
+      ( "C",
+        [ slot ~bank:4 ~line:2; slot ~bank:5 ~line:2;
+          slot ~bank:12 ~line:1; slot ~bank:13 ~line:1 ] );
+    ]
+  in
+  List.iter
+    (fun (name, slots) ->
+      match Eit.Mem.check_access arch ~reads:slots ~writes:[] with
+      | [] -> Format.printf "matrix %s: 1-cycle access OK@." name
+      | vs ->
+        Format.printf "matrix %s: needs reconfiguration -- %a@." name
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+             Eit.Mem.pp_violation)
+          vs)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+
+(* A1: search heuristics (§3.5) — what the phase-1 variable selection
+   buys on the QRD scheduling problem. *)
+let ablation_heuristics () =
+  header "Ablation A1: phase-1 variable selection heuristic (10 s budget each)";
+  Format.printf "%-10s %-18s %-10s %-12s %-10s %-10s %-10s@." "kernel"
+    "heuristic" "status" "makespan" "nodes" "failures" "time (ms)";
+  List.iter (fun (kernel, g) ->
+  List.iter
+    (fun (name, var_select) ->
+      let m = Sched.Model.build g Eit.Arch.default in
+      let phases =
+        match Sched.Model.phases m with
+        | [ p1; p2; p3 ] -> [ { p1 with Fd.Search.var_select }; p2; p3 ]
+        | other -> other
+      in
+      match
+        Fd.Search.minimize
+          ~budget:(Fd.Search.time_budget 10_000.)
+          m.Sched.Model.store phases ~objective:m.Sched.Model.makespan
+          ~on_solution:(fun () -> Sched.Model.extract m)
+      with
+      | Fd.Search.Solution (sch, st) | Fd.Search.Best (sch, st) ->
+        Format.printf "%-10s %-18s %-10s %-12d %-10d %-10d %-10.0f@." kernel
+          name
+          (if st.Fd.Search.optimal then "optimal" else "best")
+          sch.Sched.Schedule.makespan st.Fd.Search.nodes st.Fd.Search.failures
+          st.Fd.Search.time_ms
+      | Fd.Search.Unsat st | Fd.Search.Timeout st ->
+        Format.printf "%-10s %-18s %-10s %-12s %-10d %-10d %-10.0f@." kernel
+          name "none" "-" st.Fd.Search.nodes st.Fd.Search.failures
+          st.Fd.Search.time_ms)
+    [
+      ("smallest_min", Fd.Search.smallest_min);
+      ("first_fail", Fd.Search.first_fail);
+      ("input_order", Fd.Search.input_order);
+      ("most_constrained", Fd.Search.most_constrained);
+    ])
+    [ ("QRD", qrd ()); ("MATMUL", matmul ()) ]
+
+(* A2: integrated memory allocation on/off — the cost of the paper's
+   central modelling decision. *)
+let ablation_memory () =
+  header "Ablation A2: integrated memory allocation vs scheduling only";
+  Format.printf "%-10s %-10s %-10s %-12s %-10s %-12s@." "kernel" "memory"
+    "status" "makespan" "nodes" "time (ms)";
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun memory ->
+          let o =
+            Sched.Solve.run ~memory ~budget:(Fd.Search.time_budget 20_000.) g
+          in
+          match o.Sched.Solve.schedule with
+          | Some sch ->
+            Format.printf "%-10s %-10s %-10s %-12d %-10d %-12.0f@." name
+              (if memory then "on" else "off")
+              (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+              sch.Sched.Schedule.makespan o.Sched.Solve.stats.Fd.Search.nodes
+              o.Sched.Solve.stats.Fd.Search.time_ms
+          | None ->
+            Format.printf "%-10s %-10s %-10s@." name
+              (if memory then "on" else "off")
+              (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status))
+        [ true; false ])
+    [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+
+(* A3: merge pass on/off — Fig. 6's fusion on a fusion-heavy kernel. *)
+let ablation_merge () =
+  header "Ablation A3: pipeline fusion (Fig. 6) on the CORR kernel";
+  let raw = Apps.Corr.graph (Apps.Corr.build ~hypotheses:8 ()) in
+  let fused = merged raw in
+  Format.printf "%-10s %-28s %-12s@." "" "graph" "makespan";
+  List.iter
+    (fun (name, g) ->
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      match o.Sched.Solve.schedule with
+      | Some sch ->
+        Format.printf "%-10s %-28s %-12d@." name
+          (Format.asprintf "%a" Stats.pp (Stats.of_ir g))
+          sch.Sched.Schedule.makespan
+      | None -> Format.printf "%-10s %-28s (none)@." name
+          (Format.asprintf "%a" Stats.pp (Stats.of_ir g)))
+    [ ("raw", raw); ("fused", fused) ]
+
+(* A4: architecture presets — the paper's future-work direction. *)
+let archsweep () =
+  header "Architecture sweep: the same kernels on eit / wide / mini presets";
+  Format.printf "%-10s %-8s %-10s %-12s %-12s@." "kernel" "arch" "status"
+    "makespan" "slots used";
+  List.iter
+    (fun (kname, g) ->
+      List.iter
+        (fun (aname, arch) ->
+          let o = Sched.Solve.run ~arch ~budget:(Fd.Search.time_budget 20_000.) g in
+          match o.Sched.Solve.schedule with
+          | Some sch ->
+            Format.printf "%-10s %-8s %-10s %-12d %-12d@." kname aname
+              (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+              sch.Sched.Schedule.makespan
+              (Sched.Schedule.slots_used sch)
+          | None ->
+            Format.printf "%-10s %-8s %-10s@." kname aname
+              (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status))
+        Eit.Arch.presets)
+    [
+      ("MATMUL", matmul ());
+      ("ARF", arf ());
+      ("FIR-8", merged (Apps.Fir.graph (Apps.Fir.build ~taps:8 ())));
+      ("CORR-8", merged (Apps.Corr.graph (Apps.Corr.build ~hypotheses:8 ())));
+    ]
+
+(* §4.2 narrative: the optimal one-shot schedule is heavily
+   under-utilized because of the 7-cycle dependency gaps; overlapping
+   and modulo scheduling recover the utilization. *)
+let utilization () =
+  header
+    "Utilization (§4.2-4.3): vector-core usage across execution regimes";
+  Format.printf "%-8s %-12s %-14s %-12s %-12s@." "kernel" "regime"
+    "vector util." "busy cycles" "longest gap";
+  List.iter
+    (fun (name, g) ->
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      match o.Sched.Solve.schedule with
+      | None -> Format.printf "%-8s (no schedule)@." name
+      | Some sch ->
+        let report regime a =
+          let vec =
+            List.find
+              (fun r -> r.Sched.Analysis.resource = Eit.Opcode.Vector_core)
+              a.Sched.Analysis.per_resource
+          in
+          Format.printf "%-8s %-12s %-14.1f %-12s %-12d@." name regime
+            (100. *. Sched.Analysis.vector_utilization a)
+            (Printf.sprintf "%d/%d" vec.Sched.Analysis.busy_cycles
+               a.Sched.Analysis.span)
+            a.Sched.Analysis.longest_gap
+        in
+        report "one-shot" (Sched.Analysis.of_schedule sch);
+        report "overlap-12"
+          (Sched.Analysis.of_overlap g Eit.Arch.default
+             (Sched.Overlap.run sch ~m:12));
+        (match Sched.Modulo.solve_excluding ~budget_ms:30_000. g with
+        | Some r -> report "modulo" (Sched.Analysis.of_modulo g Eit.Arch.default r)
+        | None -> ()))
+    [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+
+(* Dynamic verification: §4.3's execution regimes actually executed on
+   the simulator, every iteration's results compared to the reference. *)
+let dynamic () =
+  header
+    "Dynamic verification: overlapped and modulo execution on the simulator";
+  let big lines = { Eit.Arch.default with Eit.Arch.lines } in
+  List.iter
+    (fun (name, g, m, lines) ->
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      match o.Sched.Solve.schedule with
+      | None -> Format.printf "%-8s (no schedule)@." name
+      | Some sch -> (
+        (match Sched.Overlap_sim.run_and_check ~arch:(big lines) sch ~m with
+        | Ok r ->
+          Format.printf
+            "%-8s overlap M=%-3d %5d results verified, port-clean=%b@." name m
+            r.Sched.Overlap_sim.checked_values r.Sched.Overlap_sim.access_clean
+        | Error e -> Format.printf "%-8s overlap M=%d FAILED: %s@." name m e);
+        match Sched.Modulo.solve_excluding ~budget_ms:30_000. g with
+        | None -> ()
+        | Some r -> (
+          match
+            Sched.Modulo_sim.run_and_check ~arch:(big (2 * lines)) g r
+              ~iterations:4
+          with
+          | Ok rep ->
+            Format.printf
+              "%-8s modulo  N=4   %5d results verified, port-clean=%b, \
+               completion=%d (= span+3*II: %b)@."
+              name rep.Sched.Modulo_sim.checked_values
+              rep.Sched.Modulo_sim.access_clean rep.Sched.Modulo_sim.completion
+              (rep.Sched.Modulo_sim.completion
+              = r.Sched.Modulo.span + (3 * r.Sched.Modulo.ii))
+          | Error e -> Format.printf "%-8s modulo FAILED: %s@." name e)))
+    [
+      ("MATMUL", matmul (), 8, 16);
+      ("ARF", arf (), 7, 32);
+      ("QRD", qrd (), 12, 16);
+    ]
+
+(* §4.2: "There are many different ways to express the same algorithm in
+   the DSL, and these different expressions may result in different
+   graphs, which in turn may result in different schedules." *)
+let expressiveness () =
+  header "Expressiveness (§4.2): MATMUL as 16 dot products vs 4 matrix ops";
+  Format.printf "%-22s %-30s %-10s %-10s %-14s@." "expression" "graph"
+    "makespan" "modulo II" "thr (it/cc)";
+  List.iter
+    (fun (name, g) ->
+      let g = merged g in
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 15_000.) g in
+      let mk =
+        match o.Sched.Solve.schedule with
+        | Some sch -> string_of_int sch.Sched.Schedule.makespan
+        | None -> "-"
+      in
+      match Sched.Modulo.solve_excluding ~budget_ms:15_000. g with
+      | Some r ->
+        Format.printf "%-22s %-30s %-10s %-10d %-14.3f@." name
+          (Format.asprintf "%a" Stats.pp (Stats.of_ir g))
+          mk r.Sched.Modulo.actual_ii r.Sched.Modulo.throughput
+      | None ->
+        Format.printf "%-22s %-30s %-10s timeout@." name
+          (Format.asprintf "%a" Stats.pp (Stats.of_ir g))
+          mk)
+    [
+      ("16 x v_dotP + merges", Apps.Matmul.graph (Apps.Matmul.build ()));
+      ("4 x m_vmul", Apps.Matmul.graph (Apps.Matmul.build_matrix_form ()));
+    ]
+
+(* A5: exact CP vs greedy list scheduling — why pay for a solver? *)
+let ablation_exact_vs_greedy () =
+  header "Ablation A5: exact CP model vs heuristic list scheduler";
+  Format.printf "%-10s %-22s %-22s@." "kernel" "CP (makespan, ms)" "greedy (makespan, ms)";
+  List.iter
+    (fun (name, g) ->
+      let t0 = Unix.gettimeofday () in
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      let cp_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let cp =
+        match o.Sched.Solve.schedule with
+        | Some sch -> Printf.sprintf "%d, %.0f ms" sch.Sched.Schedule.makespan cp_ms
+        | None -> "-"
+      in
+      let t1 = Unix.gettimeofday () in
+      let greedy =
+        match Sched.Heuristic.run g with
+        | Ok sch ->
+          Printf.sprintf "%d, %.1f ms" sch.Sched.Schedule.makespan
+            ((Unix.gettimeofday () -. t1) *. 1000.)
+        | Error e -> "failed: " ^ e
+      in
+      Format.printf "%-10s %-22s %-22s@." name cp greedy)
+    [
+      ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ());
+      ("DETECT", merged (Apps.Detect.graph (Apps.Detect.build ())));
+    ];
+  Format.printf
+    "@.Greedy matches the optimum on these CP-dominated kernels; the exact      model earns its cost on proofs, tight memories (Table 1's cliff) and      reconfiguration co-optimization (Table 3).@."
+
+let ablations () =
+  ablation_heuristics ();
+  ablation_memory ();
+  ablation_merge ();
+  archsweep ();
+  expressiveness ();
+  ablation_exact_vs_greedy ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing: one measurement per table                          *)
+
+let bechamel () =
+  let open Bechamel in
+  let test_table1 =
+    Test.make ~name:"table1:schedule-qrd-64slots"
+      (Staged.stage (fun () ->
+           let g = qrd () in
+           ignore (Sched.Solve.run ~budget:(Fd.Search.time_budget 5_000.) g)))
+  in
+  let test_table2 =
+    Test.make ~name:"table2:overlap-qrd-m12"
+      (Staged.stage (fun () ->
+           let g = qrd () in
+           ignore (Sched.Manual_baseline.overlapped g Eit.Arch.default ~m:12)))
+  in
+  let test_table3 =
+    Test.make ~name:"table3:modulo-matmul"
+      (Staged.stage (fun () ->
+           ignore (Sched.Modulo.solve_excluding ~budget_ms:5_000. (matmul ()))))
+  in
+  let test_merge =
+    Test.make ~name:"fig6:merge-pass-qrd"
+      (Staged.stage (fun () ->
+           ignore (Merge.run (Apps.Qrd.graph (Apps.Qrd.build ())))))
+  in
+  let test_sim =
+    let g = matmul () in
+    let sch =
+      Option.get
+        (Sched.Solve.run ~budget:(Fd.Search.time_budget 5_000.) g)
+          .Sched.Solve.schedule
+    in
+    let p = Sched.Codegen.program sch in
+    Test.make ~name:"simulator:matmul"
+      (Staged.stage (fun () -> ignore (Eit.Machine.run p)))
+  in
+  let tests =
+    Test.make_grouped ~name:"vecsched"
+      [ test_table1; test_table2; test_table3; test_merge; test_sim ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 2.0) ~kde:(Some 10) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark tests) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-36s %14.0f ns/run@." name est
+      | _ -> Format.printf "%-36s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  graphs ();
+  fig3 ();
+  fig45 ();
+  fig6 ();
+  fig8 ();
+  table1 ();
+  table2 ();
+  table3 ();
+  utilization ();
+  dynamic ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
+  | None -> all ()
+  | Some "all" -> all ()
+  | Some "graphs" -> graphs ()
+  | Some "table1" -> table1 ()
+  | Some "table2" -> table2 ()
+  | Some "table3" -> table3 ()
+  | Some "table3-quick" -> table3 ~budget_excl:10_000. ~budget_incl:20_000. ()
+  | Some "fig3" -> fig3 ()
+  | Some "fig45" -> fig45 ()
+  | Some "fig6" -> fig6 ()
+  | Some "fig8" -> fig8 ()
+  | Some "ablations" -> ablations ()
+  | Some "utilization" -> utilization ()
+  | Some "dynamic" -> dynamic ()
+  | Some "archsweep" -> archsweep ()
+  | Some "expressiveness" -> expressiveness ()
+  | Some "bechamel" -> bechamel ()
+  | Some other ->
+    Format.eprintf
+      "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 fig6 \
+       fig8 utilization dynamic ablations archsweep bechamel)@."
+      other;
+    exit 2

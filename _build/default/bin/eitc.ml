@@ -1,0 +1,371 @@
+(* eitc — compiler driver for the EIT programming support toolchain.
+
+   Subcommands:
+     info      print graph statistics of a kernel (raw and merged)
+     schedule  schedule a kernel with memory allocation
+     simulate  schedule, code-generate and run on the simulator
+     overlap   overlapped execution of M iterations (manual vs automated)
+     modulo    modulo-schedule a kernel (with/without reconfigurations)
+     export    emit the IR as XML or DOT *)
+
+module Vecsched = Vecsched_core.Vecsched
+
+open Cmdliner
+
+let kernels = [ "matmul"; "qrd"; "qrd-sorted"; "arf"; "fir"; "corr"; "detect" ]
+
+let build_kernel = function
+  | "matmul" ->
+    let m = Apps.Matmul.build () in
+    (Apps.Matmul.graph m, "matmul")
+  | "qrd" ->
+    let q = Apps.Qrd.build () in
+    (Apps.Qrd.graph q, "qrd")
+  | "qrd-sorted" ->
+    let q = Apps.Qrd.build ~sorted:true () in
+    (Apps.Qrd.graph q, "qrd-sorted")
+  | "arf" ->
+    let a = Apps.Arf.build () in
+    (Apps.Arf.graph a, "arf")
+  | "fir" ->
+    let f = Apps.Fir.build () in
+    (Apps.Fir.graph f, "fir")
+  | "corr" ->
+    let c = Apps.Corr.build () in
+    (Apps.Corr.graph c, "corr")
+  | "detect" ->
+    let d = Apps.Detect.build () in
+    (Apps.Detect.graph d, "detect")
+  | k -> invalid_arg ("unknown kernel " ^ k)
+
+let kernel_arg =
+  let doc =
+    Printf.sprintf "Kernel to process: %s." (String.concat ", " kernels)
+  in
+  Arg.(required & pos 0 (some (enum (List.map (fun k -> (k, k)) kernels))) None
+       & info [] ~docv:"KERNEL" ~doc)
+
+let budget_arg =
+  let doc = "Solver budget in milliseconds." in
+  Arg.(value & opt float 10_000. & info [ "budget" ] ~docv:"MS" ~doc)
+
+let slots_arg =
+  let doc = "Restrict the number of usable memory slots." in
+  Arg.(value & opt (some int) None & info [ "slots" ] ~docv:"N" ~doc)
+
+let preset_arg =
+  let doc = "Architecture preset: eit, wide or mini." in
+  Arg.(value
+       & opt (enum (List.map (fun (n, a) -> (n, a)) Eit.Arch.presets))
+           Eit.Arch.default
+       & info [ "arch" ] ~docv:"PRESET" ~doc)
+
+let arch_of preset = function
+  | None -> preset
+  | Some n -> Eit.Arch.with_slots preset n
+
+let compile kernel =
+  let g, name = build_kernel kernel in
+  (Vecsched.compile g, name)
+
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run kernel =
+    let c, name = compile kernel in
+    Format.printf "%s raw:    %a@." name Vecsched.Stats.pp
+      (Vecsched.Stats.of_ir c.Vecsched.raw);
+    Format.printf "%s merged: %a (%d fusions)@." name Vecsched.Stats.pp
+      c.Vecsched.stats c.Vecsched.fusions;
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print kernel graph statistics")
+    Term.(const run $ kernel_arg)
+
+let report_outcome name arch o =
+  match o.Sched.Solve.schedule with
+  | Some sch ->
+    Format.printf
+      "%s: %a, makespan=%d cc, %d/%d slots used, %d nodes, %d fails, %.0f ms@."
+      name Sched.Solve.pp_status o.Sched.Solve.status
+      sch.Sched.Schedule.makespan
+      (Sched.Schedule.slots_used sch)
+      (Eit.Arch.slots arch) o.stats.Fd.Search.nodes o.stats.Fd.Search.failures
+      o.stats.Fd.Search.time_ms;
+    Some sch
+  | None ->
+    Format.printf "%s: %a after %.0f ms@." name Sched.Solve.pp_status
+      o.Sched.Solve.status o.stats.Fd.Search.time_ms;
+    None
+
+let schedule_cmd =
+  let run kernel budget slots preset verbose =
+    let c, name = compile kernel in
+    let arch = arch_of preset slots in
+    let o = Vecsched.schedule ~budget_ms:budget ~arch c in
+    match report_outcome name arch o with
+    | Some sch ->
+      if verbose then begin
+        Format.printf "%a" Sched.Schedule.pp sch;
+        Format.printf "%a" Sched.Schedule.pp_gantt sch
+      end;
+      0
+    | None -> 1
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a kernel with memory allocation")
+    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ verbose)
+
+let heuristic_cmd =
+  let run kernel slots preset =
+    let c, name = compile kernel in
+    let arch = arch_of preset slots in
+    match Sched.Heuristic.run ~arch c.Vecsched.ir with
+    | Ok sch ->
+      Format.printf "%s (greedy): makespan=%d cc, %d/%d slots used, valid=%b@."
+        name sch.Sched.Schedule.makespan
+        (Sched.Schedule.slots_used sch)
+        (Eit.Arch.slots arch)
+        (Sched.Schedule.is_valid sch);
+      0
+    | Error e ->
+      Format.printf "%s (greedy): failed -- %s@." name e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "heuristic"
+       ~doc:"Schedule with the greedy list scheduler instead of the CP model")
+    Term.(const run $ kernel_arg $ slots_arg $ preset_arg)
+
+let simulate_cmd =
+  let run kernel budget slots preset trace =
+    let c, name = compile kernel in
+    let arch = arch_of preset slots in
+    let o = Vecsched.schedule ~budget_ms:budget ~arch c in
+    match report_outcome name arch o with
+    | Some sch -> (
+      if trace then begin
+        let p = Sched.Codegen.program sch in
+        ignore
+          (Eit.Machine.run
+             ~trace:(fun ev ->
+               Format.printf "%a@." Eit.Machine.pp_trace_event ev)
+             p)
+      end;
+      match Vecsched.run_on_simulator sch with
+      | Ok () ->
+        Format.printf "simulation: all %d operation results match the reference@."
+          (List.length (Vecsched.Ir.op_nodes c.Vecsched.ir));
+        0
+      | Error e ->
+        Format.printf "simulation FAILED: %s@." e;
+        1)
+    | None -> 1
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print the cycle-by-cycle execution trace.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Schedule, generate code and verify on the cycle-accurate simulator")
+    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ trace_arg)
+
+let overlap_cmd =
+  let run kernel budget m =
+    let c, name = compile kernel in
+    let o = Vecsched.schedule ~budget_ms:budget c in
+    match o.Sched.Solve.schedule with
+    | Some sch ->
+      Format.printf "%s automated: %a@." name Sched.Overlap.pp
+        (Sched.Overlap.run sch ~m);
+      Format.printf "%s manual:    %a@." name Sched.Overlap.pp
+        (Sched.Manual_baseline.overlapped c.Vecsched.ir Eit.Arch.default ~m);
+      0
+    | None -> 1
+  in
+  let m_arg =
+    Arg.(value & opt int 12 & info [ "m"; "iterations" ] ~docv:"M"
+         ~doc:"Number of iterations to overlap.")
+  in
+  Cmd.v
+    (Cmd.info "overlap" ~doc:"Overlapped execution of M iterations (Table 2)")
+    Term.(const run $ kernel_arg $ budget_arg $ m_arg)
+
+let modulo_cmd =
+  let run kernel budget including =
+    let c, name = compile kernel in
+    let solve =
+      if including then Sched.Modulo.solve_including else Sched.Modulo.solve_excluding
+    in
+    match solve ~budget_ms:budget c.Vecsched.ir with
+    | Some r ->
+      Format.printf "%s (%s reconfigurations): %a@." name
+        (if including then "including" else "excluding")
+        Sched.Modulo.pp r;
+      (match Sched.Modulo.validate c.Vecsched.ir Eit.Arch.default r with
+      | Ok () -> 0
+      | Error e ->
+        Format.printf "kernel INVALID: %s@." e;
+        1)
+    | None ->
+      Format.printf "%s: no modulo schedule found within budget@." name;
+      1
+  in
+  let including =
+    Arg.(value & flag & info [ "include-reconfigurations" ]
+         ~doc:"Optimize II + reconfigurations jointly.")
+  in
+  Cmd.v
+    (Cmd.info "modulo" ~doc:"Modulo-schedule a kernel (Table 3)")
+    Term.(const run $ kernel_arg $ budget_arg $ including)
+
+let report_cmd =
+  let run kernel budget =
+    let c, name = compile kernel in
+    let report = Sched.Report.build ~budget_ms:budget ~name c.Vecsched.ir in
+    Format.printf "%a@." Sched.Report.pp report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full kernel report: graph, bounds, schedule, Gantt, memory map,              utilization, pipelining")
+    Term.(const run $ kernel_arg $ budget_arg)
+
+let code_cmd =
+  let run kernel budget =
+    let c, name = compile kernel in
+    let o = Vecsched.schedule ~budget_ms:budget c in
+    match o.Sched.Solve.schedule with
+    | Some sch ->
+      let p = Sched.Codegen.program sch in
+      let img = Eit.Encode.encode p in
+      Format.printf "%s: %d words, %d pool constants, %d bytes@." name
+        (Array.length img.Eit.Encode.words)
+        (Array.length img.Eit.Encode.pool)
+        (Eit.Encode.size_bytes img);
+      Array.iter
+        (fun w -> Format.printf "  %016Lx  %a@." w Eit.Encode.pp_word w)
+        img.Eit.Encode.words;
+      (* round-trip sanity *)
+      let p' =
+        Eit.Encode.decode ~arch:p.Eit.Instr.arch ~inputs:p.Eit.Instr.inputs
+          ~outputs:p.Eit.Instr.outputs img
+      in
+      if p'.Eit.Instr.instrs = p.Eit.Instr.instrs then begin
+        Format.printf "round-trip: OK@.";
+        0
+      end
+      else begin
+        Format.printf "round-trip: MISMATCH@.";
+        1
+      end
+    | None -> 1
+  in
+  Cmd.v
+    (Cmd.info "code"
+       ~doc:"Emit the binary configuration-memory image (with disassembly)")
+    Term.(const run $ kernel_arg $ budget_arg)
+
+let asm_cmd =
+  let run kernel budget out =
+    let c, name = compile kernel in
+    let o = Vecsched.schedule ~budget_ms:budget c in
+    match o.Sched.Solve.schedule with
+    | Some sch ->
+      let p = Sched.Codegen.program sch in
+      (match out with
+      | Some path ->
+        Eit.Asm.save path p;
+        Format.printf "wrote %s@." path
+      | None -> print_string (Eit.Asm.print p));
+      ignore name;
+      0
+    | None -> 1
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Emit the scheduled kernel as textual assembly")
+    Term.(const run $ kernel_arg $ budget_arg $ out_arg)
+
+let run_asm_cmd =
+  let run path trace =
+    match Eit.Asm.load path with
+    | Error e ->
+      Format.printf "parse error: %s@." e;
+      1
+    | Ok p -> (
+      match Eit.Instr.validate_structure p with
+      | Error e ->
+        Format.printf "invalid program: %s@." e;
+        1
+      | Ok () -> (
+        match
+          Eit.Machine.run
+            ~trace:(fun ev ->
+              if trace then Format.printf "%a@." Eit.Machine.pp_trace_event ev)
+            p
+        with
+        | result ->
+          Format.printf "completed at cycle %d, %d reconfigurations@."
+            result.Eit.Machine.cycles result.Eit.Machine.reconfigurations;
+          List.iter
+            (fun (node, v) ->
+              Format.printf "  n%d = %s@." node (Eit.Value.to_string v))
+            (Eit.Machine.output_values result p);
+          0
+        | exception Eit.Machine.Sim_error e ->
+          Format.printf "simulation error: %a@." Eit.Machine.pp_error e;
+          1))
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Assembly file to run.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace.")
+  in
+  Cmd.v
+    (Cmd.info "run-asm"
+       ~doc:"Assemble, validate and simulate a hand-written program")
+    Term.(const run $ path_arg $ trace_arg)
+
+let export_cmd =
+  let run kernel fmt path merged =
+    let c, _ = compile kernel in
+    let g = if merged then c.Vecsched.ir else c.Vecsched.raw in
+    (match fmt with
+    | `Xml -> Vecsched.Xml.save path g
+    | `Dot -> Vecsched.Dot.save path g);
+    Format.printf "wrote %s@." path;
+    0
+  in
+  let fmt_arg =
+    Arg.(value & opt (enum [ ("xml", `Xml); ("dot", `Dot) ]) `Xml
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: xml or dot.")
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH"
+         ~doc:"Output file.")
+  in
+  let merged_arg =
+    Arg.(value & flag & info [ "merged" ] ~doc:"Export the post-fusion graph.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a kernel's IR as XML or DOT")
+    Term.(const run $ kernel_arg $ fmt_arg $ path_arg $ merged_arg)
+
+let () =
+  let doc = "programming support for reconfigurable custom vector architectures" in
+  let info = Cmd.info "eitc" ~version:Vecsched.version ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
+            code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/detection_chain.ml: Apps Array Cplx Eit Format List Sched Vecsched_core

@@ -1,0 +1,1 @@
+examples/hand_coding.ml: Asm Eit Format Instr List Machine Value Vecsched_core

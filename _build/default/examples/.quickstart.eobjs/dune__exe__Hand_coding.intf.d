@@ -1,0 +1,1 @@
+examples/hand_coding.mli:

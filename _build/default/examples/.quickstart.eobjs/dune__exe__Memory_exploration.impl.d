@@ -1,0 +1,1 @@
+examples/memory_exploration.ml: Apps Arch Eit Eit_dsl Fd Format List Mem Sched

@@ -1,0 +1,1 @@
+examples/mimo_pipeline.ml: Apps Array Cplx Eit Format List Vecsched_core

@@ -1,0 +1,1 @@
+examples/mimo_pipeline.mli:

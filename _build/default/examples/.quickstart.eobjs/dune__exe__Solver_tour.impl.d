@@ -1,0 +1,1 @@
+examples/solver_tour.ml: Alldiff Arith Array Cumulative Diff2 Fd Format List Printf Search Store String

@@ -1,0 +1,1 @@
+examples/streaming.ml: Apps Arch Array Cplx Eit Fd Format List Sched Value Vecsched_core

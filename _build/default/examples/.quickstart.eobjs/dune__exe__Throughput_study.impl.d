@@ -1,0 +1,1 @@
+examples/throughput_study.ml: Apps Format Vecsched_core

@@ -1,0 +1,1 @@
+examples/throughput_study.mli:

@@ -1,0 +1,135 @@
+(* A tour of the fd constraint solver on classic problems.
+
+   The scheduler's substrate (lib/fd) is a general finite-domain solver;
+   this example uses it standalone on three textbook problems — the same
+   machinery (Cumulative, Diff2, branch & bound) that powers the paper's
+   model.
+
+   Run with:  dune exec examples/solver_tour.exe *)
+
+open Fd
+
+(* --- 1. N-queens with the Hall-interval alldifferent ---------------- *)
+
+let queens n =
+  let s = Store.create () in
+  let cols = List.init n (fun i -> Store.interval_var s 0 (n - 1) ~name:(Printf.sprintf "q%d" i)) in
+  Alldiff.post s cols;
+  (* diagonals: q_i + i and q_i - i all different *)
+  let diag shift =
+    List.mapi
+      (fun i q ->
+        let d = Store.interval_var s (-n) (2 * n) in
+        Arith.eq_offset s q (shift * i) d;
+        d)
+      cols
+  in
+  Alldiff.post s (diag 1);
+  Alldiff.post s (diag (-1));
+  match
+    Search.solve s
+      [ Search.phase ~var_select:Search.first_fail ~val_select:Search.select_mid cols ]
+      ~on_solution:(fun () -> List.map Store.value cols)
+  with
+  | Search.Solution (sol, st) -> Some (sol, st)
+  | _ -> None
+
+(* --- 2. A small job shop with Cumulative ---------------------------- *)
+
+let job_shop () =
+  (* 6 tasks, durations and resource demands, capacity 3; chains:
+     t0 -> t2 -> t4 and t1 -> t3 -> t5 *)
+  let s = Store.create () in
+  let durations = [| 3; 2; 4; 3; 2; 3 |] in
+  let demands = [| 2; 1; 1; 2; 2; 1 |] in
+  let starts = Array.init 6 (fun i -> Store.interval_var s 0 30 ~name:(Printf.sprintf "t%d" i)) in
+  Arith.leq_offset s starts.(0) durations.(0) starts.(2);
+  Arith.leq_offset s starts.(2) durations.(2) starts.(4);
+  Arith.leq_offset s starts.(1) durations.(1) starts.(3);
+  Arith.leq_offset s starts.(3) durations.(3) starts.(5);
+  Cumulative.post s ~starts ~durations ~resources:demands ~limit:3;
+  let makespan = Store.interval_var s 0 40 ~name:"makespan" in
+  let ends =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           let e = Store.interval_var s 0 40 in
+           Arith.eq_offset s st durations.(i) e;
+           e)
+         starts)
+  in
+  Arith.max_of s ends makespan;
+  match
+    Search.minimize s
+      [ Search.phase ~var_select:Search.smallest_min (Array.to_list starts) ]
+      ~objective:makespan
+      ~on_solution:(fun () -> (Array.map Store.value starts, Store.vmin makespan))
+  with
+  | Search.Solution ((sol, mk), _) -> Some (sol, mk)
+  | _ -> None
+
+(* --- 3. Square packing with Diff2 ----------------------------------- *)
+
+let packing () =
+  (* pack squares of sizes 3, 2, 2, 1 into a 5x4 box *)
+  let s = Store.create () in
+  let sizes = [ 3; 2; 2; 1 ] in
+  let rects =
+    List.map
+      (fun size ->
+        let x = Store.interval_var s 0 (5 - size) in
+        let y = Store.interval_var s 0 (4 - size) in
+        ((x, y), size))
+      sizes
+  in
+  Diff2.post s
+    (List.map
+       (fun ((x, y), size) ->
+         { Diff2.ox = x; oy = y; lx = Store.const s size; ly = Store.const s size })
+       rects);
+  let vars = List.concat_map (fun ((x, y), _) -> [ x; y ]) rects in
+  match
+    Search.solve s [ Search.phase vars ] ~on_solution:(fun () ->
+        List.map (fun ((x, y), size) -> (Store.value x, Store.value y, size)) rects)
+  with
+  | Search.Solution (sol, _) -> Some sol
+  | _ -> None
+
+let () =
+  (match queens 12 with
+  | Some (sol, st) ->
+    Format.printf "12-queens: %s  (%d nodes)@."
+      (String.concat " " (List.map string_of_int sol))
+      st.Search.nodes
+  | None -> Format.printf "12-queens: no solution?!@.");
+  (match job_shop () with
+  | Some (starts, mk) ->
+    Format.printf "job shop: makespan %d, starts %s@." mk
+      (String.concat " " (Array.to_list (Array.map string_of_int starts)))
+  | None -> Format.printf "job shop: failed@.");
+  (match packing () with
+  | Some placements ->
+    Format.printf "packing: %s@."
+      (String.concat ", "
+         (List.map (fun (x, y, s) -> Printf.sprintf "%dx%d@(%d,%d)" s s x y) placements))
+  | None -> Format.printf "packing: failed@.");
+  (* and the same engine under a restart policy *)
+  let s = Store.create () in
+  let vars = List.init 8 (fun _ -> Store.interval_var s 0 10) in
+  Alldiff.post s vars;
+  let obj = Store.interval_var s 0 100 in
+  Arith.sum s vars obj;
+  match
+    Search.minimize_restarts ~base:512 s [ Search.phase vars ] ~objective:obj
+      ~on_solution:(fun () -> Store.vmin obj)
+  with
+  | Search.Solution (v, st) ->
+    Format.printf
+      "restart B&B: min sum of 8 distinct values in 0..10 = %d, proven (%d nodes)@."
+      v st.Search.nodes
+  | Search.Best (v, st) ->
+    Format.printf
+      "restart B&B: min sum of 8 distinct values in 0..10 = %d, best found \
+       within the restart caps (%d nodes)@."
+      v st.Search.nodes
+  | _ -> Format.printf "restart B&B: failed@."

@@ -1,0 +1,1 @@
+lib/apps/arf.ml: Array Dsl Eit_dsl List Printf

@@ -1,0 +1,1 @@
+lib/apps/arf.mli: Dsl Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/corr.ml: Array Cplx Dsl Eit Eit_dsl List Printf Value

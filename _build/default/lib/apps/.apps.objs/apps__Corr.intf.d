@@ -1,0 +1,1 @@
+lib/apps/corr.mli: Dsl Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/detect.ml: Array Cplx Dsl Eit Eit_dsl Option Printf Qrd Reference Value

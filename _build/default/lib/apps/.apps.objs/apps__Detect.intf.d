@@ -1,0 +1,1 @@
+lib/apps/detect.mli: Dsl Eit Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/fir.ml: Array Cplx Dsl Eit Eit_dsl List Printf Value

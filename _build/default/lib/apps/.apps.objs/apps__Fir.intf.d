@@ -1,0 +1,1 @@
+lib/apps/fir.mli: Dsl Eit Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Dsl Eit Eit_dsl List Printf

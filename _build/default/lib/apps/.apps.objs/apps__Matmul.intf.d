@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Dsl Eit Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/qrd.ml: Array Cplx Dsl Eit Eit_dsl Fun List Value

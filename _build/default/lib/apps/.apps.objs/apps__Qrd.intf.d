@@ -1,0 +1,1 @@
+lib/apps/qrd.mli: Dsl Eit Eit_dsl Ir

@@ -1,0 +1,1 @@
+lib/apps/reference.ml: Array Cplx Eit Float Printf Value

@@ -1,0 +1,1 @@
+lib/apps/reference.mli: Cplx Eit

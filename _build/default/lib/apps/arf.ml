@@ -1,0 +1,66 @@
+open Eit_dsl
+
+type t = { ctx : Dsl.ctx; outputs : Dsl.vector list }
+
+(* Small deterministic pseudo-random stream for inputs/coefficients. *)
+let stream seed =
+  let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!state mod 2000 - 1000) /. 500.
+
+(* One lattice half: an alternating multiply/add ladder of depth 8
+   using 8 coefficient multiplications and 4 additions.
+
+     t1 = x1*c1 + x2*c2          (depth 3)
+     t2 = t1*c3 + x3*c4          (depth 5)
+     t3 = t2*c5 + x4*c6          (depth 7)
+     t4 = t3*c7 + x5*c8          (depth 9 is avoided: the final mul/add
+                                  pair reuses depth-7 t3 directly)
+
+   Concretely each rung is: s = v_scale(prev, c); t = v_add(s, x*c'). *)
+let half ctx next tag =
+  let vec i =
+    Dsl.vector_input_f ctx
+      ~name:(Printf.sprintf "x%s%d" tag i)
+      [ next (); next (); next (); next () ]
+  in
+  let coef i =
+    Dsl.scalar_input_f ctx ~name:(Printf.sprintf "c%s%d" tag i) (next ())
+  in
+  let x = Array.init 5 vec in
+  let c = Array.init 8 coef in
+  let rung prev xi ci cj =
+    (* depth +2: scale then add *)
+    let s = Dsl.v_scale ctx prev c.(ci) in
+    let m = Dsl.v_scale ctx xi c.(cj) in
+    (Dsl.v_add ctx s m, [])
+  in
+  let t1 =
+    let m1 = Dsl.v_scale ctx x.(0) c.(0) in
+    let m2 = Dsl.v_scale ctx x.(1) c.(1) in
+    Dsl.v_add ctx m1 m2
+  in
+  let t2, _ = rung t1 x.(2) 2 3 in
+  let t3, _ = rung t2 x.(3) 4 5 in
+  (* final rung keeps depth at 8: two parallel scales of t3, one add *)
+  let m7 = Dsl.v_scale ctx t3 c.(6) in
+  let m8 = Dsl.v_scale ctx x.(4) c.(7) in
+  let t4 = Dsl.v_add ctx m7 m8 in
+  (t1, t2, t3, t4)
+
+let build ?(seed = 1) () =
+  let ctx = Dsl.create () in
+  let next = stream seed in
+  let a1, a2, a3, a4 = half ctx next "a" in
+  let b1, b2, b3, b4 = half ctx next "b" in
+  (* Cross-combination taps (keep overall depth at 8). *)
+  let u1 = Dsl.v_add ctx a1 b1 in
+  let u2 = Dsl.v_add ctx a2 b2 in
+  let u3 = Dsl.v_add ctx a3 b3 in
+  let u4 = Dsl.v_add ctx u1 u2 in
+  let outputs = [ a4; b4; u3; u4 ] in
+  List.iter (fun v -> Dsl.mark_output ctx v) outputs;
+  { ctx; outputs }
+
+let graph t = Dsl.graph t.ctx

@@ -1,0 +1,23 @@
+(** ARF — the auto-regression filter benchmark, modified (as in the
+    paper, §4.3) to operate on vectors as basic units so the vector
+    capabilities of the architecture are exercised.
+
+    The dataflow is the classic two-lattice ARF kernel: two symmetric
+    halves, each an alternating multiply/accumulate ladder of depth 8
+    (8 coefficient multiplications + 4 additions per half), plus four
+    cross-combination additions, for 16 multiplications and 12 additions
+    total — all on 4-element complex vectors.  The critical path is 8
+    dependent vector operations = 56 cycles, matching Table 3's
+    |Cr.P| = 56. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  outputs : Dsl.vector list;
+}
+
+val build : ?seed:int -> unit -> t
+(** [seed] varies the (deterministic) input samples and coefficients. *)
+
+val graph : t -> Ir.t

@@ -1,0 +1,48 @@
+open Eit_dsl
+open Eit
+
+type t = { ctx : Dsl.ctx; ranked : Dsl.vector list }
+
+let stream seed =
+  let state = ref ((seed * 22695477) land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int ((!state mod 1000) - 500) /. 500.
+
+let build ?(hypotheses = 8) ?(seed = 1) () =
+  if hypotheses <= 0 || hypotheses mod Value.vlen <> 0 then
+    invalid_arg "Corr.build: hypotheses must be a positive multiple of 4";
+  let ctx = Dsl.create () in
+  let next = stream seed in
+  let fresh_vec name =
+    Dsl.vector_input ctx ~name
+      (Array.init Value.vlen (fun _ -> Cplx.make (next ()) (next ())))
+  in
+  let rx = fresh_vec "rx" in
+  let scores =
+    List.init hypotheses (fun k ->
+        let h = fresh_vec (Printf.sprintf "h%d" k) in
+        (* conj(rx) enters the dot product as operand 0: fusible *)
+        let c = Dsl.v_conj ctx rx in
+        Dsl.v_dotp ctx c h)
+  in
+  let rec group4 = function
+    | a :: b :: c :: d :: rest -> [ a; b; c; d ] :: group4 rest
+    | [] -> []
+    | _ -> assert false
+  in
+  let ranked =
+    List.map
+      (fun quad ->
+        match quad with
+        | [ a; b; c; d ] ->
+          let v = Dsl.merge ctx a b c d in
+          let sorted = Dsl.v_sort ctx v in
+          Dsl.mark_output ctx sorted;
+          sorted
+        | _ -> assert false)
+      (group4 scores)
+  in
+  { ctx; ranked }
+
+let graph t = Dsl.graph t.ctx

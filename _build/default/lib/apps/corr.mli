@@ -1,0 +1,21 @@
+(** CORR — correlation peak search: correlate a received block against
+    [n] stored hypotheses and rank the scores.
+
+    Structure: per hypothesis a conjugation (standalone pre-processing
+    node) feeding a dot product; the scores are merged into vectors and
+    sorted (standalone post-processing).  The kernel is deliberately
+    fusion-heavy: the merge pass removes two nodes per hypothesis plus
+    one per result vector (paper Fig. 6), making it the natural subject
+    of the merge-pass ablation study. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  ranked : Dsl.vector list;  (** one sorted score vector per 4 hypotheses *)
+}
+
+val build : ?hypotheses:int -> ?seed:int -> unit -> t
+(** [hypotheses] defaults to 8 and must be a positive multiple of 4. *)
+
+val graph : t -> Ir.t

@@ -1,0 +1,70 @@
+open Eit_dsl
+open Eit
+
+type t = {
+  ctx : Dsl.ctx;
+  s_hat : Dsl.scalar array;
+  s_vec : Dsl.vector;
+}
+
+let n = Value.vlen
+
+let default_y =
+  [| Cplx.make 0.8 0.1; Cplx.make (-0.2) 0.4; Cplx.make 0.3 (-0.3); Cplx.make 0.5 0.2 |]
+
+let build ?(h = Qrd.default_h) ?(sigma = 0.5) ?(y = default_y) () =
+  let qr = Reference.mgs_qrd h ~sigma in
+  let ctx = Dsl.create () in
+  (* Q_top row-major: row i as a vector (m_hvmul consumes matrix rows) *)
+  let q_rows =
+    Array.init n (fun i -> Array.init n (fun j -> qr.Reference.q.(i).(j)))
+  in
+  let q = Dsl.matrix_input ctx ~name:"Qtop" q_rows in
+  let r_rows =
+    Array.init n (fun k ->
+        Dsl.vector_input ctx ~name:(Printf.sprintf "R%d" k)
+          (Array.init n (fun j -> qr.Reference.r.(k).(j))))
+  in
+  let y_vec = Dsl.vector_input ctx ~name:"y" y in
+  (* z = Q_top^H y *)
+  let z = Dsl.m_hvmul ctx q y_vec in
+  (* back-substitution, bottom row first *)
+  let s_opt : Dsl.scalar option array = Array.make n None in
+  let s k = Option.get s_opt.(k) in
+  for k = n - 1 downto 0 do
+    let zk = Dsl.index ctx z k in
+    let acc = ref zk in
+    for j = n - 1 downto k + 1 do
+      let rkj = Dsl.index ctx r_rows.(k) j in
+      acc := Dsl.s_sub ctx !acc (Dsl.s_mul ctx rkj (s j))
+    done;
+    let rkk = Dsl.index ctx r_rows.(k) k in
+    s_opt.(k) <- Some (Dsl.s_div ctx !acc rkk)
+  done;
+  let s_hat = Array.init n s in
+  let s_vec = Dsl.merge ctx s_hat.(0) s_hat.(1) s_hat.(2) s_hat.(3) in
+  Dsl.mark_output ctx s_vec;
+  { ctx; s_hat; s_vec }
+
+let graph t = Dsl.graph t.ctx
+
+let reference ~h ~sigma ~y =
+  let qr = Reference.mgs_qrd h ~sigma in
+  (* z = Q_top^H y *)
+  let z =
+    Array.init n (fun j ->
+        let acc = ref Cplx.zero in
+        for i = 0 to n - 1 do
+          acc := Cplx.mac !acc (Cplx.conj qr.Reference.q.(i).(j)) y.(i)
+        done;
+        !acc)
+  in
+  let s = Array.make n Cplx.zero in
+  for k = n - 1 downto 0 do
+    let acc = ref z.(k) in
+    for j = k + 1 to n - 1 do
+      acc := Cplx.sub !acc (Cplx.mul qr.Reference.r.(k).(j) s.(j))
+    done;
+    s.(k) <- Cplx.div !acc qr.Reference.r.(k).(k)
+  done;
+  s

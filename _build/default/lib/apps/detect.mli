@@ -1,0 +1,43 @@
+(** DETECT — the MMSE data-detection stage that the QRD pre-processing
+    exists for (paper §4.1: QRD "is used as part of the pre-processing
+    in data detection in multiple-input multiple-output (MIMO)
+    systems").
+
+    Given the decomposition [ [H; sigma I] = Q R ] produced by
+    {!Qrd}, detecting a received vector [y] amounts to
+
+    + [z = Q_top^H y]  — rotate the observation into the R basis
+      (one [m_hvmul] on the top half of Q);
+    + back-substitution [R s_hat = z] — solved column by column with
+      [index] extractions, scalar divisions on the accelerator and
+      [v_naxpy] updates.
+
+    The kernel chains all three EIT resources (vector core, scalar
+    accelerator, index/merge) through a data-dependent recurrence — a
+    very different schedule shape from QRD's wide parallel updates. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  s_hat : Dsl.scalar array;  (** detected symbol estimates, s_hat.(i) *)
+  s_vec : Dsl.vector;        (** the estimates merged into one vector *)
+}
+
+val build :
+  ?h:Eit.Cplx.t array array ->
+  ?sigma:float ->
+  ?y:Eit.Cplx.t array ->
+  unit ->
+  t
+(** Performs the QRD of [[H; sigma I]] numerically (host side — the
+    kernel under study is the detection, which consumes Q/R as inputs)
+    and builds the detection dataflow for the received vector [y]. *)
+
+val graph : t -> Ir.t
+
+val reference :
+  h:Eit.Cplx.t array array -> sigma:float -> y:Eit.Cplx.t array -> Eit.Cplx.t array
+(** Golden detection: [R^-1 Q_top^H y] by plain back-substitution. *)
+
+val default_y : Eit.Cplx.t array

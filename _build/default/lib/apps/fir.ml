@@ -1,0 +1,58 @@
+open Eit_dsl
+open Eit
+
+type t = { ctx : Dsl.ctx; output : Dsl.vector; taps : int }
+
+(* Deterministic inputs shared by the DSL build and the reference. *)
+let stream seed =
+  let state = ref ((seed * 69069) land 0x3FFFFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int ((!state mod 1000) - 500) /. 250.
+
+let inputs ~taps ~seed =
+  let next = stream seed in
+  let blocks =
+    Array.init taps (fun _ -> Array.init Value.vlen (fun _ -> Cplx.of_float (next ())))
+  in
+  let coefs = Array.init taps (fun _ -> Cplx.of_float (next ())) in
+  (blocks, coefs)
+
+let build ?(taps = 8) ?(seed = 1) () =
+  if taps < 1 then invalid_arg "Fir.build: taps must be positive";
+  let ctx = Dsl.create () in
+  let blocks, coefs = inputs ~taps ~seed in
+  let terms =
+    List.init taps (fun t ->
+        let x =
+          Dsl.vector_input ctx ~name:(Printf.sprintf "x-%d" t) blocks.(t)
+        in
+        let c = Dsl.scalar_input ctx ~name:(Printf.sprintf "c%d" t) coefs.(t) in
+        Dsl.v_scale ctx x c)
+  in
+  (* balanced reduction tree *)
+  let rec reduce = function
+    | [] -> invalid_arg "Fir.build: empty"
+    | [ x ] -> x
+    | l ->
+      let rec pair = function
+        | a :: b :: rest -> Dsl.v_add ctx a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      reduce (pair l)
+  in
+  let output = reduce terms in
+  Dsl.mark_output ctx output;
+  { ctx; output; taps }
+
+let graph t = Dsl.graph t.ctx
+
+let reference ~taps ~seed =
+  let blocks, coefs = inputs ~taps ~seed in
+  let acc = Array.make Value.vlen Cplx.zero in
+  Array.iteri
+    (fun t block ->
+      Array.iteri (fun i x -> acc.(i) <- Cplx.mac acc.(i) x coefs.(t)) block)
+    blocks;
+  acc

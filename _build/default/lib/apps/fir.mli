@@ -1,0 +1,29 @@
+(** FIR — a block finite-impulse-response filter, a further kernel in
+    the spirit of the paper's future work ("more complex applications").
+
+    The filter convolves a stream of 4-sample blocks with [taps] complex
+    coefficients: one output block combines [taps] delayed input blocks,
+
+      y = sum_t c_t * x_{-t}
+
+    computed as a balanced tree: [taps] coefficient multiplications
+    ([v_scale]) reduced by [taps - 1] additions, so the critical path
+    grows logarithmically with the tap count — a different shape from
+    ARF's linear ladder, which exercises the scheduler's lane packing
+    instead of its latency hiding. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  output : Dsl.vector;
+  taps : int;
+}
+
+val build : ?taps:int -> ?seed:int -> unit -> t
+(** [taps] defaults to 8; must be at least 1. *)
+
+val graph : t -> Ir.t
+
+val reference : taps:int -> seed:int -> Eit.Cplx.t array
+(** Golden output block for the same deterministic inputs. *)

@@ -1,0 +1,128 @@
+open Eit_dsl
+type t = { ctx : Dsl.ctx; input : Dsl.matrix; result : Dsl.matrix }
+
+let default_input =
+  [ [ 1.; 2.; 3.; 4. ]; [ 2.; 3.; 4.; 5. ]; [ 3.; 4.; 5.; 6. ]; [ 4.; 5.; 6.; 7. ] ]
+
+let build_complex rows =
+  let ctx = Dsl.create () in
+  let a = Dsl.matrix_input ctx ~name:"A" rows in
+  (* for i <- 0 until 4; for j <- 0 until 4:
+       scalars(j) = A(i) v_dotP A(j)    -- A(j) read as a column of A^T *)
+  let result_rows =
+    List.init Eit.Value.vlen (fun i ->
+        let scalars =
+          List.init Eit.Value.vlen (fun j ->
+              Dsl.v_dotp ctx (Dsl.row a i) (Dsl.row a j))
+        in
+        match scalars with
+        | [ s0; s1; s2; s3 ] ->
+          let v = Dsl.merge ctx s0 s1 s2 s3 in
+          Dsl.mark_output ctx v;
+          v
+        | _ -> assert false)
+  in
+  let result =
+    match result_rows with
+    | [ r0; r1; r2; r3 ] -> Dsl.matrix_of_rows r0 r1 r2 r3
+    | _ -> assert false
+  in
+  { ctx; input = a; result }
+
+let build ?(a = default_input) () =
+  build_complex
+    (Array.of_list
+       (List.map (fun r -> Array.of_list (List.map Eit.Cplx.of_float r)) a))
+
+(* A A^T is symmetric, so row i = A * row_i(A): four m_vmul nodes. *)
+let build_matrix_form ?(a = default_input) () =
+  let rows =
+    Array.of_list (List.map (fun r -> Array.of_list (List.map Eit.Cplx.of_float r)) a)
+  in
+  let ctx = Dsl.create () in
+  let m = Dsl.matrix_input ctx ~name:"A" rows in
+  let result_rows =
+    List.init Eit.Value.vlen (fun i ->
+        let v = Dsl.m_vmul ctx m (Dsl.row m i) in
+        Dsl.mark_output ctx v;
+        v)
+  in
+  let result =
+    match result_rows with
+    | [ r0; r1; r2; r3 ] -> Dsl.matrix_of_rows r0 r1 r2 r3
+    | _ -> assert false
+  in
+  { ctx; input = m; result }
+
+let graph t = Dsl.graph t.ctx
+
+(* ---------------- blocked 8x8 ---------------- *)
+
+type blocked = {
+  bctx : Dsl.ctx;
+  c_rows : Dsl.vector array array;
+}
+
+let input8 ~seed =
+  let state = ref ((seed * 75) land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int ((!state mod 100) - 50) /. 10.
+  in
+  Array.init 8 (fun _ -> Array.init 8 (fun _ -> next ()))
+
+let build_blocked8 ?(seed = 1) () =
+  let a8 = input8 ~seed in
+  let ctx = Dsl.create () in
+  (* block (bi, bk) of A: rows 4bi..4bi+3, columns 4bk..4bk+3 *)
+  let block bi bk =
+    Dsl.matrix_input ctx
+      ~name:(Printf.sprintf "A%d%d" bi bk)
+      (Array.init 4 (fun i ->
+           Array.init 4 (fun j -> Eit.Cplx.of_float a8.((4 * bi) + i).((4 * bk) + j))))
+  in
+  let blocks = Array.init 2 (fun bi -> Array.init 2 (fun bk -> block bi bk)) in
+  (* C_{bi,bj} = A_{bi,0} A_{bj,0}^T + A_{bi,1} A_{bj,1}^T; the 4x4
+     block product (X Y^T)_{ij} = row_i(X) . row_j(Y) as in listing 1 *)
+  let block_product x y =
+    Array.init 4 (fun i ->
+        let s =
+          Array.init 4 (fun j -> Dsl.v_dotp ctx (Dsl.row x i) (Dsl.row y j))
+        in
+        Dsl.merge ctx s.(0) s.(1) s.(2) s.(3))
+  in
+  let c_rows =
+    Array.init 2 (fun bi ->
+        Array.init 2 (fun bj ->
+            let p0 = block_product blocks.(bi).(0) blocks.(bj).(0) in
+            let p1 = block_product blocks.(bi).(1) blocks.(bj).(1) in
+            Array.init 4 (fun i ->
+                let r = Dsl.v_add ctx p0.(i) p1.(i) in
+                Dsl.mark_output ctx r;
+                r)))
+  in
+  (* flatten to [band].[column-block] of 4 rows each *)
+  let flat =
+    Array.init 4 (fun k ->
+        let bi = k / 2 and bj = k mod 2 in
+        c_rows.(bi).(bj))
+  in
+  { bctx = ctx; c_rows = flat }
+
+let blocked8_reference ~seed =
+  let a8 = input8 ~seed in
+  Array.init 8 (fun i ->
+      Array.init 8 (fun j ->
+          let acc = ref 0. in
+          for k = 0 to 7 do
+            acc := !acc +. (a8.(i).(k) *. a8.(j).(k))
+          done;
+          Eit.Cplx.of_float !acc))
+
+let blocked8_rows b =
+  Array.init 8 (fun i ->
+      let bi = i / 4 in
+      Array.init 8 (fun j ->
+          let bj = j / 4 in
+          let rows = b.c_rows.((2 * bi) + bj) in
+          (Dsl.vector_value rows.(i mod 4)).(j mod 4)))

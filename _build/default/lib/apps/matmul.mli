@@ -1,0 +1,58 @@
+(** MATMUL — the paper's listing 1: multiply a 4x4 matrix with its
+    transpose using 16 vector dot products and 4 merges.
+
+    Because [(A A^T)_{ij} = row_i(A) . row_j(A)], accessing "the j-th
+    vector of A as a column vector" (listing 1, line 16) reads row [j]
+    of [A]: the specialized memory supports the transposed access
+    pattern and no index nodes appear in the IR (paper Fig. 3).
+
+    The resulting graph has |V| = 44, |E| = 68, |Cr.P| = 8 — exactly the
+    properties reported in Table 3. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  input : Dsl.matrix;
+  result : Dsl.matrix;   (** rows of A * A^T *)
+}
+
+val build : ?a:float list list -> unit -> t
+(** Defaults to the hard-coded input of listing 1
+    ([[1;2;3;4] [2;3;4;5] [3;4;5;6] [4;5;6;7]]). *)
+
+val build_complex : Eit.Cplx.t array array -> t
+
+val build_matrix_form : ?a:float list list -> unit -> t
+(** The same computation expressed with matrix operations instead of 16
+    dot products: since [A A^T] is symmetric, its row [i] equals
+    [A * row_i(A)], so four [m_vmul] nodes produce the result with no
+    merges at all.  §4.2 notes that "different expressions may result in
+    different graphs, which in turn may result in different schedules" —
+    this is the comparison subject (see the [expressiveness] bench). *)
+
+val graph : t -> Ir.t
+val default_input : float list list
+
+(** {1 Blocked 8x8 (future-work scale)} *)
+
+type blocked = {
+  bctx : Dsl.ctx;
+  c_rows : Dsl.vector array array;
+      (** [c_rows.(bi).(bj)] holds rows of block C_{bi,bj}... flattened:
+          row [i] of the left/right block half of output row band [bi] *)
+}
+
+val build_blocked8 : ?seed:int -> unit -> blocked
+(** [A A^T] for an 8x8 matrix via 2x2 block decomposition over the 4x4
+    primitives: each output block [C_{ij} = A_{i0} A_{j0}^T + A_{i1}
+    A_{j1}^T] costs two 4x4 block products (16 [v_dotP] + 4 merges
+    each) plus four [v_add] — the paper's §5 "more complex
+    applications" at the scale the 4-lane core natively supports.
+    Graph: ~270 nodes, a scheduler stress test. *)
+
+val blocked8_reference : seed:int -> Eit.Cplx.t array array
+(** The 8x8 product [A A^T] for the same deterministic input. *)
+
+val blocked8_rows : blocked -> Eit.Cplx.t array array
+(** The traced result rows, assembled back into an 8x8 matrix. *)

@@ -1,0 +1,103 @@
+open Eit_dsl
+open Eit
+
+type t = {
+  ctx : Dsl.ctx;
+  h_top : Dsl.matrix;
+  h_bot : Dsl.matrix;
+  q_top : Dsl.vector array;
+  q_bot : Dsl.vector array;
+  r_rows : Dsl.vector array;
+  perm : int array;
+}
+
+(* A fixed, well-conditioned complex 4x4 test channel. *)
+let default_h =
+  let c re im = Cplx.make re im in
+  [|
+    [| c 1.0 0.2; c 0.3 (-0.1); c 0.2 0.4; c 0.5 0.0 |];
+    [| c 0.1 (-0.3); c 1.2 0.1; c 0.4 (-0.2); c 0.3 0.2 |];
+    [| c 0.2 0.1; c 0.3 0.3; c 1.1 (-0.1); c 0.2 (-0.4) |];
+    [| c 0.4 0.0; c 0.1 0.2; c 0.3 0.1; c 0.9 0.3 |];
+  |]
+
+let n = Value.vlen
+
+let transpose m =
+  Array.init n (fun i -> Array.init n (fun j -> m.(j).(i)))
+
+let build ?(h = default_h) ?(sigma = 0.5) ?(sorted = false) () =
+  let ctx = Dsl.create () in
+  (* MGS works on columns.  The specialized memory reads matrix columns
+     as easily as rows (two full matrices per cycle), which the IR models
+     by storing H column-major: vector node j of [h_top] is column j. *)
+  let h_top = Dsl.matrix_input ctx ~name:"H" (transpose h) in
+  let reg =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = j then Cplx.of_float sigma else Cplx.zero))
+  in
+  let h_bot = Dsl.matrix_input ctx ~name:"sI" reg in
+  let zero = Dsl.scalar_input_f ctx ~name:"zero" 0. in
+  (* Sorted MMSE-QRD (Luethi et al.): process the columns in decreasing
+     energy order.  The energy computation and the ranking run on the
+     hardware (two m_squsum, one v_add, one sort in the post-processing
+     stage); the column permutation itself is resolved at trace time —
+     the DSL specializes the kernel to the concrete channel, exactly as
+     the debugging-run semantics of §3.1 prescribe. *)
+  let perm =
+    if not sorted then Array.init n Fun.id
+    else begin
+      let et = Dsl.m_squsum ctx h_top in
+      let eb = Dsl.m_squsum ctx h_bot in
+      let e = Dsl.v_add ctx et eb in
+      let ranked = Dsl.v_sort ctx e in
+      Dsl.mark_output ctx ranked;
+      let energies = Dsl.vector_value e in
+      let order = List.init n Fun.id in
+      Array.of_list
+        (List.sort
+           (fun i j -> compare energies.(j).Cplx.re energies.(i).Cplx.re)
+           order)
+    end
+  in
+  (* Working columns of the extended matrix in processing (sorted)
+     order: position p holds original column perm.(p). *)
+  let col_top = Array.init n (fun p -> ref (Dsl.row h_top perm.(p))) in
+  let col_bot = Array.init n (fun p -> ref (Dsl.row h_bot perm.(p))) in
+  let q_top = Array.make n (Dsl.row h_top 0) in
+  let q_bot = Array.make n (Dsl.row h_bot 0) in
+  (* r.(k).(j) for j >= k *)
+  let r = Array.make_matrix n n None in
+  for k = 0 to n - 1 do
+    (* ||a_k||^2 over both halves *)
+    let nt = Dsl.v_squsum ctx !(col_top.(k)) in
+    let nb = Dsl.v_squsum ctx !(col_bot.(k)) in
+    let norm2 = Dsl.s_add ctx nt nb in
+    let r_kk = Dsl.s_sqrt ctx norm2 in
+    r.(k).(k) <- Some r_kk;
+    let inv_r = Dsl.s_inv ctx r_kk in
+    q_top.(k) <- Dsl.v_scale ctx !(col_top.(k)) inv_r;
+    q_bot.(k) <- Dsl.v_scale ctx !(col_bot.(k)) inv_r;
+    for j = k + 1 to n - 1 do
+      (* r_kj = q_k^H a_j, over both halves *)
+      let pt = Dsl.v_doth ctx !(col_top.(j)) q_top.(k) in
+      let pb = Dsl.v_doth ctx !(col_bot.(j)) q_bot.(k) in
+      let r_kj = Dsl.s_add ctx pt pb in
+      r.(k).(j) <- Some r_kj;
+      (* a_j <- a_j - r_kj q_k *)
+      col_top.(j) := Dsl.v_naxpy ctx !(col_top.(j)) r_kj q_top.(k);
+      col_bot.(j) := Dsl.v_naxpy ctx !(col_bot.(j)) r_kj q_bot.(k)
+    done
+  done;
+  let r_rows =
+    Array.init n (fun k ->
+        let elt j = match r.(k).(j) with Some s -> s | None -> zero in
+        let row = Dsl.merge ctx (elt 0) (elt 1) (elt 2) (elt 3) in
+        Dsl.mark_output ctx row;
+        row)
+  in
+  Array.iter (fun v -> Dsl.mark_output ctx v) q_top;
+  Array.iter (fun v -> Dsl.mark_output ctx v) q_bot;
+  { ctx; h_top; h_bot; q_top; q_bot; r_rows; perm }
+
+let graph t = Dsl.graph t.ctx

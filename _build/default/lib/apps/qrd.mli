@@ -1,0 +1,49 @@
+(** QRD — Modified Gram-Schmidt based MMSE QR decomposition of a 4x4
+    MIMO channel matrix (paper §4.1; algorithm after Luethi et al. 2007
+    and Zhang 2014).
+
+    MMSE formulation: the channel matrix [H] (4x4) is extended with a
+    regularization block [sigma * I] to the 8x4 matrix
+    [H_ext = [H; sigma I]], whose thin QR factorization
+    [H_ext = Q R] yields the MMSE pre-processing operators.  Each 8-row
+    column is held as two 4-vectors (a top and a bottom part), so every
+    column operation costs two vector operations plus a scalar
+    combination — exactly the structure the EIT vector core is built
+    for.
+
+    Per MGS step [k]:
+    + column norm: two [v_squsum] + one [s_add];
+    + [r_kk = sqrt(.)], [1/r_kk] on the accelerator;
+    + column normalization: two [v_scale];
+    + for each remaining column [j]: projections [r_kj] via two
+      [v_dotH] + [s_add], then column update via two [v_naxpy].
+
+    The four rows of [R] are assembled with [merge] nodes. *)
+
+open Eit_dsl
+
+type t = {
+  ctx : Dsl.ctx;
+  h_top : Dsl.matrix;        (** H, stored column-major: vector j is
+                                 column j (the memory reads columns
+                                 directly) *)
+  h_bot : Dsl.matrix;        (** sigma I (bottom block, column-major) *)
+  q_top : Dsl.vector array;  (** Q columns, top half *)
+  q_bot : Dsl.vector array;  (** Q columns, bottom half *)
+  r_rows : Dsl.vector array; (** rows of R *)
+  perm : int array;          (** processing order: position p handles
+                                 original column [perm.(p)] (identity
+                                 unless [sorted]) *)
+}
+
+val build : ?h:Eit.Cplx.t array array -> ?sigma:float -> ?sorted:bool -> unit -> t
+(** Defaults: a fixed well-conditioned complex test channel,
+    [sigma = 0.5], unsorted.  [sorted] enables the sorted MMSE-QRD of
+    Luethi et al.: column energies are computed on the hardware
+    (m_squsum / v_add / sort) and the MGS loop processes columns in
+    decreasing energy order — the decomposition then satisfies
+    [Q R = [H; sigma I] P] for the column permutation [P] recorded in
+    [perm]. *)
+
+val graph : t -> Ir.t
+val default_h : Eit.Cplx.t array array

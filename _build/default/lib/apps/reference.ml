@@ -1,0 +1,91 @@
+open Eit
+
+let n = Value.vlen
+
+let matmul_aat a =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref Cplx.zero in
+          for k = 0 to n - 1 do
+            acc := Cplx.mac !acc a.(i).(k) a.(j).(k)
+          done;
+          !acc))
+
+type qr = { q : Cplx.t array array; r : Cplx.t array array }
+
+let extended h ~sigma =
+  Array.init (2 * n) (fun i ->
+      Array.init n (fun j ->
+          if i < n then h.(i).(j)
+          else if i - n = j then Cplx.of_float sigma
+          else Cplx.zero))
+
+let mgs_qrd h ~sigma =
+  let a = extended h ~sigma in
+  let m = 2 * n in
+  (* columns as mutable vectors *)
+  let col = Array.init n (fun j -> Array.init m (fun i -> a.(i).(j))) in
+  let q = Array.make_matrix m n Cplx.zero in
+  let r = Array.make_matrix n n Cplx.zero in
+  for k = 0 to n - 1 do
+    let norm =
+      Float.sqrt (Array.fold_left (fun acc x -> acc +. Cplx.norm2 x) 0. col.(k))
+    in
+    r.(k).(k) <- Cplx.of_float norm;
+    let qk = Array.map (fun x -> Cplx.scale (1. /. norm) x) col.(k) in
+    for i = 0 to m - 1 do
+      q.(i).(k) <- qk.(i)
+    done;
+    for j = k + 1 to n - 1 do
+      (* r_kj = q_k^H a_j *)
+      let acc = ref Cplx.zero in
+      for i = 0 to m - 1 do
+        acc := Cplx.mac !acc (Cplx.conj qk.(i)) col.(j).(i)
+      done;
+      r.(k).(j) <- !acc;
+      for i = 0 to m - 1 do
+        col.(j).(i) <- Cplx.sub col.(j).(i) (Cplx.mul !acc qk.(i))
+      done
+    done
+  done;
+  { q; r }
+
+let mul_ext { q; r } =
+  let m = 2 * n in
+  Array.init m (fun i ->
+      Array.init n (fun j ->
+          let acc = ref Cplx.zero in
+          for k = 0 to n - 1 do
+            acc := Cplx.mac !acc q.(i).(k) r.(k).(j)
+          done;
+          !acc))
+
+let check_qr h ~sigma qr ~eps =
+  let a = extended h ~sigma in
+  let qr_prod = mul_ext qr in
+  let m = 2 * n in
+  let err = ref None in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      if not (Cplx.equal ~eps a.(i).(j) qr_prod.(i).(j)) then
+        err :=
+          Some
+            (Printf.sprintf "QR(%d,%d)=%s <> A(%d,%d)=%s" i j
+               (Cplx.to_string qr_prod.(i).(j))
+               i j
+               (Cplx.to_string a.(i).(j)))
+    done
+  done;
+  (* orthonormality *)
+  for j1 = 0 to n - 1 do
+    for j2 = 0 to n - 1 do
+      let acc = ref Cplx.zero in
+      for i = 0 to m - 1 do
+        acc := Cplx.mac !acc (Cplx.conj qr.q.(i).(j1)) qr.q.(i).(j2)
+      done;
+      let expect = if j1 = j2 then Cplx.one else Cplx.zero in
+      if not (Cplx.equal ~eps !acc expect) then
+        err := Some (Printf.sprintf "Q^H Q (%d,%d) = %s" j1 j2 (Cplx.to_string !acc))
+    done
+  done;
+  match !err with None -> Ok () | Some msg -> Error msg

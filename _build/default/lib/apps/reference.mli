@@ -1,0 +1,20 @@
+(** Plain-OCaml golden implementations used to cross-check the DSL
+    evaluation, the IR evaluator and the machine simulator. *)
+
+open Eit
+
+val matmul_aat : Cplx.t array array -> Cplx.t array array
+(** [A * A^T] (plain transpose, no conjugation — listing 1 semantics). *)
+
+type qr = { q : Cplx.t array array; r : Cplx.t array array }
+(** [q]: 8x4 (extended), [r]: 4x4 upper triangular. *)
+
+val mgs_qrd : Cplx.t array array -> sigma:float -> qr
+(** Modified Gram-Schmidt QR of the MMSE-extended matrix
+    [[H; sigma I]]. *)
+
+val check_qr : Cplx.t array array -> sigma:float -> qr -> eps:float -> (unit, string) result
+(** Verifies [Q R = [H; sigma I]] and [Q^H Q = I] within [eps]. *)
+
+val mul_ext : qr -> Cplx.t array array
+(** Reconstruct the 8x4 extended matrix from a {!qr} (i.e. [Q * R]). *)

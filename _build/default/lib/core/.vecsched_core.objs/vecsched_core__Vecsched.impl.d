@@ -1,0 +1,1 @@
+lib/core/vecsched.ml: Eit Eit_dsl Fd Sched

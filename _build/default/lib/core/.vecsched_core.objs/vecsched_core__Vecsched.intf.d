@@ -1,0 +1,1 @@
+lib/core/vecsched.mli: Eit Eit_dsl Sched

@@ -1,0 +1,1 @@
+lib/eit/arch.ml: Format Opcode Printf

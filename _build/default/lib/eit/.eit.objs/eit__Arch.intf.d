@@ -1,0 +1,1 @@
+lib/eit/arch.mli: Format Opcode

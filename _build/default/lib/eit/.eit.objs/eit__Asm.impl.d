@@ -1,0 +1,1 @@
+lib/eit/asm.ml: Arch Array Buffer Cplx Float Fun Instr List Opcode Option Printf String Value

@@ -1,0 +1,1 @@
+lib/eit/asm.mli: Instr

@@ -1,0 +1,1 @@
+lib/eit/config.ml: Fun List Opcode

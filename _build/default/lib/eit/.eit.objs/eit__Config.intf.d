@@ -1,0 +1,1 @@
+lib/eit/config.mli: Opcode

@@ -1,0 +1,1 @@
+lib/eit/cplx.ml: Float Format

@@ -1,0 +1,1 @@
+lib/eit/encode.ml: Array Cplx Format Instr Int64 List Opcode Option

@@ -1,0 +1,1 @@
+lib/eit/encode.mli: Arch Cplx Format Instr

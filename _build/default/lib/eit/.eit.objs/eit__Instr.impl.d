@@ -1,0 +1,1 @@
+lib/eit/instr.ml: Arch Config Cplx Format Hashtbl List Opcode Option Result

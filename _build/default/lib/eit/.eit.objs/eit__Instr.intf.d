@@ -1,0 +1,1 @@
+lib/eit/instr.mli: Arch Cplx Format Opcode

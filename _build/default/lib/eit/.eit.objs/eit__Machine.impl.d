@@ -1,0 +1,1 @@
+lib/eit/machine.ml: Arch Cplx Format Hashtbl Instr List Mem Opcode Option Printf Value

@@ -1,0 +1,1 @@
+lib/eit/machine.mli: Cplx Format Instr Mem Value

@@ -1,0 +1,1 @@
+lib/eit/mem.ml: Arch Array Cplx Format Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/eit/mem.mli: Arch Cplx Format

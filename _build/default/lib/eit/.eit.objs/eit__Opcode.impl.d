@@ -1,0 +1,1 @@
+lib/eit/opcode.ml: Array Cplx Format List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/eit/opcode.mli: Format Value

@@ -1,0 +1,1 @@
+lib/eit/value.ml: Array Cplx Format List Printf

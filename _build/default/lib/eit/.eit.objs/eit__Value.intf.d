@@ -1,0 +1,1 @@
+lib/eit/value.mli: Cplx Format

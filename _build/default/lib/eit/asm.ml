@@ -1,0 +1,290 @@
+(* ------------------------- printing ------------------------------- *)
+
+let print_cplx (c : Cplx.t) =
+  let fl f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+  in
+  if c.Cplx.im = 0. then fl c.Cplx.re
+  else if c.Cplx.re = 0. then fl c.Cplx.im ^ "i"
+  else if c.Cplx.im > 0. then Printf.sprintf "%s+%si" (fl c.Cplx.re) (fl c.Cplx.im)
+  else Printf.sprintf "%s-%si" (fl c.Cplx.re) (fl (-.c.Cplx.im))
+
+let print_operand = function
+  | Instr.Slot k -> Printf.sprintf "m[%d]" k
+  | Instr.Reg r -> Printf.sprintf "r%d" r
+  | Instr.Imm c -> "#" ^ print_cplx c
+
+let print_dest = function
+  | Instr.Dslot k -> Printf.sprintf "m[%d]" k
+  | Instr.Dreg r -> Printf.sprintf "r%d" r
+
+let unit_letter op =
+  match Opcode.resource op with
+  | Opcode.Vector_core -> "V"
+  | Opcode.Scalar_accel -> "S"
+  | Opcode.Index_merge -> "M"
+
+let print_issue (i : Instr.issue) =
+  Printf.sprintf "  %s %s <- %s(%s) @n%d" (unit_letter i.Instr.op)
+    (print_dest i.Instr.dest)
+    (Opcode.name i.Instr.op)
+    (String.concat ", " (List.map print_operand i.Instr.args))
+    i.Instr.node
+
+let arch_name arch =
+  match List.find_opt (fun (_, a) -> a = arch) Arch.presets with
+  | Some (n, _) -> n
+  | None -> "eit"  (* custom instances print as the default preset *)
+
+let print (p : Instr.program) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line ".arch %s" (arch_name p.Instr.arch);
+  List.iter
+    (function
+      | Instr.In_slot (k, v) ->
+        line ".input m[%d] = %s" k
+          (String.concat ", " (Array.to_list (Array.map print_cplx v)))
+      | Instr.In_reg (r, c) -> line ".input r%d = %s" r (print_cplx c))
+    p.Instr.inputs;
+  List.iter
+    (fun (node, dest) -> line ".output n%d -> %s" node (print_dest dest))
+    p.Instr.outputs;
+  List.iter
+    (fun ci ->
+      line "@%d:" ci.Instr.cycle;
+      List.iter (fun i -> line "%s" (print_issue i)) ci.Instr.vector;
+      Option.iter (fun i -> line "%s" (print_issue i)) ci.Instr.scalar;
+      Option.iter (fun i -> line "%s" (print_issue i)) ci.Instr.im)
+    p.Instr.instrs;
+  Buffer.contents buf
+
+(* ------------------------- parsing -------------------------------- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_cplx s =
+  let s = String.trim s in
+  if s = "" then fail "empty complex literal";
+  let parse_float t =
+    match float_of_string_opt (String.trim t) with
+    | Some f -> f
+    | None -> fail "bad number %S" t
+  in
+  if s.[String.length s - 1] = 'i' then begin
+    let body = String.sub s 0 (String.length s - 1) in
+    (* split into re and im at the last +/- that is not an exponent or
+       leading sign *)
+    let split_at = ref None in
+    String.iteri
+      (fun idx ch ->
+        if (ch = '+' || ch = '-') && idx > 0 then begin
+          let prev = body.[idx - 1] in
+          if prev <> 'e' && prev <> 'E' then split_at := Some idx
+        end)
+      body;
+    match !split_at with
+    | None ->
+      let imag = if body = "" || body = "+" then 1. else if body = "-" then -1. else parse_float body in
+      Cplx.make 0. imag
+    | Some idx ->
+      let re = parse_float (String.sub body 0 idx) in
+      let im_str = String.sub body idx (String.length body - idx) in
+      let im =
+        if im_str = "+" then 1. else if im_str = "-" then -1. else parse_float im_str
+      in
+      Cplx.make re im
+  end
+  else Cplx.of_float (parse_float s)
+
+let parse_location s =
+  let s = String.trim s in
+  if String.length s > 3 && String.sub s 0 2 = "m[" && s.[String.length s - 1] = ']'
+  then `Slot (int_of_string (String.sub s 2 (String.length s - 3)))
+  else if String.length s > 1 && s.[0] = 'r' then
+    `Reg (int_of_string (String.sub s 1 (String.length s - 1)))
+  else fail "bad location %S" s
+
+let parse_operand s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '#' then
+    Instr.Imm (parse_cplx (String.sub s 1 (String.length s - 1)))
+  else
+    match parse_location s with
+    | `Slot k -> Instr.Slot k
+    | `Reg r -> Instr.Reg r
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split1 sep s =
+  match String.index_opt s sep with
+  | Some i ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let fresh_node = ref 1_000_000
+
+let parse_issue body =
+  (* "<U> <dest> <- <op>(<args>) [@n<id>]" ; unit letter already split *)
+  match split1 '<' body with
+  | Some (dest_s, rest) when String.length rest > 0 && rest.[0] = '-' ->
+    let rest = String.sub rest 1 (String.length rest - 1) in
+    let node, rest =
+      match split1 '@' rest with
+      | Some (r, ann) ->
+        let ann = String.trim ann in
+        if String.length ann > 1 && ann.[0] = 'n' then
+          (int_of_string (String.sub ann 1 (String.length ann - 1)), r)
+        else fail "bad node annotation %S" ann
+      | None ->
+        incr fresh_node;
+        (!fresh_node, rest)
+    in
+    let rest = String.trim rest in
+    let op_name, args_s =
+      match split1 '(' rest with
+      | Some (op_name, args) ->
+        let args = String.trim args in
+        if String.length args = 0 || args.[String.length args - 1] <> ')' then
+          fail "missing closing parenthesis";
+        (String.trim op_name, String.sub args 0 (String.length args - 1))
+      | None -> fail "missing operand list"
+    in
+    let op =
+      try Opcode.of_name op_name
+      with Invalid_argument m -> fail "%s" m
+    in
+    let args =
+      if String.trim args_s = "" then []
+      else List.map parse_operand (String.split_on_char ',' args_s)
+    in
+    let dest =
+      match parse_location dest_s with
+      | `Slot k -> Instr.Dslot k
+      | `Reg r -> Instr.Dreg r
+    in
+    { Instr.op; args; dest; node }
+  | _ -> fail "expected '<dest> <- op(args)'"
+
+let parse text =
+  fresh_node := 1_000_000;
+  let arch = ref Arch.default in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let instrs = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some ci ->
+      instrs := { ci with Instr.vector = List.rev ci.Instr.vector } :: !instrs;
+      current := None
+    | None -> ()
+  in
+  try
+    List.iteri
+      (fun lineno raw ->
+        let line = String.trim (strip_comment raw) in
+        let fail_line fmt =
+          Printf.ksprintf (fun s -> fail "line %d: %s" (lineno + 1) s) fmt
+        in
+        try
+          if line = "" then ()
+          else if String.length line > 5 && String.sub line 0 5 = ".arch" then begin
+            let name = String.trim (String.sub line 5 (String.length line - 5)) in
+            match List.assoc_opt name Arch.presets with
+            | Some a -> arch := a
+            | None -> fail "unknown preset %S" name
+          end
+          else if String.length line > 6 && String.sub line 0 6 = ".input" then begin
+            match split1 '=' (String.sub line 6 (String.length line - 6)) with
+            | Some (loc, vals) -> (
+              let vals = List.map parse_cplx (String.split_on_char ',' vals) in
+              match parse_location loc with
+              | `Slot k ->
+                if List.length vals <> Value.vlen then fail "vector preload needs 4 values";
+                inputs := Instr.In_slot (k, Array.of_list vals) :: !inputs
+              | `Reg r -> (
+                match vals with
+                | [ c ] -> inputs := Instr.In_reg (r, c) :: !inputs
+                | _ -> fail "register preload needs one value"))
+            | None -> fail "expected '.input <loc> = <values>'"
+          end
+          else if String.length line > 7 && String.sub line 0 7 = ".output" then begin
+            match split1 '>' line with
+            | Some (lhs, loc) -> (
+              let lhs = String.trim lhs in
+              (* lhs looks like ".output n<id> -" *)
+              let lhs = String.sub lhs 7 (String.length lhs - 7) in
+              let lhs = String.trim lhs in
+              let lhs =
+                if String.length lhs > 0 && lhs.[String.length lhs - 1] = '-' then
+                  String.trim (String.sub lhs 0 (String.length lhs - 1))
+                else lhs
+              in
+              if String.length lhs < 2 || lhs.[0] <> 'n' then fail "expected n<id>";
+              let node = int_of_string (String.sub lhs 1 (String.length lhs - 1)) in
+              match parse_location loc with
+              | `Slot k -> outputs := (node, Instr.Dslot k) :: !outputs
+              | `Reg r -> outputs := (node, Instr.Dreg r) :: !outputs)
+            | None -> fail "expected '.output n<id> -> <loc>'"
+          end
+          else if line.[0] = '@' then begin
+            if line.[String.length line - 1] <> ':' then fail "cycle header needs ':'";
+            flush ();
+            let c = int_of_string (String.sub line 1 (String.length line - 2)) in
+            current := Some (Instr.empty_cycle c)
+          end
+          else begin
+            let unit, body =
+              match split1 ' ' line with
+              | Some (u, body) -> (String.trim u, body)
+              | None -> fail "expected an issue line"
+            in
+            let issue = parse_issue body in
+            if unit <> unit_letter issue.Instr.op then
+              fail "unit letter %s does not match %s" unit
+                (Opcode.name issue.Instr.op);
+            match !current with
+            | None -> fail "issue before any cycle header"
+            | Some ci -> (
+              match Opcode.resource issue.Instr.op with
+              | Opcode.Vector_core ->
+                current := Some { ci with Instr.vector = issue :: ci.Instr.vector }
+              | Opcode.Scalar_accel ->
+                if ci.Instr.scalar <> None then fail "two scalar issues in one cycle";
+                current := Some { ci with Instr.scalar = Some issue }
+              | Opcode.Index_merge ->
+                if ci.Instr.im <> None then fail "two index/merge issues in one cycle";
+                current := Some { ci with Instr.im = Some issue })
+          end
+        with
+        | Parse_error _ as e -> raise e
+        | Failure m -> fail_line "%s" m
+        | Invalid_argument m -> fail_line "%s" m)
+      (String.split_on_char '\n' text);
+    flush ();
+    Ok
+      {
+        Instr.arch = !arch;
+        inputs = List.rev !inputs;
+        instrs = List.rev !instrs;
+        outputs = List.rev !outputs;
+      }
+  with Parse_error msg -> Error msg
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let save path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print p))

@@ -1,0 +1,38 @@
+(** Textual assembly for EIT programs — the format an architect writing
+    machine code by hand (the paper's §1 baseline practice) would use.
+
+    {v
+    ; matmul fragment
+    .arch eit
+    .input m[0] = 1, 2, 3, 4
+    .input r9  = 0.5+1i
+    .output n12 -> m[7]
+
+    @0:
+      V m[4] <- v_add(m[0], m[1]) @n10
+      S r10  <- s_sqrt(r9)        @n11
+    @7:
+      M m[7] <- merge(r10, r10, r10, r10) @n12
+    v}
+
+    - [.arch] selects a preset (default [eit]);
+    - [.input] preloads a slot (vector of 4 complex literals) or a
+      register (one literal);
+    - [.output] declares result locations (node id -> location);
+    - [@c:] starts cycle [c]; each following line is one issue on unit
+      [V]/[S]/[M] with an optional [@n<id>] node annotation (defaults to
+      a fresh id);
+    - complex literals: [1.5], [-2], [3+4i], [0.5-1i], [2i];
+    - [;] starts a comment.
+
+    [parse (print p)] reproduces [p] exactly. *)
+
+val print : Instr.program -> string
+
+val parse : string -> (Instr.program, string) result
+(** Errors carry the offending line number. *)
+
+val load : string -> (Instr.program, string) result
+(** Parse a file. *)
+
+val save : string -> Instr.program -> unit

@@ -1,0 +1,53 @@
+type t = { re : float; im : float }
+
+let make re im = { re; im }
+let of_float re = { re; im = 0. }
+let zero = { re = 0.; im = 0. }
+let one = { re = 1.; im = 0. }
+let i = { re = 0.; im = 1. }
+
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im); im = (a.re *. b.im) +. (a.im *. b.re) }
+
+let neg a = { re = -.a.re; im = -.a.im }
+let conj a = { re = a.re; im = -.a.im }
+let scale k a = { re = k *. a.re; im = k *. a.im }
+let mac acc a b = add acc (mul a b)
+let norm2 a = (a.re *. a.re) +. (a.im *. a.im)
+let abs a = Float.sqrt (norm2 a)
+
+let div a b =
+  let d = norm2 b in
+  if d = 0. then invalid_arg "Cplx.div: division by zero";
+  { re = ((a.re *. b.re) +. (a.im *. b.im)) /. d;
+    im = ((a.im *. b.re) -. (a.re *. b.im)) /. d }
+
+let inv a = div one a
+
+let sqrt a =
+  (* Principal branch, numerically stable formulation. *)
+  let m = abs a in
+  let re = Float.sqrt ((m +. a.re) /. 2.) in
+  let im = Float.sqrt ((m -. a.re) /. 2.) in
+  { re; im = (if a.im < 0. then -.im else im) }
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.re -. b.re) <= eps && Float.abs (a.im -. b.im) <= eps
+
+let compare_by_norm a b =
+  match Float.compare (norm2 a) (norm2 b) with
+  | 0 -> (
+    match Float.compare a.re b.re with
+    | 0 -> Float.compare a.im b.im
+    | c -> c)
+  | c -> c
+
+let pp ppf a =
+  if a.im = 0. then Format.fprintf ppf "%g" a.re
+  else if a.im > 0. then Format.fprintf ppf "%g+%gi" a.re a.im
+  else Format.fprintf ppf "%g-%gi" a.re (-.a.im)
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,43 @@
+(** Complex arithmetic for the EIT data path.
+
+    The vector core operates on complex-valued samples (the architecture
+    is built for MIMO baseband processing); every scalar flowing through
+    the DSL, the IR and the simulator is a complex number. *)
+
+type t = { re : float; im : float }
+
+val make : float -> float -> t
+val of_float : float -> t
+val zero : t
+val one : t
+val i : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+val mac : t -> t -> t -> t
+(** [mac acc a b] is [acc + a * b] — the CMAC primitive. *)
+
+val norm2 : t -> float
+(** [|z|^2]. *)
+
+val abs : t -> float
+val sqrt : t -> t
+(** Principal complex square root. *)
+
+val inv : t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with tolerance (default [1e-9]). *)
+
+val compare_by_norm : t -> t -> int
+(** Total order by squared magnitude, then by real part, then imaginary —
+    used by the post-processing sort unit. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

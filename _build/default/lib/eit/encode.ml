@@ -1,0 +1,215 @@
+(* Word layout (64 bit):
+
+   record tag: bits 62-63
+     0 = cycle marker   bits 0-31: cycle
+     1 = issue header   bits 0-15:  op configuration
+                        bit  16:    dest kind (0 slot, 1 reg)
+                        bits 17-32: dest address
+                        bits 33-35: operand count
+                        bits 36-55: IR node id (trace metadata)
+     2 = operand        bits 60-61: kind (0 slot, 1 reg, 2 imm-pool)
+                        bits 0-31:  address / pool index
+
+   op configuration (16 bit):
+     bits 14-15: unit (0 = vector core, 1 = scalar accel, 2 = idx/merge)
+     vector:  bits 0-3 core, bits 4-5 pre kind (0 none, 1 conj, 2 neg,
+              3 mask), bits 6-9 mask, bits 10-11 post (0 none, 1 sort,
+              2 abs, 3 neg)
+     scalar:  bits 0-3 sop
+     idx/mg:  bits 0-1 kind (0 merge, 1 splat, 2 index), bits 2-3 k *)
+
+let ( <<< ) x n = Int64.shift_left x n
+let ( >>> ) x n = Int64.shift_right_logical x n
+let ( ||| ) = Int64.logor
+let ( &&& ) = Int64.logand
+
+let mask_bits n = Int64.sub (1L <<< n) 1L
+let field x ~lo ~bits = Int64.to_int ((x >>> lo) &&& mask_bits bits)
+let put v ~lo = Int64.of_int v <<< lo
+
+let index_of x l =
+  let rec go i = function
+    | [] -> invalid_arg "Encode: unknown enum value"
+    | y :: rest -> if y = x then i else go (i + 1) rest
+  in
+  go 0 l
+
+let encode_op (op : Opcode.t) =
+  match op with
+  | V { pre; core; post } ->
+    let core_id = index_of core Opcode.all_cores in
+    let pre_kind, m =
+      match pre with
+      | None -> (0, 0)
+      | Some Opcode.Pconj -> (1, 0)
+      | Some Opcode.Pneg -> (2, 0)
+      | Some (Opcode.Pmask m) -> (3, m)
+    in
+    let post_id =
+      match post with
+      | None -> 0
+      | Some Opcode.Qsort -> 1
+      | Some Opcode.Qabs -> 2
+      | Some Opcode.Qneg -> 3
+    in
+    core_id lor (pre_kind lsl 4) lor (m lsl 6) lor (post_id lsl 10)
+  | S sop -> (1 lsl 14) lor index_of sop Opcode.all_sops
+  | IM imop ->
+    let kind, k =
+      match imop with
+      | Opcode.Merge4 -> (0, 0)
+      | Opcode.Splat -> (1, 0)
+      | Opcode.Index k -> (2, k)
+    in
+    (2 lsl 14) lor kind lor (k lsl 2)
+
+let decode_op bits =
+  match bits lsr 14 with
+  | 0 ->
+    let core = List.nth Opcode.all_cores (bits land 0xF) in
+    let pre =
+      match (bits lsr 4) land 0x3 with
+      | 0 -> None
+      | 1 -> Some Opcode.Pconj
+      | 2 -> Some Opcode.Pneg
+      | _ -> Some (Opcode.Pmask ((bits lsr 6) land 0xF))
+    in
+    let post =
+      match (bits lsr 10) land 0x3 with
+      | 0 -> None
+      | 1 -> Some Opcode.Qsort
+      | 2 -> Some Opcode.Qabs
+      | _ -> Some Opcode.Qneg
+    in
+    Opcode.V { pre; core; post }
+  | 1 -> Opcode.S (List.nth Opcode.all_sops (bits land 0xF))
+  | 2 -> (
+    match bits land 0x3 with
+    | 0 -> Opcode.IM Opcode.Merge4
+    | 1 -> Opcode.IM Opcode.Splat
+    | _ -> Opcode.IM (Opcode.Index ((bits lsr 2) land 0x3)))
+  | _ -> failwith "Encode.decode_op: bad unit tag"
+
+type image = { words : int64 array; pool : Cplx.t array }
+
+let encode (p : Instr.program) =
+  let words = ref [] in
+  let pool = ref [] in
+  let pool_index c =
+    let rec go i = function
+      | [] ->
+        pool := !pool @ [ c ];
+        i
+      | c' :: rest -> if Cplx.equal ~eps:0. c c' then i else go (i + 1) rest
+    in
+    go 0 !pool
+  in
+  let emit w = words := w :: !words in
+  let emit_issue (i : Instr.issue) =
+    let dest_kind, dest_addr =
+      match i.Instr.dest with Instr.Dslot k -> (0, k) | Instr.Dreg r -> (1, r)
+    in
+    emit
+      ((1L <<< 62)
+      ||| put (encode_op i.Instr.op) ~lo:0
+      ||| put dest_kind ~lo:16
+      ||| put dest_addr ~lo:17
+      ||| put (List.length i.Instr.args) ~lo:33
+      ||| put i.Instr.node ~lo:36);
+    List.iter
+      (fun arg ->
+        let kind, v =
+          match arg with
+          | Instr.Slot k -> (0, k)
+          | Instr.Reg r -> (1, r)
+          | Instr.Imm c -> (2, pool_index c)
+        in
+        emit ((2L <<< 62) ||| put kind ~lo:60 ||| put v ~lo:0))
+      i.Instr.args
+  in
+  List.iter
+    (fun ci ->
+      emit (put ci.Instr.cycle ~lo:0);
+      List.iter emit_issue ci.Instr.vector;
+      Option.iter emit_issue ci.Instr.scalar;
+      Option.iter emit_issue ci.Instr.im)
+    p.Instr.instrs;
+  { words = Array.of_list (List.rev !words); pool = Array.of_list !pool }
+
+let decode ~arch ~inputs ~outputs img =
+  let n = Array.length img.words in
+  let instrs = ref [] in
+  let current : Instr.cycle_instr option ref = ref None in
+  let flush () =
+    match !current with
+    | Some ci ->
+      instrs :=
+        { ci with Instr.vector = List.rev ci.Instr.vector } :: !instrs;
+      current := None
+    | None -> ()
+  in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= n then failwith "Encode.decode: truncated image";
+    let w = img.words.(!pos) in
+    incr pos;
+    w
+  in
+  while !pos < n do
+    let w = next () in
+    match Int64.to_int (w >>> 62) with
+    | 0 ->
+      flush ();
+      current := Some (Instr.empty_cycle (field w ~lo:0 ~bits:32))
+    | 1 -> (
+      let op = decode_op (field w ~lo:0 ~bits:16) in
+      let dest =
+        let addr = field w ~lo:17 ~bits:16 in
+        if field w ~lo:16 ~bits:1 = 0 then Instr.Dslot addr else Instr.Dreg addr
+      in
+      let nargs = field w ~lo:33 ~bits:3 in
+      let node = field w ~lo:36 ~bits:20 in
+      let args =
+        List.init nargs (fun _ ->
+            let aw = next () in
+            if Int64.to_int (aw >>> 62) <> 2 then
+              failwith "Encode.decode: expected operand word";
+            let v = field aw ~lo:0 ~bits:32 in
+            match field aw ~lo:60 ~bits:2 with
+            | 0 -> Instr.Slot v
+            | 1 -> Instr.Reg v
+            | 2 ->
+              if v >= Array.length img.pool then
+                failwith "Encode.decode: pool index out of range";
+              Instr.Imm img.pool.(v)
+            | _ -> failwith "Encode.decode: bad operand kind")
+      in
+      let issue = { Instr.op; args; dest; node } in
+      match !current with
+      | None -> failwith "Encode.decode: issue before cycle marker"
+      | Some ci -> (
+        match Opcode.resource op with
+        | Opcode.Vector_core ->
+          current := Some { ci with Instr.vector = issue :: ci.Instr.vector }
+        | Opcode.Scalar_accel -> current := Some { ci with Instr.scalar = Some issue }
+        | Opcode.Index_merge -> current := Some { ci with Instr.im = Some issue }))
+    | _ -> failwith "Encode.decode: unexpected record"
+  done;
+  flush ();
+  { Instr.arch; inputs; instrs = List.rev !instrs; outputs }
+
+let size_bytes img = 8 * (Array.length img.words + (2 * Array.length img.pool))
+
+let pp_word ppf w =
+  match Int64.to_int (w >>> 62) with
+  | 0 -> Format.fprintf ppf "CYCLE %d" (field w ~lo:0 ~bits:32)
+  | 1 ->
+    let op = try Opcode.name (decode_op (field w ~lo:0 ~bits:16)) with _ -> "?" in
+    Format.fprintf ppf "ISSUE %s dest=%s%d nargs=%d node=%d" op
+      (if field w ~lo:16 ~bits:1 = 0 then "m" else "r")
+      (field w ~lo:17 ~bits:16) (field w ~lo:33 ~bits:3) (field w ~lo:36 ~bits:20)
+  | 2 ->
+    Format.fprintf ppf "ARG %s %d"
+      (match field w ~lo:60 ~bits:2 with 0 -> "slot" | 1 -> "reg" | _ -> "imm")
+      (field w ~lo:0 ~bits:32)
+  | _ -> Format.fprintf ppf "???"

@@ -1,0 +1,38 @@
+(** Binary encoding of instruction streams — the configuration-memory
+    image (paper §1.1: operation modes "are specified in embedded
+    configuration memories, which are re-loadable in every clock
+    cycle"; the master node PE1 sequences them from instructions stored
+    in ME1).
+
+    The encoding is word-oriented (64-bit):
+
+    - a {e cycle} word sets the issue cycle for the records that follow;
+    - an {e issue} word carries the unit, the operation configuration,
+      the destination and the operand count, followed by one {e operand}
+      word per operand;
+    - immediate scalars live in a constant pool referenced by index.
+
+    [decode (encode p)] reproduces the program's instruction stream
+    exactly (inputs/outputs metadata are carried alongside, not in the
+    code image). *)
+
+type image = {
+  words : int64 array;
+  pool : Cplx.t array;       (** immediate constant pool *)
+}
+
+val encode : Instr.program -> image
+
+val decode :
+  arch:Arch.t ->
+  inputs:Instr.input_binding list ->
+  outputs:(int * Instr.dest) list ->
+  image ->
+  Instr.program
+(** @raise Failure on a malformed image. *)
+
+val size_bytes : image -> int
+(** Code image footprint (words + pool). *)
+
+val pp_word : Format.formatter -> int64 -> unit
+(** Disassembler-style rendering of one word (for dumps). *)

@@ -1,0 +1,136 @@
+type operand = Slot of int | Reg of int | Imm of Cplx.t
+
+type dest = Dslot of int | Dreg of int
+
+type issue = { op : Opcode.t; args : operand list; dest : dest; node : int }
+
+type cycle_instr = {
+  cycle : int;
+  vector : issue list;
+  scalar : issue option;
+  im : issue option;
+}
+
+type input_binding =
+  | In_slot of int * Cplx.t array
+  | In_reg of int * Cplx.t
+
+type program = {
+  arch : Arch.t;
+  inputs : input_binding list;
+  instrs : cycle_instr list;
+  outputs : (int * dest) list;
+}
+
+let empty_cycle cycle = { cycle; vector = []; scalar = None; im = None }
+
+let length p = List.length p.instrs
+
+let span p =
+  List.fold_left (fun acc ci -> max acc (ci.cycle + 1)) 0 p.instrs
+
+let vector_config ci =
+  match ci.vector with [] -> None | i :: _ -> Some i.op
+
+let configs p =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ci ->
+      match vector_config ci with
+      | Some op -> Hashtbl.replace tbl ci.cycle op
+      | None -> ())
+    p.instrs;
+  List.init (span p) (fun c -> Hashtbl.find_opt tbl c)
+
+let reconfigurations p = Config.count_reconfigs (configs p)
+
+let validate_structure p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check_cycles last = function
+    | [] -> Ok ()
+    | ci :: rest ->
+      if ci.cycle <= last then err "cycle %d not strictly increasing" ci.cycle
+      else check_cycles ci.cycle rest
+  in
+  let check_issue i =
+    if List.length i.args <> Opcode.arity i.op then
+      err "issue node %d (%s): %d args, arity %d" i.node (Opcode.name i.op)
+        (List.length i.args) (Opcode.arity i.op)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let rec check_all f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      check_all f rest
+  in
+  let check_cycle ci =
+    let issues =
+      ci.vector @ Option.to_list ci.scalar @ Option.to_list ci.im
+    in
+    let* () = check_all check_issue issues in
+    let lanes =
+      List.fold_left (fun acc i -> acc + Opcode.lanes i.op) 0 ci.vector
+    in
+    let* () =
+      if lanes > p.arch.Arch.n_lanes then
+        err "cycle %d: %d lanes used, only %d available" ci.cycle lanes
+          p.arch.Arch.n_lanes
+      else Ok ()
+    in
+    let* () =
+      match ci.vector with
+      | [] | [ _ ] -> Ok ()
+      | first :: rest ->
+        if List.for_all (fun i -> Opcode.config_equal i.op first.op) rest then
+          Ok ()
+        else err "cycle %d: mixed vector-core configurations" ci.cycle
+    in
+    let* () =
+      check_all
+        (fun i ->
+          if Opcode.resource i.op = Opcode.Vector_core then Ok ()
+          else err "cycle %d: non-vector op %s in vector bundle" ci.cycle (Opcode.name i.op))
+        ci.vector
+    in
+    let* () =
+      match ci.scalar with
+      | Some i when Opcode.resource i.op <> Opcode.Scalar_accel ->
+        err "cycle %d: %s is not a scalar-accelerator op" ci.cycle (Opcode.name i.op)
+      | _ -> Ok ()
+    in
+    match ci.im with
+    | Some i when Opcode.resource i.op <> Opcode.Index_merge ->
+      err "cycle %d: %s is not an index/merge op" ci.cycle (Opcode.name i.op)
+    | _ -> Ok ()
+  in
+  let* () = check_cycles (-1) p.instrs in
+  check_all check_cycle p.instrs
+
+let pp_operand ppf = function
+  | Slot k -> Format.fprintf ppf "m[%d]" k
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Imm c -> Format.fprintf ppf "#%a" Cplx.pp c
+
+let pp_dest ppf = function
+  | Dslot k -> Format.fprintf ppf "m[%d]" k
+  | Dreg r -> Format.fprintf ppf "r%d" r
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%a <- %s(%a)" pp_dest i.dest (Opcode.name i.op)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_operand)
+    i.args
+
+let pp ppf p =
+  Format.fprintf ppf "; %a@." Arch.pp p.arch;
+  List.iter
+    (fun ci ->
+      Format.fprintf ppf "%4d:" ci.cycle;
+      List.iter (fun i -> Format.fprintf ppf "  V %a" pp_issue i) ci.vector;
+      Option.iter (fun i -> Format.fprintf ppf "  S %a" pp_issue i) ci.scalar;
+      Option.iter (fun i -> Format.fprintf ppf "  M %a" pp_issue i) ci.im;
+      Format.fprintf ppf "@.")
+    p.instrs

@@ -1,0 +1,68 @@
+(** Machine instructions: the code-generation target.
+
+    One {!cycle_instr} bundles everything issued in a clock cycle, VLIW
+    style: up to [n_lanes] vector-core issues sharing one configuration
+    (or a single matrix issue occupying all lanes), at most one scalar
+    accelerator issue and at most one index/merge issue.
+
+    Vector data lives in memory slots; scalar data lives in the
+    accelerator register file (the paper assumes optimal allocation and
+    access for scalar data, so registers are virtual and unbounded). *)
+
+type operand =
+  | Slot of int        (** vector in memory slot *)
+  | Reg of int         (** scalar register *)
+  | Imm of Cplx.t      (** immediate scalar (program constants) *)
+
+type dest = Dslot of int | Dreg of int
+
+type issue = {
+  op : Opcode.t;
+  args : operand list;
+  dest : dest;
+  node : int;          (** originating IR node id, for tracing *)
+}
+
+type cycle_instr = {
+  cycle : int;
+  vector : issue list;
+  scalar : issue option;
+  im : issue option;
+}
+
+type input_binding =
+  | In_slot of int * Cplx.t array   (** preloaded vector *)
+  | In_reg of int * Cplx.t          (** preloaded scalar *)
+
+type program = {
+  arch : Arch.t;
+  inputs : input_binding list;
+  instrs : cycle_instr list;        (** strictly increasing cycles *)
+  outputs : (int * dest) list;      (** IR node id -> final location *)
+}
+
+val empty_cycle : int -> cycle_instr
+
+val length : program -> int
+(** Number of non-empty instruction cycles. *)
+
+val span : program -> int
+(** Last issue cycle + 1 (0 for an empty program). *)
+
+val vector_config : cycle_instr -> Opcode.t option
+(** The vector-core configuration of the cycle, if any vector issue. *)
+
+val configs : program -> Opcode.t option list
+(** Per-cycle vector configuration over [0 .. span-1] (for
+    reconfiguration counting). *)
+
+val reconfigurations : program -> int
+
+val validate_structure : program -> (unit, string) result
+(** Static checks: cycle ordering, lane capacity, configuration
+    exclusivity (paper constraint 3), single scalar/IM issue, operand
+    arity. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp : Format.formatter -> program -> unit
+(** Assembly-like listing. *)

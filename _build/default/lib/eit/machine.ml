@@ -1,0 +1,189 @@
+type error =
+  | Read_uninitialized of { cycle : int; node : int; slot : int }
+  | Read_unwritten_reg of { cycle : int; node : int; reg : int }
+  | Access_violation of { cycle : int; violations : Mem.violation list }
+  | Structural of string
+  | Write_conflict of { cycle : int; dest : Instr.dest }
+
+exception Sim_error of error
+
+let pp_error ppf = function
+  | Read_uninitialized { cycle; node; slot } ->
+    Format.fprintf ppf "cycle %d, node %d: read of uninitialized slot %d" cycle node slot
+  | Read_unwritten_reg { cycle; node; reg } ->
+    Format.fprintf ppf "cycle %d, node %d: read of unwritten register r%d" cycle node reg
+  | Access_violation { cycle; violations } ->
+    Format.fprintf ppf "cycle %d: %a" cycle
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Mem.pp_violation)
+      violations
+  | Structural msg -> Format.fprintf ppf "structural error: %s" msg
+  | Write_conflict { cycle; dest } ->
+    Format.fprintf ppf "cycle %d: conflicting write-backs to %s" cycle
+      (match dest with
+      | Instr.Dslot k -> Printf.sprintf "m[%d]" k
+      | Instr.Dreg r -> Printf.sprintf "r%d" r)
+
+type result = {
+  memory : Mem.t;
+  registers : (int * Cplx.t) list;
+  node_values : (int * Value.t) list;
+  cycles : int;
+  reads_per_cycle : (int * int) list;
+  reconfigurations : int;
+}
+
+type writeback = { wb_cycle : int; wb_dest : Instr.dest; wb_value : Value.t; wb_node : int }
+
+type trace_event =
+  | Ev_issue of { cycle : int; unit : string; issue : Instr.issue }
+  | Ev_writeback of { cycle : int; node : int; dest : Instr.dest; value : Value.t }
+
+let pp_dest ppf = function
+  | Instr.Dslot k -> Format.fprintf ppf "m[%d]" k
+  | Instr.Dreg r -> Format.fprintf ppf "r%d" r
+
+let pp_trace_event ppf = function
+  | Ev_issue { cycle; unit; issue } ->
+    Format.fprintf ppf "%4d  issue %s  %a" cycle unit Instr.pp_issue issue
+  | Ev_writeback { cycle; node; dest; value } ->
+    Format.fprintf ppf "%4d  wb    n%d -> %a = %a" cycle node pp_dest dest
+      Value.pp value
+
+let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
+  (match Instr.validate_structure p with
+  | Ok () -> ()
+  | Error msg -> raise (Sim_error (Structural msg)));
+  let arch = p.arch in
+  let mem = Mem.create arch in
+  let regs : (int, Cplx.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Instr.In_slot (k, v) -> Mem.write mem k v
+      | Instr.In_reg (r, c) -> Hashtbl.replace regs r c)
+    p.inputs;
+  let node_values : (int, Value.t) Hashtbl.t = Hashtbl.create 64 in
+  let pending : (int, writeback list) Hashtbl.t = Hashtbl.create 64 in
+  let add_pending wb =
+    Hashtbl.replace pending wb.wb_cycle
+      (wb :: Option.value ~default:[] (Hashtbl.find_opt pending wb.wb_cycle))
+  in
+  let reads_per_cycle = ref [] in
+  let last_wb = ref 0 in
+  let by_cycle = Hashtbl.create 64 in
+  List.iter (fun ci -> Hashtbl.replace by_cycle ci.Instr.cycle ci) p.instrs;
+  let horizon =
+    Instr.span p
+    + List.fold_left
+        (fun acc ci ->
+          let ops =
+            List.map (fun i -> i.Instr.op) ci.Instr.vector
+            @ List.map (fun (i : Instr.issue) -> i.op)
+                (Option.to_list ci.Instr.scalar @ Option.to_list ci.Instr.im)
+          in
+          List.fold_left (fun m op -> max m (Arch.latency arch op)) acc ops)
+        0 p.instrs
+  in
+  for cycle = 0 to horizon do
+    (* 1. Write-backs due this cycle (memory writes checked as this
+       cycle's write traffic). *)
+    let wbs = Option.value ~default:[] (Hashtbl.find_opt pending cycle) in
+    Hashtbl.remove pending cycle;
+    let write_slots =
+      List.filter_map
+        (fun wb -> match wb.wb_dest with Instr.Dslot k -> Some k | _ -> None)
+        wbs
+    in
+    (* Detect two results landing in the same destination at once. *)
+    let rec dup = function
+      | [] -> None
+      | k :: rest -> if List.mem k rest then Some k else dup rest
+    in
+    (match dup write_slots with
+    | Some k -> raise (Sim_error (Write_conflict { cycle; dest = Instr.Dslot k }))
+    | None -> ());
+    (* 2. Issues this cycle: collect reads first. *)
+    let ci = Hashtbl.find_opt by_cycle cycle in
+    let issues =
+      match ci with
+      | None -> []
+      | Some ci ->
+        ci.Instr.vector @ Option.to_list ci.Instr.scalar @ Option.to_list ci.Instr.im
+    in
+    let read_slots =
+      List.concat_map
+        (fun (i : Instr.issue) ->
+          List.filter_map
+            (function Instr.Slot k -> Some k | _ -> None)
+            i.args)
+        issues
+    in
+    if check_access then begin
+      let violations = Mem.check_access arch ~reads:read_slots ~writes:write_slots in
+      if violations <> [] then raise (Sim_error (Access_violation { cycle; violations }))
+    end;
+    (* Apply write-backs before reads: a datum written back in cycle c is
+       readable by an op issued in cycle c (s_j >= s_i + l_i). *)
+    List.iter
+      (fun wb ->
+        (match wb.wb_dest with
+        | Instr.Dslot k -> Mem.write mem k (Value.as_vector wb.wb_value)
+        | Instr.Dreg r -> Hashtbl.replace regs r (Value.as_scalar wb.wb_value));
+        Hashtbl.replace node_values wb.wb_node wb.wb_value;
+        trace (Ev_writeback { cycle; node = wb.wb_node; dest = wb.wb_dest; value = wb.wb_value });
+        last_wb := max !last_wb cycle)
+      wbs;
+    if read_slots <> [] then
+      reads_per_cycle := (cycle, List.length (List.sort_uniq compare read_slots)) :: !reads_per_cycle;
+    (* Execute issues. *)
+    List.iter
+      (fun (i : Instr.issue) ->
+        let fetch = function
+          | Instr.Slot k ->
+            if not (Mem.is_initialized mem k) then
+              raise (Sim_error (Read_uninitialized { cycle; node = i.node; slot = k }));
+            Value.Vector (Mem.read mem k)
+          | Instr.Reg r -> (
+            match Hashtbl.find_opt regs r with
+            | Some c -> Value.Scalar c
+            | None ->
+              raise (Sim_error (Read_unwritten_reg { cycle; node = i.node; reg = r })))
+          | Instr.Imm c -> Value.Scalar c
+        in
+        let unit =
+          match Opcode.resource i.op with
+          | Opcode.Vector_core -> "V"
+          | Opcode.Scalar_accel -> "S"
+          | Opcode.Index_merge -> "M"
+        in
+        trace (Ev_issue { cycle; unit; issue = i });
+        let args = List.map fetch i.args in
+        let value = Opcode.eval i.op args in
+        add_pending
+          {
+            wb_cycle = cycle + Arch.latency arch i.op;
+            wb_dest = i.dest;
+            wb_value = value;
+            wb_node = i.node;
+          })
+      issues
+  done;
+  if Hashtbl.length pending > 0 then
+    raise (Sim_error (Structural "pending write-backs after horizon"));
+  {
+    memory = mem;
+    registers = Hashtbl.fold (fun r c acc -> (r, c) :: acc) regs [];
+    node_values = Hashtbl.fold (fun n v acc -> (n, v) :: acc) node_values [];
+    cycles = !last_wb;
+    reads_per_cycle = List.rev !reads_per_cycle;
+    reconfigurations = Instr.reconfigurations p;
+  }
+
+let output_values result (p : Instr.program) =
+  List.map
+    (fun (node, dest) ->
+      match dest with
+      | Instr.Dslot k -> (node, Value.Vector (Mem.read result.memory k))
+      | Instr.Dreg r -> (node, Value.Scalar (List.assoc r result.registers)))
+    p.outputs

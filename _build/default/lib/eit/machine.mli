@@ -1,0 +1,54 @@
+(** Cycle-accurate simulator for {!Instr.program}s.
+
+    Executes a program on the modelled micro-architecture: operands are
+    read in the issue cycle, results are written back [latency] cycles
+    later, and every cycle's memory traffic is checked against the access
+    rules of {!Mem} (bank ports, read/write limits, page-line rule).
+
+    The simulator is the ground truth that closes the loop the paper
+    could not: a schedule produced by the CP model is code-generated and
+    *run*, and its results compared against the DSL's reference
+    evaluation. *)
+
+type error =
+  | Read_uninitialized of { cycle : int; node : int; slot : int }
+  | Read_unwritten_reg of { cycle : int; node : int; reg : int }
+  | Access_violation of { cycle : int; violations : Mem.violation list }
+  | Structural of string
+  | Write_conflict of { cycle : int; dest : Instr.dest }
+
+exception Sim_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+type result = {
+  memory : Mem.t;                       (** final memory image *)
+  registers : (int * Cplx.t) list;      (** final register file *)
+  node_values : (int * Value.t) list;   (** value produced per IR node *)
+  cycles : int;                         (** completion cycle (last write-back) *)
+  reads_per_cycle : (int * int) list;   (** cycle -> #vector reads (telemetry) *)
+  reconfigurations : int;
+}
+
+type trace_event =
+  | Ev_issue of { cycle : int; unit : string; issue : Instr.issue }
+  | Ev_writeback of { cycle : int; node : int; dest : Instr.dest; value : Value.t }
+
+val run :
+  ?check_access:bool ->
+  ?trace:(trace_event -> unit) ->
+  Instr.program ->
+  result
+(** Execute to completion.
+    [check_access] (default [true]) enforces the per-cycle memory rules.
+    [trace] receives every issue and write-back in cycle order (used by
+    the CLI's [--trace] and by tests asserting pipeline timing).
+    @raise Sim_error on any dynamic rule violation. *)
+
+val pp_trace_event : Format.formatter -> trace_event -> unit
+
+val output_values : result -> Instr.program -> (int * Value.t) list
+(** The program's declared outputs, resolved against the {e final}
+    machine state.  Meaningful only when output slots are not reused
+    afterwards; schedules from the paper's model stream results out at
+    write-back (lifetime 1), so prefer [result.node_values] for those. *)

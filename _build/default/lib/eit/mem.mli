@@ -1,0 +1,60 @@
+(** The specialized vector memory (paper §3.4, Figs. 7-8).
+
+    The memory is organized in [banks] banks; [page_size] consecutive
+    banks form a *page*; the slots at the same depth across all banks
+    form a *line*.  A slot holds one 4-element vector.  Slots are
+    enumerated linearly across banks: slot [k] is in bank [k mod banks],
+    line [k / banks], page [(k mod banks) / page_size].
+
+    Per-cycle access rules:
+    - every bank supports one read and one write per cycle;
+    - at most [max_reads] vectors read and [max_writes] written per
+      cycle (8 and 4 on EIT = two matrices in, one out);
+    - within one page, simultaneously accessed slots must lie on the
+      same line (page descriptors are shared; violating this needs a
+      costly access reconfiguration).
+
+    Reads and writes use separate ports, so the page rule applies to the
+    read set and the write set independently. *)
+
+type coords = { bank : int; line : int; page : int }
+
+val coords_of_slot : Arch.t -> int -> coords
+(** @raise Invalid_argument if the slot is outside the usable range. *)
+
+val slot_of : Arch.t -> bank:int -> line:int -> int
+
+type violation =
+  | Bank_conflict of { bank : int; slots : int list }
+  | Page_line_conflict of { page : int; slots : int list }
+  | Too_many_accesses of { kind : [ `Read | `Write ]; count : int; limit : int }
+  | Slot_out_of_range of int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_access : Arch.t -> reads:int list -> writes:int list -> violation list
+(** All rule violations for one cycle's accesses ([[]] = legal).
+    Duplicate reads of the same slot count once (single bank fetch). *)
+
+val access_ok : Arch.t -> reads:int list -> writes:int list -> bool
+
+(** {1 Memory contents}
+
+    A mutable slot store used by the simulator. *)
+
+type t
+
+val create : Arch.t -> t
+val arch : t -> Arch.t
+
+val read : t -> int -> Cplx.t array
+(** @raise Invalid_argument on out-of-range or uninitialized slots. *)
+
+val write : t -> int -> Cplx.t array -> unit
+
+val is_initialized : t -> int -> bool
+
+val used_slots : t -> int list
+(** Slots holding data, ascending. *)
+
+val copy : t -> t

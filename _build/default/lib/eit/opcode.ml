@@ -1,0 +1,304 @@
+type vcore =
+  | Vid
+  | Vadd
+  | Vsub
+  | Vmul
+  | Vscale
+  | Vmac
+  | Vaxpy
+  | Vnaxpy
+  | Vdotp
+  | Vdoth
+  | Vsqsum
+  | Msqsum
+  | Mvmul
+  | Mhvmul
+
+type vpre = Pconj | Pneg | Pmask of int
+type vpost = Qsort | Qabs | Qneg
+
+type sop = Ssqrt | Srsqrt | Sinv | Sdiv | Smul | Sadd | Ssub | Scordic
+
+type imop = Merge4 | Splat | Index of int
+
+type t =
+  | V of { pre : vpre option; core : vcore; post : vpost option }
+  | S of sop
+  | IM of imop
+
+type resource_class = Vector_core | Scalar_accel | Index_merge
+
+let v core = V { pre = None; core; post = None }
+
+let resource = function
+  | V _ -> Vector_core
+  | S _ -> Scalar_accel
+  | IM _ -> Index_merge
+
+let is_matrix_core = function
+  | Msqsum | Mvmul | Mhvmul -> true
+  | Vid | Vadd | Vsub | Vmul | Vscale | Vmac | Vaxpy | Vnaxpy | Vdotp
+  | Vdoth | Vsqsum ->
+    false
+
+let lanes = function
+  | V { core; _ } -> if is_matrix_core core then 4 else 1
+  | S _ | IM _ -> 0
+
+let core_arity = function
+  | Vid -> 1
+  | Vadd | Vsub | Vmul | Vscale | Vdotp | Vdoth -> 2
+  | Vmac | Vaxpy | Vnaxpy -> 3
+  | Vsqsum -> 1
+  | Msqsum -> 4
+  | Mvmul | Mhvmul -> 5
+
+let arity = function
+  | V { core; _ } -> core_arity core
+  | S (Ssqrt | Srsqrt | Sinv | Scordic) -> 1
+  | S (Sdiv | Smul | Sadd | Ssub) -> 2
+  | IM Merge4 -> 4
+  | IM Splat -> 1
+  | IM (Index _) -> 1
+
+let produces = function
+  | V { core = Vdotp | Vdoth | Vsqsum; _ } -> `Scalar
+  | V _ -> `Vector
+  | S _ -> `Scalar
+  | IM (Merge4 | Splat) -> `Vector
+  | IM (Index _) -> `Scalar
+
+let config_equal a b =
+  match (a, b) with
+  | V x, V y -> x.pre = y.pre && x.core = y.core && x.post = y.post
+  | S x, S y -> x = y
+  | IM x, IM y -> x = y
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+
+(* The PE2 stage transforms the operand stream entering lane port 0; the
+   merge pass relies on this so fusing a pre-op into a multi-operand
+   consumer keeps the semantics (the pre-op's output must be operand 0). *)
+let apply_pre pre (vals : Value.t list) =
+  let on_first f = function
+    | first :: rest -> f first :: rest
+    | [] -> []
+  in
+  let on_vec f = function
+    | Value.Vector a -> Value.Vector (Array.map f a)
+    | other -> other
+  in
+  match pre with
+  | None -> vals
+  | Some Pconj -> on_first (on_vec Cplx.conj) vals
+  | Some Pneg -> on_first (on_vec Cplx.neg) vals
+  | Some (Pmask m) ->
+    on_first
+      (function
+        | Value.Vector a ->
+          Value.Vector
+            (Array.mapi (fun i x -> if m land (1 lsl i) <> 0 then x else Cplx.zero) a)
+        | other -> other)
+      vals
+
+let apply_post post (v : Value.t) =
+  match (post, v) with
+  | None, _ -> v
+  | Some Qsort, Value.Vector a ->
+    let b = Array.copy a in
+    Array.sort (fun x y -> Cplx.compare_by_norm y x) b;
+    Value.Vector b
+  | Some Qabs, Value.Vector a ->
+    Value.Vector (Array.map (fun x -> Cplx.of_float (Cplx.abs x)) a)
+  | Some Qneg, Value.Vector a -> Value.Vector (Array.map Cplx.neg a)
+  | Some Qneg, Value.Scalar c -> Value.Scalar (Cplx.neg c)
+  | Some (Qsort | Qabs), Value.Scalar _ -> v
+  | Some _, Value.Matrix _ -> invalid_arg "Opcode: post stage on matrix value"
+
+let dot a b =
+  let acc = ref Cplx.zero in
+  Array.iteri (fun i x -> acc := Cplx.mac !acc x b.(i)) a;
+  !acc
+
+let eval_core core (vals : Value.t list) : Value.t =
+  let vec = Value.as_vector and sca = Value.as_scalar in
+  match (core, vals) with
+  | Vid, [ x ] -> x
+  | Vadd, [ a; b ] -> Value.vector (Array.map2 Cplx.add (vec a) (vec b))
+  | Vsub, [ a; b ] -> Value.vector (Array.map2 Cplx.sub (vec a) (vec b))
+  | Vmul, [ a; b ] -> Value.vector (Array.map2 Cplx.mul (vec a) (vec b))
+  | Vscale, [ a; s ] ->
+    let s = sca s in
+    Value.vector (Array.map (fun x -> Cplx.mul x s) (vec a))
+  | Vmac, [ a; b; c ] ->
+    let b = vec b and c = vec c in
+    Value.vector (Array.mapi (fun i x -> Cplx.mac x b.(i) c.(i)) (vec a))
+  | Vaxpy, [ a; s; b ] ->
+    let s = sca s and b = vec b in
+    Value.vector (Array.mapi (fun i x -> Cplx.mac x s b.(i)) (vec a))
+  | Vnaxpy, [ a; s; b ] ->
+    let s = Cplx.neg (sca s) and b = vec b in
+    Value.vector (Array.mapi (fun i x -> Cplx.mac x s b.(i)) (vec a))
+  | Vdotp, [ a; b ] -> Value.scalar (dot (vec a) (vec b))
+  | Vdoth, [ a; b ] -> Value.scalar (dot (vec a) (Array.map Cplx.conj (vec b)))
+  | Vsqsum, [ a ] ->
+    Value.scalar
+      (Cplx.of_float (Array.fold_left (fun acc x -> acc +. Cplx.norm2 x) 0. (vec a)))
+  | Msqsum, [ r0; r1; r2; r3 ] ->
+    let sq r = Cplx.of_float (Array.fold_left (fun acc x -> acc +. Cplx.norm2 x) 0. (vec r)) in
+    Value.vector [| sq r0; sq r1; sq r2; sq r3 |]
+  | Mvmul, [ r0; r1; r2; r3; x ] ->
+    let x = vec x in
+    Value.vector (Array.map (fun r -> dot (vec r) x) [| r0; r1; r2; r3 |])
+  | Mhvmul, [ r0; r1; r2; r3; x ] ->
+    (* rows are the rows of M; computes M^H x: entry j = sum_i conj(M_ij) x_i *)
+    let rows = [| vec r0; vec r1; vec r2; vec r3 |] in
+    let x = vec x in
+    Value.vector
+      (Array.init Value.vlen (fun j ->
+           let acc = ref Cplx.zero in
+           Array.iteri (fun i r -> acc := Cplx.mac !acc (Cplx.conj r.(j)) x.(i)) rows;
+           !acc))
+  | _ ->
+    invalid_arg "Opcode.eval: arity mismatch for vector core op"
+
+let eval_sop op (vals : Value.t list) : Value.t =
+  let sca = Value.as_scalar in
+  match (op, vals) with
+  | Ssqrt, [ a ] -> Value.scalar (Cplx.sqrt (sca a))
+  | Srsqrt, [ a ] -> Value.scalar (Cplx.inv (Cplx.sqrt (sca a)))
+  | Sinv, [ a ] -> Value.scalar (Cplx.inv (sca a))
+  | Scordic, [ a ] ->
+    let z = sca a in
+    let m = Cplx.abs z in
+    if m = 0. then Value.scalar Cplx.zero
+    else Value.scalar (Cplx.scale (1. /. m) z)
+  | Sdiv, [ a; b ] -> Value.scalar (Cplx.div (sca a) (sca b))
+  | Smul, [ a; b ] -> Value.scalar (Cplx.mul (sca a) (sca b))
+  | Sadd, [ a; b ] -> Value.scalar (Cplx.add (sca a) (sca b))
+  | Ssub, [ a; b ] -> Value.scalar (Cplx.sub (sca a) (sca b))
+  | _ -> invalid_arg "Opcode.eval: arity mismatch for scalar op"
+
+let eval_imop op (vals : Value.t list) : Value.t =
+  match (op, vals) with
+  | Merge4, [ a; b; c; d ] ->
+    Value.vector
+      [| Value.as_scalar a; Value.as_scalar b; Value.as_scalar c; Value.as_scalar d |]
+  | Splat, [ a ] -> Value.vector (Array.make Value.vlen (Value.as_scalar a))
+  | Index k, [ a ] ->
+    let arr = Value.as_vector a in
+    if k < 0 || k >= Value.vlen then invalid_arg "Opcode.eval: index out of range";
+    Value.scalar arr.(k)
+  | _ -> invalid_arg "Opcode.eval: arity mismatch for index/merge op"
+
+let eval op vals =
+  if List.length vals <> arity op then
+    invalid_arg
+      (Printf.sprintf "Opcode.eval: expected %d operands, got %d" (arity op)
+         (List.length vals));
+  match op with
+  | V { pre; core; post } -> apply_post post (eval_core core (apply_pre pre vals))
+  | S sop -> eval_sop sop vals
+  | IM imop -> eval_imop imop vals
+
+(* ------------------------------------------------------------------ *)
+(* Names                                                               *)
+
+let core_name = function
+  | Vid -> "v_id"
+  | Vadd -> "v_add"
+  | Vsub -> "v_sub"
+  | Vmul -> "v_mul"
+  | Vscale -> "v_scale"
+  | Vmac -> "v_mac"
+  | Vaxpy -> "v_axpy"
+  | Vnaxpy -> "v_naxpy"
+  | Vdotp -> "v_dotP"
+  | Vdoth -> "v_dotH"
+  | Vsqsum -> "v_squsum"
+  | Msqsum -> "m_squsum"
+  | Mvmul -> "m_vmul"
+  | Mhvmul -> "m_hvmul"
+
+let pre_name = function
+  | Pconj -> "conj"
+  | Pneg -> "neg"
+  | Pmask m -> Printf.sprintf "mask%d" m
+
+let post_name = function Qsort -> "sort" | Qabs -> "abs" | Qneg -> "negp"
+
+let sop_name = function
+  | Ssqrt -> "s_sqrt"
+  | Srsqrt -> "s_rsqrt"
+  | Sinv -> "s_inv"
+  | Sdiv -> "s_div"
+  | Smul -> "s_mul"
+  | Sadd -> "s_add"
+  | Ssub -> "s_sub"
+  | Scordic -> "s_cordic"
+
+let imop_name = function
+  | Merge4 -> "merge"
+  | Splat -> "splat"
+  | Index k -> Printf.sprintf "index%d" k
+
+let name = function
+  | V { pre; core; post } ->
+    String.concat ";"
+      (Option.to_list (Option.map pre_name pre)
+      @ [ core_name core ]
+      @ Option.to_list (Option.map post_name post))
+  | S s -> sop_name s
+  | IM m -> imop_name m
+
+let all_cores =
+  [ Vid; Vadd; Vsub; Vmul; Vscale; Vmac; Vaxpy; Vnaxpy; Vdotp; Vdoth;
+    Vsqsum; Msqsum; Mvmul; Mhvmul ]
+
+let all_sops = [ Ssqrt; Srsqrt; Sinv; Sdiv; Smul; Sadd; Ssub; Scordic ]
+
+let core_of_name s =
+  match List.find_opt (fun c -> core_name c = s) all_cores with
+  | Some c -> c
+  | None -> invalid_arg ("Opcode.of_name: unknown core op " ^ s)
+
+let pre_of_name s =
+  match s with
+  | "conj" -> Pconj
+  | "neg" -> Pneg
+  | _ ->
+    if String.length s > 4 && String.sub s 0 4 = "mask" then
+      Pmask (int_of_string (String.sub s 4 (String.length s - 4)))
+    else invalid_arg ("Opcode.of_name: unknown pre op " ^ s)
+
+let post_of_name = function
+  | "sort" -> Qsort
+  | "abs" -> Qabs
+  | "negp" -> Qneg
+  | s -> invalid_arg ("Opcode.of_name: unknown post op " ^ s)
+
+let of_name s =
+  match List.find_opt (fun o -> sop_name o = s) all_sops with
+  | Some o -> S o
+  | None -> (
+    match s with
+    | "merge" -> IM Merge4
+    | "splat" -> IM Splat
+    | _ when String.length s > 5 && String.sub s 0 5 = "index" ->
+      IM (Index (int_of_string (String.sub s 5 (String.length s - 5))))
+    | _ -> (
+      match String.split_on_char ';' s with
+      | [ c ] -> V { pre = None; core = core_of_name c; post = None }
+      | [ a; b ] -> (
+        (* either pre;core or core;post *)
+        match core_of_name b with
+        | core -> V { pre = Some (pre_of_name a); core; post = None }
+        | exception Invalid_argument _ ->
+          V { pre = None; core = core_of_name a; post = Some (post_of_name b) })
+      | [ a; b; c ] ->
+        V { pre = Some (pre_of_name a); core = core_of_name b; post = Some (post_of_name c) }
+      | _ -> invalid_arg ("Opcode.of_name: cannot parse " ^ s)))
+
+let pp ppf op = Format.pp_print_string ppf (name op)

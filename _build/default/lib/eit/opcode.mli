@@ -1,0 +1,101 @@
+(** The EIT operation set.
+
+    The DSL exposes a subset of the reconfigurable operations that the
+    MIMO applications use (paper §3.1); each DSL operation corresponds to
+    exactly one opcode here.  After the merge pass (paper Fig. 6) a
+    vector-pipeline node carries an optional pre-processing (PE2) and
+    post-processing (PE4) stage fused around its core (PE3) operation.
+
+    Resource classes mirror the micro-architecture:
+    - {!Vector_core}: the 4-lane pipeline (PE2-4 + ME2), latency 7;
+      a vector op occupies 1 lane, a matrix op all 4;
+    - {!Scalar_accel}: division / square root / CORDIC accelerator
+      (PE5-6);
+    - {!Index_merge}: the indexing-and-merging resource. *)
+
+(** Core (PE3) vector operations.  All element types are complex. *)
+type vcore =
+  | Vid               (** pass-through (lets a pre/post op stand alone) *)
+  | Vadd              (** elementwise [a + b] *)
+  | Vsub              (** elementwise [a - b] *)
+  | Vmul              (** elementwise [a * b] *)
+  | Vscale            (** [a * s] for scalar [s] (broadcast) *)
+  | Vmac              (** elementwise [a + b * c] (CMAC, 3 operands) *)
+  | Vaxpy             (** [a + s * b], scalar [s] (3 operands) *)
+  | Vnaxpy            (** [a - s * b], scalar [s] (3 operands) *)
+  | Vdotp             (** dot product [sum a_k b_k] -> scalar *)
+  | Vdoth             (** Hermitian dot product [sum a_k conj(b_k)] *)
+  | Vsqsum            (** squared norm [sum |a_k|^2] -> scalar *)
+  | Msqsum            (** per-row squared norms of a matrix -> vector *)
+  | Mvmul             (** matrix (4 rows) x vector -> vector *)
+  | Mhvmul            (** Hermitian-transposed matrix x vector -> vector *)
+
+(** Pre-processing (PE2) stages.  A pre stage transforms the {e first}
+    operand; the IR merge pass only fuses a pre-op whose output is
+    operand 0 of the consumer, so fusion preserves semantics. *)
+type vpre =
+  | Pconj             (** conjugate the first operand *)
+  | Pneg              (** negate the first operand *)
+  | Pmask of int      (** 4-bit mask on the first operand: zero lanes
+                          whose bit is unset *)
+
+(** Post-processing (PE4) stages, applied to the result. *)
+type vpost =
+  | Qsort             (** sort vector result by descending magnitude *)
+  | Qabs              (** elementwise magnitude (imaginary part dropped) *)
+  | Qneg              (** negate result *)
+
+(** Scalar accelerator operations. *)
+type sop =
+  | Ssqrt | Srsqrt | Sinv | Sdiv | Smul | Sadd | Ssub
+  | Scordic           (** unit rotation [z / |z|] (CORDIC normalization) *)
+
+(** Index / merge unit operations. *)
+type imop =
+  | Merge4            (** 4 scalars -> vector *)
+  | Splat             (** scalar -> vector broadcast *)
+  | Index of int      (** vector -> its [k]-th element *)
+
+type t =
+  | V of { pre : vpre option; core : vcore; post : vpost option }
+  | S of sop
+  | IM of imop
+
+type resource_class = Vector_core | Scalar_accel | Index_merge
+
+val v : vcore -> t
+(** A bare vector-core op (no pre/post stage). *)
+
+val resource : t -> resource_class
+
+val is_matrix_core : vcore -> bool
+
+val lanes : t -> int
+(** Lanes occupied on the vector core: 4 for matrix ops, 1 for vector
+    ops, 0 for non-vector-core ops. *)
+
+val arity : t -> int
+(** Number of data operands. *)
+
+val produces : t -> [ `Scalar | `Vector ]
+
+val config_equal : t -> t -> bool
+(** Two vector-core ops can share a cycle iff their full configuration
+    (pre, core, post) is identical — paper constraint (3). *)
+
+val eval : t -> Value.t list -> Value.t
+(** Reference semantics; the DSL evaluator and the machine simulator both
+    defer here, so they agree by construction.
+    @raise Invalid_argument on arity or kind mismatch. *)
+
+val name : t -> string
+(** Stable mnemonic, e.g. ["v_dotP"], ["conj;v_add"], ["s_sqrt"]. *)
+
+val of_name : string -> t
+(** Inverse of {!name}. @raise Invalid_argument on unknown mnemonics. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_cores : vcore list
+val all_sops : sop list
+(** Enumerations for property-based tests. *)

@@ -1,0 +1,1 @@
+lib/eit_dsl/dot.ml: Buffer Eit Fun Ir List Printf String

@@ -1,0 +1,1 @@
+lib/eit_dsl/dsl.ml: Array Cplx Eit Ir List Opcode Option Printf Value

@@ -1,0 +1,1 @@
+lib/eit_dsl/dsl.mli: Eit Ir

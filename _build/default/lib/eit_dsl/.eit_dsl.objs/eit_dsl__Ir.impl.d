@@ -1,0 +1,1 @@
+lib/eit_dsl/ir.ml: Array Eit Format List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/eit_dsl/merge.ml: Eit Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/eit_dsl/merge.mli: Ir

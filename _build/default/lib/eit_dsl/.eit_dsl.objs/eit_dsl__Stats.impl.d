@@ -1,0 +1,1 @@
+lib/eit_dsl/stats.ml: Eit Format Ir List

@@ -1,0 +1,1 @@
+lib/eit_dsl/stats.mli: Eit Format Ir

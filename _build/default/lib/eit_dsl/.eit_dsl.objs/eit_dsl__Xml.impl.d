@@ -1,0 +1,1 @@
+lib/eit_dsl/xml.ml: Array Buffer Eit Fun Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/eit_dsl/xml.mli: Ir

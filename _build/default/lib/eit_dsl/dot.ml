@@ -1,0 +1,31 @@
+let quote s =
+  "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let to_string ?(name = "ir") g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
+  List.iter
+    (fun nd ->
+      let shape = if Ir.is_data nd.Ir.cat then "box" else "ellipse" in
+      let label =
+        match nd.Ir.op with
+        | Some op -> Eit.Opcode.name op
+        | None -> nd.Ir.label
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=%s, label=%s];\n" nd.Ir.id shape (quote label)))
+    (Ir.nodes g);
+  List.iter
+    (fun nd ->
+      List.iter
+        (fun p -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p nd.Ir.id))
+        (Ir.preds g nd.Ir.id))
+    (Ir.nodes g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

@@ -1,0 +1,5 @@
+(** Graphviz export of the IR, in the style of the paper's Fig. 3:
+    data nodes as rectangles, operation nodes as ovals. *)
+
+val to_string : ?name:string -> Ir.t -> string
+val save : string -> Ir.t -> unit

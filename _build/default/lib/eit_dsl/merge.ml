@@ -1,0 +1,117 @@
+(* The pass works on a mutable view: one record per operation node, plus
+   liveness flags for data nodes.  Graphs are small (hundreds of nodes),
+   so the quadratic fixpoint loop is immaterial. *)
+
+type mop = {
+  mutable op : Eit.Opcode.t;
+  mutable args : int list;   (* data node ids, operand order *)
+  mutable result : int;      (* data node id *)
+  mutable alive : bool;
+}
+
+type remap = { graph : Ir.t; data_map : (int * int) list; fusions : int }
+
+let map_data r i = List.assoc i r.data_map
+
+(* Standalone pipeline stages created by the DSL. *)
+let as_standalone_pre (op : Eit.Opcode.t) =
+  match op with
+  | V { pre = Some p; core = Vid; post = None } -> Some p
+  | _ -> None
+
+let as_standalone_post (op : Eit.Opcode.t) =
+  match op with
+  | V { pre = None; core = Vid; post = Some q } -> Some q
+  | _ -> None
+
+let run ?(protect = []) g =
+  let protected i = List.mem i protect in
+  let ops =
+    List.map
+      (fun i ->
+        let result = match Ir.succs g i with [ r ] -> r | _ -> assert false in
+        { op = Ir.opcode g i; args = Ir.preds g i; result; alive = true })
+      (Ir.op_nodes g)
+  in
+  let live = List.filter (fun o -> o.alive) in
+  (* How many operand positions (across all live ops) read datum [d]. *)
+  let consumers d =
+    List.concat_map
+      (fun o -> List.filter_map (fun a -> if a = d then Some o else None) o.args)
+      (live ops)
+  in
+  let fusions = ref 0 in
+  let dead_data = Hashtbl.create 16 in
+  let try_pre_fusion o =
+    match (as_standalone_pre o.op, o.args) with
+    | Some pre, [ x ] when not (protected o.result) -> (
+      match consumers o.result with
+      | [ c ] -> (
+        match c.op with
+        | V ({ pre = None; _ } as r) when List.nth c.args 0 = o.result -> (
+          (* operand 0 only, and only once, so the pre stage transforms
+             exactly the datum the standalone op did *)
+          match List.filter (fun a -> a = o.result) c.args with
+          | [ _ ] ->
+            c.op <- V { r with pre = Some pre };
+            c.args <- x :: List.tl c.args;
+            o.alive <- false;
+            Hashtbl.replace dead_data o.result ();
+            incr fusions;
+            true
+          | _ -> false)
+        | _ -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  let try_post_fusion o =
+    (* [o] is the standalone post node; fuse into the producer of its
+       operand. *)
+    match (as_standalone_post o.op, o.args) with
+    | Some post, [ d ] when not (protected d) -> (
+      match List.find_opt (fun p -> p.result = d) (live ops) with
+      | Some producer -> (
+        match (producer.op, consumers d) with
+        | V ({ post = None; _ } as r), [ _ ] ->
+          producer.op <- V { r with post = Some post };
+          producer.result <- o.result;
+          o.alive <- false;
+          Hashtbl.replace dead_data d ();
+          incr fusions;
+          true
+        | _ -> false)
+      | None -> false)
+    | _ -> false
+  in
+  let rec fixpoint () =
+    let changed =
+      List.exists (fun o -> o.alive && (try_pre_fusion o || try_post_fusion o)) ops
+    in
+    if changed then fixpoint ()
+  in
+  fixpoint ();
+  (* Rebuild. *)
+  let b = Ir.builder () in
+  let data_map = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      if not (Hashtbl.mem dead_data i) then begin
+        let nd = Ir.node g i in
+        let kind = match nd.Ir.cat with Ir.Vector_data -> `Vector | _ -> `Scalar in
+        let id = Ir.add_data b ~label:nd.Ir.label ?value:nd.Ir.value kind in
+        Hashtbl.replace data_map i id
+      end)
+    (Ir.data_nodes g);
+  List.iter
+    (fun o ->
+      if o.alive then
+        ignore
+          (Ir.add_op b o.op
+             ~args:(List.map (Hashtbl.find data_map) o.args)
+             ~result:(Hashtbl.find data_map o.result)))
+    ops;
+  {
+    graph = Ir.freeze b;
+    data_map = Hashtbl.fold (fun k v acc -> (k, v) :: acc) data_map [];
+    fusions = !fusions;
+  }

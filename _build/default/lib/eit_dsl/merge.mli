@@ -1,0 +1,33 @@
+(** The pipeline-fusion pass (paper §3.3.1, Fig. 6).
+
+    Vector operations that follow the pre- / core- / post-processing
+    pattern of the seven-stage pipeline are merged into a single node so
+    the scheduler can treat the pipeline as one unit with latency 7:
+
+    - a standalone pre-processing node (e.g. [conj]) whose single
+      consumer is a vector-core operation without a pre stage, and whose
+      output enters that consumer as operand 0, is fused into it;
+    - a standalone post-processing node (e.g. [sort]) consuming the
+      result of a vector-core operation without a post stage — and being
+      its only consumer — is fused into the producer (this is the
+      matrix-op example on the right of Fig. 6).
+
+    Each fusion removes two nodes (the standalone op and the
+    intermediate datum).  The pass iterates to fixpoint, so chains
+    [conj -> op -> sort] collapse into a single
+    [{pre=conj; core=op; post=sort}] node. *)
+
+type remap = {
+  graph : Ir.t;
+  data_map : (int * int) list;
+      (** surviving old data-node id -> new id (old ids of fused-away
+          intermediate data do not appear) *)
+  fusions : int;  (** number of fusions performed *)
+}
+
+val run : ?protect:int list -> Ir.t -> remap
+(** [protect] lists data-node ids that must survive (e.g. declared
+    application outputs); fusions that would remove them are skipped. *)
+
+val map_data : remap -> int -> int
+(** @raise Not_found if the old data node was fused away. *)

@@ -1,0 +1,24 @@
+type t = {
+  v : int;
+  e : int;
+  crp : int;
+  v_data : int;
+  by_category : (Ir.category * int) list;
+}
+
+let all_categories =
+  [ Ir.Vector_op; Ir.Matrix_op; Ir.Scalar_op; Ir.Index; Ir.Merge;
+    Ir.Vector_data; Ir.Scalar_data ]
+
+let of_ir ?(arch = Eit.Arch.default) g =
+  {
+    v = Ir.size g;
+    e = Ir.edge_count g;
+    crp = Ir.critical_path g arch;
+    v_data = Ir.count g Ir.Vector_data;
+    by_category = List.map (fun c -> (c, Ir.count g c)) all_categories;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "|V|=%d, |E|=%d, |Cr.P|=%d, #v_data=%d" t.v t.e t.crp
+    t.v_data

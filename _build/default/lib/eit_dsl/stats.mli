@@ -1,0 +1,16 @@
+(** Graph statistics in the paper's notation: (|V|, |E|, |Cr.P|) and the
+    vector-data count — the numbers reported in §4.2 and Tables 1/3. *)
+
+type t = {
+  v : int;       (** node count |V| *)
+  e : int;       (** edge count |E| *)
+  crp : int;     (** critical path length in clock cycles |Cr.P| *)
+  v_data : int;  (** number of [vector_data] nodes (#v_data) *)
+  by_category : (Ir.category * int) list;
+}
+
+val of_ir : ?arch:Eit.Arch.t -> Ir.t -> t
+(** Defaults to {!Eit.Arch.default} for latencies. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [|V|=143, |E|=194, |Cr.P|=169, #v_data=49]. *)

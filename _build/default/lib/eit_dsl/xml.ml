@@ -1,0 +1,218 @@
+(* Hand-rolled XML subset: elements + attributes, no text content.  The
+   IR only needs <graph>, <node .../> and <edge .../>. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let rest = String.sub s i (min 6 (n - i)) in
+      let emit c k =
+        Buffer.add_char buf c;
+        go (i + k)
+      in
+      if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then emit '&' 5
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then emit '<' 4
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then emit '>' 4
+      else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;" then emit '"' 6
+      else begin
+        Buffer.add_char buf '&';
+        go (i + 1)
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let value_to_string = function
+  | Eit.Value.Scalar c -> Printf.sprintf "%.17g,%.17g" c.Eit.Cplx.re c.Eit.Cplx.im
+  | Eit.Value.Vector a ->
+    String.concat ";"
+      (Array.to_list
+         (Array.map (fun c -> Printf.sprintf "%.17g,%.17g" c.Eit.Cplx.re c.Eit.Cplx.im) a))
+  | Eit.Value.Matrix _ -> invalid_arg "Xml: matrix values do not occur in the IR"
+
+let value_of_string kind s =
+  let cplx part =
+    match String.split_on_char ',' part with
+    | [ re; im ] -> Eit.Cplx.make (float_of_string re) (float_of_string im)
+    | _ -> failwith ("Xml: bad complex literal " ^ part)
+  in
+  match kind with
+  | `Scalar -> Eit.Value.Scalar (cplx s)
+  | `Vector ->
+    Eit.Value.Vector (Array.of_list (List.map cplx (String.split_on_char ';' s)))
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<graph>\n";
+  List.iter
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  <node id=\"%d\" cat=\"%s\" label=\"%s\"" nd.Ir.id
+           (Ir.category_name nd.Ir.cat) (escape nd.Ir.label));
+      Option.iter
+        (fun op -> Buffer.add_string buf (Printf.sprintf " op=\"%s\"" (Eit.Opcode.name op)))
+        nd.Ir.op;
+      (match nd.Ir.value with
+      | Some v when Ir.is_data nd.Ir.cat ->
+        Buffer.add_string buf (Printf.sprintf " value=\"%s\"" (value_to_string v))
+      | _ -> ());
+      Buffer.add_string buf "/>\n")
+    (Ir.nodes g);
+  List.iter
+    (fun nd ->
+      let i = nd.Ir.id in
+      List.iteri
+        (fun pos p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  <edge from=\"%d\" to=\"%d\" pos=\"%d\"/>\n" p i pos))
+        (Ir.preds g i))
+    (Ir.nodes g);
+  Buffer.add_string buf "</graph>\n";
+  Buffer.contents buf
+
+let output oc g = output_string oc (to_string g)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc g)
+
+(* --------------------------- parsing ------------------------------ *)
+
+type tag = { tname : string; attrs : (string * string) list }
+
+let parse_tags s =
+  let n = String.length s in
+  let tags = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt s !i '<' with
+    | None -> i := n
+    | Some lt ->
+      let gt =
+        match String.index_from_opt s lt '>' with
+        | Some gt -> gt
+        | None -> failwith "Xml: unterminated tag"
+      in
+      let body = String.sub s (lt + 1) (gt - lt - 1) in
+      i := gt + 1;
+      let body =
+        if String.length body > 0 && body.[String.length body - 1] = '/' then
+          String.sub body 0 (String.length body - 1)
+        else body
+      in
+      if String.length body > 0 && body.[0] <> '/' && body.[0] <> '?' && body.[0] <> '!' then begin
+        (* split name from attributes *)
+        let name_end =
+          match String.index_opt body ' ' with Some j -> j | None -> String.length body
+        in
+        let tname = String.sub body 0 name_end in
+        let attrs = ref [] in
+        let j = ref name_end in
+        let len = String.length body in
+        while !j < len do
+          while !j < len && (body.[!j] = ' ' || body.[!j] = '\n' || body.[!j] = '\t') do incr j done;
+          if !j < len then begin
+            let eq =
+              match String.index_from_opt body !j '=' with
+              | Some e -> e
+              | None -> failwith "Xml: attribute without value"
+            in
+            let key = String.trim (String.sub body !j (eq - !j)) in
+            let q1 =
+              match String.index_from_opt body eq '"' with
+              | Some q -> q
+              | None -> failwith "Xml: unquoted attribute"
+            in
+            let q2 =
+              match String.index_from_opt body (q1 + 1) '"' with
+              | Some q -> q
+              | None -> failwith "Xml: unterminated attribute"
+            in
+            attrs := (key, unescape (String.sub body (q1 + 1) (q2 - q1 - 1))) :: !attrs;
+            j := q2 + 1
+          end
+        done;
+        tags := { tname; attrs = List.rev !attrs } :: !tags
+      end
+  done;
+  List.rev !tags
+
+let attr t k =
+  match List.assoc_opt k t.attrs with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Xml: <%s> missing attribute %s" t.tname k)
+
+let attr_opt t k = List.assoc_opt k t.attrs
+
+let of_string s =
+  let tags = parse_tags s in
+  let node_tags = List.filter (fun t -> t.tname = "node") tags in
+  let edge_tags = List.filter (fun t -> t.tname = "edge") tags in
+  let edges =
+    List.map
+      (fun t ->
+        ( int_of_string (attr t "from"),
+          int_of_string (attr t "to"),
+          int_of_string (attr t "pos") ))
+      edge_tags
+  in
+  let b = Ir.builder () in
+  let sorted_nodes =
+    List.sort
+      (fun a b -> compare (int_of_string (attr a "id")) (int_of_string (attr b "id")))
+      node_tags
+  in
+  List.iteri
+    (fun expect t ->
+      let id = int_of_string (attr t "id") in
+      if id <> expect then failwith "Xml: node ids must be contiguous from 0";
+      let cat = Ir.category_of_name (attr t "cat") in
+      let label = attr t "label" in
+      if Ir.is_data cat then begin
+        let kind = if cat = Ir.Vector_data then `Vector else `Scalar in
+        let value = Option.map (value_of_string kind) (attr_opt t "value") in
+        let id' = Ir.add_data b ~label ?value kind in
+        assert (id' = id)
+      end
+      else begin
+        let op = Eit.Opcode.of_name (attr t "op") in
+        let ins =
+          List.filter (fun (_, t', _) -> t' = id) edges
+          |> List.sort (fun (_, _, p1) (_, _, p2) -> compare p1 p2)
+          |> List.map (fun (f, _, _) -> f)
+        in
+        let out =
+          match List.filter (fun (f, _, _) -> f = id) edges with
+          | [ (_, t', _) ] -> t'
+          | l -> failwith (Printf.sprintf "Xml: op %d has %d outputs" id (List.length l))
+        in
+        let id' = Ir.add_op b ~label op ~args:ins ~result:out in
+        assert (id' = id)
+      end)
+    sorted_nodes;
+  Ir.freeze b
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

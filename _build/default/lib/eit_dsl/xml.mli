@@ -1,0 +1,28 @@
+(** XML serialization of the IR (the paper's DSL emits the dataflow
+    graph in XML as the interface to the code-generation tool chain).
+
+    The format is self-contained:
+
+    {v
+    <graph>
+      <node id="0" cat="vector_data" label="A[0]" value="1,0;2,0;3,0;4,0"/>
+      <node id="4" cat="vector_op" op="v_dotP"/>
+      <edge from="0" to="4" pos="0"/>
+      ...
+    </graph>
+    v}
+
+    [value] attributes record trace values of input data nodes (pairs
+    [re,im] separated by [;] for vectors); [pos] is the operand
+    position, so operand order survives the round-trip. *)
+
+val to_string : Ir.t -> string
+val output : out_channel -> Ir.t -> unit
+
+val of_string : string -> Ir.t
+(** @raise Failure on malformed input. *)
+
+val load : string -> Ir.t
+(** Read a graph from a file path. *)
+
+val save : string -> Ir.t -> unit

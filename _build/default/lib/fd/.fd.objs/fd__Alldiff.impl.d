@@ -1,0 +1,1 @@
+lib/fd/alldiff.ml: Array Dom List Store

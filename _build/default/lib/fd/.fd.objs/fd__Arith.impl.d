@@ -1,0 +1,1 @@
+lib/fd/arith.ml: Dom List Stdlib Store

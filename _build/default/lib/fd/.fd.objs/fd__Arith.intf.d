@@ -1,0 +1,1 @@
+lib/fd/arith.mli: Store

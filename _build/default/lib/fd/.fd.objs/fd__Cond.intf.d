@@ -1,0 +1,1 @@
+lib/fd/cond.mli: Store

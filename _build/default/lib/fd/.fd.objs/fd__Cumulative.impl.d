@@ -1,0 +1,1 @@
+lib/fd/cumulative.ml: Array Dom List Stdlib Store

@@ -1,0 +1,1 @@
+lib/fd/cumulative.mli: Store

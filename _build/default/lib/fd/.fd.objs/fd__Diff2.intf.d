@@ -1,0 +1,1 @@
+lib/fd/diff2.mli: Store

@@ -1,0 +1,1 @@
+lib/fd/dom.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/fd/element.ml: Array Dom Store

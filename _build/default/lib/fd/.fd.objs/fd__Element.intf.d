@@ -1,0 +1,1 @@
+lib/fd/element.mli: Store

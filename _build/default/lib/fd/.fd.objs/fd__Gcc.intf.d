@@ -1,0 +1,1 @@
+lib/fd/gcc.mli: Store

@@ -1,0 +1,1 @@
+lib/fd/geometry.mli: Store

@@ -1,0 +1,1 @@
+lib/fd/reif.ml: Arith Dom List Store

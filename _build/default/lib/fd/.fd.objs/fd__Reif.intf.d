@@ -1,0 +1,1 @@
+lib/fd/reif.mli: Store

@@ -1,0 +1,1 @@
+lib/fd/search.ml: Dom List Store Unix

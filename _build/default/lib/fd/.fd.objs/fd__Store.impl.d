@@ -1,0 +1,1 @@
+lib/fd/store.ml: Dom Format List Printf Queue

@@ -1,0 +1,1 @@
+lib/fd/store.mli: Dom Format

@@ -1,0 +1,1 @@
+lib/fd/table.ml: Array Dom List Store

@@ -1,0 +1,46 @@
+open Store
+
+let post s vars =
+  let n = List.length vars in
+  if n > 1 then begin
+    let arr = Array.of_list vars in
+    let prop st =
+      (* value propagation *)
+      Array.iter
+        (fun v ->
+          if is_fixed v then
+            Array.iter
+              (fun w -> if w != v then remove_value st w (value v))
+              arr)
+        arr;
+      (* Hall intervals over candidate bounds *)
+      let los = Array.to_list (Array.map vmin arr) in
+      let his = Array.to_list (Array.map vmax arr) in
+      let lo_set = List.sort_uniq compare los in
+      let hi_set = List.sort_uniq compare his in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a <= b then begin
+                let inside =
+                  Array.to_list arr
+                  |> List.filter (fun v -> vmin v >= a && vmax v <= b)
+                in
+                let k = List.length inside in
+                let width = b - a + 1 in
+                if k > width then raise (Fail "alldiff: pigeonhole");
+                if k = width then
+                  (* Hall interval: prune it from everyone outside *)
+                  Array.iter
+                    (fun v ->
+                      if not (List.memq v inside) then
+                        update st v (Dom.remove_interval a b (dom v)))
+                    arr
+              end)
+            hi_set)
+        lo_set
+    in
+    ignore (post_now s ~name:"alldiff" ~watches:vars prop);
+    propagate s
+  end

@@ -1,0 +1,14 @@
+(** All-different with Hall-interval (bounds-consistent) filtering —
+    strictly stronger than the pairwise disequality decomposition of
+    {!Arith.all_different}.
+
+    Filtering rules, iterated to fixpoint with value propagation:
+    - a fixed variable's value is removed from every other domain;
+    - pigeonhole: an interval [a, b] into which more than [b - a + 1]
+      domains fit is a failure;
+    - a Hall interval (exactly [b - a + 1] domains fit) is removed from
+      every other variable's domain. *)
+
+open Store
+
+val post : t -> var list -> unit

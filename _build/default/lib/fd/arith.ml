@@ -1,0 +1,178 @@
+open Store
+
+let leq_offset s x c y =
+  let prop st =
+    (* x + c <= y *)
+    remove_below st y (vmin x + c);
+    remove_above st x (vmax y - c)
+  in
+  ignore (post_now s ~name:"leq_offset" ~watches:[ x; y ] prop);
+  propagate s
+
+let leq s x y = leq_offset s x 0 y
+let lt s x y = leq_offset s x 1 y
+
+let eq_offset s x c y =
+  let prop st =
+    update st y (Dom.shift c (dom x));
+    update st x (Dom.shift (-c) (dom y))
+  in
+  ignore (post_now s ~name:"eq_offset" ~watches:[ x; y ] prop);
+  propagate s
+
+let eq s x y = eq_offset s x 0 y
+
+let neq_offset s x c y =
+  let prop st =
+    if is_fixed x then remove_value st y (value x + c)
+    else if is_fixed y then remove_value st x (value y - c)
+  in
+  ignore (post_now s ~name:"neq_offset" ~watches:[ x; y ] prop);
+  propagate s
+
+let neq s x y = neq_offset s x 0 y
+
+let plus s x y z =
+  let prop st =
+    (* z = x + y: bounds in all three directions *)
+    remove_below st z (vmin x + vmin y);
+    remove_above st z (vmax x + vmax y);
+    remove_below st x (vmin z - vmax y);
+    remove_above st x (vmax z - vmin y);
+    remove_below st y (vmin z - vmax x);
+    remove_above st y (vmax z - vmin x)
+  in
+  ignore (post_now s ~name:"plus" ~watches:[ x; y; z ] prop);
+  propagate s
+
+let max_of s xs m =
+  if xs = [] then invalid_arg "Arith.max_of: empty list";
+  let prop st =
+    let ub = List.fold_left (fun acc x -> Stdlib.max acc (vmax x)) min_int xs in
+    let lb = List.fold_left (fun acc x -> Stdlib.max acc (vmin x)) min_int xs in
+    remove_above st m ub;
+    remove_below st m lb;
+    List.iter (fun x -> remove_above st x (vmax m)) xs;
+    (* If only one variable can realize the maximum, it must. *)
+    let candidates = List.filter (fun x -> vmax x >= vmin m) xs in
+    match candidates with
+    | [ x ] -> remove_below st x (vmin m)
+    | _ -> ()
+  in
+  ignore (post_now s ~name:"max_of" ~watches:(m :: xs) prop);
+  propagate s
+
+let min_of s xs m =
+  if xs = [] then invalid_arg "Arith.min_of: empty list";
+  let prop st =
+    let lb = List.fold_left (fun acc x -> Stdlib.min acc (vmin x)) max_int xs in
+    let ub = List.fold_left (fun acc x -> Stdlib.min acc (vmax x)) max_int xs in
+    remove_below st m lb;
+    remove_above st m ub;
+    List.iter (fun x -> remove_below st x (vmin m)) xs;
+    let candidates = List.filter (fun x -> vmin x <= vmax m) xs in
+    match candidates with
+    | [ x ] -> remove_above st x (vmax m)
+    | _ -> ()
+  in
+  ignore (post_now s ~name:"min_of" ~watches:(m :: xs) prop);
+  propagate s
+
+let mul_const s c x y =
+  if c = 0 then begin
+    let prop st = assign st y 0 in
+    ignore (post_now s ~name:"mul_const0" ~watches:[ y ] prop)
+  end
+  else begin
+    let prop st =
+      let dy = if c > 0 then Dom.map_monotone (fun v -> c * v) (dom x)
+               else Dom.neg (Dom.map_monotone (fun v -> -c * v) (dom x)) in
+      update st y dy;
+      let dx =
+        Dom.filter (fun v -> v mod c = 0)
+          (if c > 0 then dom y else Dom.neg (dom y))
+      in
+      let dx = Dom.map_monotone (fun v -> v / abs c) dx in
+      update st x dx
+    in
+    ignore (post_now s ~name:"mul_const" ~watches:[ x; y ] prop)
+  end;
+  propagate s
+
+(* Floor division towards negative infinity, matching slot/bank geometry
+   where all values are non-negative anyway. *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let div_const s x c q =
+  if c <= 0 then invalid_arg "Arith.div_const: divisor must be positive";
+  let prop st =
+    update st q (Dom.map_monotone (fun v -> fdiv v c) (dom x));
+    (* supported x values: those whose quotient is still in dom q *)
+    let dq = dom q in
+    let dx =
+      Dom.of_intervals
+        (List.map (fun (lo, hi) -> (lo * c, (hi * c) + c - 1)) (Dom.intervals dq))
+    in
+    update st x dx
+  in
+  ignore (post_now s ~name:"div_const" ~watches:[ x; q ] prop);
+  propagate s
+
+let mod_const s x c r =
+  if c <= 0 then invalid_arg "Arith.mod_const: modulus must be positive";
+  let prop st =
+    if Dom.min (dom x) < 0 then raise (Fail "mod_const: negative operand");
+    let dr = Dom.of_list (Dom.fold (fun acc v -> (v mod c) :: acc) [] (dom x)) in
+    update st r dr;
+    let drr = dom r in
+    let dx = Dom.filter (fun v -> Dom.mem (v mod c) drr) (dom x) in
+    update st x dx
+  in
+  ignore (post_now s ~name:"mod_const" ~watches:[ x; r ] prop);
+  propagate s
+
+let linear_bounds terms =
+  List.fold_left
+    (fun (lo, hi) (c, x) ->
+      if c >= 0 then (lo + (c * vmin x), hi + (c * vmax x))
+      else (lo + (c * vmax x), hi + (c * vmin x)))
+    (0, 0) terms
+
+let linear_leq s terms k =
+  let prop st =
+    let lo, _ = linear_bounds terms in
+    if lo > k then raise (Fail "linear_leq");
+    List.iter
+      (fun (c, x) ->
+        if c > 0 then begin
+          let rest_lo = lo - (c * vmin x) in
+          remove_above st x (fdiv (k - rest_lo) c)
+        end
+        else if c < 0 then begin
+          let rest_lo = lo - (c * vmax x) in
+          (* c*x <= bound with c < 0  =>  x >= bound / c rounded up,
+             i.e. x >= -floor(bound / -c). *)
+          let bound = k - rest_lo in
+          remove_below st x (-fdiv bound (-c))
+        end)
+      terms
+  in
+  let watches = List.map snd terms in
+  ignore (post_now s ~name:"linear_leq" ~watches prop);
+  propagate s
+
+let linear_eq s terms k =
+  linear_leq s terms k;
+  linear_leq s (List.map (fun (c, x) -> (-c, x)) terms) (-k)
+
+let sum s xs total =
+  linear_eq s ((-1, total) :: List.map (fun x -> (1, x)) xs) 0
+
+let all_different s xs =
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter (fun y -> neq s x y) rest;
+      pairs rest
+  in
+  pairs xs

@@ -1,0 +1,58 @@
+(** Primitive arithmetic constraints.
+
+    Every [post_*] function registers one or more propagators in the
+    store and runs them once immediately.  Bounds(Z) consistency unless
+    stated otherwise. *)
+
+open Store
+
+val leq_offset : t -> var -> int -> var -> unit
+(** [leq_offset s x c y] posts [x + c <= y]. *)
+
+val lt : t -> var -> var -> unit
+(** [lt s x y] posts [x < y]. *)
+
+val leq : t -> var -> var -> unit
+
+val eq_offset : t -> var -> int -> var -> unit
+(** [eq_offset s x c y] posts [y = x + c]; domain consistent. *)
+
+val eq : t -> var -> var -> unit
+(** Domain-consistent equality. *)
+
+val neq : t -> var -> var -> unit
+(** Disequality: prunes when either side becomes fixed. *)
+
+val neq_offset : t -> var -> int -> var -> unit
+(** [neq_offset s x c y] posts [x + c <> y]. *)
+
+val plus : t -> var -> var -> var -> unit
+(** [plus s x y z] posts [z = x + y]. *)
+
+val max_of : t -> var list -> var -> unit
+(** [max_of s xs m] posts [m = max(xs)].  [xs] must be non-empty. *)
+
+val min_of : t -> var list -> var -> unit
+
+val mul_const : t -> int -> var -> var -> unit
+(** [mul_const s c x y] posts [y = c * x] (any [c]); domain consistent. *)
+
+val div_const : t -> var -> int -> var -> unit
+(** [div_const s x c q] posts [q = x / c] (floor division, [c > 0]);
+    domain consistent. *)
+
+val mod_const : t -> var -> int -> var -> unit
+(** [mod_const s x c r] posts [r = x mod c] ([c > 0], [x >= 0]);
+    domain consistent. *)
+
+val linear_leq : t -> (int * var) list -> int -> unit
+(** [linear_leq s terms k] posts [sum(c_i * x_i) <= k]. *)
+
+val linear_eq : t -> (int * var) list -> int -> unit
+(** [linear_eq s terms k] posts [sum(c_i * x_i) = k]. *)
+
+val sum : t -> var list -> var -> unit
+(** [sum s xs total] posts [total = sum(xs)]. *)
+
+val all_different : t -> var list -> unit
+(** Pairwise disequality (value-based propagation). *)

@@ -1,0 +1,63 @@
+open Store
+
+let disjoint a b = Dom.is_empty (Dom.inter (dom a) (dom b))
+
+(* Core of [p = q ==> l = m]; shared with the guarded variant.  Returns
+   [true] when the implication is entailed (safe to stop watching). *)
+let implication_step st (p, q) (l, m) =
+  if disjoint p q then true
+  else if is_fixed p && is_fixed q && value p = value q then begin
+    let joint = Dom.inter (dom l) (dom m) in
+    update st l joint;
+    update st m joint;
+    false
+  end
+  else if disjoint l m then begin
+    (* Contrapositive: lines can never be equal, so pages must differ. *)
+    if is_fixed p then remove_value st q (value p)
+    else if is_fixed q then remove_value st p (value q);
+    false
+  end
+  else false
+
+let implies_eq s (p, q) (l, m) =
+  let handle = ref None in
+  let prop st =
+    if implication_step st (p, q) (l, m) then
+      match !handle with Some h -> entail st h | None -> ()
+  in
+  let h = post_now s ~name:"implies_eq" ~watches:[ p; q; l; m ] prop in
+  handle := Some h;
+  propagate s
+
+let guarded_implies_eq s ~guard:(a, b) (p, q) (l, m) =
+  let handle = ref None in
+  let prop st =
+    let done_ =
+      if disjoint a b then true
+      else if is_fixed a && is_fixed b && value a = value b then
+        implication_step st (p, q) (l, m)
+      else false
+    in
+    if done_ then
+      match !handle with Some h -> entail st h | None -> ()
+  in
+  let h =
+    post_now s ~name:"guarded_implies_eq" ~watches:[ a; b; p; q; l; m ] prop
+  in
+  handle := Some h;
+  propagate s
+
+let same_guard_neq s ~guard:(a, b) x y =
+  let handle = ref None in
+  let prop st =
+    if disjoint a b then
+      (match !handle with Some h -> entail st h | None -> ())
+    else if is_fixed a && is_fixed b && value a = value b then begin
+      if is_fixed x then remove_value st y (value x)
+      else if is_fixed y then remove_value st x (value y)
+    end
+  in
+  let h = post_now s ~name:"same_guard_neq" ~watches:[ a; b; x; y ] prop in
+  handle := Some h;
+  propagate s

@@ -1,0 +1,29 @@
+(** Conditional constraints used by the memory-access model.
+
+    The paper's access rules (eqs. 7-9) are implications of the shape
+    [page_d = page_e  ==>  line_d = line_e], optionally guarded by a
+    schedule condition [s_i = s_j] for pairs of simultaneously running
+    vector operations (eqs. 8-9). *)
+
+open Store
+
+val implies_eq : t -> (var * var) -> (var * var) -> unit
+(** [implies_eq s (p, q) (l, m)] posts [p = q ==> l = m].
+
+    Propagation:
+    - when [p] and [q] are fixed and equal, [l = m] is enforced
+      (domain-consistent);
+    - when dom([l]) and dom([m]) are disjoint, [p <> q] is enforced;
+    - when dom([p]) and dom([q]) are disjoint the constraint is entailed. *)
+
+val guarded_implies_eq :
+  t -> guard:(var * var) -> (var * var) -> (var * var) -> unit
+(** [guarded_implies_eq s ~guard:(a, b) (p, q) (l, m)] posts
+    [a = b ==> (p = q ==> l = m)].
+
+    Entailed as soon as dom([a]) and dom([b]) become disjoint; active
+    (behaving like {!implies_eq}) once [a] and [b] are fixed and equal. *)
+
+val same_guard_neq :
+  t -> guard:(var * var) -> var -> var -> unit
+(** [same_guard_neq s ~guard:(a, b) x y] posts [a = b ==> x <> y]. *)

@@ -1,0 +1,162 @@
+open Store
+
+let check ~starts ~durations ~resources ~limit =
+  let n = Array.length starts in
+  if n = 0 then true
+  else begin
+    let horizon =
+      Array.to_list (Array.init n (fun i -> starts.(i) + durations.(i)))
+      |> List.fold_left Stdlib.max 0
+    in
+    let lo =
+      Array.to_list starts |> List.fold_left Stdlib.min max_int
+    in
+    let ok = ref true in
+    for t = lo to horizon - 1 do
+      let used = ref 0 in
+      for i = 0 to n - 1 do
+        if starts.(i) <= t && t < starts.(i) + durations.(i) then
+          used := !used + resources.(i)
+      done;
+      if !used > limit then ok := false
+    done;
+    !ok
+  end
+
+(* Variable durations: time-table filtering where task [i]'s compulsory
+   part is [lst_i, est_i + dmin_i) and, once the profile is built, both
+   the start and the duration of every task are pruned against it. *)
+let post_var s ~starts ~durations ~resources ~limit =
+  let n = Array.length starts in
+  if Array.length durations <> n || Array.length resources <> n then
+    invalid_arg "Cumulative.post_var: length mismatch";
+  Array.iteri
+    (fun i r ->
+      if r < 0 then invalid_arg "Cumulative.post_var: negative resource";
+      if r > limit && vmin durations.(i) > 0 then
+        invalid_arg "Cumulative.post_var: task exceeds resource limit")
+    resources;
+  if n > 0 then begin
+    let prop st =
+      let t0 =
+        Array.fold_left (fun acc v -> Stdlib.min acc (vmin v)) max_int starts
+      in
+      let t1 =
+        Array.to_list (Array.mapi (fun i v -> vmax v + vmax durations.(i)) starts)
+        |> List.fold_left Stdlib.max 0
+      in
+      let width = t1 - t0 in
+      if width > 0 then begin
+        let profile = Array.make width 0 in
+        let comp_lo = Array.make n 0 and comp_hi = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let c_lo = vmax starts.(i)
+          and c_hi = vmin starts.(i) + vmin durations.(i) in
+          comp_lo.(i) <- c_lo;
+          comp_hi.(i) <- c_hi;
+          if c_lo < c_hi && resources.(i) > 0 then
+            for t = c_lo to c_hi - 1 do
+              profile.(t - t0) <- profile.(t - t0) + resources.(i)
+            done
+        done;
+        Array.iter
+          (fun u -> if u > limit then raise (Fail "cumulative: overload"))
+          profile;
+        for i = 0 to n - 1 do
+          let r = resources.(i) in
+          if r > 0 && vmin durations.(i) > 0 then begin
+            let own t = if comp_lo.(i) <= t && t < comp_hi.(i) then r else 0 in
+            let fits v d =
+              let rec go t =
+                t >= v + d || (profile.(t - t0) - own t + r <= limit && go (t + 1))
+              in
+              go v
+            in
+            (* prune starts against the minimal duration *)
+            if not (is_fixed starts.(i)) then
+              update st starts.(i)
+                (Dom.filter (fun v -> fits v (vmin durations.(i))) (dom starts.(i)));
+            (* prune the duration against the earliest possible start *)
+            let dmax_ok =
+              let v = vmin starts.(i) in
+              let rec widest d =
+                if d >= vmax durations.(i) then d
+                else if fits v (d + 1) then widest (d + 1)
+                else d
+              in
+              widest (vmin durations.(i))
+            in
+            if is_fixed starts.(i) then remove_above st durations.(i) dmax_ok
+          end
+        done
+      end
+    in
+    let watches = Array.to_list starts @ Array.to_list durations in
+    ignore (post_now s ~name:"cumulative_var" ~watches prop);
+    propagate s
+  end
+
+let post s ~starts ~durations ~resources ~limit =
+  let n = Array.length starts in
+  if Array.length durations <> n || Array.length resources <> n then
+    invalid_arg "Cumulative.post: length mismatch";
+  Array.iter (fun d -> if d < 0 then invalid_arg "Cumulative.post: negative duration") durations;
+  Array.iteri
+    (fun i r ->
+      if r < 0 then invalid_arg "Cumulative.post: negative resource";
+      if r > limit && durations.(i) > 0 then
+        invalid_arg "Cumulative.post: task exceeds resource limit")
+    resources;
+  if n = 0 then ()
+  else begin
+    let prop st =
+      (* Profile over [t0, t1): compulsory parts only. *)
+      let t0 =
+        Array.fold_left (fun acc v -> Stdlib.min acc (vmin v)) max_int starts
+      in
+      let t1 =
+        Array.to_list (Array.mapi (fun i v -> vmax v + durations.(i)) starts)
+        |> List.fold_left Stdlib.max 0
+      in
+      let width = t1 - t0 in
+      if width > 0 then begin
+        let profile = Array.make width 0 in
+        let comp_lo = Array.make n 0 and comp_hi = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let est = vmin starts.(i) and lst = vmax starts.(i) in
+          let c_lo = lst and c_hi = est + durations.(i) in
+          comp_lo.(i) <- c_lo;
+          comp_hi.(i) <- c_hi;
+          if c_lo < c_hi && resources.(i) > 0 then
+            for t = c_lo to c_hi - 1 do
+              profile.(t - t0) <- profile.(t - t0) + resources.(i)
+            done
+        done;
+        (* Overload check. *)
+        Array.iter (fun u -> if u > limit then raise (Fail "cumulative: overload")) profile;
+        (* Prune each task against the profile minus its own compulsory
+           part.  A start value v is infeasible if some t in [v, v+d)
+           has residual profile + r_i > limit. *)
+        for i = 0 to n - 1 do
+          let d = durations.(i) and r = resources.(i) in
+          if d > 0 && r > 0 && not (is_fixed starts.(i)) then begin
+            let own t =
+              if comp_lo.(i) <= t && t < comp_hi.(i) then r else 0
+            in
+            let feasible v =
+              let rec go t =
+                t >= v + d
+                || (profile.(t - t0) - own t + r <= limit && go (t + 1))
+              in
+              go v
+            in
+            let pruned = Dom.filter feasible (dom starts.(i)) in
+            update st starts.(i) pruned
+          end
+        done
+      end
+    in
+    ignore
+      (post_now s ~name:"cumulative" ~watches:(Array.to_list starts) prop);
+    propagate s
+  end

@@ -1,0 +1,48 @@
+(** The Cumulative global constraint (Aggoun & Beldiceanu, 1993).
+
+    [post s ~starts ~durations ~resources ~limit] constrains the tasks
+    [(starts.(i), durations.(i), resources.(i))] so that at every time
+    point [t] the sum of [resources.(i)] over tasks with
+    [starts.(i) <= t < starts.(i) + durations.(i)] does not exceed
+    [limit].
+
+    Durations and resource amounts are fixed integers here (the paper's
+    model only ever uses fixed durations of one cycle and fixed lane
+    counts); start times are finite-domain variables.
+
+    Propagation is time-table based: compulsory parts
+    [[max(start), min(start) + duration)] build a resource profile and
+    every task's start domain is pruned against profile segments it
+    cannot fit over.  This is the classic incomplete-but-sound filtering;
+    completeness comes from search. *)
+
+open Store
+
+val post :
+  t ->
+  starts:var array ->
+  durations:int array ->
+  resources:int array ->
+  limit:int ->
+  unit
+(** @raise Invalid_argument on length mismatch, negative durations or
+    resources, or a task with [resource > limit] and [duration > 0]. *)
+
+val check :
+  starts:int array -> durations:int array -> resources:int array -> limit:int -> bool
+(** Ground checker used by the validator and the test oracle. *)
+
+val post_var :
+  t ->
+  starts:var array ->
+  durations:var array ->
+  resources:int array ->
+  limit:int ->
+  unit
+(** The paper's full generality ("all parameters can be either domain
+    variables or integers"): variable durations.  Compulsory parts use
+    the minimal durations; additionally a duration is capped when its
+    task sits on a profile peak it would overload by running longer.
+    The scheduler itself only needs fixed durations (every EIT issue
+    occupies its unit for one cycle), so this exists for model fidelity
+    and reuse. *)

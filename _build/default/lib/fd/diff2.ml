@@ -1,0 +1,77 @@
+open Store
+
+type rect = { ox : var; oy : var; lx : var; ly : var }
+
+let check rects =
+  let overlap (x1, y1, w1, h1) (x2, y2, w2, h2) =
+    w1 > 0 && h1 > 0 && w2 > 0 && h2 > 0
+    && x1 < x2 + w2 && x2 < x1 + w1
+    && y1 < y2 + h2 && y2 < y1 + h1
+  in
+  let rec go = function
+    | [] -> true
+    | r :: rest -> List.for_all (fun r' -> not (overlap r r')) rest && go rest
+  in
+  go rects
+
+(* Must the two intervals [o1, o1+l1) and [o2, o2+l2) intersect under
+   every assignment?  Requires strictly positive minimal lengths. *)
+let must_overlap (o1, l1) (o2, l2) =
+  vmin l1 > 0 && vmin l2 > 0
+  && vmax o1 < vmin o2 + vmin l2
+  && vmax o2 < vmin o1 + vmin l1
+
+(* Enforce non-overlap of [ (oi, li) ; (oj, lj) ] in one dimension via
+   constructive disjunction on bounds:
+
+     (oi + li <= oj) \/ (oj + lj <= oi) \/ (li = 0) \/ (lj = 0)
+
+   — a zero-length rectangle (the tests exercise them; live data never
+   produces one) overlaps nothing wherever it sits.  When exactly one
+   disjunct stays feasible it is enforced; with none, fail. *)
+let separate st (oi, li) (oj, lj) =
+  let i_before = vmin oi + vmin li <= vmax oj in
+  let j_before = vmin oj + vmin lj <= vmax oi in
+  let i_empty = Dom.mem 0 (dom li) in
+  let j_empty = Dom.mem 0 (dom lj) in
+  let feasible =
+    (if i_before then 1 else 0) + (if j_before then 1 else 0)
+    + (if i_empty then 1 else 0) + (if j_empty then 1 else 0)
+  in
+  if feasible = 0 then raise (Fail "diff2: overlap")
+  else if feasible = 1 then
+    if i_before then begin
+      (* oi + li <= oj *)
+      remove_below st oj (vmin oi + vmin li);
+      remove_above st oi (vmax oj - vmin li);
+      remove_above st li (vmax oj - vmin oi)
+    end
+    else if j_before then begin
+      remove_below st oi (vmin oj + vmin lj);
+      remove_above st oj (vmax oi - vmin lj);
+      remove_above st lj (vmax oi - vmin oj)
+    end
+    else if i_empty then update st li (Dom.singleton 0)
+    else update st lj (Dom.singleton 0)
+
+let post s rects =
+  let rec pairs = function
+    | [] -> ()
+    | r :: rest ->
+      List.iter
+        (fun r' ->
+          let prop st =
+            if must_overlap (r.ox, r.lx) (r'.ox, r'.lx) then
+              separate st (r.oy, r.ly) (r'.oy, r'.ly);
+            if must_overlap (r.oy, r.ly) (r'.oy, r'.ly) then
+              separate st (r.ox, r.lx) (r'.ox, r'.lx)
+          in
+          let watches =
+            [ r.ox; r.oy; r.lx; r.ly; r'.ox; r'.oy; r'.lx; r'.ly ]
+          in
+          ignore (post_now s ~name:"diff2" ~watches prop))
+        rest;
+      pairs rest
+  in
+  pairs rects;
+  propagate s

@@ -1,0 +1,25 @@
+(** The Diff2 global constraint (Beldiceanu & Contejean, 1994):
+    pairwise non-overlap of rectangles in 2-D space.
+
+    A rectangle is [(ox, oy, lx, ly)]: origins [ox, oy] are finite-domain
+    variables, lengths [lx, ly] may be variables too (the scheduler uses
+    variable lifetimes as the x-length until phase 2 fixes them).
+
+    Two rectangles [i], [j] do not overlap iff there is a dimension in
+    which one ends at or before the other's origin.  Rectangles with a
+    zero length in some dimension never overlap anything (the paper's
+    lifetime model never produces them for live data, but tests do).
+
+    Propagation: for every pair, if overlap in dimension [k] is
+    unavoidable, the disjunction collapses to non-overlap in the other
+    dimension, which is then propagated as two conditional bound updates
+    (and as value removal when the lengths are 1). *)
+
+open Store
+
+type rect = { ox : var; oy : var; lx : var; ly : var }
+
+val post : t -> rect list -> unit
+
+val check : (int * int * int * int) list -> bool
+(** Ground checker: [true] iff no two rectangles overlap. *)

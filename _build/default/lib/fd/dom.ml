@@ -1,0 +1,175 @@
+(* Sorted disjoint inclusive intervals.  Invariant: for consecutive
+   intervals (_, h1) (l2, _) we have h1 + 2 <= l2, so representations are
+   canonical and [equal] is structural. *)
+
+type t = (int * int) list
+
+exception Empty_domain
+
+let empty : t = []
+
+let interval lo hi : t = if lo > hi then [] else [ (lo, hi) ]
+
+let singleton v : t = [ (v, v) ]
+
+(* Normalize a list of intervals: sort by origin, merge overlapping or
+   adjacent ones. *)
+let normalize (ivs : (int * int) list) : t =
+  let ivs = List.filter (fun (lo, hi) -> lo <= hi) ivs in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ivs in
+  let rec merge = function
+    | [] -> []
+    | [ iv ] -> [ iv ]
+    | (l1, h1) :: (l2, h2) :: rest ->
+      if l2 <= h1 + 1 then merge ((l1, Stdlib.max h1 h2) :: rest)
+      else (l1, h1) :: merge ((l2, h2) :: rest)
+  in
+  merge sorted
+
+let of_intervals ivs = normalize ivs
+
+let of_list vs = normalize (List.map (fun v -> (v, v)) vs)
+
+let is_empty d = d = []
+
+let is_singleton = function [ (lo, hi) ] -> lo = hi | _ -> false
+
+let rec mem v = function
+  | [] -> false
+  | (lo, hi) :: rest -> if v < lo then false else v <= hi || mem v rest
+
+let min = function [] -> raise Empty_domain | (lo, _) :: _ -> lo
+
+let rec max = function
+  | [] -> raise Empty_domain
+  | [ (_, hi) ] -> hi
+  | _ :: rest -> max rest
+
+let choose = min
+
+let size d = List.fold_left (fun acc (lo, hi) -> acc + hi - lo + 1) 0 d
+
+let equal (a : t) (b : t) = a = b
+
+let is_interval = function [] | [ _ ] -> true | _ -> false
+
+let intervals d = d
+
+let to_list d =
+  List.concat_map
+    (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
+    d
+
+let rec remove v = function
+  | [] -> []
+  | ((lo, hi) as iv) :: rest ->
+    if v < lo then iv :: rest
+    else if v > hi then iv :: remove v rest
+    else if lo = hi then rest
+    else if v = lo then (lo + 1, hi) :: rest
+    else if v = hi then (lo, hi - 1) :: rest
+    else (lo, v - 1) :: (v + 1, hi) :: rest
+
+let rec remove_below b = function
+  | [] -> []
+  | (lo, hi) :: rest ->
+    if hi < b then remove_below b rest
+    else if lo >= b then (lo, hi) :: rest
+    else (b, hi) :: rest
+
+let rec remove_above b = function
+  | [] -> []
+  | ((lo, hi) as iv) :: rest ->
+    if lo > b then []
+    else if hi <= b then iv :: remove_above b rest
+    else [ (lo, b) ]
+
+let rec remove_interval rlo rhi d =
+  if rlo > rhi then d
+  else
+    match d with
+    | [] -> []
+    | ((lo, hi) as iv) :: rest ->
+      if rhi < lo then iv :: rest
+      else if rlo > hi then iv :: remove_interval rlo rhi rest
+      else
+        let left = if lo < rlo then [ (lo, rlo - 1) ] else [] in
+        let right = remove_interval rlo rhi (if rhi < hi then (rhi + 1, hi) :: rest else rest) in
+        left @ right
+
+let rec inter (a : t) (b : t) : t =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | (l1, h1) :: ra, (l2, h2) :: rb ->
+    let lo = Stdlib.max l1 l2 and hi = Stdlib.min h1 h2 in
+    let tail =
+      if h1 < h2 then inter ra b
+      else if h2 < h1 then inter a rb
+      else inter ra rb
+    in
+    if lo <= hi then (lo, hi) :: tail else tail
+
+let union a b = normalize (a @ b)
+
+let diff a b =
+  List.fold_left (fun acc (lo, hi) -> remove_interval lo hi acc) a b
+
+let shift k d = List.map (fun (lo, hi) -> (lo + k, hi + k)) d
+
+let neg d = List.rev_map (fun (lo, hi) -> (-hi, -lo)) d
+
+let iter f d = List.iter (fun (lo, hi) -> for v = lo to hi do f v done) d
+
+let fold f acc d =
+  List.fold_left
+    (fun acc (lo, hi) ->
+      let r = ref acc in
+      for v = lo to hi do
+        r := f !r v
+      done;
+      !r)
+    acc d
+
+let for_all p d =
+  List.for_all
+    (fun (lo, hi) ->
+      let rec go v = v > hi || (p v && go (v + 1)) in
+      go lo)
+    d
+
+let exists p d = not (for_all (fun v -> not (p v)) d)
+
+let filter p d = of_list (List.filter p (to_list d))
+
+(* Exact image under a monotone map.  Interval endpoints alone are not
+   enough (e.g. x -> 2x tears holes into intervals), so enumerate values
+   but emit interval endpoints directly when f is gap-free there. *)
+let map_monotone f d =
+  normalize
+    (List.concat_map
+       (fun (lo, hi) ->
+         if f hi - f lo = hi - lo then [ (f lo, f hi) ]  (* shift-like *)
+         else List.init (hi - lo + 1) (fun i -> (f (lo + i), f (lo + i))))
+       d)
+
+let check_invariant d =
+  let rec go = function
+    | [] -> true
+    | [ (lo, hi) ] -> lo <= hi
+    | (l1, h1) :: ((l2, _) :: _ as rest) ->
+      l1 <= h1 && h1 + 2 <= l2 && go rest
+  in
+  go d
+
+let pp ppf d =
+  let pp_iv ppf (lo, hi) =
+    if lo = hi then Format.fprintf ppf "%d" lo
+    else Format.fprintf ppf "%d..%d" lo hi
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_iv)
+    d
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,35 @@
+open Store
+
+let post s ~index xs z =
+  let n = Array.length xs in
+  if n = 0 then raise (Fail "element: empty table");
+  let prop st =
+    remove_below st index 0;
+    remove_above st index (n - 1);
+    (* z's support: union over feasible indices *)
+    let support = ref Dom.empty in
+    Dom.iter
+      (fun i -> support := Dom.union !support (dom xs.(i)))
+      (dom index);
+    update st z !support;
+    (* index support: xs.(i) must intersect z *)
+    let feasible =
+      Dom.filter
+        (fun i -> not (Dom.is_empty (Dom.inter (dom xs.(i)) (dom z))))
+        (dom index)
+    in
+    update st index feasible;
+    (* fixed index: unify *)
+    if is_fixed index then begin
+      let xi = xs.(value index) in
+      let joint = Dom.inter (dom xi) (dom z) in
+      update st xi joint;
+      update st z joint
+    end
+  in
+  ignore (post_now s ~name:"element" ~watches:(index :: z :: Array.to_list xs) prop);
+  propagate s
+
+let post_const s ~index table z =
+  let xs = Array.map (fun k -> const s k) table in
+  post s ~index xs z

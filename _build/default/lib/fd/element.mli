@@ -1,0 +1,20 @@
+(** The Element global constraint: [z = xs.(i)] with a finite-domain
+    index.
+
+    Used to model table lookups — e.g. selecting a configuration word or
+    a latency by a decision variable — and a standard member of any FD
+    solver's vocabulary.  Domain-consistent in both directions:
+
+    - dom(z) is reduced to the union of dom(xs.(i)) over feasible [i];
+    - an index value [i] is removed when dom(xs.(i)) and dom(z) are
+      disjoint;
+    - when the index is fixed, [z] and [xs.(i)] are unified. *)
+
+open Store
+
+val post : t -> index:var -> var array -> var -> unit
+(** [post s ~index xs z] posts [z = xs.(index)].  The index is
+    0-based; out-of-range index values are pruned immediately. *)
+
+val post_const : t -> index:var -> int array -> var -> unit
+(** Specialization for a constant table. *)

@@ -1,0 +1,29 @@
+open Store
+
+let post s vars cards =
+  List.iter
+    (fun (_, lo, hi) ->
+      if lo < 0 || hi < lo then invalid_arg "Gcc.post: bad cardinality bounds")
+    cards;
+  let prop st =
+    List.iter
+      (fun (v, lo, hi) ->
+        let fixed_to_v =
+          List.filter (fun x -> is_fixed x && value x = v) vars
+        in
+        let can_take_v = List.filter (fun x -> Dom.mem v (dom x)) vars in
+        let nf = List.length fixed_to_v and nc = List.length can_take_v in
+        if nf > hi then raise (Fail "gcc: upper cardinality exceeded");
+        if nc < lo then raise (Fail "gcc: lower cardinality unreachable");
+        (* saturated above: remove v from everyone unfixed *)
+        if nf = hi then
+          List.iter
+            (fun x -> if not (is_fixed x) then remove_value st x v)
+            can_take_v;
+        (* tight below: every possible taker must take it *)
+        if nc = lo then
+          List.iter (fun x -> update st x (Dom.singleton v)) can_take_v)
+      cards
+  in
+  ignore (post_now s ~name:"gcc" ~watches:vars prop);
+  propagate s

@@ -1,0 +1,23 @@
+(** Global cardinality constraint: bound how many variables take each
+    value.
+
+    [post s vars cards] with [cards = [(v, lo, hi); ...]] constrains,
+    for every listed value [v], the number of variables equal to [v] to
+    lie in [lo .. hi].  Values not listed are unconstrained.
+
+    Filtering (iterated with the store's fixpoint):
+    - if the count of variables {e fixed} to [v] reaches [hi], [v] is
+      removed from every unfixed variable;
+    - if the count of variables that {e can} take [v] equals [lo],
+      those variables are all fixed to [v];
+    - failure when fixed counts exceed [hi] or possible counts drop
+      below [lo].
+
+    Subsumes all-different ([lo = 0, hi = 1] for every value), and is
+    the natural way to cap how many operations of one configuration a
+    schedule region may contain. *)
+
+open Store
+
+val post : t -> var list -> (int * int * int) list -> unit
+(** @raise Invalid_argument on [lo > hi] or negative bounds. *)

@@ -1,0 +1,44 @@
+open Store
+
+type coords = { slot : var; bank : var; line : var; page : var }
+
+let line_of_slot ~banks k = k / banks
+let bank_of_slot ~banks k = k mod banks
+let page_of_slot ~banks ~page_size k = k mod banks / page_size
+
+let of_slot s ~banks ~page_size slot =
+  if banks <= 0 || page_size <= 0 || banks mod page_size <> 0 then
+    invalid_arg "Geometry.of_slot: banks must be a positive multiple of page_size";
+  if vmin slot < 0 then invalid_arg "Geometry.of_slot: negative slot";
+  let base = name slot in
+  let lift f =
+    Dom.of_list (Dom.fold (fun acc v -> f v :: acc) [] (dom slot))
+  in
+  let bank = new_var ~name:(base ^ ".bank") s (lift (bank_of_slot ~banks)) in
+  let line = new_var ~name:(base ^ ".line") s (lift (line_of_slot ~banks)) in
+  let page =
+    new_var ~name:(base ^ ".page") s (lift (page_of_slot ~banks ~page_size))
+  in
+  let prop st =
+    (* slot -> coordinates *)
+    let db = ref Dom.empty and dl = ref Dom.empty and dp = ref Dom.empty in
+    Dom.iter
+      (fun k ->
+        db := Dom.union !db (Dom.singleton (bank_of_slot ~banks k));
+        dl := Dom.union !dl (Dom.singleton (line_of_slot ~banks k));
+        dp := Dom.union !dp (Dom.singleton (page_of_slot ~banks ~page_size k)))
+      (dom slot);
+    update st bank !db;
+    update st line !dl;
+    update st page !dp;
+    (* coordinates -> slot *)
+    let keep k =
+      Dom.mem (bank_of_slot ~banks k) (dom bank)
+      && Dom.mem (line_of_slot ~banks k) (dom line)
+      && Dom.mem (page_of_slot ~banks ~page_size k) (dom page)
+    in
+    update st slot (Dom.filter keep (dom slot))
+  in
+  ignore (post_now s ~name:"slot_geometry" ~watches:[ slot; bank; line; page ] prop);
+  propagate s;
+  { slot; bank; line; page }

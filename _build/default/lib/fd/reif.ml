@@ -1,0 +1,88 @@
+open Store
+
+let bool_var ?name s = new_var ?name s (Dom.interval 0 1)
+
+let is_true b = is_fixed b && value b = 1
+let is_false b = is_fixed b && value b = 0
+
+let leq_iff s x y b =
+  let prop st =
+    (* relation -> boolean *)
+    if vmax x <= vmin y then update st b (Dom.singleton 1)
+    else if vmin x > vmax y then update st b (Dom.singleton 0);
+    (* boolean -> relation *)
+    if is_true b then begin
+      remove_above st x (vmax y);
+      remove_below st y (vmin x)
+    end
+    else if is_false b then begin
+      (* x > y *)
+      remove_below st x (vmin y + 1);
+      remove_above st y (vmax x - 1)
+    end
+  in
+  ignore (post_now s ~name:"leq_iff" ~watches:[ x; y; b ] prop);
+  propagate s
+
+let eq_iff s x y b =
+  let prop st =
+    if is_fixed x && is_fixed y then
+      update st b (Dom.singleton (if value x = value y then 1 else 0))
+    else if Dom.is_empty (Dom.inter (dom x) (dom y)) then
+      update st b (Dom.singleton 0);
+    if is_true b then begin
+      let joint = Dom.inter (dom x) (dom y) in
+      update st x joint;
+      update st y joint
+    end
+    else if is_false b then begin
+      if is_fixed x then remove_value st y (value x)
+      else if is_fixed y then remove_value st x (value y)
+    end
+  in
+  ignore (post_now s ~name:"eq_iff" ~watches:[ x; y; b ] prop);
+  propagate s
+
+let eq_const_iff s x k b =
+  let prop st =
+    if not (Dom.mem k (dom x)) then update st b (Dom.singleton 0)
+    else if is_fixed x then update st b (Dom.singleton 1);
+    if is_true b then update st x (Dom.singleton k)
+    else if is_false b then remove_value st x k
+  in
+  ignore (post_now s ~name:"eq_const_iff" ~watches:[ x; b ] prop);
+  propagate s
+
+let conj s bs b =
+  let prop st =
+    if List.exists is_false bs then update st b (Dom.singleton 0)
+    else if List.for_all is_true bs then update st b (Dom.singleton 1);
+    if is_true b then List.iter (fun x -> update st x (Dom.singleton 1)) bs
+    else if is_false b then begin
+      (* if all but one are true, the last must be false *)
+      match List.filter (fun x -> not (is_true x)) bs with
+      | [ last ] -> update st last (Dom.singleton 0)
+      | _ -> ()
+    end
+  in
+  ignore (post_now s ~name:"conj" ~watches:(b :: bs) prop);
+  propagate s
+
+let disj s bs b =
+  let prop st =
+    if List.exists is_true bs then update st b (Dom.singleton 1)
+    else if List.for_all is_false bs then update st b (Dom.singleton 0);
+    if is_false b then List.iter (fun x -> update st x (Dom.singleton 0)) bs
+    else if is_true b then begin
+      match List.filter (fun x -> not (is_false x)) bs with
+      | [ last ] -> update st last (Dom.singleton 1)
+      | _ -> ()
+    end
+  in
+  ignore (post_now s ~name:"disj" ~watches:(b :: bs) prop);
+  propagate s
+
+let negation s a b =
+  Arith.linear_eq s [ (1, a); (1, b) ] 1
+
+let bool_sum s bs total = Arith.sum s bs total

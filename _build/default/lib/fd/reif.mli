@@ -1,0 +1,37 @@
+(** Reified constraints: 0/1 variables reflecting the truth of a
+    relation, and boolean combinators over them.
+
+    A boolean is an ordinary finite-domain variable with domain {0, 1}
+    ({!bool_var}).  Reification propagates in all three directions: the
+    relation forces the boolean, the boolean's value forces the relation
+    or its negation. *)
+
+open Store
+
+val bool_var : ?name:string -> t -> var
+
+val is_true : var -> bool
+(** Fixed to 1. *)
+
+val is_false : var -> bool
+
+val leq_iff : t -> var -> var -> var -> unit
+(** [leq_iff s x y b] posts [b = 1 <=> x <= y]. *)
+
+val eq_iff : t -> var -> var -> var -> unit
+(** [eq_iff s x y b] posts [b = 1 <=> x = y]. *)
+
+val eq_const_iff : t -> var -> int -> var -> unit
+(** [eq_const_iff s x k b] posts [b = 1 <=> x = k]. *)
+
+val conj : t -> var list -> var -> unit
+(** [conj s bs b] posts [b = 1 <=> all of bs are 1]. *)
+
+val disj : t -> var list -> var -> unit
+(** [disj s bs b] posts [b = 1 <=> at least one of bs is 1]. *)
+
+val negation : t -> var -> var -> unit
+(** [negation s a b] posts [b = 1 - a]. *)
+
+val bool_sum : t -> var list -> var -> unit
+(** [bool_sum s bs total]: cardinality of true booleans. *)

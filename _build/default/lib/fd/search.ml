@@ -1,0 +1,278 @@
+open Store
+
+type var_select = var list -> var option
+type val_select = var -> int
+
+let unfixed vars = List.filter (fun v -> not (is_fixed v)) vars
+
+let input_order vars =
+  List.find_opt (fun v -> not (is_fixed v)) vars
+
+let best_by score vars =
+  match unfixed vars with
+  | [] -> None
+  | v0 :: rest ->
+    Some
+      (List.fold_left
+         (fun best v -> if score v < score best then v else best)
+         v0 rest)
+
+let first_fail vars = best_by (fun v -> Dom.size (dom v)) vars
+let smallest_min vars = best_by (fun v -> vmin v) vars
+
+let most_constrained vars =
+  (* Domain size dominates; we approximate "most watchers" by preferring
+     earlier creation order (models post structural constraints on the
+     variables they create first). *)
+  best_by (fun v -> (Dom.size (dom v) * 1_000_000) + id v) vars
+
+let select_min v = vmin v
+let select_max v = vmax v
+
+let select_mid v =
+  let d = dom v in
+  let target = (Dom.min d + Dom.max d) / 2 in
+  (* Closest value to the middle that is actually in the domain. *)
+  let best = ref (Dom.min d) in
+  Dom.iter
+    (fun x -> if abs (x - target) < abs (!best - target) then best := x)
+    d;
+  !best
+
+type phase = { vars : var list; var_select : var_select; val_select : val_select }
+
+let phase ?(var_select = first_fail) ?(val_select = select_min) vars =
+  { vars; var_select; val_select }
+
+type stats = {
+  nodes : int;
+  failures : int;
+  solutions : int;
+  time_ms : float;
+  optimal : bool;
+}
+
+type 'a outcome =
+  | Solution of 'a * stats
+  | Best of 'a * stats
+  | Unsat of stats
+  | Timeout of stats
+
+type budget = { max_nodes : int option; max_time_ms : float option }
+
+let no_budget = { max_nodes = None; max_time_ms = None }
+let node_budget n = { max_nodes = Some n; max_time_ms = None }
+let time_budget ms = { max_nodes = None; max_time_ms = Some ms }
+let both_budget n ms = { max_nodes = Some n; max_time_ms = Some ms }
+
+exception Found
+exception Out_of_budget
+
+(* [all] collects every solution (up to [limit]) instead of stopping at
+   the first; the store is always unwound to its entry level so callers
+   can reuse it (restarts, iterated bounds). *)
+let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
+    ~on_solution =
+  let t0 = Unix.gettimeofday () in
+  let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  let nodes = ref 0 and failures = ref 0 and solutions = ref 0 in
+  let best : 'a option ref = ref None in
+  let collected : 'a list ref = ref [] in
+  let bound : int option ref = ref None in
+  let entry_level = Store.level store in
+  let check_budget () =
+    (match budget.max_nodes with
+    | Some n when !nodes >= n -> raise Out_of_budget
+    | _ -> ());
+    match budget.max_time_ms with
+    | Some ms when !nodes land 63 = 0 && elapsed_ms () > ms ->
+      raise Out_of_budget
+    | _ -> ()
+  in
+  let apply_bound () =
+    match (objective, !bound) with
+    | Some obj, Some b -> remove_above store obj (b - 1)
+    | _ -> ()
+  in
+  let record_solution () =
+    incr solutions;
+    let snap = on_solution () in
+    best := Some snap;
+    if all then begin
+      collected := snap :: !collected;
+      match limit with
+      | Some l when !solutions >= l -> raise Found
+      | _ ->
+        (* keep enumerating by treating the solution as a failure *)
+        raise (Fail "solve_all: next")
+    end
+    else
+      match objective with
+      | Some obj ->
+        bound := Some (vmin obj);
+        (* Continue branch & bound by treating the solution as a failure. *)
+        raise (Fail "bnb: improve")
+      | None -> raise Found
+  in
+  let rec label = function
+    | [] -> record_solution ()
+    | ph :: rest as phases -> (
+      match ph.var_select ph.vars with
+      | None -> label rest
+      | Some v ->
+        check_budget ();
+        incr nodes;
+        let k = ph.val_select v in
+        try_branch phases (fun () -> assign store v k);
+        try_branch phases (fun () -> remove_value store v k))
+  and try_branch phases act =
+    push_level store;
+    (try
+       apply_bound ();
+       act ();
+       propagate store;
+       label phases
+     with Fail _ -> incr failures);
+    pop_level store
+  in
+  let stats optimal =
+    {
+      nodes = !nodes;
+      failures = !failures;
+      solutions = !solutions;
+      time_ms = elapsed_ms ();
+      optimal;
+    }
+  in
+  let unwind () =
+    while Store.level store > entry_level do
+      pop_level store
+    done
+  in
+  let outcome =
+    match
+      propagate store;
+      label phases
+    with
+    | () -> (
+      (* Search space exhausted. *)
+      match !best with
+      | Some sol -> Solution (sol, stats true)
+      | None -> Unsat (stats true))
+    | exception Fail _ -> (
+      (* Root propagation failed. *)
+      match !best with
+      | Some sol -> Solution (sol, stats true)
+      | None -> Unsat (stats true))
+    | exception Found -> (
+      match !best with
+      | Some sol -> Solution (sol, stats false)
+      | None -> assert false)
+    | exception Out_of_budget -> (
+      match !best with
+      | Some sol -> Best (sol, stats false)
+      | None -> Timeout (stats false))
+  in
+  unwind ();
+  (outcome, List.rev !collected)
+
+let solve ?budget store phases ~on_solution =
+  fst (run ?budget store phases ~objective:None ~on_solution)
+
+let minimize ?budget store phases ~objective ~on_solution =
+  fst (run ?budget store phases ~objective:(Some objective) ~on_solution)
+
+let solve_all ?budget ?limit store phases ~on_solution =
+  match run ?budget ~all:true ?limit store phases ~objective:None ~on_solution with
+  | Solution (_, st), sols | Best (_, st), sols -> (sols, st)
+  | Unsat st, _ -> ([], st)
+  | Timeout st, _ -> ([], st)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby i =
+  let rec go i k =
+    if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+    else if i >= 1 lsl (k - 1) then go (i - ((1 lsl (k - 1)) - 1)) (k - 1)
+    else go i (k - 1)
+  in
+  let rec find_k k = if (1 lsl k) - 1 >= i then k else find_k (k + 1) in
+  go i (find_k 1)
+
+let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget store phases
+    ~objective ~on_solution =
+  let best = ref None in
+  let total =
+    ref { nodes = 0; failures = 0; solutions = 0; time_ms = 0.; optimal = false }
+  in
+  let deadline_budget run_idx =
+    let node_cap = base * luby run_idx in
+    match budget with
+    | Some b -> { b with max_nodes = Some node_cap }
+    | None -> node_budget node_cap
+  in
+  let merge st =
+    total :=
+      {
+        nodes = !total.nodes + st.nodes;
+        failures = !total.failures + st.failures;
+        solutions = !total.solutions + st.solutions;
+        time_ms = !total.time_ms +. st.time_ms;
+        optimal = st.optimal;
+      }
+  in
+  let rec go run_idx =
+    if run_idx > max_restarts then
+      match !best with
+      | Some (sol, _) -> Best (sol, !total)
+      | None -> Timeout !total
+    else begin
+      push_level store;
+      (* carry the incumbent bound into this restart *)
+      let ok =
+        match !best with
+        | Some (_, obj_val) -> (
+          try
+            remove_above store objective (obj_val - 1);
+            propagate store;
+            true
+          with Fail _ -> false)
+        | None -> true
+      in
+      if not ok then begin
+        pop_level store;
+        match !best with
+        | Some (sol, _) -> Solution (sol, { !total with optimal = true })
+        | None -> Unsat { !total with optimal = true }
+      end
+      else begin
+        let outcome =
+          run ~budget:(deadline_budget run_idx) store phases
+            ~objective:(Some objective)
+            ~on_solution:(fun () -> (on_solution (), vmin objective))
+        in
+        pop_level store;
+        match outcome with
+        | Solution ((sol, v), st), _ ->
+          merge st;
+          (* proven within this restart's bound: global optimum *)
+          ignore v;
+          Solution (sol, { !total with optimal = true })
+        | Best ((sol, v), st), _ ->
+          merge st;
+          let better =
+            match !best with Some (_, v0) -> v < v0 | None -> true
+          in
+          if better then best := Some (sol, v);
+          go (run_idx + 1)
+        | Unsat st, _ ->
+          merge st;
+          (match !best with
+          | Some (sol, _) -> Solution (sol, { !total with optimal = true })
+          | None -> Unsat { !total with optimal = true })
+        | Timeout st, _ ->
+          merge st;
+          go (run_idx + 1)
+      end
+    end
+  in
+  go 1

@@ -1,0 +1,108 @@
+(** Depth-first search with variable/value selection heuristics,
+    branch & bound minimization, multi-phase variable ordering (paper
+    §3.5) and node/time budgets. *)
+
+open Store
+
+(** Variable selection heuristic: picks one unfixed variable from the
+    list, or returns [None] when all are fixed. *)
+type var_select = var list -> var option
+
+(** Value selection heuristic: picks the value to try first. *)
+type val_select = var -> int
+
+val input_order : var_select
+(** First unfixed variable in list order. *)
+
+val first_fail : var_select
+(** Unfixed variable with the smallest domain, ties by list order. *)
+
+val smallest_min : var_select
+(** Unfixed variable with the smallest domain minimum — the natural
+    choice for start-time variables (mimics list scheduling). *)
+
+val most_constrained : var_select
+(** Smallest domain, ties broken by most watchers. *)
+
+val select_min : val_select
+val select_max : val_select
+val select_mid : val_select
+
+(** One search phase: a set of decision variables with its heuristics.
+    Phases are exhausted in order (paper §3.5 uses three). *)
+type phase = { vars : var list; var_select : var_select; val_select : val_select }
+
+val phase :
+  ?var_select:var_select -> ?val_select:val_select -> var list -> phase
+(** Defaults: {!first_fail} / {!select_min}. *)
+
+type stats = {
+  nodes : int;          (** decision nodes explored *)
+  failures : int;       (** backtracks *)
+  solutions : int;      (** solutions found (B&B counts improvements) *)
+  time_ms : float;      (** wall-clock search time *)
+  optimal : bool;       (** search space exhausted (proof of optimality /
+                            unsatisfiability) *)
+}
+
+type 'a outcome =
+  | Solution of 'a * stats        (** with proof of optimality for B&B *)
+  | Best of 'a * stats            (** budget hit; best-so-far returned *)
+  | Unsat of stats
+  | Timeout of stats              (** budget hit with no solution found *)
+
+type budget = { max_nodes : int option; max_time_ms : float option }
+
+val no_budget : budget
+val node_budget : int -> budget
+val time_budget : float -> budget
+val both_budget : int -> float -> budget
+
+val solve :
+  ?budget:budget ->
+  Store.t ->
+  phase list ->
+  on_solution:(unit -> 'a) ->
+  'a outcome
+(** Find the first solution: assign all phase variables such that
+    propagation succeeds, then call [on_solution] to snapshot it. *)
+
+val minimize :
+  ?budget:budget ->
+  Store.t ->
+  phase list ->
+  objective:var ->
+  on_solution:(unit -> 'a) ->
+  'a outcome
+(** Branch & bound: every solution adds the constraint
+    [objective <= value - 1] and search continues.  [Solution] means the
+    last snapshot is proven optimal; [Best] means the budget expired
+    first. *)
+
+val solve_all :
+  ?budget:budget ->
+  ?limit:int ->
+  Store.t ->
+  phase list ->
+  on_solution:(unit -> 'a) ->
+  'a list * stats
+(** Enumerate solutions (up to [limit]).  [stats.optimal] means the
+    enumeration is exhaustive.  The store is restored to its entry state
+    afterwards. *)
+
+val luby : int -> int
+(** The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 ... *)
+
+val minimize_restarts :
+  ?base:int ->
+  ?max_restarts:int ->
+  ?budget:budget ->
+  Store.t ->
+  phase list ->
+  objective:var ->
+  on_solution:(unit -> 'a) ->
+  'a outcome
+(** Branch & bound under a Luby restart policy: restart [i] runs with a
+    node cap of [base * luby i], carrying the incumbent bound across
+    restarts.  Useful against heavy-tailed search behaviour.  [Solution]
+    is a proof of optimality, as in {!minimize}. *)

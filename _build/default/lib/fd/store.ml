@@ -1,0 +1,169 @@
+exception Fail of string
+
+type var = {
+  vid : int;
+  vname : string;
+  mutable vdom : Dom.t;
+  mutable watchers : propagator list;
+}
+
+and propagator = {
+  pid : int;
+  pname : string;
+  exec : t -> unit;
+  mutable queued : bool;
+  mutable entailed : bool;
+}
+
+and trail_entry =
+  | Dom_change of var * Dom.t
+  | Entailment of propagator
+  | Mark
+
+and t = {
+  mutable vars : var list;
+  mutable next_vid : int;
+  mutable next_pid : int;
+  mutable n_props : int;
+  mutable trail : trail_entry list;
+  mutable depth : int;
+  queue : propagator Queue.t;
+  mutable steps : int;
+  mutable consts : (int * var) list;
+}
+
+let create () =
+  {
+    vars = [];
+    next_vid = 0;
+    next_pid = 0;
+    n_props = 0;
+    trail = [];
+    depth = 0;
+    queue = Queue.create ();
+    steps = 0;
+    consts = [];
+  }
+
+let var_count s = s.next_vid
+let propagator_count s = s.n_props
+let propagation_steps s = s.steps
+
+let new_var ?name s dom =
+  if Dom.is_empty dom then raise (Fail "new_var: empty domain");
+  let vid = s.next_vid in
+  s.next_vid <- vid + 1;
+  let vname = match name with Some n -> n | None -> Printf.sprintf "_v%d" vid in
+  let v = { vid; vname; vdom = dom; watchers = [] } in
+  s.vars <- v :: s.vars;
+  v
+
+let interval_var ?name s lo hi = new_var ?name s (Dom.interval lo hi)
+
+let const s k =
+  match List.assoc_opt k s.consts with
+  | Some v -> v
+  | None ->
+    let v = new_var ~name:(string_of_int k) s (Dom.singleton k) in
+    s.consts <- (k, v) :: s.consts;
+    v
+
+let name v = v.vname
+let id v = v.vid
+let dom v = v.vdom
+let vmin v = Dom.min v.vdom
+let vmax v = Dom.max v.vdom
+let is_fixed v = Dom.is_singleton v.vdom
+
+let value v =
+  if is_fixed v then Dom.min v.vdom
+  else invalid_arg (Printf.sprintf "Store.value: %s not fixed" v.vname)
+
+let schedule s p =
+  if (not p.queued) && not p.entailed then begin
+    p.queued <- true;
+    Queue.add p s.queue
+  end
+
+let notify s v = List.iter (schedule s) v.watchers
+
+let update s v d =
+  let d' = Dom.inter v.vdom d in
+  if Dom.is_empty d' then raise (Fail (v.vname ^ ": empty domain"));
+  if not (Dom.equal d' v.vdom) then begin
+    s.trail <- Dom_change (v, v.vdom) :: s.trail;
+    v.vdom <- d';
+    notify s v
+  end
+
+let assign s v k = update s v (Dom.singleton k)
+
+let remove_value s v k =
+  let d' = Dom.remove k v.vdom in
+  if Dom.is_empty d' then raise (Fail (v.vname ^ ": empty domain"));
+  if not (Dom.equal d' v.vdom) then begin
+    s.trail <- Dom_change (v, v.vdom) :: s.trail;
+    v.vdom <- d';
+    notify s v
+  end
+
+let remove_below s v b = if b > Dom.min v.vdom then update s v (Dom.interval b max_int)
+let remove_above s v b = if b < Dom.max v.vdom then update s v (Dom.interval min_int b)
+
+let post ?name s ~watches exec =
+  let pid = s.next_pid in
+  s.next_pid <- pid + 1;
+  s.n_props <- s.n_props + 1;
+  let pname = match name with Some n -> n | None -> Printf.sprintf "_p%d" pid in
+  let p = { pid; pname; exec; queued = false; entailed = false } in
+  List.iter (fun v -> v.watchers <- p :: v.watchers) watches;
+  p
+
+let post_now ?name s ~watches exec =
+  let p = post ?name s ~watches exec in
+  schedule s p;
+  p
+
+let entail s p =
+  if not p.entailed then begin
+    p.entailed <- true;
+    s.trail <- Entailment p :: s.trail
+  end
+
+let propagate s =
+  while not (Queue.is_empty s.queue) do
+    let p = Queue.pop s.queue in
+    p.queued <- false;
+    if not p.entailed then begin
+      s.steps <- s.steps + 1;
+      p.exec s
+    end
+  done
+
+let push_level s =
+  s.trail <- Mark :: s.trail;
+  s.depth <- s.depth + 1
+
+let pop_level s =
+  (* A failed propagation can leave stale entries in the queue; they are
+     harmless (propagators are monotone re-checks) but we flush them so a
+     restored state starts clean. *)
+  Queue.iter (fun p -> p.queued <- false) s.queue;
+  Queue.clear s.queue;
+  let rec unwind = function
+    | [] -> failwith "Store.pop_level: no matching push_level"
+    | Mark :: rest ->
+      s.trail <- rest;
+      s.depth <- s.depth - 1
+    | Dom_change (v, d) :: rest ->
+      v.vdom <- d;
+      unwind rest
+    | Entailment p :: rest ->
+      p.entailed <- false;
+      unwind rest
+  in
+  unwind s.trail
+
+let level s = s.depth
+
+let pp_var ppf v = Format.fprintf ppf "%s=%a" v.vname Dom.pp v.vdom

@@ -1,0 +1,105 @@
+(** Constraint store: finite-domain variables, trail-based state
+    restoration and a propagation engine.
+
+    A {!Store.t} owns a set of variables and propagators.  Domain updates
+    go through {!update} (or the convenience wrappers below), which trail
+    the old domain so that {!pop_level} can restore it, and schedule the
+    watching propagators.  {!propagate} runs the queue to fixpoint.
+
+    Propagators are closures registered with {!post}; they prune domains
+    and raise {!Fail} when they detect inconsistency.  A propagator that
+    can prove it will never prune again may call {!entail} on itself
+    (entailment is trailed, so it is undone on backtracking). *)
+
+exception Fail of string
+(** Raised when a domain becomes empty or a constraint is violated.  The
+    payload names the responsible constraint (for debugging). *)
+
+type t
+(** A constraint store. *)
+
+type var
+(** A finite-domain variable belonging to some store. *)
+
+type propagator
+
+(** {1 Store lifecycle} *)
+
+val create : unit -> t
+
+val var_count : t -> int
+val propagator_count : t -> int
+
+(** {1 Variables} *)
+
+val new_var : ?name:string -> t -> Dom.t -> var
+(** Fresh variable with the given initial domain.
+    @raise Fail if the domain is empty. *)
+
+val interval_var : ?name:string -> t -> int -> int -> var
+(** [interval_var s lo hi] = [new_var s (Dom.interval lo hi)]. *)
+
+val const : t -> int -> var
+(** A variable fixed to the given value (cached per store). *)
+
+val name : var -> string
+val id : var -> int
+val dom : var -> Dom.t
+val vmin : var -> int
+val vmax : var -> int
+val is_fixed : var -> bool
+
+val value : var -> int
+(** The value of a fixed variable.
+    @raise Invalid_argument if the variable is not fixed. *)
+
+(** {1 Domain updates}
+
+    All updates raise {!Fail} when they would empty a domain and
+    otherwise trail + notify watchers.  They are no-ops when the domain
+    is unchanged. *)
+
+val update : t -> var -> Dom.t -> unit
+(** Replace the domain by its intersection with the argument domain. *)
+
+val assign : t -> var -> int -> unit
+val remove_value : t -> var -> int -> unit
+val remove_below : t -> var -> int -> unit
+val remove_above : t -> var -> int -> unit
+
+(** {1 Propagators} *)
+
+val post : ?name:string -> t -> watches:var list -> (t -> unit) -> propagator
+(** [post s ~watches f] registers propagator [f], subscribes it to every
+    variable in [watches], runs it once immediately is {e not} done —
+    call {!schedule} or {!propagate_now} for that.  Returns the handle. *)
+
+val post_now : ?name:string -> t -> watches:var list -> (t -> unit) -> propagator
+(** Like {!post} but also runs the propagator once, immediately, to
+    establish initial consistency.  @raise Fail on inconsistency. *)
+
+val schedule : t -> propagator -> unit
+(** Put a propagator in the queue (idempotent while queued). *)
+
+val entail : t -> propagator -> unit
+(** Mark the propagator as entailed: it will not be scheduled again in
+    this subtree.  Undone by {!pop_level}. *)
+
+val propagate : t -> unit
+(** Run the queue to fixpoint.  @raise Fail on inconsistency. *)
+
+(** {1 Search support} *)
+
+val push_level : t -> unit
+(** Open a new choice point. *)
+
+val pop_level : t -> unit
+(** Undo all updates since the matching {!push_level}. *)
+
+val level : t -> int
+
+(** {1 Introspection} *)
+
+val pp_var : Format.formatter -> var -> unit
+val propagation_steps : t -> int
+(** Number of propagator executions so far (for statistics). *)

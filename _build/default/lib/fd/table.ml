@@ -1,0 +1,32 @@
+open Store
+
+let post s vars rows =
+  let n = List.length vars in
+  List.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Table.post: row length mismatch")
+    rows;
+  let arr = Array.of_list vars in
+  let prop st =
+    (* rows still supported by the current domains *)
+    let live =
+      List.filter
+        (fun row ->
+          let ok = ref true in
+          Array.iteri (fun i v -> if not (Dom.mem v (dom arr.(i))) then ok := false) row;
+          !ok)
+        rows
+    in
+    if live = [] then raise (Fail "table: no supporting row");
+    (* per position: values that appear in some live row *)
+    Array.iteri
+      (fun i v ->
+        let support =
+          Dom.of_list (List.map (fun row -> row.(i)) live)
+        in
+        update st v support)
+      arr
+  in
+  ignore (post_now s ~name:"table" ~watches:vars prop);
+  propagate s

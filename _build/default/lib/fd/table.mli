@@ -1,0 +1,15 @@
+(** The extensional (table) constraint: the variable tuple must equal
+    one of the listed rows.  Generalized arc consistency by direct
+    support scanning — adequate for the configuration tables this
+    codebase needs (tens of rows).
+
+    Used to model irregular legal-combination sets that have no
+    arithmetic structure, e.g. which (operation, pre, post) bundles a
+    configuration memory image can express. *)
+
+open Store
+
+val post : t -> var list -> int array list -> unit
+(** [post s vars rows] constrains the tuple [vars] to equal some row.
+    @raise Invalid_argument if a row's length differs from the number of
+    variables; an empty row list fails immediately. *)

@@ -1,0 +1,1 @@
+lib/sched/analysis.ml: Array Eit Eit_dsl Format Ir List Modulo Overlap Schedule

@@ -1,0 +1,1 @@
+lib/sched/analysis.mli: Eit Eit_dsl Format Ir Modulo Overlap Schedule

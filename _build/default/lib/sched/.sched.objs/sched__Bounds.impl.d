@@ -1,0 +1,1 @@
+lib/sched/bounds.ml: Eit Eit_dsl Format Ir List Schedule

@@ -1,0 +1,1 @@
+lib/sched/bounds.mli: Eit Eit_dsl Format Ir Schedule

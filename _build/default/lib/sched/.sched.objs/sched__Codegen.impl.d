@@ -1,0 +1,1 @@
+lib/sched/codegen.ml: Array Eit Eit_dsl Format Instr Ir List Machine Opcode Printf Schedule Value

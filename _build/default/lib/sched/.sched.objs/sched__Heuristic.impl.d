@@ -1,0 +1,1 @@
+lib/sched/heuristic.ml: Array Eit Eit_dsl Fun Hashtbl Ir List Model Option Printf Schedule

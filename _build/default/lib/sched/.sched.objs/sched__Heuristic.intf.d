@@ -1,0 +1,1 @@
+lib/sched/heuristic.mli: Eit Eit_dsl Ir Schedule

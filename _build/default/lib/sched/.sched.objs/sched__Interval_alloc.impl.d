@@ -1,0 +1,1 @@
+lib/sched/interval_alloc.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/sched/interval_alloc.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/sched/manual_baseline.ml: Array Eit Eit_dsl Hashtbl Ir List Overlap

@@ -1,0 +1,1 @@
+lib/sched/manual_baseline.mli: Eit Eit_dsl Overlap

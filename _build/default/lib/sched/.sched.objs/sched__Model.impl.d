@@ -1,0 +1,1 @@
+lib/sched/model.ml: Array Bounds Eit Eit_dsl Fd Fun Ir List Printf Schedule

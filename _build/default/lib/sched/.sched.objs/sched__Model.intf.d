@@ -1,0 +1,1 @@
+lib/sched/model.mli: Eit Eit_dsl Fd Ir Schedule

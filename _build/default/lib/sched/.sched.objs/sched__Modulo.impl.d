@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Array Eit Eit_dsl Fd Float Format Hashtbl Ir List Option Printf Reconfig Unix

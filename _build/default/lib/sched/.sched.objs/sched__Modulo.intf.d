@@ -1,0 +1,1 @@
+lib/sched/modulo.mli: Eit Eit_dsl Format Ir Stdlib

@@ -1,0 +1,1 @@
+lib/sched/modulo_sim.ml: Arch Array Eit Eit_dsl Format Fun Hashtbl Instr Interval_alloc Ir List Machine Modulo Opcode Option Printf Value

@@ -1,0 +1,1 @@
+lib/sched/modulo_sim.mli: Eit Eit_dsl Modulo

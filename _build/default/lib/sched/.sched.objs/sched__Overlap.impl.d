@@ -1,0 +1,1 @@
+lib/sched/overlap.ml: Array Eit Eit_dsl Format Hashtbl Ir List Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/overlap.mli: Eit Eit_dsl Format Schedule

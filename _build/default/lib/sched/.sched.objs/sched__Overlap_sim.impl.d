@@ -1,0 +1,1 @@
+lib/sched/overlap_sim.ml: Arch Eit Eit_dsl Format Hashtbl Instr Interval_alloc Ir List Machine Opcode Overlap Printf Schedule Value

@@ -1,0 +1,1 @@
+lib/sched/overlap_sim.mli: Eit Schedule

@@ -1,0 +1,1 @@
+lib/sched/reconfig.ml: Array Eit Eit_dsl Hashtbl Ir List Schedule

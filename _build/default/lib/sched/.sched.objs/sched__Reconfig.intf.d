@@ -1,0 +1,1 @@
+lib/sched/reconfig.mli: Eit Eit_dsl Schedule

@@ -1,0 +1,1 @@
+lib/sched/report.ml: Analysis Bounds Codegen Eit Eit_dsl Fd Format Modulo Option Overlap Schedule Solve Stats

@@ -1,0 +1,1 @@
+lib/sched/report.mli: Analysis Bounds Eit Eit_dsl Format Ir Modulo Overlap Solve Stats

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Bytes Eit Eit_dsl Fd Format Fun Hashtbl Ir List Option Printf String

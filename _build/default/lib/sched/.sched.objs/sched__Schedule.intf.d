@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Eit Eit_dsl Format Ir

@@ -1,0 +1,1 @@
+lib/sched/solve.ml: Eit Fd Format List Model Schedule

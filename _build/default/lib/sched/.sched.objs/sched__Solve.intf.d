@@ -1,0 +1,1 @@
+lib/sched/solve.mli: Eit Eit_dsl Fd Format Ir Schedule

@@ -1,0 +1,73 @@
+open Eit_dsl
+
+type t = {
+  critical_path : int;
+  vector_load : int;
+  scalar_load : int;
+  im_load : int;
+  makespan : int;
+}
+
+let load_bound g arch rc =
+  let ops =
+    List.filter
+      (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc)
+      (Ir.op_nodes g)
+  in
+  if ops = [] then 0
+  else begin
+    let issue_cycles =
+      match rc with
+      | Eit.Opcode.Vector_core ->
+        (* per configuration class: classes cannot share cycles (eq. 3) *)
+        let classes = ref [] in
+        List.iter
+          (fun i ->
+            let op = Ir.opcode g i in
+            match
+              List.find_opt
+                (fun (rep, _, _) -> Eit.Opcode.config_equal rep op)
+                !classes
+            with
+            | Some (rep, cnt, lanes) ->
+              classes :=
+                (rep, cnt + 1, lanes)
+                :: List.filter
+                     (fun (r, _, _) -> not (Eit.Opcode.config_equal r rep))
+                     !classes
+            | None -> classes := (op, 1, Eit.Opcode.lanes op) :: !classes)
+          ops;
+        List.fold_left
+          (fun acc (_, cnt, lanes) ->
+            acc + (((cnt * lanes) + arch.Eit.Arch.n_lanes - 1) / arch.Eit.Arch.n_lanes))
+          0 !classes
+      | Eit.Opcode.Scalar_accel | Eit.Opcode.Index_merge -> List.length ops
+    in
+    let min_latency =
+      List.fold_left
+        (fun acc i -> min acc (Eit.Arch.latency arch (Ir.opcode g i)))
+        max_int ops
+    in
+    issue_cycles - 1 + min_latency
+  end
+
+let compute g arch =
+  let critical_path = Ir.critical_path g arch in
+  let vector_load = load_bound g arch Eit.Opcode.Vector_core in
+  let scalar_load = load_bound g arch Eit.Opcode.Scalar_accel in
+  let im_load = load_bound g arch Eit.Opcode.Index_merge in
+  {
+    critical_path;
+    vector_load;
+    scalar_load;
+    im_load;
+    makespan = max critical_path (max vector_load (max scalar_load im_load));
+  }
+
+let gap t sched = sched.Schedule.makespan - t.makespan
+
+let pp ppf t =
+  Format.fprintf ppf
+    "LB: makespan >= %d (critical path %d, vector load %d, scalar load %d, \
+     idx/merge load %d)"
+    t.makespan t.critical_path t.vector_load t.scalar_load t.im_load

@@ -1,0 +1,29 @@
+(** Makespan lower bounds, used to certify schedule quality without an
+    exhaustive optimality proof.
+
+    Two families:
+    - the {e critical path} (latency-weighted longest path, the paper's
+      |Cr.P|) — dominant for dependency-bound kernels like QRD/ARF;
+    - {e resource load}: each execution resource needs a minimum number
+      of issue cycles (for the vector core, per configuration class,
+      since different configurations cannot share a cycle — eq. 3), and
+      the last issue still needs its latency — dominant for
+      contention-bound kernels like MATMUL. *)
+
+open Eit_dsl
+
+type t = {
+  critical_path : int;
+  vector_load : int;   (** load bound of the vector core, 0 if unused *)
+  scalar_load : int;
+  im_load : int;
+  makespan : int;      (** the max of all bounds *)
+}
+
+val compute : Ir.t -> Eit.Arch.t -> t
+
+val gap : t -> Schedule.t -> int
+(** [makespan(schedule) - bound]; 0 certifies optimality even when the
+    solver stopped at [Feasible]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Code generation: turn a schedule with memory allocation into an
+    executable {!Eit.Instr.program}.
+
+    Vector data live in the allocated memory slots; scalar data live in
+    virtual accelerator registers named after their IR node (the paper
+    assumes optimal scalar allocation).  Input data nodes become preload
+    bindings; declared outputs (or all sink data nodes) become the
+    program's outputs. *)
+
+
+val program : ?outputs:int list -> Schedule.t -> Eit.Instr.program
+(** @raise Invalid_argument if the schedule lacks a slot for some vector
+    datum or an input lacks a trace value. *)
+
+val run_and_check :
+  ?outputs:int list -> Schedule.t -> (unit, string) result
+(** Generate, simulate ({!Eit.Machine.run} with access checking), and
+    compare every produced node value against the IR reference
+    evaluation.  The full verification loop the paper leaves to the
+    (unpublished) downstream toolchain. *)

@@ -1,0 +1,164 @@
+open Eit_dsl
+
+let node_latency g arch i =
+  match (Ir.node g i).Ir.op with
+  | Some op -> Eit.Arch.latency arch op
+  | None -> 0
+
+(* Critical-path priorities: latency-weighted longest path to a sink. *)
+let priorities g arch =
+  let n = Ir.size g in
+  let prio = Array.make n 0 in
+  List.iter
+    (fun i ->
+      let tail =
+        List.fold_left (fun acc s -> max acc prio.(s)) 0 (Ir.succs g i)
+      in
+      prio.(i) <- node_latency g arch i + tail)
+    (List.rev (Ir.topo_order g));
+  prio
+
+(* ---------------- phase 1: list scheduling ---------------- *)
+
+let schedule_times g arch =
+  let n = Ir.size g in
+  let prio = priorities g arch in
+  let start = Array.make n (-1) in
+  List.iter (fun d -> if Ir.producer g d = None then start.(d) <- 0) (Ir.data_nodes g);
+  let unscheduled = ref (Ir.op_nodes g) in
+  let horizon = Model.horizon_estimate g arch + 1 in
+  let cycle = ref 0 in
+  while !unscheduled <> [] && !cycle < horizon do
+    let c = !cycle in
+    let ready =
+      List.filter
+        (fun i ->
+          List.for_all (fun p -> start.(p) >= 0 && start.(p) <= c) (Ir.preds g i))
+        !unscheduled
+    in
+    let by_prio = List.sort (fun a b -> compare prio.(b) prio.(a)) ready in
+    let of_rc rc =
+      List.filter
+        (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc)
+        by_prio
+    in
+    let issue i =
+      start.(i) <- c;
+      (match Ir.succs g i with
+      | [ d ] -> start.(d) <- c + node_latency g arch i
+      | _ -> assert false);
+      unscheduled := List.filter (fun j -> j <> i) !unscheduled
+    in
+    (* vector bundle: leader by priority, fill with its configuration *)
+    (match of_rc Eit.Opcode.Vector_core with
+    | [] -> ()
+    | leader :: _ ->
+      let config = Ir.opcode g leader in
+      let lanes = ref 0 in
+      List.iter
+        (fun i ->
+          let op = Ir.opcode g i in
+          if
+            Eit.Opcode.config_equal op config
+            && !lanes + Eit.Opcode.lanes op <= arch.Eit.Arch.n_lanes
+          then begin
+            lanes := !lanes + Eit.Opcode.lanes op;
+            issue i
+          end)
+        (of_rc Eit.Opcode.Vector_core));
+    (match of_rc Eit.Opcode.Scalar_accel with [] -> () | i :: _ -> issue i);
+    (match of_rc Eit.Opcode.Index_merge with [] -> () | i :: _ -> issue i);
+    incr cycle
+  done;
+  if !unscheduled <> [] then Error "list scheduling exceeded the horizon"
+  else Ok start
+
+(* ---------------- phase 2: greedy slot allocation ---------------- *)
+
+let allocate g arch start =
+  let vdata =
+    List.filter (fun d -> Ir.category g d = Ir.Vector_data) (Ir.data_nodes g)
+  in
+  let lifetime d =
+    let s = start.(d) in
+    let last = List.fold_left (fun acc c -> max acc start.(c)) s (Ir.succs g d) in
+    last + 1 - s
+  in
+  (* cycles in which a datum is read / written *)
+  let read_cycles d = List.map (fun i -> start.(i)) (Ir.succs g d) in
+  let write_cycle d = if Ir.producer g d = None then None else Some start.(d) in
+  let assignment = Hashtbl.create 64 in
+  (* occupancy: slot -> (birth, death) list *)
+  let occupancy = Hashtbl.create 64 in
+  let overlaps (b1, d1) (b2, d2) = max b1 b2 < min d1 d2 in
+  let slot_free k interval =
+    List.for_all
+      (fun iv -> not (overlaps iv interval))
+      (Option.value ~default:[] (Hashtbl.find_opt occupancy k))
+  in
+  (* access legality of giving datum d slot k, against assigned data *)
+  let access_ok d k =
+    let reads_at c =
+      List.concat_map
+        (fun d' ->
+          match Hashtbl.find_opt assignment d' with
+          | Some k' when List.mem c (read_cycles d') -> [ k' ]
+          | _ -> [])
+        vdata
+    in
+    let writes_at c =
+      List.concat_map
+        (fun d' ->
+          match (Hashtbl.find_opt assignment d', write_cycle d') with
+          | Some k', Some c' when c' = c -> [ k' ]
+          | _ -> [])
+        vdata
+    in
+    List.for_all
+      (fun c ->
+        Eit.Mem.access_ok arch ~reads:(k :: reads_at c) ~writes:(writes_at c))
+      (read_cycles d)
+    && match write_cycle d with
+       | None -> true
+       | Some c ->
+         Eit.Mem.access_ok arch ~reads:(reads_at c) ~writes:(k :: writes_at c)
+  in
+  let in_birth_order =
+    List.sort (fun a b -> compare start.(a) start.(b)) vdata
+  in
+  let ok = ref (Ok ()) in
+  List.iter
+    (fun d ->
+      if !ok = Ok () then begin
+        let interval = (start.(d), start.(d) + lifetime d) in
+        let rec try_slot k =
+          if k >= Eit.Arch.slots arch then
+            ok := Error (Printf.sprintf "no legal slot for datum %d" d)
+          else if slot_free k interval && access_ok d k then begin
+            Hashtbl.replace assignment d k;
+            Hashtbl.replace occupancy k
+              (interval :: Option.value ~default:[] (Hashtbl.find_opt occupancy k))
+          end
+          else try_slot (k + 1)
+        in
+        try_slot 0
+      end)
+    in_birth_order;
+  match !ok with
+  | Ok () -> Ok (List.map (fun d -> (d, Hashtbl.find assignment d)) vdata)
+  | Error e -> Error e
+
+let run ?(arch = Eit.Arch.default) g =
+  match schedule_times g arch with
+  | Error e -> Error e
+  | Ok start -> (
+    match allocate g arch start with
+    | Error e -> Error e
+    | Ok slot ->
+      let makespan =
+        List.fold_left
+          (fun acc i -> max acc (start.(i) + node_latency g arch i))
+          0
+          (List.init (Ir.size g) Fun.id)
+      in
+      Ok { Schedule.ir = g; arch; start; slot; makespan })

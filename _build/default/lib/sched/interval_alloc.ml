@@ -1,0 +1,31 @@
+let color intervals =
+  let sorted =
+    List.sort (fun (_, b1, _) (_, b2, _) -> compare b1 b2) intervals
+  in
+  let free_at = ref [] in
+  let assignment = Hashtbl.create 64 in
+  let next_slot = ref 0 in
+  List.iter
+    (fun (key, birth, death) ->
+      let death = max death (birth + 1) in
+      let rec find = function
+        | (slot, free) :: rest ->
+          if free <= birth then begin
+            free_at := (slot, death) :: List.remove_assoc slot !free_at;
+            Some slot
+          end
+          else find rest
+        | [] -> None
+      in
+      let slot =
+        match find !free_at with
+        | Some s -> s
+        | None ->
+          let s = !next_slot in
+          incr next_slot;
+          free_at := (s, death) :: !free_at;
+          s
+      in
+      Hashtbl.replace assignment key slot)
+    sorted;
+  (assignment, !next_slot)

@@ -1,0 +1,13 @@
+(** Greedy interval-graph coloring for slot allocation.
+
+    Used when a transformation (overlapped or modulo execution) rewrites
+    issue times and the CP model's slot-reuse pattern must be recomputed
+    against the new lifetimes.  First-fit over birth-ordered intervals:
+    optimal for interval graphs, so the slot count equals the maximum
+    number of simultaneously live data. *)
+
+val color : (int * int * int) list -> (int, int) Hashtbl.t * int
+(** [color intervals] with each element [(key, birth, death)] (live on
+    [birth .. death-1]) returns the key->slot assignment and the number
+    of slots used.  Zero-length intervals still occupy their slot for
+    one allocation step. *)

@@ -1,0 +1,269 @@
+open Eit_dsl
+module St = Fd.Store
+
+type t = {
+  store : St.t;
+  ir : Ir.t;
+  arch : Eit.Arch.t;
+  start : St.var array;
+  slot : (int * St.var) list;
+  life : (int * St.var) list;
+  makespan : St.var;
+  horizon : int;
+}
+
+let latency_of g arch i =
+  match (Ir.node g i).Ir.op with
+  | Some op -> Eit.Arch.latency arch op
+  | None -> 0
+
+let horizon_estimate g arch =
+  List.fold_left (fun acc i -> acc + latency_of g arch i) 1 (Ir.op_nodes g)
+
+(* Ops that read the vector memory: their vector-data operands. *)
+let vector_reads g i =
+  List.filter (fun p -> Ir.category g p = Ir.Vector_data) (Ir.preds g i)
+
+let build ?horizon ?(memory = true) g arch =
+  let horizon =
+    match horizon with Some h -> h | None -> horizon_estimate g arch
+  in
+  let s = St.create () in
+  let n = Ir.size g in
+  let start =
+    Array.init n (fun i ->
+        St.interval_var s ~name:(Printf.sprintf "s%d" i) 0 horizon)
+  in
+  (* eq. 4 / inputs: data start = producer completion; inputs at 0. *)
+  List.iter
+    (fun d ->
+      match Ir.producer g d with
+      | Some p -> Fd.Arith.eq_offset s start.(p) (latency_of g arch p) start.(d)
+      | None -> St.assign s start.(d) 0)
+    (Ir.data_nodes g);
+  (* eq. 1: data -> op precedence (data latency is 0). *)
+  List.iter
+    (fun i ->
+      List.iter (fun p -> Fd.Arith.leq_offset s start.(p) 0 start.(i)) (Ir.preds g i))
+    (Ir.op_nodes g);
+  (* eq. 2 + the other execution resources. *)
+  let post_cumulative rc limit resource_of =
+    let ops =
+      List.filter (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc) (Ir.op_nodes g)
+    in
+    if ops <> [] then
+      Fd.Cumulative.post s
+        ~starts:(Array.of_list (List.map (fun i -> start.(i)) ops))
+        ~durations:
+          (Array.of_list (List.map (fun i -> Eit.Arch.duration arch (Ir.opcode g i)) ops))
+        ~resources:(Array.of_list (List.map resource_of ops))
+        ~limit
+  in
+  post_cumulative Eit.Opcode.Vector_core arch.Eit.Arch.n_lanes (fun i ->
+      Eit.Opcode.lanes (Ir.opcode g i));
+  post_cumulative Eit.Opcode.Scalar_accel 1 (fun _ -> 1);
+  post_cumulative Eit.Opcode.Index_merge 1 (fun _ -> 1);
+  (* eq. 3: differently-configured vector-core ops never share a cycle. *)
+  let vops =
+    List.filter
+      (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+      (Ir.op_nodes g)
+  in
+  let rec neq_pairs = function
+    | [] -> ()
+    | i :: rest ->
+      List.iter
+        (fun j ->
+          if not (Eit.Opcode.config_equal (Ir.opcode g i) (Ir.opcode g j)) then
+            Fd.Arith.neq s start.(i) start.(j))
+        rest;
+      neq_pairs rest
+  in
+  neq_pairs vops;
+  (* eq. 5: makespan = max completion.  Seeding the lower bound (critical
+     path + per-resource loads) lets branch & bound prove optimality as
+     soon as it matches, instead of exhausting the subtree below it. *)
+  let lb = (Bounds.compute g arch).Bounds.makespan in
+  let makespan = St.interval_var s ~name:"makespan" (min lb horizon) horizon in
+  let completions =
+    List.map
+      (fun i ->
+        let c =
+          St.interval_var s ~name:(Printf.sprintf "c%d" i) 0 horizon
+        in
+        Fd.Arith.eq_offset s start.(i) (latency_of g arch i) c;
+        c)
+      (Ir.op_nodes g)
+  in
+  Fd.Arith.max_of s completions makespan;
+  (* ---------------- memory allocation ---------------- *)
+  let slot = ref [] and life = ref [] in
+  if memory then begin
+    let vdata =
+      List.filter (fun d -> Ir.category g d = Ir.Vector_data) (Ir.data_nodes g)
+    in
+    let nslots = Eit.Arch.slots arch in
+    let geom =
+      List.map
+        (fun d ->
+          let sv =
+            St.interval_var s ~name:(Printf.sprintf "slot%d" d) 0 (nslots - 1)
+          in
+          slot := (d, sv) :: !slot;
+          ( d,
+            Fd.Geometry.of_slot s ~banks:arch.Eit.Arch.banks
+              ~page_size:arch.Eit.Arch.page_size sv ))
+        vdata
+    in
+    let coords d = List.assoc d geom in
+    (* eq. 7: operands of one op are accessed together. *)
+    let readers =
+      List.filter (fun i -> vector_reads g i <> []) (Ir.op_nodes g)
+    in
+    List.iter
+      (fun i ->
+        let rec pairs = function
+          | [] -> ()
+          | d :: rest ->
+            List.iter
+              (fun e ->
+                if d <> e then begin
+                  let cd = coords d and ce = coords e in
+                  Fd.Cond.implies_eq s
+                    (cd.Fd.Geometry.page, ce.Fd.Geometry.page)
+                    (cd.Fd.Geometry.line, ce.Fd.Geometry.line)
+                end)
+              rest;
+            pairs rest
+        in
+        pairs (vector_reads g i))
+      readers;
+    (* eq. 8 (generalized): reads of two ops that may issue in the same
+       cycle.  Pairs whose start times are forced apart (different
+       configurations, eq. 3) are skipped up front. *)
+    let rec read_pairs = function
+      | [] -> ()
+      | i :: rest ->
+        List.iter
+          (fun j ->
+            let skip =
+              Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core
+              && Eit.Opcode.resource (Ir.opcode g j) = Eit.Opcode.Vector_core
+              && not (Eit.Opcode.config_equal (Ir.opcode g i) (Ir.opcode g j))
+            in
+            if not skip then
+              List.iter
+                (fun d ->
+                  List.iter
+                    (fun e ->
+                      if d <> e then begin
+                        let cd = coords d and ce = coords e in
+                        Fd.Cond.guarded_implies_eq s
+                          ~guard:(start.(i), start.(j))
+                          (cd.Fd.Geometry.page, ce.Fd.Geometry.page)
+                          (cd.Fd.Geometry.line, ce.Fd.Geometry.line)
+                      end)
+                    (vector_reads g j))
+                (vector_reads g i))
+          rest;
+        read_pairs rest
+    in
+    read_pairs readers;
+    (* eq. 9 (generalized): results written in the same cycle.  Data
+       start variables are exactly the write times, so the guard is on
+       the data nodes themselves — this also covers write collisions
+       between units with different latencies (e.g. merge vs vector
+       pipeline), which the paper's same-category formulation implies. *)
+    let produced =
+      List.filter (fun d -> Ir.producer g d <> None) vdata
+    in
+    let rec write_pairs = function
+      | [] -> ()
+      | d :: rest ->
+        List.iter
+          (fun e ->
+            let cd = coords d and ce = coords e in
+            Fd.Cond.guarded_implies_eq s
+              ~guard:(start.(d), start.(e))
+              (cd.Fd.Geometry.page, ce.Fd.Geometry.page)
+              (cd.Fd.Geometry.line, ce.Fd.Geometry.line))
+          rest;
+        write_pairs rest
+    in
+    write_pairs produced;
+    (* Port width limits (implied in §1.1: two matrices read, one
+       written per cycle).  Conservative: simultaneous reads of the same
+       slot by different ops count once in hardware but twice here. *)
+    if readers <> [] then
+      Fd.Cumulative.post s
+        ~starts:(Array.of_list (List.map (fun i -> start.(i)) readers))
+        ~durations:(Array.of_list (List.map (fun _ -> 1) readers))
+        ~resources:
+          (Array.of_list (List.map (fun i -> List.length (vector_reads g i)) readers))
+        ~limit:arch.Eit.Arch.max_reads_per_cycle;
+    if produced <> [] then
+      Fd.Cumulative.post s
+        ~starts:(Array.of_list (List.map (fun d -> start.(d)) produced))
+        ~durations:(Array.of_list (List.map (fun _ -> 1) produced))
+        ~resources:(Array.of_list (List.map (fun _ -> 1) produced))
+        ~limit:arch.Eit.Arch.max_writes_per_cycle;
+    (* eq. 10: lifetimes.  The published formula (max U_i - s_i) lets a
+       new datum be written in the very cycle of the previous occupant's
+       last read; we extend every lifetime by one cycle (the write-back
+       stage) so the allocation is hazard-free under the simulator's
+       read-after-write-back semantics (see DESIGN.md). *)
+    List.iter
+      (fun d ->
+        let lv =
+          St.interval_var s ~name:(Printf.sprintf "life%d" d) 1 (horizon + 2)
+        in
+        life := (d, lv) :: !life;
+        let last_use = St.interval_var s ~name:(Printf.sprintf "lu%d" d) 0 (horizon + 1) in
+        Fd.Arith.max_of s
+          (start.(d) :: List.map (fun c -> start.(c)) (Ir.succs g d))
+          last_use;
+        (* life = last_use + 1 - start *)
+        let lu1 = St.interval_var s 1 (horizon + 2) in
+        Fd.Arith.eq_offset s last_use 1 lu1;
+        Fd.Arith.plus s start.(d) lv lu1)
+      vdata;
+    (* eq. 11: slot reuse as non-overlapping rectangles. *)
+    let one = St.const s 1 in
+    Fd.Diff2.post s
+      (List.map
+         (fun d ->
+           {
+             Fd.Diff2.ox = start.(d);
+             oy = List.assoc d !slot;
+             lx = List.assoc d !life;
+             ly = one;
+           })
+         vdata)
+  end;
+  St.propagate s;
+  { store = s; ir = g; arch; start; slot = !slot; life = !life; makespan; horizon }
+
+let phases m =
+  let g = m.ir in
+  let op_starts = List.map (fun i -> m.start.(i)) (Ir.op_nodes g) in
+  let data_starts = List.map (fun d -> m.start.(d)) (Ir.data_nodes g) in
+  let slots = List.map snd m.slot in
+  [
+    Fd.Search.phase ~var_select:Fd.Search.smallest_min
+      ~val_select:Fd.Search.select_min op_starts;
+    Fd.Search.phase ~var_select:Fd.Search.input_order
+      ~val_select:Fd.Search.select_min data_starts;
+    Fd.Search.phase ~var_select:Fd.Search.first_fail
+      ~val_select:Fd.Search.select_min slots;
+  ]
+
+let extract m =
+  let n = Ir.size m.ir in
+  let start = Array.init n (fun i -> St.vmin m.start.(i)) in
+  let slot = List.map (fun (d, v) -> (d, St.vmin v)) m.slot in
+  let makespan =
+    List.fold_left
+      (fun acc i -> max acc (start.(i) + latency_of m.ir m.arch i))
+      0 (List.init n Fun.id)
+  in
+  { Schedule.ir = m.ir; arch = m.arch; start; slot; makespan }

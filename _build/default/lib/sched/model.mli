@@ -1,0 +1,46 @@
+(** The unified constraint model for scheduling with memory allocation
+    (paper §3.3-3.4).
+
+    One model instance owns a {!Fd.Store.t} with:
+    - a start-time variable per IR node (eq. 1 precedences on edges,
+      eq. 4 for data nodes);
+    - Cumulative over the four vector lanes (eq. 2), the scalar
+      accelerator and the index/merge unit;
+    - pairwise start disequality for differently-configured vector ops
+      (eq. 3);
+    - the makespan objective variable (eq. 5);
+    - per vector-datum: a slot variable channeled to line and page
+      variables (eq. 6), the page=>line access implications for operands
+      of one op (eq. 7) and for operands/results of potentially
+      co-scheduled op pairs (eqs. 8-9), lifetime variables (eq. 10) and
+      the Diff2 slot-reuse constraint (eq. 11). *)
+
+open Eit_dsl
+
+type t = {
+  store : Fd.Store.t;
+  ir : Ir.t;
+  arch : Eit.Arch.t;
+  start : Fd.Store.var array;       (** per node *)
+  slot : (int * Fd.Store.var) list; (** per vector-data node *)
+  life : (int * Fd.Store.var) list;
+  makespan : Fd.Store.var;
+  horizon : int;
+}
+
+val horizon_estimate : Ir.t -> Eit.Arch.t -> int
+(** A safe upper bound on the optimal makespan: serialize everything. *)
+
+val build : ?horizon:int -> ?memory:bool -> Ir.t -> Eit.Arch.t -> t
+(** Construct the model and run root propagation.
+    [memory] (default [true]) includes the slot-allocation part; turning
+    it off reproduces a scheduling-only model (used as ablation and by
+    the manual baseline).
+    @raise Fd.Store.Fail if the root model is inconsistent. *)
+
+val phases : t -> Fd.Search.phase list
+(** The paper's three search phases (§3.5): operation starts, then data
+    starts, then slots. *)
+
+val extract : t -> Schedule.t
+(** Snapshot the current (fully assigned) store into a schedule. *)

@@ -1,0 +1,192 @@
+open Eit_dsl
+open Eit
+
+type report = {
+  program : Instr.program;
+  iterations : int;
+  ii : int;
+  checked_values : int;
+  access_clean : bool;
+  completion : int;
+}
+
+let no_stream (_ : int) : (int * Value.t) list = []
+
+let to_program ?(stream = no_stream) ~arch g (r : Modulo.result) ~iterations =
+  let banks = arch.Arch.banks in
+  (* per-iteration allocation from the kernel's cycle-level lifetimes *)
+  let vdata =
+    List.filter (fun d -> Ir.category g d = Ir.Vector_data) (Ir.data_nodes g)
+  in
+  let interval d =
+    let birth = r.Modulo.start.(d) in
+    let death =
+      List.fold_left
+        (fun acc c -> max acc r.Modulo.start.(c))
+        birth (Ir.succs g d)
+    in
+    (d, birth, death + 1)
+  in
+  let assignment, slots_per_iter = Interval_alloc.color (List.map interval vdata) in
+  let stride = (slots_per_iter + banks - 1) / banks * banks in
+  if stride * iterations > Arch.slots arch then
+    invalid_arg
+      (Printf.sprintf
+         "Modulo_sim.to_program: %d iterations x %d-slot stride exceed %d slots"
+         iterations stride (Arch.slots arch));
+  let nnodes = Ir.size g in
+  let slot_of iter d = Hashtbl.find assignment d + (iter * stride) in
+  let reg_of iter d = (iter * nnodes) + d in
+  let operand iter d =
+    match Ir.category g d with
+    | Ir.Vector_data -> Instr.Slot (slot_of iter d)
+    | Ir.Scalar_data -> Instr.Reg (reg_of iter d)
+    | _ -> invalid_arg "Modulo_sim: operand is not a datum"
+  in
+  let dest iter d =
+    match operand iter d with
+    | Instr.Slot k -> Instr.Dslot k
+    | Instr.Reg rg -> Instr.Dreg rg
+    | Instr.Imm _ -> assert false
+  in
+  let inputs =
+    List.concat_map
+      (fun d ->
+        List.init iterations (fun iter ->
+            let v =
+              match List.assoc_opt d (stream iter) with
+              | Some v -> v
+              | None -> (
+                match (Ir.node g d).Ir.value with
+                | Some v -> v
+                | None -> invalid_arg "Modulo_sim: input without trace value")
+            in
+            match (v, operand iter d) with
+            | Value.Vector a, Instr.Slot k -> Instr.In_slot (k, a)
+            | Value.Scalar c, Instr.Reg rg -> Instr.In_reg (rg, c)
+            | _ -> invalid_arg "Modulo_sim: input kind mismatch"))
+      (Ir.inputs g)
+  in
+  (* group all issues by absolute cycle *)
+  let by_cycle : (int, Instr.issue list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let out = match Ir.succs g i with [ d ] -> d | _ -> assert false in
+      for iter = 0 to iterations - 1 do
+        let cycle = r.Modulo.start.(i) + (iter * r.Modulo.ii) in
+        let issue =
+          {
+            Instr.op = Ir.opcode g i;
+            args = List.map (operand iter) (Ir.preds g i);
+            dest = dest iter out;
+            node = (iter * nnodes) + i;
+          }
+        in
+        Hashtbl.replace by_cycle cycle
+          (issue :: Option.value ~default:[] (Hashtbl.find_opt by_cycle cycle))
+      done)
+    (Ir.op_nodes g);
+  let cycles =
+    List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) by_cycle [])
+  in
+  let instrs =
+    List.map
+      (fun cycle ->
+        let issues = List.rev (Hashtbl.find by_cycle cycle) in
+        let vector, rest =
+          List.partition
+            (fun i -> Opcode.resource i.Instr.op = Opcode.Vector_core)
+            issues
+        in
+        let scalar, im =
+          List.partition
+            (fun i -> Opcode.resource i.Instr.op = Opcode.Scalar_accel)
+            rest
+        in
+        let one which = function
+          | [] -> None
+          | [ x ] -> Some x
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Modulo_sim: cycle %d oversubscribes the %s unit"
+                 cycle which)
+        in
+        {
+          Instr.cycle;
+          vector;
+          scalar = one "scalar" scalar;
+          im = one "index/merge" im;
+        })
+      cycles
+  in
+  {
+    Instr.arch;
+    inputs;
+    instrs;
+    outputs =
+      List.concat_map
+        (fun d ->
+          List.init iterations (fun iter -> ((iter * nnodes) + d, dest iter d)))
+        (Ir.outputs g);
+  }
+
+let run_and_check ?(stream = no_stream) ~arch g r ~iterations =
+  match to_program ~stream ~arch g r ~iterations with
+  | exception Invalid_argument msg -> Error msg
+  | program -> (
+    let nnodes = Ir.size g in
+    let references =
+      Array.init iterations (fun iter -> Ir.eval ~inputs:(stream iter) g)
+    in
+    let completion_bound =
+      r.Modulo.span + ((iterations - 1) * r.Modulo.ii)
+    in
+    let simulate check_access =
+      match Machine.run ~check_access program with
+      | exception Machine.Sim_error e ->
+        Error (Format.asprintf "%a" Machine.pp_error e)
+      | result -> (
+        let checked = ref 0 in
+        let rec go = function
+          | [] ->
+            Ok
+              {
+                program;
+                iterations;
+                ii = r.Modulo.ii;
+                checked_values = !checked;
+                access_clean = check_access;
+                completion = result.Machine.cycles;
+              }
+          | (iter, i) :: rest -> (
+            let d = match Ir.succs g i with [ d ] -> d | _ -> assert false in
+            let expect = List.assoc d references.(iter) in
+            match
+              List.assoc_opt ((iter * nnodes) + i) result.Machine.node_values
+            with
+            | None -> Error (Printf.sprintf "iteration %d node %d: no value" iter i)
+            | Some got ->
+              if Value.equal ~eps:1e-6 expect got then begin
+                incr checked;
+                go rest
+              end
+              else
+                Error
+                  (Printf.sprintf "iteration %d node %d: expected %s, got %s"
+                     iter i (Value.to_string expect) (Value.to_string got)))
+        in
+        let work =
+          List.concat_map
+            (fun iter -> List.map (fun i -> (iter, i)) (Ir.op_nodes g))
+            (List.init iterations Fun.id)
+        in
+        match go work with
+        | Ok rep ->
+          if rep.completion > completion_bound + Arch.latency arch (Opcode.v Vid)
+          then Error "completion later than span + (N-1)*II allows"
+          else Ok rep
+        | Error e -> Error e)
+    in
+    match simulate true with
+    | Ok rep -> Ok rep
+    | Error _ -> simulate false)

@@ -1,0 +1,46 @@
+(** Executable modulo schedules: materialize N iterations of a
+    modulo-scheduled kernel (initiated every II cycles) as a machine
+    program and verify them on the simulator.
+
+    As in the paper (§4.3 closing remark), memory allocation repeats the
+    per-iteration allocation at an offset; the per-iteration allocation
+    is recomputed against the kernel's cycle-level lifetimes with
+    {!Interval_alloc}, and iterations get disjoint whole-line regions
+    (steady-state wrap-around reuse would need [ceil(span / II)] regions
+    only, but disjoint regions keep the checker exact for finite N). *)
+
+type report = {
+  program : Eit.Instr.program;
+  iterations : int;
+  ii : int;
+  checked_values : int;
+  access_clean : bool;
+  completion : int;    (** write-back cycle of the last result *)
+}
+
+val to_program :
+  ?stream:(int -> (int * Eit.Value.t) list) ->
+  arch:Eit.Arch.t ->
+  Eit_dsl.Ir.t ->
+  Modulo.result ->
+  iterations:int ->
+  Eit.Instr.program
+(** [stream iter] supplies per-iteration input overrides (input node id
+    -> value), so each initiation can process different data — the
+    streaming regime the paper's kernels exist for.  Defaults to the
+    trace inputs for every iteration.
+    @raise Invalid_argument when the memory cannot hold the iterations
+    or a cycle oversubscribes a serial unit (which would mean the
+    kernel is invalid). *)
+
+val run_and_check :
+  ?stream:(int -> (int * Eit.Value.t) list) ->
+  arch:Eit.Arch.t ->
+  Eit_dsl.Ir.t ->
+  Modulo.result ->
+  iterations:int ->
+  (report, string) result
+(** Execute and compare every operation result of every iteration
+    against that iteration's reference evaluation (honouring [stream]);
+    strict access checking with a value-only fallback, as in
+    {!Overlap_sim}. *)

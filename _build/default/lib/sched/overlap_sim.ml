@@ -1,0 +1,197 @@
+open Eit_dsl
+open Eit
+
+type report = {
+  program : Instr.program;
+  iterations : int;
+  checked_values : int;
+  access_clean : bool;
+}
+
+let used_slots sched = List.sort_uniq compare (List.map snd sched.Schedule.slot)
+
+let lines_needed sched =
+  let banks = sched.Schedule.arch.Arch.banks in
+  match used_slots sched with
+  | [] -> 0
+  | slots -> (List.fold_left (fun acc k -> max acc (k / banks)) 0 slots) + 1
+
+(* The one-shot allocation's slot reuse is computed against one-shot
+   lifetimes; overlapping rewrites all issue times (instruction [k] of
+   iteration [r] issues at [k*m + r]), so the reuse pattern must be
+   recomputed against the overlapped lifetimes.  Iterations are
+   structurally identical modulo the [+r] shift, so one interval-graph
+   coloring (greedy first-fit over birth-ordered lifetimes) serves every
+   iteration; iterations are then separated by a whole-line offset. *)
+let overlap_allocation g arch (ov : Overlap.t) =
+  let m = ov.Overlap.m in
+  let bundle_of = Hashtbl.create 64 in
+  List.iteri
+    (fun k (_, ops) -> List.iter (fun i -> Hashtbl.replace bundle_of i k) ops)
+    ov.Overlap.bundles;
+  let node_latency i =
+    match (Ir.node g i).Ir.op with
+    | Some op -> Arch.latency arch op
+    | None -> 0
+  in
+  let interval d =
+    let birth =
+      match Ir.producer g d with
+      | Some p -> (Hashtbl.find bundle_of p * m) + node_latency p
+      | None -> 0
+    in
+    let death =
+      List.fold_left
+        (fun acc c -> max acc (Hashtbl.find bundle_of c * m))
+        birth (Ir.succs g d)
+    in
+    (d, birth, death + 1 (* hold through the last-read cycle *))
+  in
+  let vdata =
+    List.filter (fun d -> Ir.category g d = Ir.Vector_data) (Ir.data_nodes g)
+  in
+  Interval_alloc.color (List.map interval vdata)
+
+let to_program ~arch sched ~m =
+  let g = sched.Schedule.ir in
+  let ov = Overlap.run sched ~m in
+  let banks = arch.Arch.banks in
+  let assignment, slots_per_iter = overlap_allocation g arch ov in
+  (* whole-line iteration stride preserves bank/page coordinates *)
+  let stride = (slots_per_iter + banks - 1) / banks * banks in
+  if stride * m > Arch.slots arch then
+    invalid_arg
+      (Printf.sprintf
+         "Overlap_sim.to_program: %d iterations x %d-slot stride exceed %d slots"
+         m stride (Arch.slots arch));
+  let nnodes = Ir.size g in
+  let slot_of iter d = Hashtbl.find assignment d + (iter * stride) in
+  let reg_of iter d = (iter * nnodes) + d in
+  let operand iter d =
+    match Ir.category g d with
+    | Ir.Vector_data -> Instr.Slot (slot_of iter d)
+    | Ir.Scalar_data -> Instr.Reg (reg_of iter d)
+    | _ -> invalid_arg "Overlap_sim: operand is not a datum"
+  in
+  let dest iter d =
+    match operand iter d with
+    | Instr.Slot k -> Instr.Dslot k
+    | Instr.Reg r -> Instr.Dreg r
+    | Instr.Imm _ -> assert false
+  in
+  let inputs =
+    List.concat_map
+      (fun d ->
+        let v =
+          match (Ir.node g d).Ir.value with
+          | Some v -> v
+          | None -> invalid_arg "Overlap_sim: input without trace value"
+        in
+        List.init m (fun iter ->
+            match (v, operand iter d) with
+            | Value.Vector a, Instr.Slot k -> Instr.In_slot (k, a)
+            | Value.Scalar c, Instr.Reg r -> Instr.In_reg (r, c)
+            | _ -> invalid_arg "Overlap_sim: input kind mismatch"))
+      (Ir.inputs g)
+  in
+  let instrs =
+    List.concat
+      (List.mapi
+         (fun bundle_idx (_, ops) ->
+           List.init m (fun iter ->
+               let cycle = (bundle_idx * m) + iter in
+               let issues =
+                 List.map
+                   (fun i ->
+                     let out =
+                       match Ir.succs g i with [ d ] -> d | _ -> assert false
+                     in
+                     {
+                       Instr.op = Ir.opcode g i;
+                       args = List.map (operand iter) (Ir.preds g i);
+                       dest = dest iter out;
+                       node = (iter * nnodes) + i;
+                     })
+                   ops
+               in
+               let vector, rest =
+                 List.partition
+                   (fun i -> Opcode.resource i.Instr.op = Opcode.Vector_core)
+                   issues
+               in
+               let scalar, im =
+                 List.partition
+                   (fun i -> Opcode.resource i.Instr.op = Opcode.Scalar_accel)
+                   rest
+               in
+               let one = function
+                 | [] -> None
+                 | [ x ] -> Some x
+                 | _ -> invalid_arg "Overlap_sim: oversubscribed unit"
+               in
+               { Instr.cycle; vector; scalar = one scalar; im = one im }))
+         ov.Overlap.bundles)
+  in
+  {
+    Instr.arch;
+    inputs;
+    instrs;
+    outputs =
+      List.concat_map
+        (fun d -> List.init m (fun iter -> ((iter * nnodes) + d, dest iter d)))
+        (Ir.outputs g);
+  }
+
+let check_values g ~m result =
+  let nnodes = Ir.size g in
+  let reference = Ir.eval g in
+  let checked = ref 0 in
+  let rec go_ops iter = function
+    | [] -> Ok ()
+    | i :: rest -> (
+      let d = match Ir.succs g i with [ d ] -> d | _ -> assert false in
+      let expect = List.assoc d reference in
+      match List.assoc_opt ((iter * nnodes) + i) result.Machine.node_values with
+      | None -> Error (Printf.sprintf "iteration %d node %d: no value" iter i)
+      | Some got ->
+        if Value.equal ~eps:1e-6 expect got then begin
+          incr checked;
+          go_ops iter rest
+        end
+        else
+          Error
+            (Printf.sprintf "iteration %d node %d: expected %s, got %s" iter i
+               (Value.to_string expect) (Value.to_string got)))
+  in
+  let rec go_iters iter =
+    if iter >= m then Ok !checked
+    else
+      match go_ops iter (Ir.op_nodes g) with
+      | Ok () -> go_iters (iter + 1)
+      | Error e -> Error e
+  in
+  go_iters 0
+
+let run_and_check ~arch sched ~m =
+  match to_program ~arch sched ~m with
+  | exception Invalid_argument msg -> Error msg
+  | program -> (
+    let simulate check_access =
+      match Machine.run ~check_access program with
+      | result -> (
+        match check_values sched.Schedule.ir ~m result with
+        | Ok checked ->
+          Ok
+            {
+              program;
+              iterations = m;
+              checked_values = checked;
+              access_clean = check_access;
+            }
+        | Error e -> Error e)
+      | exception Machine.Sim_error e ->
+        Error (Format.asprintf "%a" Machine.pp_error e)
+    in
+    match simulate true with
+    | Ok r -> Ok r
+    | Error _ -> simulate false)

@@ -1,0 +1,40 @@
+(** Executable overlapped schedules: materialize M lock-step iterations
+    (paper §4.3) as a machine program and verify them on the simulator.
+
+    Memory follows the paper's prescription: "memory allocation boils
+    down to repeating the allocation of the original schedule for each
+    iteration, with a certain offset".  The offset is a whole number of
+    memory *lines*, so bank and page coordinates — and therefore the
+    legality structure of each bundle's accesses — are preserved
+    iteration to iteration.  The caller must supply an architecture with
+    enough lines to hold all M copies ([lines_needed] helps).
+
+    A finding this module surfaces (see EXPERIMENTS.md): the ad-hoc
+    overlapped scheme can put write-backs of units with different
+    latencies (vector pipeline vs. merge) from different iterations into
+    the same cycle and bank, violating the one-write-per-bank rule that
+    the CP model enforces within one iteration.  [run_and_check] reports
+    this as [`Access_violation] when strict checking is on. *)
+
+type report = {
+  program : Eit.Instr.program;
+  iterations : int;
+  checked_values : int;      (** op results compared, across iterations *)
+  access_clean : bool;       (** executed under strict port checking *)
+}
+
+val lines_needed : Schedule.t -> int
+(** Memory lines the original allocation spans (offset unit). *)
+
+val to_program :
+  arch:Eit.Arch.t -> Schedule.t -> m:int -> Eit.Instr.program
+(** @raise Invalid_argument if the memory cannot hold [m] copies or the
+    overlap preconditions fail (see {!Overlap.run}). *)
+
+val run_and_check :
+  arch:Eit.Arch.t -> Schedule.t -> m:int -> (report, string) result
+(** Execute all [m] iterations and compare every operation result of
+    every iteration against the IR reference evaluation.  Tries strict
+    access checking first and falls back to value-only checking
+    ([access_clean = false]) when the ad-hoc scheme produces a port
+    conflict. *)

@@ -1,0 +1,63 @@
+open Eit_dsl
+
+type t = {
+  name : string;
+  stats : Stats.t;
+  bounds : Bounds.t;
+  outcome : Solve.outcome;
+  analysis : Analysis.t option;
+  code_bytes : int option;
+  overlap : Overlap.t option;
+  modulo : Modulo.result option;
+}
+
+let build ?(budget_ms = 15_000.) ?(arch = Eit.Arch.default) ~name g =
+  let stats = Stats.of_ir ~arch g in
+  let bounds = Bounds.compute g arch in
+  let outcome =
+    Solve.run ~budget:(Fd.Search.time_budget budget_ms) ~arch g
+  in
+  let analysis = Option.map Analysis.of_schedule outcome.Solve.schedule in
+  let code_bytes =
+    Option.map
+      (fun sch -> Eit.Encode.size_bytes (Eit.Encode.encode (Codegen.program sch)))
+      outcome.Solve.schedule
+  in
+  let overlap =
+    Option.bind outcome.Solve.schedule (fun sch ->
+        match Overlap.run sch ~m:12 with
+        | ov -> Some ov
+        | exception Invalid_argument _ -> None)
+  in
+  let modulo = Modulo.solve_excluding ~budget_ms ~arch g in
+  { name; stats; bounds; outcome; analysis; code_bytes; overlap; modulo }
+
+let pp ppf r =
+  Format.fprintf ppf "# %s@.@." r.name;
+  Format.fprintf ppf "graph: %a@." Stats.pp r.stats;
+  Format.fprintf ppf "%a@.@." Bounds.pp r.bounds;
+  (match r.outcome.Solve.schedule with
+  | Some sch ->
+    Format.fprintf ppf "## schedule (%a)@.@." Solve.pp_status
+      r.outcome.Solve.status;
+    Format.fprintf ppf "makespan %d cc (gap to bound: %d), %d memory slots@."
+      sch.Schedule.makespan
+      (Bounds.gap r.bounds sch)
+      (Schedule.slots_used sch);
+    Option.iter
+      (fun bytes -> Format.fprintf ppf "code image: %d bytes@." bytes)
+      r.code_bytes;
+    Format.fprintf ppf "@.%a@." Schedule.pp_gantt sch;
+    Format.fprintf ppf "memory map:@.%a@." Schedule.pp_memory_map sch
+  | None ->
+    Format.fprintf ppf "## schedule: %a within budget@.@." Solve.pp_status
+      r.outcome.Solve.status);
+  Option.iter
+    (fun a -> Format.fprintf ppf "## utilization@.@.%a@." Analysis.pp a)
+    r.analysis;
+  (match r.overlap with
+  | Some ov -> Format.fprintf ppf "## overlapped execution@.@.%a@.@." Overlap.pp ov
+  | None -> ());
+  match r.modulo with
+  | Some m -> Format.fprintf ppf "## modulo schedule@.@.%a@." Modulo.pp m
+  | None -> ()

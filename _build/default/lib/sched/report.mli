@@ -1,0 +1,31 @@
+(** One-stop kernel report: everything the toolchain knows about a
+    kernel, rendered as markdown-ish text — graph statistics, lower
+    bounds, the schedule with its Gantt chart and memory map,
+    utilization, code image size, and the §4.3 pipelining options.
+
+    Used by `eitc report <kernel>` and handy as a regression artifact:
+    the report is deterministic for a fixed kernel and budget. *)
+
+open Eit_dsl
+
+type t = {
+  name : string;
+  stats : Stats.t;
+  bounds : Bounds.t;
+  outcome : Solve.outcome;
+  analysis : Analysis.t option;
+  code_bytes : int option;
+  overlap : Overlap.t option;        (** at m = 12 when feasible *)
+  modulo : Modulo.result option;     (** excluding-reconfigurations *)
+}
+
+val build :
+  ?budget_ms:float ->
+  ?arch:Eit.Arch.t ->
+  name:string ->
+  Ir.t ->
+  t
+(** Schedules the (already merged) graph and gathers every artifact the
+    budget allows; missing pieces (timeouts) are [None]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,277 @@
+open Eit_dsl
+
+type t = {
+  ir : Ir.t;
+  arch : Eit.Arch.t;
+  start : int array;
+  slot : (int * int) list;
+  makespan : int;
+}
+
+let start_of t i = t.start.(i)
+let slot_of t i = List.assoc i t.slot
+
+let latency_of t i =
+  match (Ir.node t.ir i).Ir.op with
+  | Some op -> Eit.Arch.latency t.arch op
+  | None -> 0
+
+(* Paper eq. 10 extended by one cycle: the slot stays occupied through
+   the cycle of the last read, so a successor write can never race it. *)
+let lifetime t i =
+  let s = t.start.(i) in
+  let last_use =
+    List.fold_left (fun acc c -> max acc t.start.(c)) s (Ir.succs t.ir i)
+  in
+  last_use + 1 - s
+
+let ops_at t cycle =
+  List.filter (fun i -> t.start.(i) = cycle) (Ir.op_nodes t.ir)
+
+let slots_used t =
+  List.sort_uniq compare (List.map snd t.slot) |> List.length
+
+type violation = { where : string; msg : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.where v.msg
+
+let validate t =
+  let violations = ref [] in
+  let add where fmt =
+    Format.kasprintf (fun msg -> violations := { where; msg } :: !violations) fmt
+  in
+  let g = t.ir and arch = t.arch in
+  let n = Ir.size g in
+  if Array.length t.start <> n then
+    add "structure" "start array length %d <> node count %d" (Array.length t.start) n;
+  (* eq. 1: precedence with latency *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if t.start.(i) + latency_of t i > t.start.(j) then
+            add "precedence" "edge %d->%d: %d + %d > %d" i j t.start.(i)
+              (latency_of t i) t.start.(j))
+        (Ir.succs g i))
+    (List.init n Fun.id);
+  (* eq. 4: data nodes start exactly when produced; inputs at 0 *)
+  List.iter
+    (fun d ->
+      match Ir.producer g d with
+      | Some p ->
+        if t.start.(d) <> t.start.(p) + latency_of t p then
+          add "data-start" "data %d starts at %d, producer %d completes at %d" d
+            t.start.(d) p (t.start.(p) + latency_of t p)
+      | None ->
+        if t.start.(d) <> 0 then add "data-start" "input %d starts at %d" d t.start.(d))
+    (Ir.data_nodes g);
+  (* eq. 2 + scalar/IM resources: ground cumulative *)
+  let check_resource rc limit =
+    let ops =
+      List.filter (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc) (Ir.op_nodes g)
+    in
+    if ops <> [] then begin
+      let starts = Array.of_list (List.map (fun i -> t.start.(i)) ops) in
+      let durations =
+        Array.of_list (List.map (fun i -> Eit.Arch.duration arch (Ir.opcode g i)) ops)
+      in
+      let resources =
+        Array.of_list
+          (List.map
+             (fun i ->
+               match rc with
+               | Eit.Opcode.Vector_core -> Eit.Opcode.lanes (Ir.opcode g i)
+               | _ -> 1)
+             ops)
+      in
+      if not (Fd.Cumulative.check ~starts ~durations ~resources ~limit) then
+        add "resource"
+          "%s capacity %d exceeded"
+          (match rc with
+          | Eit.Opcode.Vector_core -> "vector core"
+          | Eit.Opcode.Scalar_accel -> "scalar accelerator"
+          | Eit.Opcode.Index_merge -> "index/merge unit")
+          limit
+    end
+  in
+  check_resource Eit.Opcode.Vector_core arch.Eit.Arch.n_lanes;
+  check_resource Eit.Opcode.Scalar_accel 1;
+  check_resource Eit.Opcode.Index_merge 1;
+  (* eq. 3: co-scheduled vector-core ops share one configuration *)
+  let vops =
+    List.filter
+      (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+      (Ir.op_nodes g)
+  in
+  let rec config_pairs = function
+    | [] -> ()
+    | i :: rest ->
+      List.iter
+        (fun j ->
+          if
+            t.start.(i) = t.start.(j)
+            && not (Eit.Opcode.config_equal (Ir.opcode g i) (Ir.opcode g j))
+          then
+            add "configuration" "ops %d (%s) and %d (%s) co-scheduled at %d" i
+              (Eit.Opcode.name (Ir.opcode g i))
+              j
+              (Eit.Opcode.name (Ir.opcode g j))
+              t.start.(i))
+        rest;
+      config_pairs rest
+  in
+  config_pairs vops;
+  (* memory: every vector datum has a slot in range *)
+  let vdata = List.filter (fun d -> Ir.category g d = Ir.Vector_data) (Ir.data_nodes g) in
+  List.iter
+    (fun d ->
+      match List.assoc_opt d t.slot with
+      | None -> add "memory" "vector data %d has no slot" d
+      | Some k ->
+        if k < 0 || k >= Eit.Arch.slots arch then
+          add "memory" "vector data %d allocated out-of-range slot %d" d k)
+    vdata;
+  let slot_ok d = List.mem_assoc d t.slot in
+  (* eqs. 10-11: lifetimes of data sharing a slot must not overlap *)
+  let rects =
+    List.filter_map
+      (fun d ->
+        if slot_ok d then Some (t.start.(d), List.assoc d t.slot, lifetime t d, 1)
+        else None)
+      vdata
+  in
+  if not (Fd.Diff2.check rects) then
+    add "slot-reuse" "overlapping lifetimes share a slot";
+  (* eqs. 7-9 + port limits, checked operationally: per cycle, gather the
+     slots read (inputs of ops issued) and written (data nodes starting),
+     and run the architecture's access checker *)
+  let horizon = Array.fold_left max 0 t.start + 1 in
+  for cycle = 0 to horizon - 1 do
+    let reads =
+      List.concat_map
+        (fun i ->
+          if t.start.(i) = cycle then
+            List.filter_map
+              (fun p ->
+                if Ir.category g p = Ir.Vector_data && slot_ok p then
+                  Some (List.assoc p t.slot)
+                else None)
+              (Ir.preds g i)
+          else [])
+        (Ir.op_nodes g)
+    in
+    let writes =
+      List.filter_map
+        (fun d ->
+          if t.start.(d) = cycle && Ir.producer g d <> None && slot_ok d then
+            Some (List.assoc d t.slot)
+          else None)
+        vdata
+    in
+    List.iter
+      (fun v -> add "memory-access" "cycle %d: %a" cycle Eit.Mem.pp_violation v)
+      (Eit.Mem.check_access arch ~reads ~writes)
+  done;
+  (* makespan consistency *)
+  let real =
+    List.fold_left
+      (fun acc i -> max acc (t.start.(i) + latency_of t i))
+      0 (List.init n Fun.id)
+  in
+  if real <> t.makespan then
+    add "makespan" "recorded %d, actual %d" t.makespan real;
+  List.rev !violations
+
+let is_valid t = validate t = []
+
+let pp_gantt ppf t =
+  let span = t.makespan + 1 in
+  let rows =
+    [ ("vector", Eit.Opcode.Vector_core); ("scalar", Eit.Opcode.Scalar_accel);
+      ("idx/mg", Eit.Opcode.Index_merge) ]
+  in
+  let cells =
+    List.map
+      (fun (label, rc) ->
+        let line = Bytes.make span '.' in
+        List.iter
+          (fun i ->
+            let op = Ir.opcode t.ir i in
+            if Eit.Opcode.resource op = rc then begin
+              let s = t.start.(i) in
+              let l = Eit.Arch.latency t.arch op in
+              for c = s + 1 to min (s + l - 1) (span - 1) do
+                if Bytes.get line c = '.' then Bytes.set line c '='
+              done;
+              Bytes.set line s '#'
+            end)
+          (Ir.op_nodes t.ir);
+        (label, Bytes.to_string line))
+      rows
+  in
+  let band = 72 in
+  let rec emit offset =
+    if offset < span then begin
+      Format.fprintf ppf "cycles %d..%d@." offset (min (offset + band - 1) (span - 1));
+      List.iter
+        (fun (label, line) ->
+          let len = min band (span - offset) in
+          Format.fprintf ppf "  %-7s %s@." label (String.sub line offset len))
+        cells;
+      emit (offset + band)
+    end
+  in
+  emit 0
+
+let pp_memory_map ppf t =
+  let span = t.makespan + 2 in
+  let slots = List.sort_uniq compare (List.map snd t.slot) in
+  let lines =
+    List.map
+      (fun slot ->
+        let line = Bytes.make span '.' in
+        List.iter
+          (fun (d, s') ->
+            if s' = slot then begin
+              let birth = t.start.(d) in
+              let death = birth + lifetime t d in
+              for c = birth + 1 to min (death - 1) (span - 1) do
+                Bytes.set line c '='
+              done;
+              Bytes.set line birth '#'
+            end)
+          t.slot;
+        (slot, Bytes.to_string line))
+      slots
+  in
+  let band = 72 in
+  let rec emit offset =
+    if offset < span then begin
+      Format.fprintf ppf "cycles %d..%d@." offset (min (offset + band - 1) (span - 1));
+      List.iter
+        (fun (slot, line) ->
+          let len = min band (span - offset) in
+          Format.fprintf ppf "  slot %-3d %s@." slot (String.sub line offset len))
+        lines;
+      emit (offset + band)
+    end
+  in
+  emit 0
+
+let pp ppf t =
+  Format.fprintf ppf "schedule: makespan=%d, %d slots used@." t.makespan
+    (slots_used t);
+  let by_cycle = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let c = t.start.(i) in
+      Hashtbl.replace by_cycle c (i :: Option.value ~default:[] (Hashtbl.find_opt by_cycle c)))
+    (Ir.op_nodes t.ir);
+  let cycles = List.sort_uniq compare (Hashtbl.fold (fun c _ acc -> c :: acc) by_cycle []) in
+  List.iter
+    (fun c ->
+      let ops = List.rev (Hashtbl.find by_cycle c) in
+      Format.fprintf ppf "%4d: %s@." c
+        (String.concat "  "
+           (List.map (fun i -> Printf.sprintf "%d:%s" i (Eit.Opcode.name (Ir.opcode t.ir i))) ops)))
+    cycles

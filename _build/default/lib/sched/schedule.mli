@@ -1,0 +1,61 @@
+(** Schedules with memory allocation: the output of the CP model
+    (paper §3.3-3.4) and the input to code generation.
+
+    A schedule assigns every IR node a start time and every vector data
+    node a memory slot.  {!validate} re-checks all paper constraints
+    from scratch, independently of the solver — precedences (eq. 1),
+    lane capacity (eq. 2), configuration exclusivity (eq. 3), the data
+    start rule (eq. 4), the page-line access rules (eqs. 7-9) and
+    lifetime-disjoint slot reuse (eqs. 10-11). *)
+
+open Eit_dsl
+
+type t = {
+  ir : Ir.t;
+  arch : Eit.Arch.t;
+  start : int array;            (** indexed by node id *)
+  slot : (int * int) list;      (** vector-data node id -> slot *)
+  makespan : int;               (** max over nodes of start + latency *)
+}
+
+val start_of : t -> int -> int
+val slot_of : t -> int -> int
+(** @raise Not_found for nodes without a slot. *)
+
+val latency_of : t -> int -> int
+(** 0 for data nodes, [Arch.latency] for ops. *)
+
+val lifetime : t -> int -> int
+(** Paper eq. 10 for a vector data node, extended by one cycle: the slot
+    is held from the datum's start through the cycle of its last read
+    (data without consumers live 1 cycle: written once, streamed out).
+    The extension closes a write-after-read race the published formula
+    permits; see DESIGN.md §5. *)
+
+val ops_at : t -> int -> int list
+(** Operation nodes starting at the given cycle. *)
+
+val slots_used : t -> int
+(** Number of distinct slots referenced. *)
+
+type violation = { where : string; msg : string }
+
+val validate : t -> violation list
+(** Empty iff the schedule satisfies every constraint of the paper's
+    model.  Each violation names the constraint group it breaks. *)
+
+val is_valid : t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit
+(** Cycle-by-cycle rendering. *)
+
+val pp_gantt : Format.formatter -> t -> unit
+(** ASCII Gantt chart: one row per execution resource, one column per
+    cycle ([#] = issue, [=] = results still in flight, [.] = idle).
+    Wide schedules are split into 80-column bands. *)
+
+val pp_memory_map : Format.formatter -> t -> unit
+(** ASCII slot-occupancy map: one row per used memory slot, one column
+    per cycle ([#] = written, [=] = live, [.] = free) — the Fig. 7
+    layout over time, showing the Diff2 reuse pattern. *)

@@ -1,0 +1,62 @@
+
+type status = Optimal | Feasible | Unsat | Timeout
+
+type outcome = {
+  status : status;
+  schedule : Schedule.t option;
+  stats : Fd.Search.stats;
+}
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible -> Format.pp_print_string ppf "feasible"
+  | Unsat -> Format.pp_print_string ppf "unsat"
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
+let run ?(budget = Fd.Search.time_budget 10_000.) ?(memory = true)
+    ?(arch = Eit.Arch.default) ?(validate = true) g =
+  let outcome =
+    match Model.build ~memory g arch with
+    | m -> (
+      match
+        Fd.Search.minimize ~budget m.Model.store (Model.phases m)
+          ~objective:m.Model.makespan
+          ~on_solution:(fun () -> Model.extract m)
+      with
+      | Fd.Search.Solution (sched, stats) ->
+        { status = Optimal; schedule = Some sched; stats }
+      | Fd.Search.Best (sched, stats) ->
+        { status = Feasible; schedule = Some sched; stats }
+      | Fd.Search.Unsat stats -> { status = Unsat; schedule = None; stats }
+      | Fd.Search.Timeout stats -> { status = Timeout; schedule = None; stats })
+    | exception Fd.Store.Fail _ ->
+      {
+        status = Unsat;
+        schedule = None;
+        stats =
+          { nodes = 0; failures = 0; solutions = 0; time_ms = 0.; optimal = true };
+      }
+  in
+  (match (validate, outcome.schedule) with
+  | true, Some sched ->
+    let violations = Schedule.validate sched in
+    (* Without the memory part of the model, memory-related rules are
+       not enforced and must not be re-checked. *)
+    let relevant =
+      if memory then violations
+      else
+        List.filter
+          (fun v ->
+            not
+              (List.mem v.Schedule.where
+                 [ "memory"; "memory-access"; "slot-reuse" ]))
+          violations
+    in
+    if relevant <> [] then
+      failwith
+        (Format.asprintf "Solve.run: solver produced an invalid schedule: %a"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_space
+              Schedule.pp_violation)
+           relevant)
+  | _ -> ());
+  outcome

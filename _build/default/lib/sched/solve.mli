@@ -1,0 +1,30 @@
+(** End-to-end scheduling: build the model, run the three-phase branch &
+    bound (paper §3.5), return a validated schedule. *)
+
+open Eit_dsl
+
+type status =
+  | Optimal     (** proven shortest schedule *)
+  | Feasible    (** budget hit; best schedule found so far *)
+  | Unsat       (** no schedule exists (e.g. too few memory slots) *)
+  | Timeout     (** budget hit before any solution *)
+
+type outcome = {
+  status : status;
+  schedule : Schedule.t option;
+  stats : Fd.Search.stats;
+}
+
+val run :
+  ?budget:Fd.Search.budget ->
+  ?memory:bool ->
+  ?arch:Eit.Arch.t ->
+  ?validate:bool ->
+  Ir.t ->
+  outcome
+(** Defaults: 10-second time budget, memory allocation on,
+    {!Eit.Arch.default}, validation on.
+    @raise Failure if [validate] and the produced schedule violates the
+    independent checker (a solver bug — should never happen). *)
+
+val pp_status : Format.formatter -> status -> unit

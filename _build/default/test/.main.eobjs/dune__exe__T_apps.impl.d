@@ -1,0 +1,1 @@
+test/t_apps.ml: Alcotest Apps Array Cplx Dsl Eit Eit_dsl Fd Ir List Printf QCheck2 QCheck_alcotest Sched Stats Value

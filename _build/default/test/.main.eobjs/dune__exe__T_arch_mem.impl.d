@@ -1,0 +1,1 @@
+test/t_arch_mem.ml: Alcotest Arch Array Cplx Eit List Mem Opcode QCheck2 QCheck_alcotest Value

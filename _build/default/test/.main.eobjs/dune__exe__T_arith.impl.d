@@ -1,0 +1,1 @@
+test/t_arith.ml: Alcotest Arith Dom Fd List QCheck2 QCheck_alcotest Store

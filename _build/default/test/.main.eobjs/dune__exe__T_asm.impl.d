@@ -1,0 +1,1 @@
+test/t_asm.ml: Alcotest Apps Arch Asm Cplx Eit Eit_dsl Fd Instr List Machine Option Printf Result Sched String Value

@@ -1,0 +1,1 @@
+test/t_bounds_table.ml: Alcotest Apps Array Dsl Eit Eit_dsl Fd Fun Ir List Merge Option QCheck2 QCheck_alcotest Sched T_arith

@@ -1,0 +1,1 @@
+test/t_codegen.ml: Alcotest Apps Array Dsl Eit Eit_dsl Fd Ir List Merge Option Printf Sched

@@ -1,0 +1,1 @@
+test/t_cond_geometry.ml: Alcotest Cond Dom Fd Geometry QCheck2 QCheck_alcotest Store

@@ -1,0 +1,1 @@
+test/t_cplx.ml: Alcotest Cplx Eit QCheck2 QCheck_alcotest

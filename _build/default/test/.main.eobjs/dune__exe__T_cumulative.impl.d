@@ -1,0 +1,1 @@
+test/t_cumulative.ml: Alcotest Arith Array Cumulative Fd Fun List QCheck2 QCheck_alcotest Search Store T_arith

@@ -1,0 +1,1 @@
+test/t_diff2.ml: Alcotest Diff2 Fd Fun List QCheck2 QCheck_alcotest Search Store T_arith

@@ -1,0 +1,1 @@
+test/t_dom.ml: Alcotest Dom Fd List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_dsl.ml: Alcotest Array Cplx Dsl Eit Eit_dsl Ir List QCheck2 QCheck_alcotest Value

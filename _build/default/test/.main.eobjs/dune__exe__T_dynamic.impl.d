@@ -1,0 +1,1 @@
+test/t_dynamic.ml: Alcotest Apps Arch Array Cplx Dsl Eit Eit_dsl Fd Hashtbl Ir List Merge Opcode Option QCheck2 QCheck_alcotest Sched String Value

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Apps Arch Array Cplx Dsl Eit Eit_dsl Fd Ir List Merge Printf Sched

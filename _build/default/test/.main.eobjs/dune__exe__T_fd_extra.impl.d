@@ -1,0 +1,1 @@
+test/t_fd_extra.ml: Alcotest Alldiff Arith Array Dom Element Fd Fun Gcc List QCheck2 QCheck_alcotest Reif Search Store T_arith

@@ -1,0 +1,1 @@
+test/t_heuristic.ml: Alcotest Apps Dsl Eit Eit_dsl Fd Format List Merge Printf QCheck2 QCheck_alcotest Sched Unix

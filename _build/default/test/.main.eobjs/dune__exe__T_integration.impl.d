@@ -1,0 +1,1 @@
+test/t_integration.ml: Alcotest Apps Fd Format List Option QCheck2 QCheck_alcotest Sched String Vecsched_core

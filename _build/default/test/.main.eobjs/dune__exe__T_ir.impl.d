@@ -1,0 +1,1 @@
+test/t_ir.ml: Alcotest Arch Array Cplx Eit Eit_dsl Fun Ir List Opcode Value

@@ -1,0 +1,1 @@
+test/t_machine.ml: Alcotest Apps Arch Array Config Cplx Eit Eit_dsl Fd Instr Int64 List Machine Opcode Option Result Sched Value

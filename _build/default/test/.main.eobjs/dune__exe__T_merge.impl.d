@@ -1,0 +1,1 @@
+test/t_merge.ml: Alcotest Dsl Eit Eit_dsl Ir List Merge Opcode QCheck2 QCheck_alcotest Value

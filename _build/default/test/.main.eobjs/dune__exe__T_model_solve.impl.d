@@ -1,0 +1,1 @@
+test/t_model_solve.ml: Alcotest Apps Arch Dsl Eit Eit_dsl Fd Ir List Merge Sched

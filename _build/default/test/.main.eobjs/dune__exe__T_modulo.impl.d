@@ -1,0 +1,1 @@
+test/t_modulo.ml: Alcotest Apps Arch Array Eit Eit_dsl Fun Ir Lazy List Merge Opcode Result Sched

@@ -1,0 +1,1 @@
+test/t_more.ml: Alcotest Apps Arch Array Cplx Dsl Eit Eit_dsl Fd Format Ir List Merge Opcode Option Printf Sched String Value Xml

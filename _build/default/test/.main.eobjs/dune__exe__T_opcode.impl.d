@@ -1,0 +1,1 @@
+test/t_opcode.ml: Alcotest Array Cplx Eit List Opcode Printf Value

@@ -1,0 +1,1 @@
+test/t_overlap.ml: Alcotest Apps Array Eit Eit_dsl Fd Hashtbl Ir Lazy List Merge Option Sched

@@ -1,0 +1,1 @@
+test/t_schedule.ml: Alcotest Apps Array Eit Eit_dsl Fd Format Ir Lazy List Merge Option Sched

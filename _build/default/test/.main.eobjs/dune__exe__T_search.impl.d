@@ -1,0 +1,1 @@
+test/t_search.ml: Alcotest Arith Array Cumulative Dom Fd Fun List QCheck2 QCheck_alcotest Search Store T_arith

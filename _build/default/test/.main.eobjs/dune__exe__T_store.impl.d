@@ -1,0 +1,1 @@
+test/t_store.ml: Alcotest Fd Store

@@ -1,0 +1,1 @@
+test/t_xml_dot.ml: Alcotest Apps Dot Eit Eit_dsl Filename Ir List Opcode String Sys Value Xml

@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "vecsched"
+    [
+      ("fd.dom", T_dom.suite);
+      ("fd.store", T_store.suite);
+      ("fd.arith", T_arith.suite);
+      ("fd.cumulative", T_cumulative.suite);
+      ("fd.diff2", T_diff2.suite);
+      ("fd.cond+geometry", T_cond_geometry.suite);
+      ("fd.search", T_search.suite);
+      ("fd.extra", T_fd_extra.suite);
+      ("eit.cplx", T_cplx.suite);
+      ("eit.opcode", T_opcode.suite);
+      ("eit.arch+mem", T_arch_mem.suite);
+      ("eit.machine", T_machine.suite);
+      ("eit.asm", T_asm.suite);
+      ("dsl.ir", T_ir.suite);
+      ("dsl.dsl", T_dsl.suite);
+      ("dsl.merge", T_merge.suite);
+      ("dsl.xml+dot", T_xml_dot.suite);
+      ("apps", T_apps.suite);
+      ("sched.schedule", T_schedule.suite);
+      ("sched.model", T_model_solve.suite);
+      ("sched.codegen", T_codegen.suite);
+      ("sched.overlap", T_overlap.suite);
+      ("sched.modulo", T_modulo.suite);
+      ("extensions", T_extensions.suite);
+      ("sched.dynamic", T_dynamic.suite);
+      ("sched.bounds", T_bounds_table.suite);
+      ("sched.heuristic", T_heuristic.suite);
+      ("integration", T_integration.suite);
+      ("more", T_more.suite);
+    ]

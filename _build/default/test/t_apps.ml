@@ -1,0 +1,202 @@
+(* The paper's kernels: graph shapes, reference numerics. *)
+
+open Eit_dsl
+open Eit
+
+let stats g = Stats.of_ir g
+
+let test_matmul_shape () =
+  (* exactly the properties reported in Table 3 *)
+  let s = stats (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  Alcotest.(check int) "|V|" 44 s.Stats.v;
+  Alcotest.(check int) "|E|" 68 s.Stats.e;
+  Alcotest.(check int) "|Cr.P|" 8 s.Stats.crp;
+  Alcotest.(check int) "16 dotp" 16 (List.assoc Ir.Vector_op s.Stats.by_category);
+  Alcotest.(check int) "4 merges" 4 (List.assoc Ir.Merge s.Stats.by_category)
+
+let test_arf_shape () =
+  let s = stats (Apps.Arf.graph (Apps.Arf.build ())) in
+  (* paper: (88, 128, 56); our reconstruction preserves the critical
+     path exactly and the 16-mul/12-add structure *)
+  Alcotest.(check int) "|Cr.P|" 56 s.Stats.crp;
+  Alcotest.(check int) "28 vector ops" 28 (List.assoc Ir.Vector_op s.Stats.by_category)
+
+let test_qrd_shape () =
+  let s = stats (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  (* paper: (143, 194, 169); ours lands within a few nodes *)
+  Alcotest.(check bool) "|V| close" true (abs (s.Stats.v - 143) <= 15);
+  Alcotest.(check bool) "|E| close" true (abs (s.Stats.e - 194) <= 15);
+  Alcotest.(check bool) "|Cr.P| close" true (abs (s.Stats.crp - 169) <= 5)
+
+let test_matmul_values () =
+  let app = Apps.Matmul.build () in
+  let a =
+    Array.of_list
+      (List.map (fun r -> Array.of_list (List.map Cplx.of_float r))
+         Apps.Matmul.default_input)
+  in
+  let expect = Apps.Reference.matmul_aat a in
+  Array.iteri
+    (fun i row ->
+      let got = Dsl.vector_value row in
+      Array.iteri
+        (fun j x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "(%d,%d)" i j)
+            expect.(i).(j).Cplx.re x.Cplx.re)
+        got)
+    [| Dsl.row app.Apps.Matmul.result 0; Dsl.row app.Apps.Matmul.result 1;
+       Dsl.row app.Apps.Matmul.result 2; Dsl.row app.Apps.Matmul.result 3 |]
+
+let test_qrd_full_numerics () =
+  let h = Apps.Qrd.default_h and sigma = 0.5 in
+  let app = Apps.Qrd.build ~h ~sigma () in
+  let reference = Apps.Reference.mgs_qrd h ~sigma in
+  (match Apps.Reference.check_qr h ~sigma reference ~eps:1e-9 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reference inconsistent: %s" e);
+  (* Q (both halves) *)
+  Array.iteri
+    (fun k col ->
+      let v = Dsl.vector_value col in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "Qtop[%d][%d]" i k)
+            reference.Apps.Reference.q.(i).(k).Cplx.re x.Cplx.re)
+        v)
+    app.Apps.Qrd.q_top;
+  Array.iteri
+    (fun k col ->
+      let v = Dsl.vector_value col in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "Qbot[%d][%d]" i k)
+            reference.Apps.Reference.q.(i + 4).(k).Cplx.re x.Cplx.re)
+        v)
+    app.Apps.Qrd.q_bot;
+  (* R rows *)
+  Array.iteri
+    (fun k row ->
+      let v = Dsl.vector_value row in
+      Array.iteri
+        (fun j x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "R[%d][%d]" k j)
+            reference.Apps.Reference.r.(k).(j).Cplx.re x.Cplx.re)
+        v)
+    app.Apps.Qrd.r_rows
+
+let test_qrd_r_upper_triangular () =
+  let app = Apps.Qrd.build () in
+  Array.iteri
+    (fun k row ->
+      let v = Dsl.vector_value row in
+      for j = 0 to k - 1 do
+        Alcotest.(check (float 0.)) (Printf.sprintf "R[%d][%d]=0" k j) 0. v.(j).Cplx.re
+      done;
+      (* MGS produces a real positive diagonal *)
+      Alcotest.(check bool) (Printf.sprintf "R[%d][%d]>0" k k) true (v.(k).Cplx.re > 0.))
+    app.Apps.Qrd.r_rows
+
+let test_qrd_random_channels =
+  (* property: QR of random channels always reconstructs and stays
+     orthonormal *)
+  let gen =
+    QCheck2.Gen.(
+      array_size (return 4)
+        (array_size (return 4)
+           (map (fun (a, b) -> Cplx.make a b)
+              (pair (float_range (-2.) 2.) (float_range (-2.) 2.)))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random channel QR" ~count:50 gen (fun h ->
+         (* regularization keeps columns independent even for singular H *)
+         let qr = Apps.Reference.mgs_qrd h ~sigma:0.7 in
+         Apps.Reference.check_qr h ~sigma:0.7 qr ~eps:1e-6 = Ok ()))
+
+let test_arf_linearity () =
+  (* same seed is deterministic; different seeds differ *)
+  let g1 = Apps.Arf.graph (Apps.Arf.build ~seed:1 ()) in
+  let g2 = Apps.Arf.graph (Apps.Arf.build ~seed:1 ()) in
+  let g3 = Apps.Arf.graph (Apps.Arf.build ~seed:2 ()) in
+  let outs g =
+    List.filter_map
+      (fun d -> if Ir.succs g d = [] then Some (List.assoc d (Ir.eval g)) else None)
+      (Ir.data_nodes g)
+  in
+  Alcotest.(check bool) "deterministic" true
+    (List.for_all2 (Value.equal ~eps:0.) (outs g1) (outs g2));
+  Alcotest.(check bool) "seed-dependent" false
+    (List.for_all2 (Value.equal ~eps:0.) (outs g1) (outs g3))
+
+let suite =
+  [
+    Alcotest.test_case "matmul shape (Table 3)" `Quick test_matmul_shape;
+    Alcotest.test_case "arf shape" `Quick test_arf_shape;
+    Alcotest.test_case "qrd shape" `Quick test_qrd_shape;
+    Alcotest.test_case "matmul numerics" `Quick test_matmul_values;
+    Alcotest.test_case "qrd full numerics" `Quick test_qrd_full_numerics;
+    Alcotest.test_case "R upper triangular" `Quick test_qrd_r_upper_triangular;
+    Alcotest.test_case "arf determinism" `Quick test_arf_linearity;
+    test_qrd_random_channels;
+  ]
+
+(* ---------------- sorted QRD (Luethi et al.) ---------------- *)
+
+let test_sorted_qrd () =
+  let h = Apps.Qrd.default_h and sigma = 0.5 in
+  let app = Apps.Qrd.build ~h ~sigma ~sorted:true () in
+  let perm = app.Apps.Qrd.perm in
+  (* the permutation is decreasing in column energy *)
+  let energy j =
+    let top = Array.fold_left (fun acc i -> acc +. Cplx.norm2 h.(i).(j)) 0.
+        [|0;1;2;3|] in
+    top +. (sigma *. sigma)
+  in
+  for p = 0 to 2 do
+    Alcotest.(check bool) "energy decreasing" true
+      (energy perm.(p) >= energy perm.(p + 1) -. 1e-12)
+  done;
+  (* decomposition of the permuted channel matches the reference *)
+  let permuted = Array.map (fun row -> Array.map (fun j -> row.(j)) perm) h in
+  let reference = Apps.Reference.mgs_qrd permuted ~sigma in
+  Array.iteri
+    (fun k col ->
+      let v = Dsl.vector_value col in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "sorted Q[%d][%d]" i k)
+            reference.Apps.Reference.q.(i).(k).Cplx.re x.Cplx.re)
+        v)
+    app.Apps.Qrd.q_top;
+  Array.iteri
+    (fun k row ->
+      let v = Dsl.vector_value row in
+      Array.iteri
+        (fun j x ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "sorted R[%d][%d]" k j)
+            reference.Apps.Reference.r.(k).(j).Cplx.re x.Cplx.re)
+        v)
+    app.Apps.Qrd.r_rows
+
+let test_sorted_qrd_bigger_graph () =
+  let plain = Eit_dsl.Stats.of_ir (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let sorted = Eit_dsl.Stats.of_ir (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ())) in
+  Alcotest.(check bool) "sorting adds nodes" true
+    (sorted.Eit_dsl.Stats.v > plain.Eit_dsl.Stats.v)
+
+let test_sorted_qrd_end_to_end () =
+  let g = (Eit_dsl.Merge.run (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ()))).Eit_dsl.Merge.graph in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+  match o.Sched.Solve.schedule with
+  | Some sch -> (
+    match Sched.Codegen.run_and_check sch with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "no schedule"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sorted QRD numerics" `Quick test_sorted_qrd;
+      Alcotest.test_case "sorted QRD graph" `Quick test_sorted_qrd_bigger_graph;
+      Alcotest.test_case "sorted QRD end-to-end" `Quick test_sorted_qrd_end_to_end;
+    ]

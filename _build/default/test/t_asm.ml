@@ -1,0 +1,129 @@
+(* The assembler: round-trips, hand-written programs, error reporting. *)
+
+open Eit
+
+let test_roundtrip_kernels () =
+  let merged g = (Eit_dsl.Merge.run g).Eit_dsl.Merge.graph in
+  List.iter
+    (fun (name, g) ->
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      let sch = Option.get o.Sched.Solve.schedule in
+      let p = Sched.Codegen.program sch in
+      match Asm.parse (Asm.print p) with
+      | Ok p' ->
+        Alcotest.(check bool) (name ^ " instrs") true (p'.Instr.instrs = p.Instr.instrs);
+        Alcotest.(check bool) (name ^ " outputs") true (p'.Instr.outputs = p.Instr.outputs);
+        (* inputs contain floats: compare through the simulator *)
+        let r = Machine.run p and r' = Machine.run p' in
+        List.iter
+          (fun (node, v) ->
+            Alcotest.(check bool) (name ^ " value") true
+              (Value.equal ~eps:0. v (List.assoc node r'.Machine.node_values)))
+          r.Machine.node_values
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    [
+      ("matmul", merged (Apps.Matmul.graph (Apps.Matmul.build ())));
+      ("detect", merged (Apps.Detect.graph (Apps.Detect.build ())));
+    ]
+
+let hand_written =
+  {|
+; hand-written kernel: (a + b) . (a + b)
+.arch eit
+.input m[0] = 1, 2, 3, 4
+.input m[1] = 4, 3, 2, 1
+.output n3 -> r0
+
+@0:
+  V m[2] <- v_add(m[0], m[1]) @n1
+@7:
+  V m[3] <- v_add(m[2], m[2]) @n2   ; double it, why not
+@14:
+  V r0 <- v_dotP(m[3], m[3]) @n3
+|}
+
+let test_hand_written () =
+  match Asm.parse hand_written with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+    Alcotest.(check int) "three cycles" 3 (List.length p.Instr.instrs);
+    let r = Machine.run p in
+    (* (2*(a+b)) . (2*(a+b)) with a+b = [5;5;5;5]: 4 * 100 = 400 *)
+    match List.assoc 3 r.Machine.node_values with
+    | Value.Scalar c -> Alcotest.(check (float 1e-9)) "dot" 400. c.Cplx.re
+    | _ -> Alcotest.fail "kind")
+
+let test_complex_literals () =
+  List.iter
+    (fun (text, re, im) ->
+      let src =
+        Printf.sprintf ".input r0 = %s\n@0:\n  S r1 <- s_add(r0, #0) @n1\n" text
+      in
+      match Asm.parse src with
+      | Ok p -> (
+        match p.Instr.inputs with
+        | [ Instr.In_reg (0, c) ] ->
+          Alcotest.(check (float 1e-12)) (text ^ " re") re c.Cplx.re;
+          Alcotest.(check (float 1e-12)) (text ^ " im") im c.Cplx.im
+        | _ -> Alcotest.fail "inputs")
+      | Error e -> Alcotest.failf "%s: %s" text e)
+    [
+      ("1.5", 1.5, 0.); ("-2", -2., 0.); ("3+4i", 3., 4.); ("0.5-1i", 0.5, -1.);
+      ("2i", 0., 2.); ("-i", 0., -1.); ("1e-3+2e2i", 0.001, 200.);
+    ]
+
+let test_errors_carry_line_numbers () =
+  List.iter
+    (fun (src, expect_frag) ->
+      match Asm.parse src with
+      | Ok _ -> Alcotest.failf "expected failure for %S" src
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" src expect_frag e)
+          true
+          (let rec contains i =
+             i + String.length expect_frag <= String.length e
+             && (String.sub e i (String.length expect_frag) = expect_frag
+                || contains (i + 1))
+           in
+           contains 0))
+    [
+      ("@0:\n  V m[0] <- v_bogus(m[1])", "v_bogus");
+      ("  V m[0] <- v_add(m[1], m[2])", "cycle header");
+      (".arch quantum", "quantum");
+      ("@0:\n  S r0 <- s_sqrt(r1)\n  S r2 <- s_sqrt(r1)", "two scalar");
+      (".input m[0] = 1, 2", "4 values");
+    ]
+
+let test_preset_roundtrip () =
+  let src = ".arch wide\n@0:\n  V m[0] <- v_id(m[1]) @n1\n" in
+  match Asm.parse src with
+  | Ok p ->
+    Alcotest.(check int) "wide lanes" 8 p.Instr.arch.Arch.n_lanes;
+    Alcotest.(check bool) "prints back" true
+      (match Asm.parse (Asm.print p) with
+      | Ok p' -> p'.Instr.arch = p.Instr.arch
+      | Error _ -> false)
+  | Error e -> Alcotest.fail e
+
+let test_handwritten_validates () =
+  (* the assembler + simulator give the hand-coder the same checks the
+     compiler path gets *)
+  let bad =
+    "@0:\n  V m[2] <- v_add(m[0], m[1]) @n1\n  V m[3] <- v_mul(m[0], m[1]) @n2\n"
+  in
+  match Asm.parse bad with
+  | Ok p ->
+    Alcotest.(check bool) "mixed configs rejected" true
+      (Result.is_error (Instr.validate_structure p))
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "kernel round-trips" `Slow test_roundtrip_kernels;
+    Alcotest.test_case "hand-written kernel" `Quick test_hand_written;
+    Alcotest.test_case "complex literals" `Quick test_complex_literals;
+    Alcotest.test_case "error messages" `Quick test_errors_carry_line_numbers;
+    Alcotest.test_case "presets" `Quick test_preset_roundtrip;
+    Alcotest.test_case "hand-written validates" `Quick test_handwritten_validates;
+  ]

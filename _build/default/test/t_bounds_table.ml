@@ -1,0 +1,194 @@
+(* Makespan lower bounds, the Table constraint, and the tiny-graph
+   scheduling oracle (solver optimum = brute force). *)
+
+open Eit_dsl
+
+let merged g = (Merge.run g).Merge.graph
+
+(* ---------------- Bounds ---------------- *)
+
+let test_bounds_kernels () =
+  List.iter
+    (fun (name, g, expect_dominant) ->
+      let b = Sched.Bounds.compute g Eit.Arch.default in
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      let sch = Option.get o.Sched.Solve.schedule in
+      Alcotest.(check bool) (name ^ " bound sound") true
+        (sch.Sched.Schedule.makespan >= b.Sched.Bounds.makespan);
+      match expect_dominant with
+      | `Cp ->
+        Alcotest.(check int) (name ^ " CP-dominant") b.Sched.Bounds.critical_path
+          b.Sched.Bounds.makespan;
+        (* CP-dominated kernels: zero gap certifies optimality *)
+        Alcotest.(check int) (name ^ " gap") 0 (Sched.Bounds.gap b sch)
+      | `Any ->
+        (* the bound families are independent, so a small slack can
+           remain (MATMUL: load says >= 10, the merge chain makes 11) *)
+        Alcotest.(check bool) (name ^ " gap small") true
+          (Sched.Bounds.gap b sch <= 1))
+    [
+      ("qrd", merged (Apps.Qrd.graph (Apps.Qrd.build ())), `Cp);
+      ("arf", merged (Apps.Arf.graph (Apps.Arf.build ())), `Cp);
+      ("matmul", merged (Apps.Matmul.graph (Apps.Matmul.build ())), `Any);
+    ]
+
+let test_bounds_matmul_structure () =
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let b = Sched.Bounds.compute g Eit.Arch.default in
+  (* 16 dotp on 4 lanes: 4 issue cycles - 1 + 7 latency = 10 *)
+  Alcotest.(check int) "vector load" 10 b.Sched.Bounds.vector_load;
+  (* 4 merges on the serial unit: 4 - 1 + 1 = 4 *)
+  Alcotest.(check int) "im load" 4 b.Sched.Bounds.im_load;
+  Alcotest.(check int) "critical path" 8 b.Sched.Bounds.critical_path;
+  Alcotest.(check int) "combined" 10 b.Sched.Bounds.makespan
+
+let test_bounds_config_classes () =
+  (* 4 adds + 4 muls: 2 classes x 1 cycle each = 2 issues - 1 + 7 = 8 *)
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  for _ = 1 to 4 do
+    ignore (Dsl.v_add ctx a a);
+    ignore (Dsl.v_mul ctx a a)
+  done;
+  let b = Sched.Bounds.compute (Dsl.graph ctx) Eit.Arch.default in
+  Alcotest.(check int) "two classes" 8 b.Sched.Bounds.vector_load
+
+(* ---------------- Table ---------------- *)
+
+let table_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"table = brute force" ~count:200
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 1 6) (array_size (return 3) (int_range 0 3)))
+           (list_repeat 3 (list_size (int_range 1 3) (int_range 0 3))))
+       (fun (rows, domains) ->
+         let domains = List.map (List.sort_uniq compare) domains in
+         let s = Fd.Store.create () in
+         let vars = List.map (fun d -> Fd.Store.new_var s (Fd.Dom.of_list d)) domains in
+         let expected =
+           T_arith.brute domains (fun vals ->
+               List.exists (fun row -> Array.to_list row = vals) rows)
+         in
+         match Fd.Table.post s vars rows with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Fd.Store.Fail _ -> expected = []))
+
+let test_table_gac () =
+  (* GAC: unsupported values disappear at the root *)
+  let s = Fd.Store.create () in
+  let x = Fd.Store.interval_var s 0 5 in
+  let y = Fd.Store.interval_var s 0 5 in
+  Fd.Table.post s [ x; y ] [ [| 1; 2 |]; [| 1; 4 |]; [| 3; 0 |] ];
+  Alcotest.(check (list int)) "x support" [ 1; 3 ] (Fd.Dom.to_list (Fd.Store.dom x));
+  Alcotest.(check (list int)) "y support" [ 0; 2; 4 ] (Fd.Dom.to_list (Fd.Store.dom y));
+  Fd.Store.assign s x 3;
+  Fd.Store.propagate s;
+  Alcotest.(check int) "y follows" 0 (Fd.Store.value y)
+
+(* ---------------- tiny-graph scheduling oracle ---------------- *)
+
+(* Brute-force optimal makespan of a tiny IR by enumerating all start
+   assignments up to a horizon and checking the ground rules. *)
+let brute_makespan g arch horizon =
+  let ops = Ir.op_nodes g in
+  let nops = List.length ops in
+  let lat i = Eit.Arch.latency arch (Ir.opcode g i) in
+  let valid starts =
+    let start_of = List.combine ops starts in
+    (* data-edge precedence through the data nodes *)
+    List.for_all
+      (fun i ->
+        match Ir.succs g i with
+        | [ d ] ->
+          List.for_all
+            (fun j -> List.assoc i start_of + lat i <= List.assoc j start_of)
+            (Ir.succs g d)
+        | _ -> false)
+      ops
+    && (* per-cycle rules *)
+    List.for_all
+      (fun c ->
+        let here = List.filter (fun i -> List.assoc i start_of = c) ops in
+        let vec =
+          List.filter
+            (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+            here
+        in
+        let lanes =
+          List.fold_left (fun acc i -> acc + Eit.Opcode.lanes (Ir.opcode g i)) 0 vec
+        in
+        lanes <= arch.Eit.Arch.n_lanes
+        && (match vec with
+           | f :: rest ->
+             List.for_all
+               (fun i -> Eit.Opcode.config_equal (Ir.opcode g f) (Ir.opcode g i))
+               rest
+           | [] -> true)
+        && List.length
+             (List.filter
+                (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Scalar_accel)
+                here)
+           <= 1
+        && List.length
+             (List.filter
+                (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Index_merge)
+                here)
+           <= 1)
+      (List.init (horizon + 1) Fun.id)
+  in
+  let best = ref max_int in
+  let rec go acc = function
+    | 0 ->
+      let starts = List.rev acc in
+      if valid starts then
+        best :=
+          min !best
+            (List.fold_left2 (fun m i s -> max m (s + lat i)) 0 ops starts)
+    | k ->
+      for c = 0 to horizon do
+        go (c :: acc) (k - 1)
+      done
+  in
+  go [] nops;
+  !best
+
+let scheduling_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"tiny graphs: solver = brute force" ~count:15
+       QCheck2.Gen.(list_size (int_range 1 3) (int_bound 3))
+       (fun script ->
+         let ctx = Dsl.create () in
+         let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+         let vecs = ref [ a ] in
+         let pick k = List.nth !vecs (k mod List.length !vecs) in
+         List.iteri
+           (fun i op ->
+             match op with
+             | 0 -> vecs := Dsl.v_add ctx (pick i) (pick (i + 1)) :: !vecs
+             | 1 -> vecs := Dsl.v_mul ctx (pick i) (pick (i + 1)) :: !vecs
+             | 2 -> ignore (Dsl.v_squsum ctx (pick i))
+             | _ -> vecs := Dsl.v_sort ctx (pick i) :: !vecs)
+           script;
+         let g = Dsl.graph ctx in
+         (* memory off: the brute force enumerates time only *)
+         let o =
+           Sched.Solve.run ~memory:false
+             ~budget:(Fd.Search.time_budget 10_000.)
+             g
+         in
+         match o.Sched.Solve.schedule with
+         | Some sch when o.Sched.Solve.status = Sched.Solve.Optimal ->
+           let horizon = 21 in
+           sch.Sched.Schedule.makespan = brute_makespan g Eit.Arch.default horizon
+         | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "bounds on kernels" `Slow test_bounds_kernels;
+    Alcotest.test_case "bounds matmul structure" `Quick test_bounds_matmul_structure;
+    Alcotest.test_case "bounds config classes" `Quick test_bounds_config_classes;
+    table_oracle;
+    Alcotest.test_case "table GAC" `Quick test_table_gac;
+    scheduling_oracle;
+  ]

@@ -1,0 +1,115 @@
+(* Conditional constraints (eqs. 7-9 building blocks) and the slot
+   geometry channeling (eq. 6). *)
+
+open Fd
+
+let test_implies_eq_forward () =
+  let s = Store.create () in
+  let p = Store.interval_var s 0 3 and q = Store.interval_var s 0 3 in
+  let l = Store.interval_var s 0 3 and m = Store.interval_var s 0 3 in
+  Cond.implies_eq s (p, q) (l, m);
+  Store.assign s p 2;
+  Store.assign s q 2;
+  Store.assign s l 1;
+  Store.propagate s;
+  Alcotest.(check int) "m forced equal" 1 (Store.value m)
+
+let test_implies_eq_contrapositive () =
+  let s = Store.create () in
+  let p = Store.interval_var s 0 3 and q = Store.interval_var s 0 3 in
+  let l = Store.interval_var s 0 1 and m = Store.interval_var s 2 3 in
+  (* lines can never be equal -> pages must differ *)
+  Cond.implies_eq s (p, q) (l, m);
+  Store.assign s p 1;
+  Store.propagate s;
+  Alcotest.(check bool) "q <> 1" false (Dom.mem 1 (Store.dom q))
+
+let test_guarded_inactive () =
+  let s = Store.create () in
+  let a = Store.interval_var s 0 1 and b = Store.interval_var s 2 3 in
+  let p = Store.interval_var s 0 0 and q = Store.interval_var s 0 0 in
+  let l = Store.interval_var s 0 1 and m = Store.interval_var s 2 3 in
+  (* guard domains disjoint: implication never fires even though pages
+     are equal and lines cannot be *)
+  Cond.guarded_implies_eq s ~guard:(a, b) (p, q) (l, m);
+  Store.propagate s;
+  Alcotest.(check int) "l untouched" 0 (Store.vmin l);
+  Alcotest.(check int) "m untouched" 2 (Store.vmin m)
+
+let test_guarded_active () =
+  let s = Store.create () in
+  let a = Store.interval_var s 0 3 and b = Store.interval_var s 0 3 in
+  let p = Store.const s 1 and q = Store.const s 1 in
+  let l = Store.interval_var s 0 3 and m = Store.interval_var s 0 3 in
+  Cond.guarded_implies_eq s ~guard:(a, b) (p, q) (l, m);
+  Store.assign s a 2;
+  Store.assign s b 2;
+  Store.assign s m 3;
+  Store.propagate s;
+  Alcotest.(check int) "l forced" 3 (Store.value l)
+
+let test_same_guard_neq () =
+  let s = Store.create () in
+  let a = Store.interval_var s 0 3 and b = Store.interval_var s 0 3 in
+  let x = Store.interval_var s 0 3 and y = Store.interval_var s 0 3 in
+  Cond.same_guard_neq s ~guard:(a, b) x y;
+  Store.assign s a 1;
+  Store.assign s b 1;
+  Store.assign s x 2;
+  Store.propagate s;
+  Alcotest.(check bool) "y <> 2" false (Dom.mem 2 (Store.dom y))
+
+(* geometry: slot <-> (bank, line, page), EIT parameters *)
+
+let test_geometry_forward () =
+  let s = Store.create () in
+  let slot = Store.interval_var s 0 63 in
+  let g = Geometry.of_slot s ~banks:16 ~page_size:4 slot in
+  Store.assign s slot 37;
+  Store.propagate s;
+  Alcotest.(check int) "bank" 5 (Store.value g.Geometry.bank);
+  Alcotest.(check int) "line" 2 (Store.value g.Geometry.line);
+  Alcotest.(check int) "page" 1 (Store.value g.Geometry.page)
+
+let test_geometry_backward () =
+  let s = Store.create () in
+  let slot = Store.interval_var s 0 63 in
+  let g = Geometry.of_slot s ~banks:16 ~page_size:4 slot in
+  Store.assign s g.Geometry.page 3;
+  Store.propagate s;
+  (* page 3 = banks 12..15, any line: slots 12..15, 28..31, 44..47, 60..63 *)
+  Alcotest.(check int) "count" 16 (Dom.size (Store.dom slot));
+  Alcotest.(check bool) "12 in" true (Dom.mem 12 (Store.dom slot));
+  Alcotest.(check bool) "16 out" false (Dom.mem 16 (Store.dom slot))
+
+let geometry_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"geometry channeling is exact" ~count:200
+       QCheck2.Gen.(int_range 0 63)
+       (fun k ->
+         let s = Store.create () in
+         let slot = Store.interval_var s 0 63 in
+         let g = Geometry.of_slot s ~banks:16 ~page_size:4 slot in
+         Store.assign s slot k;
+         Store.propagate s;
+         Store.value g.Geometry.bank = k mod 16
+         && Store.value g.Geometry.line = k / 16
+         && Store.value g.Geometry.page = k mod 16 / 4))
+
+let test_ground_helpers () =
+  Alcotest.(check int) "line" 3 (Geometry.line_of_slot ~banks:16 55);
+  Alcotest.(check int) "bank" 7 (Geometry.bank_of_slot ~banks:16 55);
+  Alcotest.(check int) "page" 1 (Geometry.page_of_slot ~banks:16 ~page_size:4 55)
+
+let suite =
+  [
+    Alcotest.test_case "implies_eq forward" `Quick test_implies_eq_forward;
+    Alcotest.test_case "implies_eq contrapositive" `Quick test_implies_eq_contrapositive;
+    Alcotest.test_case "guarded inactive" `Quick test_guarded_inactive;
+    Alcotest.test_case "guarded active" `Quick test_guarded_active;
+    Alcotest.test_case "same_guard_neq" `Quick test_same_guard_neq;
+    Alcotest.test_case "geometry forward" `Quick test_geometry_forward;
+    Alcotest.test_case "geometry backward" `Quick test_geometry_backward;
+    Alcotest.test_case "geometry helpers" `Quick test_ground_helpers;
+    geometry_oracle;
+  ]

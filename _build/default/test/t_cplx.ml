@@ -1,0 +1,68 @@
+(* Complex arithmetic: algebraic properties. *)
+
+open Eit
+
+let gen_cplx =
+  QCheck2.Gen.(
+    let* re = float_range (-10.) 10. in
+    let* im = float_range (-10.) 10. in
+    return (Cplx.make re im))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+let eqc = Cplx.equal ~eps:1e-6
+
+let props =
+  [
+    prop "add commutative" QCheck2.Gen.(pair gen_cplx gen_cplx) (fun (a, b) ->
+        eqc (Cplx.add a b) (Cplx.add b a));
+    prop "mul commutative" QCheck2.Gen.(pair gen_cplx gen_cplx) (fun (a, b) ->
+        eqc (Cplx.mul a b) (Cplx.mul b a));
+    prop "mul associative" QCheck2.Gen.(triple gen_cplx gen_cplx gen_cplx)
+      (fun (a, b, c) ->
+        Cplx.equal ~eps:1e-3 (Cplx.mul a (Cplx.mul b c)) (Cplx.mul (Cplx.mul a b) c));
+    prop "distributivity" QCheck2.Gen.(triple gen_cplx gen_cplx gen_cplx)
+      (fun (a, b, c) ->
+        Cplx.equal ~eps:1e-3
+          (Cplx.mul a (Cplx.add b c))
+          (Cplx.add (Cplx.mul a b) (Cplx.mul a c)));
+    prop "conj involutive" gen_cplx (fun a -> eqc (Cplx.conj (Cplx.conj a)) a);
+    prop "z * conj z = |z|^2" gen_cplx (fun a ->
+        Cplx.equal ~eps:1e-4 (Cplx.mul a (Cplx.conj a)) (Cplx.of_float (Cplx.norm2 a)));
+    prop "sqrt squares back" gen_cplx (fun a ->
+        let r = Cplx.sqrt a in
+        Cplx.equal ~eps:1e-4 (Cplx.mul r r) a);
+    prop "sqrt principal branch" gen_cplx (fun a -> (Cplx.sqrt a).Cplx.re >= -1e-12);
+    prop "div inverts mul" QCheck2.Gen.(pair gen_cplx gen_cplx) (fun (a, b) ->
+        QCheck2.assume (Cplx.norm2 b > 1e-6);
+        Cplx.equal ~eps:1e-4 (Cplx.div (Cplx.mul a b) b) a);
+    prop "mac = add mul" QCheck2.Gen.(triple gen_cplx gen_cplx gen_cplx)
+      (fun (acc, a, b) -> eqc (Cplx.mac acc a b) (Cplx.add acc (Cplx.mul a b)));
+    prop "inv . inv = id" gen_cplx (fun a ->
+        QCheck2.assume (Cplx.norm2 a > 1e-4);
+        Cplx.equal ~eps:1e-3 (Cplx.inv (Cplx.inv a)) a);
+    prop "compare_by_norm total order consistent" QCheck2.Gen.(pair gen_cplx gen_cplx)
+      (fun (a, b) -> Cplx.compare_by_norm a b = -Cplx.compare_by_norm b a);
+  ]
+
+let test_constants () =
+  Alcotest.(check bool) "i*i = -1" true
+    (eqc (Cplx.mul Cplx.i Cplx.i) (Cplx.of_float (-1.)));
+  Alcotest.(check bool) "one neutral" true (eqc (Cplx.mul Cplx.one (Cplx.make 3. 4.)) (Cplx.make 3. 4.));
+  Alcotest.(check (float 1e-12)) "abs 3+4i" 5. (Cplx.abs (Cplx.make 3. 4.))
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" (Invalid_argument "Cplx.div: division by zero")
+    (fun () -> ignore (Cplx.div Cplx.one Cplx.zero))
+
+let test_pp () =
+  Alcotest.(check string) "real" "3" (Cplx.to_string (Cplx.of_float 3.));
+  Alcotest.(check string) "pos im" "1+2i" (Cplx.to_string (Cplx.make 1. 2.));
+  Alcotest.(check string) "neg im" "1-2i" (Cplx.to_string (Cplx.make 1. (-2.)))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "printing" `Quick test_pp;
+  ]
+  @ props

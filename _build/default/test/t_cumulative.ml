@@ -1,0 +1,151 @@
+(* Cumulative: ground checker correctness and solver completeness on
+   random task sets, compared against brute force. *)
+
+open Fd
+
+let test_check_basic () =
+  Alcotest.(check bool) "fits" true
+    (Cumulative.check ~starts:[| 0; 0; 1 |] ~durations:[| 1; 1; 1 |]
+       ~resources:[| 2; 2; 4 |] ~limit:4);
+  Alcotest.(check bool) "overload" false
+    (Cumulative.check ~starts:[| 0; 0 |] ~durations:[| 2; 1 |]
+       ~resources:[| 3; 2 |] ~limit:4);
+  Alcotest.(check bool) "empty" true
+    (Cumulative.check ~starts:[||] ~durations:[||] ~resources:[||] ~limit:1)
+
+let test_post_rejects_oversized () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 5 in
+  Alcotest.check_raises "task wider than limit"
+    (Invalid_argument "Cumulative.post: task exceeds resource limit") (fun () ->
+      Cumulative.post s ~starts:[| x |] ~durations:[| 1 |] ~resources:[| 5 |]
+        ~limit:4)
+
+let test_serializes_unit_resource () =
+  (* 3 unit tasks on capacity 1: optimal makespan 3 *)
+  let s = Store.create () in
+  let vars = Array.init 3 (fun _ -> Store.interval_var s 0 10) in
+  Cumulative.post s ~starts:vars ~durations:[| 1; 1; 1 |] ~resources:[| 1; 1; 1 |]
+    ~limit:1;
+  let obj = Store.interval_var s 0 20 in
+  Arith.max_of s (Array.to_list vars) obj;
+  match
+    Search.minimize s
+      [ Search.phase ~var_select:Search.smallest_min (Array.to_list vars) ]
+      ~objective:obj
+      ~on_solution:(fun () -> Array.map Store.value vars)
+  with
+  | Search.Solution (starts, _) ->
+    let l = List.sort compare (Array.to_list starts) in
+    Alcotest.(check (list int)) "serialized" [ 0; 1; 2 ] l
+  | _ -> Alcotest.fail "expected optimal solution"
+
+(* Random instances: solutions found by exhaustive labelling equal the
+   brute-force solutions of the cumulative definition. *)
+let gen_instance =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* durations = list_repeat n (int_range 0 3) in
+    let* resources = list_repeat n (int_range 0 3) in
+    let* limit = int_range 1 4 in
+    let* dmax = int_range 1 4 in
+    return (durations, resources, limit, dmax))
+
+let oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"cumulative = brute force" ~count:150 gen_instance
+       (fun (durations, resources, limit, dmax) ->
+         QCheck2.assume (List.for_all (fun r -> r <= limit) resources);
+         let n = List.length durations in
+         let domains = List.init n (fun _ -> List.init (dmax + 1) Fun.id) in
+         let expected =
+           T_arith.brute domains (fun starts ->
+               Cumulative.check ~starts:(Array.of_list starts)
+                 ~durations:(Array.of_list durations)
+                 ~resources:(Array.of_list resources)
+                 ~limit)
+         in
+         let s = Store.create () in
+         let vars = List.init n (fun _ -> Store.interval_var s 0 dmax) in
+         match
+           Cumulative.post s
+             ~starts:(Array.of_list vars)
+             ~durations:(Array.of_list durations)
+             ~resources:(Array.of_list resources)
+             ~limit
+         with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Store.Fail _ -> expected = []))
+
+let suite =
+  [
+    Alcotest.test_case "ground checker" `Quick test_check_basic;
+    Alcotest.test_case "rejects oversized task" `Quick test_post_rejects_oversized;
+    Alcotest.test_case "serializes on unit resource" `Quick test_serializes_unit_resource;
+    oracle;
+  ]
+
+(* ---------------- variable durations (paper: "all parameters can be
+   either domain variables or integers") ---------------- *)
+
+let gen_var_instance =
+  QCheck2.Gen.(
+    let* n = int_range 1 3 in
+    let* resources = list_repeat n (int_range 0 3) in
+    let* limit = int_range 1 4 in
+    let* smax = int_range 1 3 in
+    let* dmax = int_range 1 3 in
+    return (n, resources, limit, smax, dmax))
+
+let var_duration_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"variable-duration cumulative = brute force"
+       ~count:100 gen_var_instance (fun (n, resources, limit, smax, dmax) ->
+         QCheck2.assume (List.for_all (fun r -> r <= limit) resources);
+         let domains =
+           List.concat
+             (List.init n (fun _ ->
+                  [ List.init (smax + 1) Fun.id; List.init (dmax + 1) Fun.id ]))
+         in
+         let expected =
+           T_arith.brute domains (fun vals ->
+               let rec unpack = function
+                 | s :: d :: rest ->
+                   let ss, ds = unpack rest in
+                   (s :: ss, d :: ds)
+                 | [] -> ([], [])
+                 | _ -> assert false
+               in
+               let ss, ds = unpack vals in
+               Cumulative.check ~starts:(Array.of_list ss)
+                 ~durations:(Array.of_list ds)
+                 ~resources:(Array.of_list resources)
+                 ~limit)
+         in
+         let s = Store.create () in
+         let starts = Array.init n (fun _ -> Store.interval_var s 0 smax) in
+         let durations = Array.init n (fun _ -> Store.interval_var s 0 dmax) in
+         let vars =
+           List.concat (List.init n (fun i -> [ starts.(i); durations.(i) ]))
+         in
+         match
+           Cumulative.post_var s ~starts ~durations
+             ~resources:(Array.of_list resources) ~limit
+         with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Store.Fail _ -> expected = []))
+
+let test_var_duration_pruning () =
+  (* two tasks, capacity 1: t0 fixed at [0, d) with d in 1..5; t1 fixed
+     at start 3 -> d <= 3 *)
+  let s = Store.create () in
+  let s0 = Store.const s 0 and s1 = Store.const s 3 in
+  let d0 = Store.interval_var s 1 5 and d1 = Store.const s 2 in
+  Cumulative.post_var s ~starts:[| s0; s1 |] ~durations:[| d0; d1 |]
+    ~resources:[| 1; 1 |] ~limit:1;
+  Store.propagate s;
+  Alcotest.(check int) "duration capped" 3 (Store.vmax d0)
+
+let suite =
+  suite @ [ var_duration_oracle;
+            Alcotest.test_case "variable duration pruning" `Quick test_var_duration_pruning ]

@@ -1,0 +1,140 @@
+(* Diff2: ground checker + solver completeness against brute force. *)
+
+open Fd
+
+let test_check () =
+  Alcotest.(check bool) "disjoint" true
+    (Diff2.check [ (0, 0, 2, 1); (2, 0, 2, 1) ]);
+  Alcotest.(check bool) "overlap" false
+    (Diff2.check [ (0, 0, 2, 2); (1, 1, 2, 2) ]);
+  Alcotest.(check bool) "zero width never overlaps" true
+    (Diff2.check [ (0, 0, 0, 5); (0, 0, 3, 3) ]);
+  Alcotest.(check bool) "touching edges ok" true
+    (Diff2.check [ (0, 0, 2, 2); (0, 2, 2, 2) ])
+
+let test_forced_separation () =
+  (* Same x interval, heights 1, y in 0..1: y's must differ. *)
+  let s = Store.create () in
+  let one = Store.const s 1 and zero = Store.const s 0 in
+  let y1 = Store.interval_var s 0 1 and y2 = Store.interval_var s 0 1 in
+  Diff2.post s
+    [
+      { Diff2.ox = zero; oy = y1; lx = one; ly = one };
+      { Diff2.ox = zero; oy = y2; lx = one; ly = one };
+    ];
+  Store.assign s y1 0;
+  Store.propagate s;
+  Alcotest.(check int) "y2 pushed away" 1 (Store.vmin y2)
+
+let test_infeasible () =
+  (* Three 1x1 rectangles, same x, y domain of size two: unsat. *)
+  let s = Store.create () in
+  let one = Store.const s 1 and zero = Store.const s 0 in
+  let ys = List.init 3 (fun _ -> Store.interval_var s 0 1) in
+  Diff2.post s
+    (List.map (fun y -> { Diff2.ox = zero; oy = y; lx = one; ly = one }) ys);
+  match Search.solve s [ Search.phase ys ] ~on_solution:(fun () -> ()) with
+  | Search.Unsat _ -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+let gen_instance =
+  QCheck2.Gen.(
+    let* n = int_range 2 3 in
+    let* sizes = list_repeat n (pair (int_range 1 2) (int_range 1 2)) in
+    return (n, sizes))
+
+let oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"diff2 = brute force" ~count:100 gen_instance
+       (fun (n, sizes) ->
+         let bound = 2 in
+         let s = Store.create () in
+         let vars =
+           List.map
+             (fun (w, h) ->
+               let x = Store.interval_var s 0 bound in
+               let y = Store.interval_var s 0 bound in
+               ((x, y), (w, h)))
+             sizes
+         in
+         Diff2.post s
+           (List.map
+              (fun ((x, y), (w, h)) ->
+                { Diff2.ox = x; oy = y; lx = Store.const s w; ly = Store.const s h })
+              vars);
+         let flat = List.concat_map (fun ((x, y), _) -> [ x; y ]) vars in
+         let found = T_arith.all_solutions s flat in
+         let domains = List.init (2 * n) (fun _ -> List.init (bound + 1) Fun.id) in
+         let expected =
+           T_arith.brute domains (fun assignment ->
+               let rec pack = function
+                 | x :: y :: rest, (w, h) :: srest ->
+                   (x, y, w, h) :: pack (rest, srest)
+                 | [], [] -> []
+                 | _ -> assert false
+               in
+               Diff2.check (pack (assignment, sizes)))
+         in
+         found = expected))
+
+let suite =
+  [
+    Alcotest.test_case "ground checker" `Quick test_check;
+    Alcotest.test_case "forced separation" `Quick test_forced_separation;
+    Alcotest.test_case "infeasible packing" `Quick test_infeasible;
+    oracle;
+  ]
+
+(* ---------------- variable lengths (the scheduler's lifetime use) --- *)
+
+let var_length_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"diff2 with variable lengths = brute force"
+       ~count:100
+       QCheck2.Gen.(pair (int_range 1 2) (int_range 1 2))
+       (fun (lmax1, lmax2) ->
+         let bound = 2 in
+         let s = Store.create () in
+         let x1 = Store.interval_var s 0 bound in
+         let l1 = Store.interval_var s 0 lmax1 in
+         let x2 = Store.interval_var s 0 bound in
+         let l2 = Store.interval_var s 0 lmax2 in
+         let y1 = Store.interval_var s 0 1 and y2 = Store.interval_var s 0 1 in
+         let one = Store.const s 1 in
+         Diff2.post s
+           [
+             { Diff2.ox = x1; oy = y1; lx = l1; ly = one };
+             { Diff2.ox = x2; oy = y2; lx = l2; ly = one };
+           ];
+         let domains =
+           [ List.init (bound + 1) Fun.id; List.init (lmax1 + 1) Fun.id;
+             List.init 2 Fun.id;
+             List.init (bound + 1) Fun.id; List.init (lmax2 + 1) Fun.id;
+             List.init 2 Fun.id ]
+         in
+         let expected =
+           T_arith.brute domains (function
+             | [ a; la; ya; b; lb; yb ] ->
+               Diff2.check [ (a, ya, la, 1); (b, yb, lb, 1) ]
+             | _ -> assert false)
+         in
+         T_arith.all_solutions s [ x1; l1; y1; x2; l2; y2 ] = expected))
+
+let test_variable_length_pruning () =
+  (* both rectangles pinned to row 0 and x-overlapping starts: the
+     second one's length is driven to zero or it must move *)
+  let s = Store.create () in
+  let zero = Store.const s 0 and one = Store.const s 1 in
+  let l = Store.interval_var s 0 5 in
+  Diff2.post s
+    [
+      { Diff2.ox = zero; oy = zero; lx = Store.const s 3; ly = one };
+      { Diff2.ox = Store.const s 1; oy = zero; lx = l; ly = one };
+    ];
+  Store.propagate s;
+  Alcotest.(check int) "length forced to 0" 0 (Store.vmax l)
+
+let suite =
+  suite
+  @ [ var_length_oracle;
+      Alcotest.test_case "variable length pruning" `Quick test_variable_length_pruning ]

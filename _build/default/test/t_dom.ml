@@ -1,0 +1,103 @@
+(* Domain representation: unit tests + properties against a sorted-list
+   model of integer sets. *)
+
+open Fd
+
+let check_inv d = Alcotest.(check bool) "invariant" true (Dom.check_invariant d)
+
+let test_interval () =
+  let d = Dom.interval 1 5 in
+  check_inv d;
+  Alcotest.(check int) "size" 5 (Dom.size d);
+  Alcotest.(check int) "min" 1 (Dom.min d);
+  Alcotest.(check int) "max" 5 (Dom.max d);
+  Alcotest.(check bool) "mem 3" true (Dom.mem 3 d);
+  Alcotest.(check bool) "mem 6" false (Dom.mem 6 d);
+  Alcotest.(check bool) "empty iv" true (Dom.is_empty (Dom.interval 5 1))
+
+let test_remove () =
+  let d = Dom.remove 3 (Dom.interval 1 5) in
+  check_inv d;
+  Alcotest.(check (list int)) "values" [ 1; 2; 4; 5 ] (Dom.to_list d);
+  Alcotest.(check bool) "is_interval" false (Dom.is_interval d);
+  let d2 = Dom.remove 1 (Dom.singleton 1) in
+  Alcotest.(check bool) "empty" true (Dom.is_empty d2)
+
+let test_remove_bounds () =
+  let d = Dom.of_list [ 1; 2; 5; 6; 9 ] in
+  Alcotest.(check (list int)) "below" [ 5; 6; 9 ] (Dom.to_list (Dom.remove_below 4 d));
+  Alcotest.(check (list int)) "above" [ 1; 2; 5; 6 ] (Dom.to_list (Dom.remove_above 7 d));
+  Alcotest.(check (list int)) "interval" [ 1; 9 ] (Dom.to_list (Dom.remove_interval 2 6 d))
+
+let test_empty_access () =
+  Alcotest.check_raises "min" Dom.Empty_domain (fun () -> ignore (Dom.min Dom.empty));
+  Alcotest.check_raises "max" Dom.Empty_domain (fun () -> ignore (Dom.max Dom.empty))
+
+let test_merge_adjacent () =
+  (* of_list must merge adjacent values into one interval *)
+  let d = Dom.of_list [ 3; 1; 2 ] in
+  Alcotest.(check bool) "single interval" true (Dom.is_interval d);
+  Alcotest.(check int) "size" 3 (Dom.size d);
+  let u = Dom.union (Dom.interval 1 3) (Dom.interval 4 6) in
+  Alcotest.(check bool) "union adjacent merges" true (Dom.is_interval u)
+
+let test_shift_neg () =
+  let d = Dom.of_list [ 1; 3; 4 ] in
+  Alcotest.(check (list int)) "shift" [ 11; 13; 14 ] (Dom.to_list (Dom.shift 10 d));
+  Alcotest.(check (list int)) "neg" [ -4; -3; -1 ] (Dom.to_list (Dom.neg d));
+  check_inv (Dom.neg d)
+
+(* ---------------- properties ---------------- *)
+
+let gen_dom =
+  QCheck2.Gen.(
+    let* vals = list_size (int_bound 12) (int_range (-20) 20) in
+    return (Dom.of_list vals, List.sort_uniq compare vals))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:500 gen f)
+
+let props =
+  [
+    prop "of_list = sorted set" gen_dom (fun (d, model) ->
+        Dom.to_list d = model && Dom.check_invariant d);
+    prop "inter is set intersection"
+      QCheck2.Gen.(pair gen_dom gen_dom)
+      (fun ((d1, m1), (d2, m2)) ->
+        let inter = Dom.inter d1 d2 in
+        Dom.check_invariant inter
+        && Dom.to_list inter = List.filter (fun v -> List.mem v m2) m1);
+    prop "union is set union"
+      QCheck2.Gen.(pair gen_dom gen_dom)
+      (fun ((d1, m1), (d2, m2)) ->
+        Dom.to_list (Dom.union d1 d2) = List.sort_uniq compare (m1 @ m2));
+    prop "diff is set difference"
+      QCheck2.Gen.(pair gen_dom gen_dom)
+      (fun ((d1, m1), (d2, m2)) ->
+        let diff = Dom.diff d1 d2 in
+        Dom.check_invariant diff
+        && Dom.to_list diff = List.filter (fun v -> not (List.mem v m2)) m1);
+    prop "remove removes exactly one value"
+      QCheck2.Gen.(pair gen_dom (int_range (-20) 20))
+      (fun ((d, m), v) ->
+        Dom.to_list (Dom.remove v d) = List.filter (fun x -> x <> v) m);
+    prop "size agrees with to_list" gen_dom (fun (d, m) ->
+        Dom.size d = List.length m);
+    prop "filter = list filter" gen_dom (fun (d, m) ->
+        let p x = x mod 3 = 0 in
+        Dom.to_list (Dom.filter p d) = List.filter p m);
+    prop "map_monotone with x->2x" gen_dom (fun (d, m) ->
+        Dom.to_list (Dom.map_monotone (fun x -> 2 * x) d) = List.map (fun x -> 2 * x) m);
+    prop "fold counts" gen_dom (fun (d, m) ->
+        Dom.fold (fun acc _ -> acc + 1) 0 d = List.length m);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "interval basics" `Quick test_interval;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove bounds" `Quick test_remove_bounds;
+    Alcotest.test_case "empty access raises" `Quick test_empty_access;
+    Alcotest.test_case "adjacent merge" `Quick test_merge_adjacent;
+    Alcotest.test_case "shift/neg" `Quick test_shift_neg;
+  ]
+  @ props

@@ -1,0 +1,133 @@
+(* DSL: concrete evaluation agrees with direct computation and with the
+   IR evaluator; matrix expansion; random-program consistency. *)
+
+open Eit_dsl
+open Eit
+
+let test_vector_ops_values () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.vector_input_f ctx [ 4.; 3.; 2.; 1. ] in
+  let s = Dsl.v_add ctx a b in
+  Alcotest.(check (float 0.)) "add" 5. (Dsl.vector_value s).(0).Cplx.re;
+  let d = Dsl.v_dotp ctx a b in
+  Alcotest.(check (float 0.)) "dotp" 20. (Dsl.scalar_value d).Cplx.re;
+  let sc = Dsl.s_sqrt ctx (Dsl.v_squsum ctx a) in
+  Alcotest.(check (float 1e-9)) "norm" (sqrt 30.) (Dsl.scalar_value sc).Cplx.re
+
+let test_matrix_expansion () =
+  (* a matrix input contributes four vector data nodes, no matrix node *)
+  let ctx = Dsl.create () in
+  let m = Dsl.matrix_input_f ctx [ [1.;0.;0.;0.]; [0.;1.;0.;0.]; [0.;0.;1.;0.]; [0.;0.;0.;1.] ] in
+  let _ = Dsl.m_squsum ctx m in
+  let g = Dsl.graph ctx in
+  Alcotest.(check int) "vector data" 5 (Ir.count g Ir.Vector_data);
+  Alcotest.(check int) "matrix op" 1 (Ir.count g Ir.Matrix_op);
+  Alcotest.(check int) "edges: 4 in + 1 out" 5 (Ir.edge_count g)
+
+let test_matrix_op_vs_vector_expansion () =
+  (* Fig. 4/5: m_squsum == four v_squsum + merge, on values *)
+  let rows = [ [1.;2.;3.;4.]; [2.;3.;4.;5.]; [5.;6.;7.;8.]; [0.;1.;0.;1.] ] in
+  let ctx = Dsl.create () in
+  let m = Dsl.matrix_input_f ctx rows in
+  let direct = Dsl.m_squsum ctx m in
+  let parts = List.init 4 (fun i -> Dsl.v_squsum ctx (Dsl.row m i)) in
+  let merged =
+    match parts with
+    | [ a; b; c; d ] -> Dsl.merge ctx a b c d
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "same result" true
+    (Value.equal ~eps:1e-9
+       (Value.Vector (Dsl.vector_value direct))
+       (Value.Vector (Dsl.vector_value merged)));
+  (* and the matrix version uses fewer nodes: 1 op + 1 data vs 4+4+1+1 *)
+  let g = Dsl.graph ctx in
+  Alcotest.(check int) "merge nodes" 1 (Ir.count g Ir.Merge)
+
+let test_trace_matches_ir_eval () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; -2.; 3.; -4. ] in
+  let b = Dsl.vector_input_f ctx [ 0.5; 0.25; -1.; 2. ] in
+  let x = Dsl.v_mul ctx a b in
+  let y = Dsl.v_axpy ctx x (Dsl.v_dotp ctx a b) b in
+  let z = Dsl.v_sort ctx y in
+  Dsl.mark_output ctx z;
+  let g = Dsl.graph ctx in
+  let vals = Ir.eval g in
+  let traced = Dsl.vector_value z in
+  match List.assoc (Dsl.node_of_vector z) vals with
+  | Value.Vector evaluated ->
+    Alcotest.(check bool) "trace = replay" true
+      (Value.equal ~eps:1e-9 (Value.Vector traced) (Value.Vector evaluated))
+  | _ -> Alcotest.fail "kind"
+
+let test_outputs_declared () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 1.; 1.; 1. ] in
+  let r = Dsl.v_add ctx a a in
+  Dsl.mark_output ctx r;
+  Alcotest.(check (list int)) "declared" [ Dsl.node_of_vector r ]
+    (Dsl.declared_outputs ctx)
+
+let test_index_and_splat () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 9.; 8.; 7.; 6. ] in
+  let s = Dsl.index ctx a 2 in
+  Alcotest.(check (float 0.)) "index" 7. (Dsl.scalar_value s).Cplx.re;
+  let v = Dsl.splat ctx s in
+  Alcotest.(check (float 0.)) "splat" 7. (Dsl.vector_value v).(3).Cplx.re;
+  Alcotest.(check bool) "bad index rejected" true
+    (match Dsl.index ctx a 7 with exception Invalid_argument _ -> true | _ -> false)
+
+(* Random DSL programs: the graph always freezes, always validates, and
+   IR evaluation matches the traced values on every data node. *)
+let gen_program =
+  QCheck2.Gen.(list_size (int_range 1 25) (int_bound 9))
+
+let random_program_consistency =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random programs: trace = IR eval" ~count:100
+       gen_program (fun script ->
+         let ctx = Dsl.create () in
+         let v0 = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+         let s0 = Dsl.scalar_input_f ctx 2. in
+         let vecs = ref [ v0 ] and scas = ref [ s0 ] in
+         let pick l k = List.nth l (k mod List.length l) in
+         List.iteri
+           (fun i op ->
+             let v () = pick !vecs (i + 1) and sc () = pick !scas (i + 2) in
+             match op with
+             | 0 -> vecs := Dsl.v_add ctx (v ()) (v ()) :: !vecs
+             | 1 -> vecs := Dsl.v_mul ctx (v ()) (v ()) :: !vecs
+             | 2 -> scas := Dsl.v_dotp ctx (v ()) (v ()) :: !scas
+             | 3 -> vecs := Dsl.v_scale ctx (v ()) (sc ()) :: !vecs
+             | 4 -> scas := Dsl.s_add ctx (sc ()) (sc ()) :: !scas
+             | 5 -> vecs := Dsl.v_conj ctx (v ()) :: !vecs
+             | 6 -> vecs := Dsl.v_sort ctx (v ()) :: !vecs
+             | 7 -> scas := Dsl.v_squsum ctx (v ()) :: !scas
+             | 8 -> vecs := Dsl.splat ctx (sc ()) :: !vecs
+             | _ -> vecs := Dsl.v_naxpy ctx (v ()) (sc ()) (v ()) :: !vecs)
+           script;
+         let g = Dsl.graph ctx in
+         Ir.validate g = Ok ()
+         &&
+         let vals = Ir.eval g in
+         List.for_all
+           (fun v ->
+             match List.assoc_opt (Dsl.node_of_vector v) vals with
+             | Some got ->
+               Value.equal ~eps:1e-6 got (Value.Vector (Dsl.vector_value v))
+             | None -> false)
+           !vecs))
+
+let suite =
+  [
+    Alcotest.test_case "vector op values" `Quick test_vector_ops_values;
+    Alcotest.test_case "matrix expansion" `Quick test_matrix_expansion;
+    Alcotest.test_case "Fig. 4/5 equivalence" `Quick test_matrix_op_vs_vector_expansion;
+    Alcotest.test_case "trace = IR eval" `Quick test_trace_matches_ir_eval;
+    Alcotest.test_case "declared outputs" `Quick test_outputs_declared;
+    Alcotest.test_case "index/splat" `Quick test_index_and_splat;
+    random_program_consistency;
+  ]

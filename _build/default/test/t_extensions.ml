@@ -1,0 +1,181 @@
+(* Extension features beyond the paper's evaluation: the FIR and CORR
+   kernels and the wide/mini architecture presets. *)
+
+open Eit_dsl
+open Eit
+
+let merged g = (Merge.run g).Merge.graph
+
+let test_fir_values () =
+  List.iter
+    (fun taps ->
+      let app = Apps.Fir.build ~taps ~seed:3 () in
+      let expect = Apps.Fir.reference ~taps ~seed:3 in
+      let got = Dsl.vector_value app.Apps.Fir.output in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "taps=%d y[%d]" taps i)
+            expect.(i).Cplx.re x.Cplx.re)
+        got)
+    [ 1; 2; 5; 8; 16 ]
+
+let test_fir_tree_depth () =
+  (* 8 taps: scale (7) + 3 tree levels of add (21) = 28 cycles *)
+  let g = Apps.Fir.graph (Apps.Fir.build ~taps:8 ()) in
+  Alcotest.(check int) "log-depth critical path" 28 (Ir.critical_path g Arch.default);
+  (* 15 ops: 8 scale + 7 add *)
+  Alcotest.(check int) "ops" 15 (List.length (Ir.op_nodes g))
+
+let test_fir_end_to_end () =
+  let g = merged (Apps.Fir.graph (Apps.Fir.build ~taps:8 ())) in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 15_000.) g in
+  match o.Sched.Solve.schedule with
+  | Some sch -> (
+    match Sched.Codegen.run_and_check sch with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "no schedule"
+
+let test_corr_fusions () =
+  let raw = Apps.Corr.graph (Apps.Corr.build ~hypotheses:8 ()) in
+  let r = Merge.run raw in
+  (* one conj fusion per hypothesis; sorts stay (their producer is the
+     merge unit, not the vector pipeline) *)
+  Alcotest.(check int) "8 fusions" 8 r.Merge.fusions;
+  Alcotest.(check int) "16 nodes removed" (Ir.size raw - 16) (Ir.size r.Merge.graph)
+
+let test_corr_end_to_end () =
+  let g = merged (Apps.Corr.graph (Apps.Corr.build ~hypotheses:8 ())) in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 15_000.) g in
+  match o.Sched.Solve.schedule with
+  | Some sch -> (
+    match Sched.Codegen.run_and_check sch with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "no schedule"
+
+let test_corr_bad_args () =
+  Alcotest.(check bool) "multiple of 4 enforced" true
+    (match Apps.Corr.build ~hypotheses:6 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_presets () =
+  Alcotest.(check int) "wide lanes" 8 Arch.wide.Arch.n_lanes;
+  Alcotest.(check int) "mini slots" 16 (Arch.slots Arch.mini);
+  Alcotest.(check int) "three presets" 3 (List.length Arch.presets)
+
+let schedule_on arch g =
+  (Sched.Solve.run ~arch ~budget:(Fd.Search.time_budget 15_000.) g)
+    .Sched.Solve.schedule
+
+let test_matmul_on_wide () =
+  (* 8 lanes: the 16 dot products need only 2 issue cycles, but the
+     9-stage pipeline costs 2 extra latency cycles *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  match schedule_on Arch.wide g with
+  | Some sch ->
+    Alcotest.(check bool) "valid on wide" true (Sched.Schedule.is_valid sch);
+    (* 2 issue cycles of dotp (0,1), results at 9/10; merges 9..12; +1 *)
+    Alcotest.(check bool) "wide makespan sane" true
+      (sch.Sched.Schedule.makespan >= 11 && sch.Sched.Schedule.makespan <= 14)
+  | None -> Alcotest.fail "no schedule on wide"
+
+let test_matmul_on_mini () =
+  (* 2 lanes: at least 8 issue cycles for 16 dotp *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  match schedule_on Arch.mini g with
+  | Some sch ->
+    Alcotest.(check bool) "valid on mini" true (Sched.Schedule.is_valid sch);
+    Alcotest.(check bool) "mini slower than eit" true
+      (sch.Sched.Schedule.makespan >= 11)
+  | None -> Alcotest.fail "no schedule on mini"
+
+let test_simulator_respects_preset () =
+  (* the simulator enforces the preset's access rules too *)
+  let g = merged (Apps.Fir.graph (Apps.Fir.build ~taps:4 ())) in
+  match schedule_on Arch.mini g with
+  | Some sch -> (
+    match Sched.Codegen.run_and_check sch with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "no schedule"
+
+let suite =
+  [
+    Alcotest.test_case "fir values" `Quick test_fir_values;
+    Alcotest.test_case "fir tree depth" `Quick test_fir_tree_depth;
+    Alcotest.test_case "fir end-to-end" `Quick test_fir_end_to_end;
+    Alcotest.test_case "corr fusions" `Quick test_corr_fusions;
+    Alcotest.test_case "corr end-to-end" `Quick test_corr_end_to_end;
+    Alcotest.test_case "corr bad args" `Quick test_corr_bad_args;
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "matmul on wide" `Quick test_matmul_on_wide;
+    Alcotest.test_case "matmul on mini" `Quick test_matmul_on_mini;
+    Alcotest.test_case "simulator respects preset" `Quick test_simulator_respects_preset;
+  ]
+
+(* ---------------- DETECT (MMSE detection stage) ---------------- *)
+
+let test_detect_values () =
+  let h = Apps.Qrd.default_h and sigma = 0.5 and y = Apps.Detect.default_y in
+  let app = Apps.Detect.build ~h ~sigma ~y () in
+  let expect = Apps.Detect.reference ~h ~sigma ~y in
+  Array.iteri
+    (fun k s ->
+      let got = Dsl.scalar_value s in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "s[%d].re" k) expect.(k).Cplx.re got.Cplx.re;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "s[%d].im" k) expect.(k).Cplx.im got.Cplx.im)
+    app.Apps.Detect.s_hat
+
+let test_detect_recovers_clean_signal () =
+  (* with a noiseless observation y = H s and tiny regularization, the
+     detector recovers s *)
+  let h = Apps.Qrd.default_h in
+  let s_true = [| Cplx.one; Cplx.make (-1.) 0.; Cplx.i; Cplx.make 0. (-1.) |] in
+  let y =
+    Array.init 4 (fun i ->
+        let acc = ref Cplx.zero in
+        for j = 0 to 3 do
+          acc := Cplx.mac !acc h.(i).(j) s_true.(j)
+        done;
+        !acc)
+  in
+  let est = Apps.Detect.reference ~h ~sigma:1e-6 ~y in
+  Array.iteri
+    (fun k e ->
+      Alcotest.(check bool) (Printf.sprintf "recovered s[%d]" k) true
+        (Cplx.equal ~eps:1e-3 e s_true.(k)))
+    est
+
+let test_detect_end_to_end () =
+  let g = merged (Apps.Detect.graph (Apps.Detect.build ())) in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+  match o.Sched.Solve.schedule with
+  | Some sch -> (
+    match Sched.Codegen.run_and_check sch with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "no schedule"
+
+let test_detect_uses_all_units () =
+  let g = Apps.Detect.graph (Apps.Detect.build ()) in
+  let count rc =
+    List.length
+      (List.filter
+         (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc)
+         (Ir.op_nodes g))
+  in
+  Alcotest.(check bool) "vector core used" true (count Eit.Opcode.Vector_core >= 1);
+  Alcotest.(check bool) "scalar accel used" true (count Eit.Opcode.Scalar_accel >= 10);
+  Alcotest.(check bool) "index/merge used" true (count Eit.Opcode.Index_merge >= 10)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "detect numerics" `Quick test_detect_values;
+      Alcotest.test_case "detect recovers signal" `Quick test_detect_recovers_clean_signal;
+      Alcotest.test_case "detect end-to-end" `Quick test_detect_end_to_end;
+      Alcotest.test_case "detect unit mix" `Quick test_detect_uses_all_units;
+    ]

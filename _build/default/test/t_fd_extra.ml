@@ -1,0 +1,276 @@
+(* Element, reified booleans, Hall-interval alldiff, solve_all and
+   restart search — all against brute-force oracles. *)
+
+open Fd
+
+(* ---------------- Element ---------------- *)
+
+let element_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"element = brute force" ~count:200
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 1 4) (list_size (int_range 1 3) (int_range 0 6)))
+           (list_size (int_range 1 3) (int_range 0 6)))
+       (fun (table, zdom) ->
+         let table = List.map (List.sort_uniq compare) table in
+         let zdom = List.sort_uniq compare zdom in
+         let n = List.length table in
+         let s = Store.create () in
+         let xs = Array.of_list (List.map (fun d -> Store.new_var s (Dom.of_list d)) table) in
+         let index = Store.interval_var s 0 (n + 1) in
+         let z = Store.new_var s (Dom.of_list zdom) in
+         let vars = (index :: z :: Array.to_list xs) in
+         let expected =
+           let domains =
+             List.init (n + 2) Fun.id :: zdom :: table
+           in
+           T_arith.brute domains (function
+             | i :: zv :: xvals -> i < n && List.nth xvals i = zv
+             | _ -> assert false)
+         in
+         match Element.post s ~index xs z with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Store.Fail _ -> expected = []))
+
+let test_element_const () =
+  let s = Store.create () in
+  let index = Store.interval_var s 0 3 in
+  let z = Store.interval_var s 0 100 in
+  Element.post_const s ~index [| 10; 20; 30; 40 |] z;
+  Store.remove_below s z 25;
+  Store.propagate s;
+  Alcotest.(check int) "index pruned" 2 (Store.vmin index);
+  Store.assign s index 3;
+  Store.propagate s;
+  Alcotest.(check int) "z fixed" 40 (Store.value z)
+
+(* ---------------- Reified ---------------- *)
+
+let reif_oracle name post pred =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:200
+       QCheck2.Gen.(
+         pair
+           (list_size (int_range 1 3) (int_range (-4) 4))
+           (list_size (int_range 1 3) (int_range (-4) 4)))
+       (fun (xd, yd) ->
+         let xd = List.sort_uniq compare xd and yd = List.sort_uniq compare yd in
+         let s = Store.create () in
+         let x = Store.new_var s (Dom.of_list xd) in
+         let y = Store.new_var s (Dom.of_list yd) in
+         let b = Reif.bool_var s in
+         post s x y b;
+         let expected =
+           T_arith.brute [ xd; yd; [ 0; 1 ] ] (function
+             | [ xv; yv; bv ] -> bv = (if pred xv yv then 1 else 0)
+             | _ -> assert false)
+         in
+         T_arith.all_solutions s [ x; y; b ] = expected))
+
+let test_conj_disj () =
+  let s = Store.create () in
+  let a = Reif.bool_var s and b = Reif.bool_var s and c = Reif.bool_var s in
+  let r = Reif.bool_var s in
+  Reif.conj s [ a; b; c ] r;
+  Store.assign s r 1;
+  Store.propagate s;
+  Alcotest.(check bool) "all forced" true
+    (Reif.is_true a && Reif.is_true b && Reif.is_true c);
+  let s = Store.create () in
+  let a = Reif.bool_var s and b = Reif.bool_var s in
+  let r = Reif.bool_var s in
+  Reif.disj s [ a; b ] r;
+  Store.assign s r 0;
+  Store.propagate s;
+  Alcotest.(check bool) "all false" true (Reif.is_false a && Reif.is_false b);
+  let s = Store.create () in
+  let a = Reif.bool_var s and b = Reif.bool_var s in
+  let r = Reif.bool_var s in
+  Reif.disj s [ a; b ] r;
+  Store.assign s r 1;
+  Store.assign s a 0;
+  Store.propagate s;
+  Alcotest.(check bool) "last one forced" true (Reif.is_true b)
+
+let test_negation_cardinality () =
+  let s = Store.create () in
+  let a = Reif.bool_var s and b = Reif.bool_var s in
+  Reif.negation s a b;
+  Store.assign s a 1;
+  Store.propagate s;
+  Alcotest.(check bool) "negated" true (Reif.is_false b);
+  let s = Store.create () in
+  let bs = List.init 4 (fun _ -> Reif.bool_var s) in
+  let total = Store.interval_var s 3 3 in
+  Reif.bool_sum s bs total;
+  List.iteri (fun i x -> if i < 1 then Store.assign s x 0) bs;
+  Store.propagate s;
+  Alcotest.(check bool) "rest forced true" true
+    (List.for_all Reif.is_true (List.tl bs))
+
+(* ---------------- Alldiff ---------------- *)
+
+let alldiff_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"hall alldiff = brute force" ~count:200
+       QCheck2.Gen.(list_size (int_range 2 4) (list_size (int_range 1 4) (int_range 0 5)))
+       (fun raw ->
+         let domains = List.map (List.sort_uniq compare) raw in
+         let s = Store.create () in
+         let vars = List.map (fun d -> Store.new_var s (Dom.of_list d)) domains in
+         let expected =
+           T_arith.brute domains (fun vals ->
+               List.length (List.sort_uniq compare vals) = List.length vals)
+         in
+         match Alldiff.post s vars with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Store.Fail _ -> expected = []))
+
+let test_hall_pruning_strength () =
+  (* x, y in {1,2}; z in {1,2,3}: Hall set {x,y} forces z = 3 — the
+     pairwise decomposition cannot see this without search *)
+  let s = Store.create () in
+  let x = Store.interval_var s 1 2 in
+  let y = Store.interval_var s 1 2 in
+  let z = Store.interval_var s 1 3 in
+  Alldiff.post s [ x; y; z ];
+  Store.propagate s;
+  Alcotest.(check int) "z forced by Hall interval" 3 (Store.value z)
+
+let test_pigeonhole_detected_at_root () =
+  let s = Store.create () in
+  let vars = List.init 4 (fun _ -> Store.interval_var s 1 3) in
+  Alcotest.(check bool) "4 pigeons, 3 holes" true
+    (match Alldiff.post s vars with
+    | exception Store.Fail _ -> true
+    | () -> false)
+
+(* ---------------- solve_all / restarts ---------------- *)
+
+let test_solve_all () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 2 and y = Store.interval_var s 0 2 in
+  Arith.neq s x y;
+  let sols, st =
+    Search.solve_all s [ Search.phase [ x; y ] ] ~on_solution:(fun () ->
+        (Store.value x, Store.value y))
+  in
+  Alcotest.(check int) "six solutions" 6 (List.length sols);
+  Alcotest.(check bool) "exhaustive" true st.Search.optimal;
+  Alcotest.(check bool) "store restored" true
+    (Dom.size (Store.dom x) = 3 && Dom.size (Store.dom y) = 3)
+
+let test_solve_all_limit () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let sols, st =
+    Search.solve_all ~limit:4 s [ Search.phase [ x ] ] ~on_solution:(fun () ->
+        Store.value x)
+  in
+  Alcotest.(check int) "limited" 4 (List.length sols);
+  Alcotest.(check bool) "not exhaustive" false st.Search.optimal
+
+let test_luby () =
+  Alcotest.(check (list int)) "prefix"
+    [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ]
+    (List.init 15 (fun i -> Search.luby (i + 1)))
+
+let test_minimize_restarts () =
+  (* same optimum as plain minimize on a small problem *)
+  let build () =
+    let s = Store.create () in
+    let vars = List.init 5 (fun _ -> Store.interval_var s 0 8) in
+    Arith.all_different s vars;
+    let obj = Store.interval_var s 0 100 in
+    Arith.sum s vars obj;
+    (s, vars, obj)
+  in
+  let s1, v1, o1 = build () in
+  let plain =
+    match
+      Search.minimize s1 [ Search.phase v1 ] ~objective:o1 ~on_solution:(fun () ->
+          Store.vmin o1)
+    with
+    | Search.Solution (v, _) -> v
+    | _ -> Alcotest.fail "plain failed"
+  in
+  let s2, v2, o2 = build () in
+  match
+    Search.minimize_restarts ~base:16 s2 [ Search.phase v2 ] ~objective:o2
+      ~on_solution:(fun () -> Store.vmin o2)
+  with
+  | Search.Solution (v, st) ->
+    Alcotest.(check int) "same optimum" plain v;
+    Alcotest.(check bool) "proof" true st.Search.optimal
+  | _ -> Alcotest.fail "restarts failed"
+
+let suite =
+  [
+    element_oracle;
+    Alcotest.test_case "element const table" `Quick test_element_const;
+    reif_oracle "leq_iff = brute force" Reif.leq_iff (fun x y -> x <= y);
+    reif_oracle "eq_iff = brute force" Reif.eq_iff (fun x y -> x = y);
+    Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+    Alcotest.test_case "negation/cardinality" `Quick test_negation_cardinality;
+    alldiff_oracle;
+    Alcotest.test_case "Hall pruning strength" `Quick test_hall_pruning_strength;
+    Alcotest.test_case "pigeonhole at root" `Quick test_pigeonhole_detected_at_root;
+    Alcotest.test_case "solve_all" `Quick test_solve_all;
+    Alcotest.test_case "solve_all limit" `Quick test_solve_all_limit;
+    Alcotest.test_case "luby sequence" `Quick test_luby;
+    Alcotest.test_case "minimize with restarts" `Quick test_minimize_restarts;
+  ]
+
+(* ---------------- global cardinality ---------------- *)
+
+let gcc_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"gcc = brute force" ~count:200
+       QCheck2.Gen.(
+         pair
+           (list_repeat 3 (list_size (int_range 1 3) (int_range 0 3)))
+           (list_size (int_range 1 3)
+              (triple (int_range 0 3) (int_range 0 2) (int_range 0 3))))
+       (fun (domains, raw_cards) ->
+         let domains = List.map (List.sort_uniq compare) domains in
+         let cards =
+           List.map (fun (v, lo, hi) -> (v, min lo hi, max lo hi)) raw_cards
+         in
+         let count v vals = List.length (List.filter (( = ) v) vals) in
+         let expected =
+           T_arith.brute domains (fun vals ->
+               List.for_all
+                 (fun (v, lo, hi) -> count v vals >= lo && count v vals <= hi)
+                 cards)
+         in
+         let s = Store.create () in
+         let vars = List.map (fun d -> Store.new_var s (Dom.of_list d)) domains in
+         match Gcc.post s vars cards with
+         | () -> T_arith.all_solutions s vars = expected
+         | exception Store.Fail _ -> expected = []))
+
+let test_gcc_propagation () =
+  (* three vars over {0,1}; value 0 capped at 1; once one var is 0 the
+     others lose it *)
+  let s = Store.create () in
+  let vars = List.init 3 (fun _ -> Store.interval_var s 0 1) in
+  Gcc.post s vars [ (0, 0, 1) ];
+  Store.assign s (List.hd vars) 0;
+  Store.propagate s;
+  List.iter
+    (fun x -> Alcotest.(check int) "forced to 1" 1 (Store.value x))
+    (List.tl vars);
+  (* lower bound: value 5 needed twice but only two vars can take it *)
+  let s = Store.create () in
+  let a = Store.new_var s (Dom.of_list [ 4; 5 ]) in
+  let b = Store.new_var s (Dom.of_list [ 5; 6 ]) in
+  let c = Store.new_var s (Dom.of_list [ 7 ]) in
+  Gcc.post s [ a; b; c ] [ (5, 2, 3) ];
+  Store.propagate s;
+  Alcotest.(check int) "a forced" 5 (Store.value a);
+  Alcotest.(check int) "b forced" 5 (Store.value b)
+
+let suite =
+  suite
+  @ [ gcc_oracle; Alcotest.test_case "gcc propagation" `Quick test_gcc_propagation ]

@@ -1,0 +1,162 @@
+(* Whole-pipeline integration: the umbrella API, the Table 1 memory
+   sweep shape, and cross-regime consistency. *)
+
+module Vecsched = Vecsched_core.Vecsched
+
+let test_compile_dsl_protects_outputs () =
+  let ctx = Vecsched.Dsl.create () in
+  let a = Vecsched.Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let c = Vecsched.Dsl.v_conj ctx a in
+  let d = Vecsched.Dsl.v_add ctx c a in
+  Vecsched.Dsl.mark_output ctx c;
+  (* c is an output: fusing it away would lose it *)
+  Vecsched.Dsl.mark_output ctx d;
+  let compiled = Vecsched.compile_dsl ctx in
+  Alcotest.(check int) "no fusion over outputs" 0 compiled.Vecsched.fusions
+
+let test_full_pipeline_matmul () =
+  let app = Apps.Matmul.build () in
+  let compiled = Vecsched.compile (Apps.Matmul.graph app) in
+  match Vecsched.schedule compiled with
+  | { schedule = Some sch; status = Sched.Solve.Optimal; _ } ->
+    Alcotest.(check int) "optimal makespan" 11 sch.Vecsched.Schedule.makespan;
+    Alcotest.(check bool) "simulates" true (Vecsched.run_on_simulator sch = Ok ())
+  | _ -> Alcotest.fail "expected optimal schedule"
+
+(* Table 1 shape: schedule length invariant across memory sizes (the
+   critical path dominates), down to a feasibility cliff. *)
+let test_table1_shape () =
+  let g =
+    (Vecsched.Merge.run (Apps.Qrd.graph (Apps.Qrd.build ()))).Vecsched.Merge.graph
+  in
+  let lengths =
+    List.filter_map
+      (fun slots ->
+        let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
+        match
+          (Sched.Solve.run ~arch ~budget:(Fd.Search.time_budget 20_000.) g)
+            .Sched.Solve.schedule
+        with
+        | Some sch -> Some sch.Vecsched.Schedule.makespan
+        | None -> None)
+      [ 64; 16; 10 ]
+  in
+  Alcotest.(check int) "all sizes schedulable" 3 (List.length lengths);
+  (match lengths with
+  | l :: rest -> List.iter (Alcotest.(check int) "same length" l) rest
+  | [] -> ());
+  (* and the length equals the critical path, as in the paper's analysis *)
+  match lengths with
+  | l :: _ ->
+    Alcotest.(check int) "= |Cr.P|" (Vecsched.Ir.critical_path g Vecsched.Arch.default) l
+  | [] -> ()
+
+let test_regime_ordering () =
+  (* steady-state throughput: modulo >= overlapped >= one-shot, for ARF *)
+  let g = (Vecsched.Merge.run (Apps.Arf.graph (Apps.Arf.build ()))).Vecsched.Merge.graph in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+  let sch = Option.get o.Sched.Solve.schedule in
+  let one_shot = 1. /. float_of_int sch.Vecsched.Schedule.makespan in
+  let ov = Vecsched.Overlap.run sch ~m:12 in
+  match Vecsched.Modulo.solve_including ~budget_ms:20_000. g with
+  | Some r ->
+    Alcotest.(check bool) "overlap > one-shot" true
+      (ov.Vecsched.Overlap.throughput > one_shot);
+    Alcotest.(check bool) "modulo >= overlap" true
+      (r.Vecsched.Modulo.throughput >= ov.Vecsched.Overlap.throughput -. 1e-9)
+  | None -> Alcotest.fail "modulo timeout"
+
+let test_xml_export_schedule_import () =
+  (* export the IR, re-import, schedule both: same optimum *)
+  let g = (Vecsched.Merge.run (Apps.Matmul.graph (Apps.Matmul.build ()))).Vecsched.Merge.graph in
+  let g' = Vecsched.Xml.of_string (Vecsched.Xml.to_string g) in
+  let m1 = Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) g in
+  let m2 = Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) g' in
+  match (m1.Sched.Solve.schedule, m2.Sched.Solve.schedule) with
+  | Some a, Some b ->
+    Alcotest.(check int) "same optimum" a.Vecsched.Schedule.makespan
+      b.Vecsched.Schedule.makespan
+  | _ -> Alcotest.fail "scheduling failed"
+
+let test_simulated_overlap_small () =
+  (* actually execute M=7 overlapped MATMUL iterations on the simulator
+     by building a program with per-iteration slot offsets *)
+  let app = Apps.Matmul.build () in
+  let g = (Vecsched.Merge.run (Apps.Matmul.graph app)).Vecsched.Merge.graph in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) g in
+  let sch = Option.get o.Sched.Solve.schedule in
+  let ov = Vecsched.Overlap.run sch ~m:7 in
+  Alcotest.(check bool) "overlap computed" true (ov.Vecsched.Overlap.length > 0);
+  (* slots_used * m must fit the memory for a real deployment *)
+  Alcotest.(check bool) "memory for 7 iterations" true
+    (Sched.Schedule.slots_used sch * 7 <= Vecsched.Arch.slots Vecsched.Arch.default)
+
+(* The strongest property in the repo: ANY random DSL program, once
+   compiled and scheduled, must validate against the independent checker
+   and produce simulator results identical to the reference evaluation. *)
+let random_end_to_end =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random program end-to-end" ~count:40
+       QCheck2.Gen.(list_size (int_range 1 12) (int_bound 11))
+       (fun script ->
+         let module Dsl = Vecsched.Dsl in
+         let ctx = Dsl.create () in
+         let v0 = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+         let v1 = Dsl.vector_input_f ctx [ 0.5; -1.; 2.; 0.25 ] in
+         let s0 = Dsl.scalar_input_f ctx 2. in
+         let vecs = ref [ v0; v1 ] and scas = ref [ s0 ] in
+         let pick l k = List.nth l (k mod List.length l) in
+         List.iteri
+           (fun i op ->
+             let v () = pick !vecs (i + 1) and sc () = pick !scas (i + 2) in
+             match op with
+             | 0 -> vecs := Dsl.v_add ctx (v ()) (v ()) :: !vecs
+             | 1 -> vecs := Dsl.v_mul ctx (v ()) (v ()) :: !vecs
+             | 2 -> scas := Dsl.v_dotp ctx (v ()) (v ()) :: !scas
+             | 3 -> vecs := Dsl.v_scale ctx (v ()) (sc ()) :: !vecs
+             | 4 -> scas := Dsl.s_add ctx (sc ()) (sc ()) :: !scas
+             | 5 -> vecs := Dsl.v_conj ctx (v ()) :: !vecs
+             | 6 -> vecs := Dsl.v_sort ctx (v ()) :: !vecs
+             | 7 -> scas := Dsl.v_squsum ctx (v ()) :: !scas
+             | 8 -> vecs := Dsl.splat ctx (sc ()) :: !vecs
+             | 9 -> vecs := Dsl.v_naxpy ctx (v ()) (sc ()) (v ()) :: !vecs
+             | 10 -> scas := Dsl.index ctx (v ()) 1 :: !scas
+             | _ -> vecs := Dsl.v_mac ctx (v ()) (v ()) (v ()) :: !vecs)
+           script;
+         let compiled = Vecsched.compile_dsl ctx in
+         match Vecsched.schedule ~budget_ms:5_000. compiled with
+         | { schedule = Some sch; _ } ->
+           Sched.Schedule.is_valid sch && Vecsched.run_on_simulator sch = Ok ()
+         | { status = Sched.Solve.Timeout; _ } ->
+           QCheck2.assume_fail () (* budget blown: discard, don't fail *)
+         | _ -> false))
+
+let suite =
+  [
+    random_end_to_end;
+    Alcotest.test_case "compile_dsl protects outputs" `Quick test_compile_dsl_protects_outputs;
+    Alcotest.test_case "full pipeline matmul" `Quick test_full_pipeline_matmul;
+    Alcotest.test_case "Table 1 shape" `Slow test_table1_shape;
+    Alcotest.test_case "regime ordering" `Slow test_regime_ordering;
+    Alcotest.test_case "xml export/import schedule" `Quick test_xml_export_schedule_import;
+    Alcotest.test_case "overlap memory footprint" `Quick test_simulated_overlap_small;
+  ]
+
+let test_report_builds () =
+  let g = (Vecsched.Merge.run (Apps.Matmul.graph (Apps.Matmul.build ()))).Vecsched.Merge.graph in
+  let r = Sched.Report.build ~budget_ms:10_000. ~name:"matmul" g in
+  Alcotest.(check bool) "has schedule" true (r.Sched.Report.outcome.Sched.Solve.schedule <> None);
+  Alcotest.(check bool) "has analysis" true (r.Sched.Report.analysis <> None);
+  Alcotest.(check bool) "has code size" true (r.Sched.Report.code_bytes <> None);
+  let text = Format.asprintf "%a" Sched.Report.pp r in
+  List.iter
+    (fun frag ->
+      let contains =
+        let n = String.length frag and m = String.length text in
+        let rec go i = i + n <= m && (String.sub text i n = frag || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("report mentions " ^ frag) true contains)
+    [ "# matmul"; "## schedule"; "makespan"; "memory map"; "utilization" ]
+
+let suite = suite @ [ Alcotest.test_case "report builds" `Quick test_report_builds ]

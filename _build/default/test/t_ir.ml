@@ -1,0 +1,117 @@
+(* IR graph: builder invariants, analyses, evaluation. *)
+
+open Eit_dsl
+open Eit
+
+let v4 f = Value.vector_of_floats [ f; f; f; f ]
+
+(* a + b, then squsum of the result *)
+let small_graph () =
+  let b = Ir.builder () in
+  let a = Ir.add_data b ~label:"a" ~value:(v4 1.) `Vector in
+  let bb = Ir.add_data b ~label:"b" ~value:(v4 2.) `Vector in
+  let sum = Ir.add_data b `Vector in
+  let add = Ir.add_op b (Opcode.v Vadd) ~args:[ a; bb ] ~result:sum in
+  let sq = Ir.add_data b `Scalar in
+  let squ = Ir.add_op b (Opcode.v Vsqsum) ~args:[ sum ] ~result:sq in
+  (Ir.freeze b, a, bb, sum, add, sq, squ)
+
+let test_structure () =
+  let g, a, b, sum, add, sq, squ = small_graph () in
+  Alcotest.(check int) "|V|" 6 (Ir.size g);
+  Alcotest.(check int) "|E|" 5 (Ir.edge_count g);
+  Alcotest.(check (list int)) "inputs" [ a; b ] (Ir.inputs g);
+  Alcotest.(check (list int)) "outputs" [ sq ] (Ir.outputs g);
+  Alcotest.(check (list int)) "op nodes" [ add; squ ] (Ir.op_nodes g);
+  Alcotest.(check (option int)) "producer" (Some add) (Ir.producer g sum);
+  Alcotest.(check (list int)) "operand order" [ a; b ] (Ir.preds g add);
+  Alcotest.(check bool) "validate" true (Ir.validate g = Ok ())
+
+let test_categories () =
+  let g, a, _, _, add, sq, _ = small_graph () in
+  Alcotest.(check bool) "vector data" true (Ir.category g a = Ir.Vector_data);
+  Alcotest.(check bool) "vector op" true (Ir.category g add = Ir.Vector_op);
+  Alcotest.(check bool) "scalar data" true (Ir.category g sq = Ir.Scalar_data);
+  Alcotest.(check int) "count v_data" 3 (Ir.count g Ir.Vector_data)
+
+let test_topo_and_critical_path () =
+  let g, _, _, _, _, _, _ = small_graph () in
+  let order = Ir.topo_order g in
+  let pos = Array.make (Ir.size g) 0 in
+  List.iteri (fun i n -> pos.(n) <- i) order;
+  List.iter
+    (fun n -> List.iter (fun s -> assert (pos.(n) < pos.(s))) (Ir.succs g n))
+    (List.init (Ir.size g) Fun.id);
+  (* two chained 7-cycle vector ops *)
+  Alcotest.(check int) "critical path" 14 (Ir.critical_path g Arch.default)
+
+let test_eval () =
+  let g, _, _, sum, _, sq, _ = small_graph () in
+  let vals = Ir.eval g in
+  (match List.assoc sum vals with
+  | Value.Vector a -> Alcotest.(check (float 0.)) "sum" 3. a.(0).Cplx.re
+  | _ -> Alcotest.fail "kind");
+  match List.assoc sq vals with
+  | Value.Scalar c -> Alcotest.(check (float 0.)) "sqsum" 36. c.Cplx.re
+  | _ -> Alcotest.fail "kind"
+
+let test_arity_check () =
+  let b = Ir.builder () in
+  let a = Ir.add_data b `Vector in
+  let r = Ir.add_data b `Vector in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (match Ir.add_op b (Opcode.v Vadd) ~args:[ a ] ~result:r with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_double_producer_rejected () =
+  let b = Ir.builder () in
+  let a = Ir.add_data b ~value:(v4 1.) `Vector in
+  let r = Ir.add_data b `Vector in
+  ignore (Ir.add_op b (Opcode.v Vid) ~args:[ a ] ~result:r);
+  ignore (Ir.add_op b (Opcode.v Vid) ~args:[ a ] ~result:r);
+  Alcotest.(check bool) "freeze rejects" true
+    (match Ir.freeze b with exception Invalid_argument _ -> true | _ -> false)
+
+let test_kind_mismatch_rejected () =
+  (* dotp produces a scalar; feeding a vector datum must be rejected *)
+  let b = Ir.builder () in
+  let a = Ir.add_data b ~value:(v4 1.) `Vector in
+  let r = Ir.add_data b `Vector in
+  ignore (Ir.add_op b (Opcode.v Vdotp) ~args:[ a; a ] ~result:r);
+  Alcotest.(check bool) "freeze rejects" true
+    (match Ir.freeze b with exception Invalid_argument _ -> true | _ -> false)
+
+let test_cycle_rejected () =
+  (* two Vid ops consuming each other's outputs *)
+  let b = Ir.builder () in
+  let d1 = Ir.add_data b `Vector in
+  let d2 = Ir.add_data b `Vector in
+  ignore (Ir.add_op b (Opcode.v Vid) ~args:[ d1 ] ~result:d2);
+  ignore (Ir.add_op b (Opcode.v Vid) ~args:[ d2 ] ~result:d1);
+  Alcotest.(check bool) "freeze rejects cycle" true
+    (match Ir.freeze b with exception Invalid_argument _ -> true | _ -> false)
+
+let test_repeated_operand () =
+  (* same datum used twice as operand is legal (dotp (a, a)) *)
+  let b = Ir.builder () in
+  let a = Ir.add_data b ~value:(v4 2.) `Vector in
+  let r = Ir.add_data b `Scalar in
+  ignore (Ir.add_op b (Opcode.v Vdotp) ~args:[ a; a ] ~result:r);
+  let g = Ir.freeze b in
+  match List.assoc r (Ir.eval g) with
+  | Value.Scalar c -> Alcotest.(check (float 0.)) "a.a" 16. c.Cplx.re
+  | _ -> Alcotest.fail "kind"
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "categories" `Quick test_categories;
+    Alcotest.test_case "topo + critical path" `Quick test_topo_and_critical_path;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "double producer" `Quick test_double_producer_rejected;
+    Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "repeated operand" `Quick test_repeated_operand;
+  ]

@@ -1,0 +1,268 @@
+(* Instruction structure validation, configuration counting and the
+   cycle-accurate simulator, including failure injection. *)
+
+open Eit
+
+let v4 f = Array.make Value.vlen (Cplx.of_float f)
+
+let issue ?(node = 0) op args dest = { Instr.op; args; dest; node }
+
+let prog ?(inputs = []) ?(outputs = []) instrs =
+  { Instr.arch = Arch.default; inputs; instrs; outputs }
+
+let test_config_counting () =
+  let add = Some (Opcode.v Vadd) and mul = Some (Opcode.v Vmul) in
+  Alcotest.(check int) "no change" 0 (Config.count_reconfigs [ add; add; add ]);
+  Alcotest.(check int) "idle transparent" 1
+    (Config.count_reconfigs [ add; None; add; None; mul ]);
+  Alcotest.(check int) "alternating" 3 (Config.count_reconfigs [ add; mul; add; mul ]);
+  Alcotest.(check int) "cyclic wrap" 2 (Config.count_reconfigs_cyclic [ add; mul ]);
+  Alcotest.(check int) "cyclic same" 0 (Config.count_reconfigs_cyclic [ add; None; add ]);
+  Alcotest.(check int) "empty" 0 (Config.count_reconfigs [])
+
+let simple_add_program () =
+  prog
+    ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+    ~outputs:[ (100, Instr.Dslot 2) ]
+    [
+      {
+        Instr.cycle = 0;
+        vector = [ issue ~node:100 (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot 2) ];
+        scalar = None;
+        im = None;
+      };
+    ]
+
+let test_simple_run () =
+  let r = Machine.run (simple_add_program ()) in
+  Alcotest.(check int) "completion cycle" 7 r.Machine.cycles;
+  let out = Machine.output_values r (simple_add_program ()) in
+  match out with
+  | [ (100, Value.Vector a) ] -> Alcotest.(check (float 0.)) "sum" 3. a.(0).Cplx.re
+  | _ -> Alcotest.fail "unexpected outputs"
+
+let test_dependent_chain () =
+  (* add at 0 -> result usable at 7; consumer at 7 reads it *)
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+      [
+        { (Instr.empty_cycle 0) with
+          vector = [ issue ~node:1 (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot 2) ] };
+        { (Instr.empty_cycle 7) with
+          vector = [ issue ~node:2 (Opcode.v Vadd) [ Instr.Slot 2; Instr.Slot 2 ] (Instr.Dslot 3) ] };
+      ]
+  in
+  let r = Machine.run p in
+  let v = List.assoc 2 r.Machine.node_values in
+  Alcotest.(check (float 0.)) "chained" 6. (Value.as_vector v).(0).Cplx.re
+
+let test_read_too_early () =
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+      [
+        { (Instr.empty_cycle 0) with
+          vector = [ issue ~node:1 (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot 2) ] };
+        { (Instr.empty_cycle 6) with
+          vector = [ issue ~node:2 (Opcode.v Vadd) [ Instr.Slot 2; Instr.Slot 2 ] (Instr.Dslot 3) ] };
+      ]
+  in
+  match Machine.run p with
+  | exception Machine.Sim_error (Machine.Read_uninitialized { cycle = 6; slot = 2; _ }) -> ()
+  | exception Machine.Sim_error e ->
+    Alcotest.failf "wrong error: %a" Machine.pp_error e
+  | _ -> Alcotest.fail "expected read-too-early failure"
+
+let test_bank_conflict_detected () =
+  (* slots 0 and 16 share bank 0 *)
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (16, v4 2.) ]
+      [
+        { (Instr.empty_cycle 0) with
+          vector = [ issue (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 16 ] (Instr.Dslot 2) ] };
+      ]
+  in
+  (match Machine.run p with
+  | exception Machine.Sim_error (Machine.Access_violation _) -> ()
+  | _ -> Alcotest.fail "expected access violation");
+  (* and is tolerated with checking off *)
+  match Machine.run ~check_access:false p with
+  | _ -> ()
+
+let test_mixed_config_rejected () =
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+      [
+        { (Instr.empty_cycle 0) with
+          vector =
+            [
+              issue (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot 2);
+              issue (Opcode.v Vmul) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot 3);
+            ] };
+      ]
+  in
+  match Machine.run p with
+  | exception Machine.Sim_error (Machine.Structural _) -> ()
+  | _ -> Alcotest.fail "expected structural rejection"
+
+let test_lane_overflow_rejected () =
+  let mk d = issue (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot d) in
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+      [ { (Instr.empty_cycle 0) with vector = [ mk 2; mk 3; mk 4; mk 5; mk 6 ] } ]
+  in
+  match Machine.run ~check_access:false p with
+  | exception Machine.Sim_error (Machine.Structural _) -> ()
+  | _ -> Alcotest.fail "expected lane overflow rejection"
+
+let test_four_same_config_ok () =
+  (* 4 identically-configured adds on distinct banks: legal VLIW bundle *)
+  let inputs =
+    List.init 8 (fun i -> Instr.In_slot (i, v4 (float_of_int i)))
+  in
+  let mk k =
+    issue ~node:k (Opcode.v Vadd)
+      [ Instr.Slot (2 * k); Instr.Slot ((2 * k) + 1) ]
+      (Instr.Dslot (8 + k))
+  in
+  let p =
+    prog ~inputs [ { (Instr.empty_cycle 0) with vector = List.init 4 mk } ]
+  in
+  let r = Machine.run p in
+  Alcotest.(check int) "all four results" 4 (List.length r.Machine.node_values)
+
+let test_scalar_and_im_units () =
+  let p =
+    prog
+      ~inputs:[ Instr.In_reg (0, Cplx.of_float 9.) ]
+      [
+        { (Instr.empty_cycle 0) with
+          scalar = Some (issue ~node:1 (S Ssqrt) [ Instr.Reg 0 ] (Instr.Dreg 1)) };
+        { (Instr.empty_cycle 7) with
+          im = Some (issue ~node:2 (IM Splat) [ Instr.Reg 1 ] (Instr.Dslot 0)) };
+      ]
+  in
+  let r = Machine.run p in
+  let v = List.assoc 2 r.Machine.node_values in
+  Alcotest.(check (float 1e-9)) "sqrt splatted" 3. (Value.as_vector v).(0).Cplx.re
+
+let test_reconfig_count_in_program () =
+  let add d = issue (Opcode.v Vadd) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot d) in
+  let mul d = issue (Opcode.v Vmul) [ Instr.Slot 0; Instr.Slot 1 ] (Instr.Dslot d) in
+  let p =
+    prog
+      ~inputs:[ Instr.In_slot (0, v4 1.); Instr.In_slot (1, v4 2.) ]
+      [
+        { (Instr.empty_cycle 0) with vector = [ add 2 ] };
+        { (Instr.empty_cycle 1) with vector = [ add 3 ] };
+        { (Instr.empty_cycle 5) with vector = [ mul 4 ] };
+      ]
+  in
+  Alcotest.(check int) "one reconfiguration" 1 (Instr.reconfigurations p)
+
+let test_structure_validation () =
+  let ok = simple_add_program () in
+  Alcotest.(check bool) "valid" true (Instr.validate_structure ok = Ok ());
+  let bad_order =
+    prog
+      [ Instr.empty_cycle 3; Instr.empty_cycle 3 ]
+  in
+  Alcotest.(check bool) "non-increasing cycles" true
+    (Result.is_error (Instr.validate_structure bad_order))
+
+let suite =
+  [
+    Alcotest.test_case "configuration counting" `Quick test_config_counting;
+    Alcotest.test_case "simple run" `Quick test_simple_run;
+    Alcotest.test_case "dependent chain" `Quick test_dependent_chain;
+    Alcotest.test_case "read too early" `Quick test_read_too_early;
+    Alcotest.test_case "bank conflict" `Quick test_bank_conflict_detected;
+    Alcotest.test_case "mixed config rejected" `Quick test_mixed_config_rejected;
+    Alcotest.test_case "lane overflow rejected" `Quick test_lane_overflow_rejected;
+    Alcotest.test_case "4-wide same config" `Quick test_four_same_config_ok;
+    Alcotest.test_case "scalar + IM units" `Quick test_scalar_and_im_units;
+    Alcotest.test_case "reconfig count" `Quick test_reconfig_count_in_program;
+    Alcotest.test_case "structure validation" `Quick test_structure_validation;
+  ]
+
+(* ---------------- binary encoding ---------------- *)
+
+let test_encode_roundtrip_simple () =
+  let p = simple_add_program () in
+  let img = Eit.Encode.encode p in
+  let p' = Eit.Encode.decode ~arch:p.Instr.arch ~inputs:p.Instr.inputs
+      ~outputs:p.Instr.outputs img in
+  Alcotest.(check bool) "same instruction stream" true (p' = p);
+  Alcotest.(check bool) "nonzero size" true (Eit.Encode.size_bytes img > 0)
+
+let test_encode_roundtrip_kernels () =
+  (* full kernels: decode(encode p) runs and produces the same values *)
+  List.iter
+    (fun gname ->
+      let g =
+        match gname with
+        | `M -> (Eit_dsl.Merge.run (Apps.Matmul.graph (Apps.Matmul.build ()))).Eit_dsl.Merge.graph
+        | `Q -> (Eit_dsl.Merge.run (Apps.Qrd.graph (Apps.Qrd.build ()))).Eit_dsl.Merge.graph
+      in
+      let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+      let sch = Option.get o.Sched.Solve.schedule in
+      let p = Sched.Codegen.program sch in
+      let img = Eit.Encode.encode p in
+      let p' = Eit.Encode.decode ~arch:p.Instr.arch ~inputs:p.Instr.inputs
+          ~outputs:p.Instr.outputs img in
+      Alcotest.(check bool) "stream identical" true (p'.Instr.instrs = p.Instr.instrs);
+      let r = Machine.run p and r' = Machine.run p' in
+      Alcotest.(check int) "same completion" r.Machine.cycles r'.Machine.cycles;
+      List.iter (fun (node, v) ->
+        let v' = List.assoc node r'.Machine.node_values in
+        Alcotest.(check bool) "same value" true (Value.equal ~eps:0. v v'))
+        r.Machine.node_values)
+    [ `M; `Q ]
+
+let test_encode_imm_pool () =
+  let p =
+    prog
+      ~inputs:[]
+      [
+        { (Instr.empty_cycle 0) with
+          scalar = Some (issue ~node:1 (S Smul)
+            [ Instr.Imm (Cplx.make 2. 1.); Instr.Imm (Cplx.make 2. 1.) ] (Instr.Dreg 0)) };
+      ]
+  in
+  let img = Eit.Encode.encode p in
+  (* identical immediates share one pool entry *)
+  Alcotest.(check int) "pool deduplicated" 1 (Array.length img.Eit.Encode.pool);
+  let p' = Eit.Encode.decode ~arch:p.Instr.arch ~inputs:[] ~outputs:[] img in
+  Alcotest.(check bool) "roundtrip" true (p'.Instr.instrs = p.Instr.instrs)
+
+let test_encode_malformed () =
+  Alcotest.(check bool) "truncated rejected" true
+    (let img = { Eit.Encode.words = [| Int64.shift_left 1L 62 |]; pool = [||] } in
+     match Eit.Encode.decode ~arch:Arch.default ~inputs:[] ~outputs:[] img with
+     | exception Failure _ -> true
+     | _ -> false)
+
+let test_trace_events () =
+  let events = ref [] in
+  let _ = Machine.run ~trace:(fun e -> events := e :: !events) (simple_add_program ()) in
+  let issues = List.filter (function Machine.Ev_issue _ -> true | _ -> false) !events in
+  let wbs = List.filter (function Machine.Ev_writeback _ -> true | _ -> false) !events in
+  Alcotest.(check int) "one issue" 1 (List.length issues);
+  Alcotest.(check int) "one writeback" 1 (List.length wbs);
+  match wbs with
+  | [ Machine.Ev_writeback { cycle; _ } ] -> Alcotest.(check int) "wb at 7" 7 cycle
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "encode roundtrip simple" `Quick test_encode_roundtrip_simple;
+      Alcotest.test_case "encode roundtrip kernels" `Slow test_encode_roundtrip_kernels;
+      Alcotest.test_case "encode imm pool" `Quick test_encode_imm_pool;
+      Alcotest.test_case "encode malformed" `Quick test_encode_malformed;
+      Alcotest.test_case "trace events" `Quick test_trace_events;
+    ]

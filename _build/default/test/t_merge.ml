@@ -1,0 +1,172 @@
+(* The pipeline-fusion pass (Fig. 6): both patterns, chains, guards, and
+   semantics preservation on random programs. *)
+
+open Eit_dsl
+open Eit
+
+let outputs_of g =
+  List.sort compare
+    (List.filter_map
+       (fun d ->
+         if Ir.succs g d = [] then Some (List.assoc d (Ir.eval g)) else None)
+       (Ir.data_nodes g))
+
+let test_pre_fusion () =
+  (* conj -> dotp (operand 0): Fig. 6 left *)
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.vector_input_f ctx [ 2.; 2.; 2.; 2. ] in
+  let c = Dsl.v_conj ctx a in
+  let _ = Dsl.v_dotp ctx c b in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Alcotest.(check int) "one fusion" 1 r.Merge.fusions;
+  Alcotest.(check int) "two nodes gone" (Ir.size g - 2) (Ir.size r.Merge.graph);
+  (* fused op carries the pre stage *)
+  let fused =
+    List.find_map
+      (fun i ->
+        match Ir.opcode r.Merge.graph i with
+        | V { pre = Some Pconj; core = Vdotp; _ } -> Some i
+        | _ -> None)
+      (Ir.op_nodes r.Merge.graph)
+  in
+  Alcotest.(check bool) "conj;v_dotP present" true (fused <> None);
+  Alcotest.(check bool) "values preserved" true
+    (List.for_all2 (Value.equal ~eps:1e-9) (outputs_of g) (outputs_of r.Merge.graph))
+
+let test_post_fusion () =
+  (* matrix op -> sort on its vector output: Fig. 6 right *)
+  let ctx = Dsl.create () in
+  let m = Dsl.matrix_input_f ctx [ [1.;2.;3.;4.]; [4.;3.;2.;1.]; [1.;1.;1.;1.]; [2.;2.;2.;2.] ] in
+  let s = Dsl.m_squsum ctx m in
+  let _sorted = Dsl.v_sort ctx s in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Alcotest.(check int) "one fusion" 1 r.Merge.fusions;
+  let fused =
+    List.exists
+      (fun i ->
+        match Ir.opcode r.Merge.graph i with
+        | V { core = Msqsum; post = Some Qsort; _ } -> true
+        | _ -> false)
+      (Ir.op_nodes r.Merge.graph)
+  in
+  Alcotest.(check bool) "m_squsum;sort present" true fused;
+  Alcotest.(check bool) "values preserved" true
+    (List.for_all2 (Value.equal ~eps:1e-9) (outputs_of g) (outputs_of r.Merge.graph))
+
+let test_chain_fusion () =
+  (* conj -> add -> sort collapses to one node *)
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; -2.; 3.; -4. ] in
+  let b = Dsl.vector_input_f ctx [ 0.; 1.; 0.; 1. ] in
+  let c = Dsl.v_conj ctx a in
+  let s = Dsl.v_add ctx c b in
+  let _ = Dsl.v_sort ctx s in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Alcotest.(check int) "two fusions" 2 r.Merge.fusions;
+  Alcotest.(check int) "one op left" 1 (List.length (Ir.op_nodes r.Merge.graph));
+  match Ir.opcode r.Merge.graph (List.hd (Ir.op_nodes r.Merge.graph)) with
+  | V { pre = Some Pconj; core = Vadd; post = Some Qsort } -> ()
+  | op -> Alcotest.failf "unexpected fused op %s" (Opcode.name op)
+
+let test_no_fusion_on_shared_data () =
+  (* the pre-op's output is consumed twice: cannot fuse *)
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let c = Dsl.v_conj ctx a in
+  let _ = Dsl.v_add ctx c c in
+  (* also used as operand 1 *)
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Alcotest.(check int) "no fusion" 0 r.Merge.fusions
+
+let test_no_fusion_wrong_position () =
+  (* pre-op output is operand 1, not operand 0 *)
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.vector_input_f ctx [ 5.; 6.; 7.; 8. ] in
+  let c = Dsl.v_conj ctx a in
+  let _ = Dsl.v_sub ctx b c in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  Alcotest.(check int) "no fusion" 0 r.Merge.fusions
+
+let test_protect () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let c = Dsl.v_conj ctx a in
+  let d = Dsl.v_add ctx c a in
+  Dsl.mark_output ctx d;
+  let g = Dsl.graph ctx in
+  let unprotected = Merge.run g in
+  Alcotest.(check int) "fusible" 1 unprotected.Merge.fusions;
+  let protected_run = Merge.run ~protect:[ Dsl.node_of_vector c ] g in
+  Alcotest.(check int) "protected intermediate survives" 0 protected_run.Merge.fusions
+
+let test_data_map () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let c = Dsl.v_conj ctx a in
+  let d = Dsl.v_add ctx c a in
+  let g = Dsl.graph ctx in
+  let r = Merge.run g in
+  (* the surviving output maps to a node with the same evaluated value *)
+  let new_d = Merge.map_data r (Dsl.node_of_vector d) in
+  let v = List.assoc new_d (Ir.eval r.Merge.graph) in
+  Alcotest.(check bool) "mapped value" true
+    (Value.equal ~eps:1e-9 v (Value.Vector (Dsl.vector_value d)));
+  Alcotest.(check bool) "fused intermediate unmapped" true
+    (match Merge.map_data r (Dsl.node_of_vector c) with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* Random programs (reusing the t_dsl generator shape): outputs are
+   preserved by fusion, and fusion is idempotent. *)
+let random_fusion_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random fusion preserves outputs" ~count:100
+       QCheck2.Gen.(list_size (int_range 1 20) (int_bound 9))
+       (fun script ->
+         let ctx = Dsl.create () in
+         let v0 = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+         let s0 = Dsl.scalar_input_f ctx 3. in
+         let vecs = ref [ v0 ] and scas = ref [ s0 ] in
+         let pick l k = List.nth l (k mod List.length l) in
+         List.iteri
+           (fun i op ->
+             let v () = pick !vecs (i + 1) and sc () = pick !scas (i + 2) in
+             match op with
+             | 0 -> vecs := Dsl.v_conj ctx (v ()) :: !vecs
+             | 1 -> vecs := Dsl.v_sort ctx (v ()) :: !vecs
+             | 2 -> vecs := Dsl.v_neg ctx (v ()) :: !vecs
+             | 3 -> vecs := Dsl.v_add ctx (v ()) (v ()) :: !vecs
+             | 4 -> vecs := Dsl.v_mul ctx (v ()) (v ()) :: !vecs
+             | 5 -> scas := Dsl.v_dotp ctx (v ()) (v ()) :: !scas
+             | 6 -> vecs := Dsl.v_scale ctx (v ()) (sc ()) :: !vecs
+             | 7 -> vecs := Dsl.v_mask ctx (v ()) 5 :: !vecs
+             | 8 -> vecs := Dsl.v_abs ctx (v ()) :: !vecs
+             | _ -> scas := Dsl.v_squsum ctx (v ()) :: !scas)
+           script;
+         let g = Dsl.graph ctx in
+         let r = Merge.run g in
+         Ir.validate r.Merge.graph = Ok ()
+         && List.for_all2 (Value.equal ~eps:1e-6) (outputs_of g)
+              (outputs_of r.Merge.graph)
+         &&
+         (* idempotent: second pass finds nothing *)
+         (Merge.run r.Merge.graph).Merge.fusions = 0))
+
+let suite =
+  [
+    Alcotest.test_case "pre fusion (Fig. 6 left)" `Quick test_pre_fusion;
+    Alcotest.test_case "post fusion (Fig. 6 right)" `Quick test_post_fusion;
+    Alcotest.test_case "chain fusion" `Quick test_chain_fusion;
+    Alcotest.test_case "shared data blocks fusion" `Quick test_no_fusion_on_shared_data;
+    Alcotest.test_case "operand position guard" `Quick test_no_fusion_wrong_position;
+    Alcotest.test_case "protect" `Quick test_protect;
+    Alcotest.test_case "data map" `Quick test_data_map;
+    random_fusion_preserves;
+  ]

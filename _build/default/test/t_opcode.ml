@@ -1,0 +1,146 @@
+(* Opcode semantics, arities, names and configuration equality. *)
+
+open Eit
+
+let c = Cplx.of_float
+let vec l = Value.vector_of_floats l
+let sca f = Value.scalar (c f)
+
+let eqv = Value.equal ~eps:1e-9
+
+let test_elementwise () =
+  let a = vec [ 1.; 2.; 3.; 4. ] and b = vec [ 10.; 20.; 30.; 40. ] in
+  Alcotest.(check bool) "add" true
+    (eqv (Opcode.eval (Opcode.v Vadd) [ a; b ]) (vec [ 11.; 22.; 33.; 44. ]));
+  Alcotest.(check bool) "sub" true
+    (eqv (Opcode.eval (Opcode.v Vsub) [ b; a ]) (vec [ 9.; 18.; 27.; 36. ]));
+  Alcotest.(check bool) "mul" true
+    (eqv (Opcode.eval (Opcode.v Vmul) [ a; b ]) (vec [ 10.; 40.; 90.; 160. ]))
+
+let test_dot_products () =
+  let a = vec [ 1.; 2.; 3.; 4. ] and b = vec [ 1.; 1.; 1.; 1. ] in
+  Alcotest.(check bool) "dotp" true
+    (eqv (Opcode.eval (Opcode.v Vdotp) [ a; b ]) (sca 10.));
+  (* Hermitian: sum a * conj b; with complex b *)
+  let bi = Value.vector [| Cplx.i; Cplx.i; Cplx.i; Cplx.i |] in
+  let r = Value.as_scalar (Opcode.eval (Opcode.v Vdoth) [ a; bi ]) in
+  Alcotest.(check (float 1e-9)) "doth im" (-10.) r.Cplx.im;
+  Alcotest.(check bool) "sqsum" true
+    (eqv (Opcode.eval (Opcode.v Vsqsum) [ a ]) (sca 30.))
+
+let test_three_operand () =
+  let a = vec [ 1.; 1.; 1.; 1. ] in
+  let b = vec [ 2.; 2.; 2.; 2. ] and d = vec [ 3.; 4.; 5.; 6. ] in
+  Alcotest.(check bool) "mac" true
+    (eqv (Opcode.eval (Opcode.v Vmac) [ a; b; d ]) (vec [ 7.; 9.; 11.; 13. ]));
+  Alcotest.(check bool) "axpy" true
+    (eqv (Opcode.eval (Opcode.v Vaxpy) [ a; sca 2.; d ]) (vec [ 7.; 9.; 11.; 13. ]));
+  Alcotest.(check bool) "naxpy" true
+    (eqv (Opcode.eval (Opcode.v Vnaxpy) [ a; sca 2.; d ]) (vec [ -5.; -7.; -9.; -11. ]))
+
+let test_matrix_ops () =
+  let r0 = vec [ 1.; 0.; 0.; 0. ] and r1 = vec [ 0.; 1.; 0.; 0. ] in
+  let r2 = vec [ 0.; 0.; 1.; 0. ] and r3 = vec [ 0.; 0.; 0.; 1. ] in
+  let x = vec [ 5.; 6.; 7.; 8. ] in
+  Alcotest.(check bool) "identity mvmul" true
+    (eqv (Opcode.eval (Opcode.v Mvmul) [ r0; r1; r2; r3; x ]) x);
+  Alcotest.(check bool) "msqsum" true
+    (eqv (Opcode.eval (Opcode.v Msqsum) [ x; r0; r1; r2 ])
+       (vec [ 174.; 1.; 1.; 1. ]));
+  (* Mhvmul on identity is also identity *)
+  Alcotest.(check bool) "identity mhvmul" true
+    (eqv (Opcode.eval (Opcode.v Mhvmul) [ r0; r1; r2; r3; x ]) x)
+
+let test_pre_post () =
+  let a = Value.vector [| Cplx.make 1. 2.; Cplx.make 3. (-4.); Cplx.zero; Cplx.one |] in
+  let conj_id = Opcode.V { pre = Some Pconj; core = Vid; post = None } in
+  let r = Value.as_vector (Opcode.eval conj_id [ a ]) in
+  Alcotest.(check (float 0.)) "conjugated" (-2.) r.(0).Cplx.im;
+  let mask = Opcode.V { pre = Some (Pmask 0b0101); core = Vid; post = None } in
+  let m = Value.as_vector (Opcode.eval mask [ vec [ 1.; 2.; 3.; 4. ] ]) in
+  Alcotest.(check (float 0.)) "lane 0 kept" 1. m.(0).Cplx.re;
+  Alcotest.(check (float 0.)) "lane 1 zeroed" 0. m.(1).Cplx.re;
+  let sort = Opcode.V { pre = None; core = Vid; post = Some Qsort } in
+  let sorted = Value.as_vector (Opcode.eval sort [ vec [ 2.; 4.; 1.; 3. ] ]) in
+  Alcotest.(check (float 0.)) "descending magnitude" 4. sorted.(0).Cplx.re;
+  Alcotest.(check (float 0.)) "last" 1. sorted.(3).Cplx.re;
+  (* pre applies to the FIRST operand only: conj;v_add conjugates a, not b *)
+  let conj_add = Opcode.V { pre = Some Pconj; core = Vadd; post = None } in
+  let ai = Value.vector (Array.make 4 Cplx.i) in
+  let bi = Value.vector (Array.make 4 Cplx.i) in
+  let s = Value.as_vector (Opcode.eval conj_add [ ai; bi ]) in
+  Alcotest.(check (float 1e-12)) "(-i) + i = 0" 0. s.(0).Cplx.im
+
+let test_scalar_ops () =
+  Alcotest.(check bool) "sqrt" true (eqv (Opcode.eval (S Ssqrt) [ sca 9. ]) (sca 3.));
+  Alcotest.(check bool) "rsqrt" true (eqv (Opcode.eval (S Srsqrt) [ sca 4. ]) (sca 0.5));
+  Alcotest.(check bool) "inv" true (eqv (Opcode.eval (S Sinv) [ sca 4. ]) (sca 0.25));
+  Alcotest.(check bool) "div" true (eqv (Opcode.eval (S Sdiv) [ sca 8.; sca 2. ]) (sca 4.));
+  let z = Value.scalar (Cplx.make 3. 4.) in
+  let r = Value.as_scalar (Opcode.eval (S Scordic) [ z ]) in
+  Alcotest.(check (float 1e-9)) "cordic unit magnitude" 1. (Cplx.abs r)
+
+let test_index_merge () =
+  let m =
+    Opcode.eval (IM Merge4) [ sca 1.; sca 2.; sca 3.; sca 4. ]
+  in
+  Alcotest.(check bool) "merge" true (eqv m (vec [ 1.; 2.; 3.; 4. ]));
+  Alcotest.(check bool) "index" true (eqv (Opcode.eval (IM (Index 2)) [ m ]) (sca 3.));
+  Alcotest.(check bool) "splat" true
+    (eqv (Opcode.eval (IM Splat) [ sca 7. ]) (vec [ 7.; 7.; 7.; 7. ]))
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "too few args"
+    (Invalid_argument "Opcode.eval: expected 2 operands, got 1") (fun () ->
+      ignore (Opcode.eval (Opcode.v Vadd) [ vec [ 1.; 2.; 3.; 4. ] ]))
+
+let all_ops =
+  List.map Opcode.v Opcode.all_cores
+  @ List.map (fun s -> Opcode.S s) Opcode.all_sops
+  @ [ Opcode.IM Merge4; Opcode.IM Splat; Opcode.IM (Index 0); Opcode.IM (Index 3) ]
+  @ [
+      Opcode.V { pre = Some Pconj; core = Vadd; post = None };
+      Opcode.V { pre = Some (Pmask 5); core = Vdotp; post = None };
+      Opcode.V { pre = Some Pneg; core = Vid; post = Some Qsort };
+      Opcode.V { pre = None; core = Vmul; post = Some Qabs };
+      Opcode.V { pre = Some Pconj; core = Vmac; post = Some Qneg };
+    ]
+
+let test_name_roundtrip () =
+  List.iter
+    (fun op ->
+      let n = Opcode.name op in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" n)
+        true
+        (Opcode.config_equal op (Opcode.of_name n)))
+    all_ops
+
+let test_lanes_resources () =
+  Alcotest.(check int) "vector op 1 lane" 1 (Opcode.lanes (Opcode.v Vadd));
+  Alcotest.(check int) "matrix op 4 lanes" 4 (Opcode.lanes (Opcode.v Mvmul));
+  Alcotest.(check int) "scalar 0 lanes" 0 (Opcode.lanes (S Ssqrt));
+  Alcotest.(check bool) "config differs by post" false
+    (Opcode.config_equal (Opcode.v Vadd)
+       (Opcode.V { pre = None; core = Vadd; post = Some Qsort }))
+
+let test_produces () =
+  Alcotest.(check bool) "dotp scalar" true (Opcode.produces (Opcode.v Vdotp) = `Scalar);
+  Alcotest.(check bool) "add vector" true (Opcode.produces (Opcode.v Vadd) = `Vector);
+  Alcotest.(check bool) "merge vector" true (Opcode.produces (IM Merge4) = `Vector);
+  Alcotest.(check bool) "index scalar" true (Opcode.produces (IM (Index 1)) = `Scalar)
+
+let suite =
+  [
+    Alcotest.test_case "elementwise" `Quick test_elementwise;
+    Alcotest.test_case "dot products" `Quick test_dot_products;
+    Alcotest.test_case "three-operand" `Quick test_three_operand;
+    Alcotest.test_case "matrix ops" `Quick test_matrix_ops;
+    Alcotest.test_case "pre/post stages" `Quick test_pre_post;
+    Alcotest.test_case "scalar ops" `Quick test_scalar_ops;
+    Alcotest.test_case "index/merge" `Quick test_index_merge;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "name round-trip" `Quick test_name_roundtrip;
+    Alcotest.test_case "lanes/resources" `Quick test_lanes_resources;
+    Alcotest.test_case "produces" `Quick test_produces;
+  ]

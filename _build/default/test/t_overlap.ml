@@ -1,0 +1,158 @@
+(* Overlapped execution and the manual baseline (Table 2 machinery). *)
+
+open Eit_dsl
+
+let merged g = (Merge.run g).Merge.graph
+
+let qrd_sched =
+  lazy
+    (let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+     let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+     Option.get o.Sched.Solve.schedule)
+
+let test_min_overlap () =
+  let sch = Lazy.force qrd_sched in
+  Alcotest.(check int) "pipeline depth" 7 (Sched.Overlap.min_overlap sch)
+
+let test_rejects_small_m () =
+  let sch = Lazy.force qrd_sched in
+  Alcotest.(check bool) "m=3 rejected" true
+    (match Sched.Overlap.run sch ~m:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_overlap_structure () =
+  let sch = Lazy.force qrd_sched in
+  let ov = Sched.Overlap.run sch ~m:12 in
+  Alcotest.(check int) "length = N*M + drain"
+    ((ov.Sched.Overlap.n_instructions * 12) + ov.Sched.Overlap.drain)
+    ov.Sched.Overlap.length;
+  Alcotest.(check bool) "throughput consistent" true
+    (abs_float (ov.Sched.Overlap.throughput -. (12. /. float_of_int ov.Sched.Overlap.length))
+    < 1e-9);
+  (* instruction count = number of distinct issue cycles *)
+  let cycles =
+    List.sort_uniq compare
+      (List.map (fun i -> sch.Sched.Schedule.start.(i)) (Ir.op_nodes sch.Sched.Schedule.ir))
+  in
+  Alcotest.(check int) "N = issue cycles" (List.length cycles)
+    ov.Sched.Overlap.n_instructions
+
+let test_issue_cycle () =
+  let sch = Lazy.force qrd_sched in
+  let ov = Sched.Overlap.run sch ~m:8 in
+  Alcotest.(check int) "instr 0 iter 0" 0 (Sched.Overlap.issue_cycle ov ~instr:0 ~iter:0);
+  Alcotest.(check int) "instr 2 iter 3" 19 (Sched.Overlap.issue_cycle ov ~instr:2 ~iter:3);
+  Alcotest.(check bool) "out of range" true
+    (match Sched.Overlap.issue_cycle ov ~instr:0 ~iter:9 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* dependencies between instructions are masked: for every dependent op
+   pair in the same iteration, bundle indices are strictly increasing,
+   so the M-cycle gap covers the 7-cycle latency when M >= 7 *)
+let test_dependency_masking () =
+  let sch = Lazy.force qrd_sched in
+  let ov = Sched.Overlap.run sch ~m:7 in
+  let g = sch.Sched.Schedule.ir in
+  let index_of = Hashtbl.create 64 in
+  List.iteri
+    (fun k (_, ops) -> List.iter (fun i -> Hashtbl.replace index_of i k) ops)
+    ov.Sched.Overlap.bundles;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun j ->
+              let ki = Hashtbl.find index_of i and kj = Hashtbl.find index_of j in
+              Alcotest.(check bool) "producer before consumer" true (ki < kj);
+              let gap = (kj - ki) * ov.Sched.Overlap.m in
+              Alcotest.(check bool) "latency masked" true
+                (gap >= Sched.Schedule.latency_of sch i))
+            (Ir.succs g d))
+        (Ir.succs g i))
+    (Ir.op_nodes g)
+
+let test_manual_baseline_structure () =
+  let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let man = Sched.Manual_baseline.run g Eit.Arch.default in
+  (* every op appears exactly once *)
+  let all = List.concat man.Sched.Manual_baseline.bundles in
+  Alcotest.(check int) "all ops bundled" (List.length (Ir.op_nodes g)) (List.length all);
+  Alcotest.(check (list int)) "no duplicates" (List.sort compare all)
+    (List.sort compare (List.sort_uniq compare all));
+  (* bundle capacity and configuration rules *)
+  List.iter
+    (fun bundle ->
+      let vector =
+        List.filter
+          (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+          bundle
+      in
+      let lanes =
+        List.fold_left (fun acc i -> acc + Eit.Opcode.lanes (Ir.opcode g i)) 0 vector
+      in
+      Alcotest.(check bool) "lanes" true (lanes <= 4);
+      (match vector with
+      | first :: rest ->
+        List.iter
+          (fun i ->
+            Alcotest.(check bool) "same config" true
+              (Eit.Opcode.config_equal (Ir.opcode g first) (Ir.opcode g i)))
+          rest
+      | [] -> ());
+      let count rc =
+        List.length
+          (List.filter (fun i -> Eit.Opcode.resource (Ir.opcode g i) = rc) bundle)
+      in
+      Alcotest.(check bool) "one scalar" true (count Eit.Opcode.Scalar_accel <= 1);
+      Alcotest.(check bool) "one im" true (count Eit.Opcode.Index_merge <= 1))
+    man.Sched.Manual_baseline.bundles;
+  (* dependencies respected across bundles *)
+  let index_of = Hashtbl.create 64 in
+  List.iteri
+    (fun k ops -> List.iter (fun i -> Hashtbl.replace index_of i k) ops)
+    man.Sched.Manual_baseline.bundles;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun j ->
+              Alcotest.(check bool) "dep order" true
+                (Hashtbl.find index_of i < Hashtbl.find index_of j))
+            (Ir.succs g d))
+        (Ir.succs g i))
+    (Ir.op_nodes g)
+
+let test_manual_at_most_automated_instructions () =
+  (* the whole point of the manual flow: it minimizes instruction count *)
+  let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let man = Sched.Manual_baseline.overlapped g Eit.Arch.default ~m:12 in
+  let auto = Sched.Overlap.run (Lazy.force qrd_sched) ~m:12 in
+  Alcotest.(check bool) "manual <= automated instructions" true
+    (man.Sched.Overlap.n_instructions <= auto.Sched.Overlap.n_instructions);
+  Alcotest.(check bool) "manual throughput >= automated" true
+    (man.Sched.Overlap.throughput >= auto.Sched.Overlap.throughput)
+
+let test_matmul_overlap_reconfigs () =
+  (* MATMUL has a single vector configuration: overlapping never
+     reconfigures *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) g in
+  let sch = Option.get o.Sched.Solve.schedule in
+  let ov = Sched.Overlap.run sch ~m:8 in
+  Alcotest.(check int) "no reconfig" 0 ov.Sched.Overlap.reconfigurations
+
+let suite =
+  [
+    Alcotest.test_case "min_overlap" `Quick test_min_overlap;
+    Alcotest.test_case "rejects small M" `Quick test_rejects_small_m;
+    Alcotest.test_case "overlap structure" `Quick test_overlap_structure;
+    Alcotest.test_case "issue_cycle" `Quick test_issue_cycle;
+    Alcotest.test_case "dependency masking" `Quick test_dependency_masking;
+    Alcotest.test_case "manual baseline structure" `Quick test_manual_baseline_structure;
+    Alcotest.test_case "manual minimizes instructions" `Quick test_manual_at_most_automated_instructions;
+    Alcotest.test_case "matmul zero reconfigs" `Quick test_matmul_overlap_reconfigs;
+  ]

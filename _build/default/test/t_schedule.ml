@@ -1,0 +1,141 @@
+(* Schedule validator: accepts solver output, rejects every kind of
+   corruption (failure injection). *)
+
+open Eit_dsl
+
+let solved_qrd =
+  lazy
+    (let g = (Merge.run (Apps.Qrd.graph (Apps.Qrd.build ()))).Merge.graph in
+     let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 20_000.) g in
+     Option.get o.Sched.Solve.schedule)
+
+let copy sch =
+  { sch with Sched.Schedule.start = Array.copy sch.Sched.Schedule.start }
+
+let has_violation where sch =
+  List.exists
+    (fun v -> v.Sched.Schedule.where = where)
+    (Sched.Schedule.validate sch)
+
+let test_valid () =
+  let sch = Lazy.force solved_qrd in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Sched.Schedule.pp_violation v)
+       (Sched.Schedule.validate sch))
+
+let test_precedence_injection () =
+  let sch = copy (Lazy.force solved_qrd) in
+  (* pull some operation before its operands are ready *)
+  let g = sch.Sched.Schedule.ir in
+  let victim =
+    List.find
+      (fun i -> List.exists (fun p -> Ir.producer g p <> None) (Ir.preds g i))
+      (Ir.op_nodes g)
+  in
+  sch.Sched.Schedule.start.(victim) <- 0;
+  Alcotest.(check bool) "caught" true
+    (Sched.Schedule.validate sch <> [])
+
+let test_lane_overload_injection () =
+  let sch = copy (Lazy.force solved_qrd) in
+  let g = sch.Sched.Schedule.ir in
+  (* put five vector ops in the same cycle *)
+  let vops =
+    List.filter
+      (fun i -> Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+      (Ir.op_nodes g)
+  in
+  List.iteri
+    (fun k i -> if k < 5 then sch.Sched.Schedule.start.(i) <- 500 + 0)
+    vops;
+  Alcotest.(check bool) "caught" true (Sched.Schedule.validate sch <> [])
+
+let test_config_injection () =
+  let sch = copy (Lazy.force solved_qrd) in
+  let g = sch.Sched.Schedule.ir in
+  (* co-schedule two differently-configured vector ops far from others *)
+  let a =
+    List.find
+      (fun i -> Eit.Opcode.config_equal (Ir.opcode g i) (Eit.Opcode.v Vsqsum))
+      (Ir.op_nodes g)
+  in
+  let b =
+    List.find
+      (fun i -> Eit.Opcode.config_equal (Ir.opcode g i) (Eit.Opcode.v Vscale))
+      (Ir.op_nodes g)
+  in
+  sch.Sched.Schedule.start.(a) <- 700;
+  sch.Sched.Schedule.start.(b) <- 700;
+  Alcotest.(check bool) "caught" true (has_violation "configuration" sch
+                                       || Sched.Schedule.validate sch <> [])
+
+let test_slot_corruption () =
+  let base = Lazy.force solved_qrd in
+  (* map every vector datum to slot 0: lifetimes must clash *)
+  let sch =
+    { base with Sched.Schedule.slot = List.map (fun (d, _) -> (d, 0)) base.Sched.Schedule.slot }
+  in
+  Alcotest.(check bool) "caught" true
+    (has_violation "slot-reuse" sch || has_violation "memory-access" sch)
+
+let test_out_of_range_slot () =
+  let base = Lazy.force solved_qrd in
+  let sch =
+    { base with
+      Sched.Schedule.slot =
+        (match base.Sched.Schedule.slot with
+        | (d, _) :: rest -> (d, 9999) :: rest
+        | [] -> []) }
+  in
+  Alcotest.(check bool) "caught" true (has_violation "memory" sch)
+
+let test_missing_slot () =
+  let base = Lazy.force solved_qrd in
+  let sch = { base with Sched.Schedule.slot = List.tl base.Sched.Schedule.slot } in
+  Alcotest.(check bool) "caught" true (has_violation "memory" sch)
+
+let test_makespan_lie () =
+  let base = Lazy.force solved_qrd in
+  let sch = { base with Sched.Schedule.makespan = base.Sched.Schedule.makespan + 5 } in
+  Alcotest.(check bool) "caught" true (has_violation "makespan" sch)
+
+let test_data_start_lie () =
+  let sch = copy (Lazy.force solved_qrd) in
+  let g = sch.Sched.Schedule.ir in
+  let d = List.find (fun d -> Ir.producer g d <> None) (Ir.data_nodes g) in
+  sch.Sched.Schedule.start.(d) <- sch.Sched.Schedule.start.(d) + 1;
+  Alcotest.(check bool) "caught" true (has_violation "data-start" sch)
+
+let test_lifetime_and_slots_used () =
+  let sch = Lazy.force solved_qrd in
+  let g = sch.Sched.Schedule.ir in
+  List.iter
+    (fun d ->
+      if Ir.category g d = Ir.Vector_data then begin
+        let life = Sched.Schedule.lifetime sch d in
+        Alcotest.(check bool) "positive" true (life >= 1);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "covers uses" true
+              (sch.Sched.Schedule.start.(d) + life > sch.Sched.Schedule.start.(c)))
+          (Ir.succs g d)
+      end)
+    (Ir.data_nodes g);
+  Alcotest.(check bool) "slots used sane" true
+    (Sched.Schedule.slots_used sch >= 1
+    && Sched.Schedule.slots_used sch <= Eit.Arch.slots sch.Sched.Schedule.arch)
+
+let suite =
+  [
+    Alcotest.test_case "solver output validates" `Quick test_valid;
+    Alcotest.test_case "precedence injection" `Quick test_precedence_injection;
+    Alcotest.test_case "lane overload injection" `Quick test_lane_overload_injection;
+    Alcotest.test_case "config injection" `Quick test_config_injection;
+    Alcotest.test_case "slot corruption" `Quick test_slot_corruption;
+    Alcotest.test_case "out-of-range slot" `Quick test_out_of_range_slot;
+    Alcotest.test_case "missing slot" `Quick test_missing_slot;
+    Alcotest.test_case "makespan lie" `Quick test_makespan_lie;
+    Alcotest.test_case "data-start lie" `Quick test_data_start_lie;
+    Alcotest.test_case "lifetimes + slots used" `Quick test_lifetime_and_slots_used;
+  ]

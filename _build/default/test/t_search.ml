@@ -1,0 +1,153 @@
+(* Search engine: optimality proofs against brute force, budgets,
+   heuristics, branch & bound monotonicity. *)
+
+open Fd
+
+let test_first_solution () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 5 and y = Store.interval_var s 0 5 in
+  Arith.plus s x y (Store.const s 5);
+  match
+    Search.solve s [ Search.phase [ x; y ] ] ~on_solution:(fun () ->
+        (Store.value x, Store.value y))
+  with
+  | Search.Solution ((a, b), stats) ->
+    Alcotest.(check int) "sum" 5 (a + b);
+    Alcotest.(check bool) "not a proof" false stats.Search.optimal
+  | _ -> Alcotest.fail "expected a solution"
+
+let test_unsat_proof () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 1 and y = Store.interval_var s 0 1 in
+  let z = Store.interval_var s 0 1 in
+  Arith.all_different s [ x; y; z ];
+  match Search.solve s [ Search.phase [ x; y; z ] ] ~on_solution:(fun () -> ()) with
+  | Search.Unsat stats -> Alcotest.(check bool) "proof" true stats.Search.optimal
+  | _ -> Alcotest.fail "expected unsat"
+
+let test_node_budget () =
+  let s = Store.create () in
+  let vars = List.init 10 (fun _ -> Store.interval_var s 0 9) in
+  Arith.all_different s vars;
+  (* force exhaustive exploration with an unsatisfiable objective *)
+  let obj = Store.interval_var s 0 100 in
+  Arith.max_of s vars obj;
+  match
+    Search.minimize ~budget:(Search.node_budget 5) s [ Search.phase vars ]
+      ~objective:obj ~on_solution:(fun () -> ())
+  with
+  | Search.Best (_, stats) | Search.Timeout stats ->
+    Alcotest.(check bool) "within budget" true (stats.Search.nodes <= 6)
+  | Search.Solution _ -> Alcotest.fail "should not finish in 5 nodes"
+  | Search.Unsat _ -> Alcotest.fail "satisfiable"
+
+(* Random minimization problems: B&B optimum must equal brute force. *)
+let gen_problem =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* dmax = int_range 1 5 in
+    (* random binary leq_offset constraints *)
+    let* m = int_range 0 4 in
+    let* cons = list_repeat m (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range (-2) 2)) in
+    return (n, dmax, cons))
+
+let bnb_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"B&B optimum = brute force" ~count:200 gen_problem
+       (fun (n, dmax, cons) ->
+         let cons = List.filter (fun (i, j, _) -> i <> j) cons in
+         let build () =
+           let s = Store.create () in
+           let vars = List.init n (fun _ -> Store.interval_var s 0 dmax) in
+           let arr = Array.of_list vars in
+           let obj = Store.interval_var s 0 (n * (dmax + 1)) in
+           try
+             List.iter (fun (i, j, c) -> Arith.leq_offset s arr.(i) c arr.(j)) cons;
+             Arith.sum s vars obj;
+             Some (s, vars, obj)
+           with Store.Fail _ -> None
+         in
+         let satisfies assignment =
+           let arr = Array.of_list assignment in
+           List.for_all (fun (i, j, c) -> arr.(i) + c <= arr.(j)) cons
+         in
+         let domains = List.init n (fun _ -> List.init (dmax + 1) Fun.id) in
+         let sols = T_arith.brute domains satisfies in
+         let brute_best =
+           List.fold_left
+             (fun acc sol -> min acc (List.fold_left ( + ) 0 sol))
+             max_int sols
+         in
+         match build () with
+         | None -> sols = []
+         | Some (s, vars, obj) -> (
+           match
+             Search.minimize s [ Search.phase vars ] ~objective:obj
+               ~on_solution:(fun () -> List.fold_left (fun a v -> a + Store.value v) 0 vars)
+           with
+           | Search.Solution (v, stats) -> stats.Search.optimal && v = brute_best
+           | Search.Unsat _ -> sols = []
+           | _ -> false)))
+
+let test_heuristics_same_optimum () =
+  (* different heuristics must find the same optimal makespan *)
+  let build () =
+    let s = Store.create () in
+    let vars = Array.init 5 (fun _ -> Store.interval_var s 0 20) in
+    Arith.leq_offset s vars.(0) 3 vars.(2);
+    Arith.leq_offset s vars.(1) 2 vars.(2);
+    Arith.leq_offset s vars.(2) 4 vars.(3);
+    Arith.leq_offset s vars.(2) 1 vars.(4);
+    Cumulative.post s ~starts:vars ~durations:[| 2; 2; 2; 2; 2 |]
+      ~resources:[| 1; 1; 1; 1; 1 |] ~limit:2;
+    let obj = Store.interval_var s 0 40 in
+    Arith.max_of s (Array.to_list vars) obj;
+    (s, Array.to_list vars, obj)
+  in
+  let optimum var_select =
+    let s, vars, obj = build () in
+    match
+      Search.minimize s [ Search.phase ~var_select vars ] ~objective:obj
+        ~on_solution:(fun () -> Store.vmin obj)
+    with
+    | Search.Solution (v, _) -> v
+    | _ -> Alcotest.fail "no optimum"
+  in
+  let a = optimum Search.first_fail in
+  let b = optimum Search.smallest_min in
+  let c = optimum Search.input_order in
+  let d = optimum Search.most_constrained in
+  Alcotest.(check int) "ff = sm" a b;
+  Alcotest.(check int) "sm = io" b c;
+  Alcotest.(check int) "io = mc" c d
+
+let test_select_mid () =
+  let s = Store.create () in
+  let x = Store.new_var s (Dom.of_list [ 0; 9; 10 ]) in
+  Alcotest.(check int) "mid picks closest to middle" 9 (Search.select_mid x)
+
+let test_phases_ordering () =
+  (* phase 2 variables only assigned after phase 1 exhausted *)
+  let s = Store.create () in
+  let x = Store.interval_var s 0 3 and y = Store.interval_var s 0 3 in
+  Arith.lt s x y;
+  match
+    Search.solve s
+      [ Search.phase [ x ]; Search.phase [ y ] ]
+      ~on_solution:(fun () -> (Store.value x, Store.value y))
+  with
+  | Search.Solution ((0, 1), _) -> ()
+  | Search.Solution ((a, b), _) ->
+    Alcotest.failf "expected lexicographically first (0,1), got (%d,%d)" a b
+  | _ -> Alcotest.fail "expected solution"
+
+let suite =
+  [
+    Alcotest.test_case "first solution" `Quick test_first_solution;
+    Alcotest.test_case "unsat proof" `Quick test_unsat_proof;
+    Alcotest.test_case "node budget" `Quick test_node_budget;
+    Alcotest.test_case "heuristics agree on optimum" `Quick test_heuristics_same_optimum;
+    Alcotest.test_case "select_mid" `Quick test_select_mid;
+    Alcotest.test_case "phase ordering" `Quick test_phases_ordering;
+    bnb_oracle;
+  ]

@@ -1,0 +1,116 @@
+(* Store: trailing, propagation queue, entailment. *)
+
+open Fd
+
+let test_var_basics () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 ~name:"x" in
+  Alcotest.(check int) "min" 0 (Store.vmin x);
+  Alcotest.(check int) "max" 9 (Store.vmax x);
+  Alcotest.(check bool) "fixed" false (Store.is_fixed x);
+  Store.assign s x 4;
+  Alcotest.(check bool) "fixed after assign" true (Store.is_fixed x);
+  Alcotest.(check int) "value" 4 (Store.value x)
+
+let test_empty_domain_fails () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 3 in
+  Store.assign s x 2;
+  Alcotest.check_raises "conflicting assign" (Store.Fail "x: empty domain")
+    (fun () ->
+      try Store.assign s x 3
+      with Store.Fail _ -> raise (Store.Fail "x: empty domain"))
+
+let test_backtracking () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let y = Store.interval_var s 0 9 in
+  Store.push_level s;
+  Store.assign s x 1;
+  Store.remove_below s y 5;
+  Alcotest.(check int) "y min pruned" 5 (Store.vmin y);
+  Store.push_level s;
+  Store.assign s y 7;
+  Store.pop_level s;
+  Alcotest.(check bool) "y unfixed again" false (Store.is_fixed y);
+  Alcotest.(check int) "y min preserved" 5 (Store.vmin y);
+  Store.pop_level s;
+  Alcotest.(check int) "x restored" 0 (Store.vmin x);
+  Alcotest.(check int) "y restored" 0 (Store.vmin y)
+
+let test_propagation_runs () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let y = Store.interval_var s 0 9 in
+  let runs = ref 0 in
+  let _p =
+    Store.post_now s ~watches:[ x ] (fun st ->
+        incr runs;
+        Store.remove_below st y (Store.vmin x))
+  in
+  Store.propagate s;
+  let before = !runs in
+  Store.remove_below s x 4;
+  Store.propagate s;
+  Alcotest.(check bool) "propagator re-ran" true (!runs > before);
+  Alcotest.(check int) "y follows x" 4 (Store.vmin y)
+
+let test_entailment_trailing () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let runs = ref 0 in
+  let handle = ref None in
+  let p =
+    Store.post_now s ~watches:[ x ] (fun st ->
+        incr runs;
+        match !handle with Some h -> Store.entail st h | None -> ())
+  in
+  handle := Some p;
+  Store.propagate s;
+  let after_first = !runs in
+  Store.push_level s;
+  (* entailed inside this level: no more runs *)
+  Store.remove_value s x 3;
+  Store.propagate s;
+  Alcotest.(check int) "entailed: not re-run" after_first !runs;
+  Store.pop_level s;
+  (* Entailment must be undone by pop_level... but it was entailed at the
+     root run (before push), so it stays entailed.  Re-entail inside a
+     level instead: *)
+  let s2 = Store.create () in
+  let x2 = Store.interval_var s2 0 9 in
+  let runs2 = ref 0 in
+  let h2 = ref None in
+  let p2 =
+    Store.post s2 ~watches:[ x2 ] (fun st ->
+        incr runs2;
+        if Store.vmin x2 >= 5 then
+          match !h2 with Some h -> Store.entail st h | None -> ())
+  in
+  h2 := Some p2;
+  Store.push_level s2;
+  Store.remove_below s2 x2 5;
+  Store.propagate s2;
+  let mid = !runs2 in
+  Store.remove_below s2 x2 6;
+  Store.propagate s2;
+  Alcotest.(check int) "no run while entailed" mid !runs2;
+  Store.pop_level s2;
+  Store.remove_below s2 x2 2;
+  Store.propagate s2;
+  Alcotest.(check bool) "runs again after pop" true (!runs2 > mid)
+
+let test_const_cached () =
+  let s = Store.create () in
+  let a = Store.const s 5 and b = Store.const s 5 in
+  Alcotest.(check int) "same id" (Store.id a) (Store.id b)
+
+let suite =
+  [
+    Alcotest.test_case "variable basics" `Quick test_var_basics;
+    Alcotest.test_case "empty domain fails" `Quick test_empty_domain_fails;
+    Alcotest.test_case "trail backtracking" `Quick test_backtracking;
+    Alcotest.test_case "propagation" `Quick test_propagation_runs;
+    Alcotest.test_case "entailment trailing" `Quick test_entailment_trailing;
+    Alcotest.test_case "const cache" `Quick test_const_cached;
+  ]

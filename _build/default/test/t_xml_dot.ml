@@ -1,0 +1,85 @@
+(* XML round-trips and DOT output sanity. *)
+
+open Eit_dsl
+open Eit
+
+let graphs_equal g1 g2 =
+  Ir.size g1 = Ir.size g2
+  && Ir.edge_count g1 = Ir.edge_count g2
+  && List.for_all2
+       (fun n1 n2 ->
+         n1.Ir.id = n2.Ir.id && n1.Ir.cat = n2.Ir.cat && n1.Ir.label = n2.Ir.label
+         && (match (n1.Ir.op, n2.Ir.op) with
+            | Some a, Some b -> Opcode.config_equal a b
+            | None, None -> true
+            | _ -> false)
+         && Ir.preds g1 n1.Ir.id = Ir.preds g2 n2.Ir.id)
+       (Ir.nodes g1) (Ir.nodes g2)
+
+let test_roundtrip_matmul () =
+  let g = Apps.Matmul.graph (Apps.Matmul.build ()) in
+  let g' = Xml.of_string (Xml.to_string g) in
+  Alcotest.(check bool) "structurally equal" true (graphs_equal g g');
+  (* values survive: evaluation agrees *)
+  let v = List.sort compare (Ir.eval g) in
+  let v' = List.sort compare (Ir.eval g') in
+  Alcotest.(check bool) "evaluates identically" true
+    (List.for_all2 (fun (i, a) (j, b) -> i = j && Value.equal ~eps:1e-12 a b) v v')
+
+let test_roundtrip_qrd () =
+  let g = Apps.Qrd.graph (Apps.Qrd.build ()) in
+  Alcotest.(check bool) "qrd round-trips" true
+    (graphs_equal g (Xml.of_string (Xml.to_string g)))
+
+let test_escaping () =
+  let b = Ir.builder () in
+  let a =
+    Ir.add_data b ~label:"we<ird & \"names\">" ~value:(Value.vector_of_floats [1.;2.;3.;4.]) `Vector
+  in
+  let r = Ir.add_data b `Scalar in
+  ignore (Ir.add_op b (Opcode.v Vsqsum) ~args:[ a ] ~result:r);
+  let g = Ir.freeze b in
+  let g' = Xml.of_string (Xml.to_string g) in
+  Alcotest.(check string) "label preserved" "we<ird & \"names\">"
+    (Ir.node g' 0).Ir.label
+
+let test_file_io () =
+  let g = Apps.Arf.graph (Apps.Arf.build ()) in
+  let path = Filename.temp_file "vecsched" ".xml" in
+  Xml.save path g;
+  let g' = Xml.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round-trip" true (graphs_equal g g')
+
+let test_malformed () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Xml.of_string "<graph><node id=\"0\"/></graph>" with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_dot_output () =
+  let g = Apps.Matmul.graph (Apps.Matmul.build ()) in
+  let dot = Dot.to_string g in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* one node line per IR node, one edge line per IR edge *)
+  let contains_sub line sub =
+    let n = String.length sub and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+    go 0
+  in
+  let lines = String.split_on_char '\n' dot in
+  let node_lines = List.filter (fun l -> contains_sub l "[shape=") lines in
+  let edge_lines = List.filter (fun l -> contains_sub l " -> ") lines in
+  Alcotest.(check int) "node lines" (Ir.size g) (List.length node_lines);
+  Alcotest.(check int) "edge lines" (Ir.edge_count g) (List.length edge_lines)
+
+let suite =
+  [
+    Alcotest.test_case "matmul xml round-trip" `Quick test_roundtrip_matmul;
+    Alcotest.test_case "qrd xml round-trip" `Quick test_roundtrip_qrd;
+    Alcotest.test_case "attribute escaping" `Quick test_escaping;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]
