@@ -549,6 +549,54 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* perfjson: machine-readable solver metrics for regression tracking   *)
+
+let perfjson ?(path = "BENCH_solver.json") () =
+  header (Printf.sprintf "Solver performance metrics -> %s" path);
+  let budget = Fd.Search.time_budget 30_000. in
+  let entry ~kernel ~mode ~slots o =
+    let st = o.Sched.Solve.stats in
+    let makespan =
+      match o.Sched.Solve.schedule with
+      | Some sch -> string_of_int sch.Sched.Schedule.makespan
+      | None -> "null"
+    in
+    Printf.sprintf
+      "    { \"kernel\": %S, \"mode\": %S, \"slots\": %d, \"status\": %S,\n\
+      \      \"makespan\": %s, \"nodes\": %d, \"failures\": %d,\n\
+      \      \"propagations\": %d, \"time_ms\": %.1f, \"optimal\": %b }"
+      kernel mode slots
+      (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+      makespan st.Fd.Search.nodes st.Fd.Search.failures
+      st.Fd.Search.propagations st.Fd.Search.time_ms st.Fd.Search.optimal
+  in
+  let kernels = [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ] in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  (* Table 1 sweep: the sequential engine across memory pressures. *)
+  List.iter
+    (fun slots ->
+      let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
+      add
+        (entry ~kernel:"QRD" ~mode:"sequential" ~slots
+           (Sched.Solve.run ~arch ~budget (qrd ()))))
+    [ 64; 32; 16; 10; 9 ];
+  (* Every kernel, sequential vs 4-worker portfolio, default arch. *)
+  List.iter
+    (fun (kernel, g) ->
+      add (entry ~kernel ~mode:"sequential" ~slots:64 (Sched.Solve.run ~budget g));
+      add
+        (entry ~kernel ~mode:"portfolio-4" ~slots:64
+           (Sched.Solve.run ~budget ~parallel:4 g)))
+    kernels;
+  let oc = open_out path in
+  output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %d runs to %s@." (List.length !rows) path
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   graphs ();
@@ -581,9 +629,10 @@ let () =
   | Some "archsweep" -> archsweep ()
   | Some "expressiveness" -> expressiveness ()
   | Some "bechamel" -> bechamel ()
+  | Some "perfjson" -> perfjson ()
   | Some other ->
     Format.eprintf
       "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 fig6 \
-       fig8 utilization dynamic ablations archsweep bechamel)@."
+       fig8 utilization dynamic ablations archsweep bechamel perfjson)@."
       other;
     exit 2

@@ -99,10 +99,10 @@ let report_outcome name arch o =
     None
 
 let schedule_cmd =
-  let run kernel budget slots preset verbose =
+  let run kernel budget slots preset verbose parallel =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
-    let o = Vecsched.schedule ~budget_ms:budget ~arch c in
+    let o = Vecsched.schedule ~budget_ms:budget ~arch ~parallel c in
     match report_outcome name arch o with
     | Some sch ->
       if verbose then begin
@@ -115,9 +115,18 @@ let schedule_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
   in
+  let parallel =
+    Arg.(value
+         & opt int 0
+         & info [ "j"; "parallel" ] ~docv:"N"
+             ~doc:
+               "Run a cooperative portfolio of $(docv) diversified search \
+                strategies on separate cores (0 or 1 = sequential).")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a kernel with memory allocation")
-    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ verbose)
+    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ verbose
+          $ parallel)
 
 let heuristic_cmd =
   let run kernel slots preset =

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 verification: full build (including tests and benches) plus the
+# complete test suite.  Exits non-zero on any failure.
+set -e
+cd "$(dirname "$0")"
+dune build @all
+dune runtest

@@ -56,10 +56,12 @@ val schedule :
   ?budget_ms:float ->
   ?memory:bool ->
   ?arch:Arch.t ->
+  ?parallel:int ->
   compiled ->
   Solve.outcome
 (** Schedule the merged graph (defaults: 10 s budget, memory allocation
-    on, {!Arch.default}). *)
+    on, {!Arch.default}, sequential).  [parallel >= 2] runs a cooperative
+    portfolio of that many search strategies on OCaml domains. *)
 
 val run_on_simulator : Schedule.t -> (unit, string) result
 (** Code-generate and execute the schedule, checking every produced

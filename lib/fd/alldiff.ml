@@ -41,6 +41,6 @@ let post s vars =
             hi_set)
         lo_set
     in
-    ignore (post_now s ~name:"alldiff" ~watches:vars prop);
+    ignore (post_now s ~name:"alldiff" ~priority:prio_global ~event:On_bounds ~watches:vars prop);
     propagate s
   end

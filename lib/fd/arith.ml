@@ -6,7 +6,7 @@ let leq_offset s x c y =
     remove_below st y (vmin x + c);
     remove_above st x (vmax y - c)
   in
-  ignore (post_now s ~name:"leq_offset" ~watches:[ x; y ] prop);
+  ignore (post_now s ~name:"leq_offset" ~event:On_bounds ~watches:[ x; y ] prop);
   propagate s
 
 let leq s x y = leq_offset s x 0 y
@@ -27,7 +27,7 @@ let neq_offset s x c y =
     if is_fixed x then remove_value st y (value x + c)
     else if is_fixed y then remove_value st x (value y - c)
   in
-  ignore (post_now s ~name:"neq_offset" ~watches:[ x; y ] prop);
+  ignore (post_now s ~name:"neq_offset" ~event:On_fix ~watches:[ x; y ] prop);
   propagate s
 
 let neq s x y = neq_offset s x 0 y
@@ -42,7 +42,7 @@ let plus s x y z =
     remove_below st y (vmin z - vmax x);
     remove_above st y (vmax z - vmin x)
   in
-  ignore (post_now s ~name:"plus" ~watches:[ x; y; z ] prop);
+  ignore (post_now s ~name:"plus" ~event:On_bounds ~watches:[ x; y; z ] prop);
   propagate s
 
 let max_of s xs m =
@@ -59,7 +59,7 @@ let max_of s xs m =
     | [ x ] -> remove_below st x (vmin m)
     | _ -> ()
   in
-  ignore (post_now s ~name:"max_of" ~watches:(m :: xs) prop);
+  ignore (post_now s ~name:"max_of" ~event:On_bounds ~watches:(m :: xs) prop);
   propagate s
 
 let min_of s xs m =
@@ -75,7 +75,7 @@ let min_of s xs m =
     | [ x ] -> remove_above st x (vmax m)
     | _ -> ()
   in
-  ignore (post_now s ~name:"min_of" ~watches:(m :: xs) prop);
+  ignore (post_now s ~name:"min_of" ~event:On_bounds ~watches:(m :: xs) prop);
   propagate s
 
 let mul_const s c x y =
@@ -158,7 +158,7 @@ let linear_leq s terms k =
       terms
   in
   let watches = List.map snd terms in
-  ignore (post_now s ~name:"linear_leq" ~watches prop);
+  ignore (post_now s ~name:"linear_leq" ~event:On_bounds ~watches prop);
   propagate s
 
 let linear_eq s terms k =

@@ -26,7 +26,7 @@ let implies_eq s (p, q) (l, m) =
     if implication_step st (p, q) (l, m) then
       match !handle with Some h -> entail st h | None -> ()
   in
-  let h = post_now s ~name:"implies_eq" ~watches:[ p; q; l; m ] prop in
+  let h = post_now s ~name:"implies_eq" ~priority:prio_channel ~watches:[ p; q; l; m ] prop in
   handle := Some h;
   propagate s
 
@@ -43,7 +43,7 @@ let guarded_implies_eq s ~guard:(a, b) (p, q) (l, m) =
       match !handle with Some h -> entail st h | None -> ()
   in
   let h =
-    post_now s ~name:"guarded_implies_eq" ~watches:[ a; b; p; q; l; m ] prop
+    post_now s ~name:"guarded_implies_eq" ~priority:prio_channel ~watches:[ a; b; p; q; l; m ] prop
   in
   handle := Some h;
   propagate s
@@ -58,6 +58,6 @@ let same_guard_neq s ~guard:(a, b) x y =
       else if is_fixed y then remove_value st x (value y)
     end
   in
-  let h = post_now s ~name:"same_guard_neq" ~watches:[ a; b; x; y ] prop in
+  let h = post_now s ~name:"same_guard_neq" ~priority:prio_channel ~watches:[ a; b; x; y ] prop in
   handle := Some h;
   propagate s

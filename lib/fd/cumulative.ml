@@ -92,7 +92,7 @@ let post_var s ~starts ~durations ~resources ~limit =
       end
     in
     let watches = Array.to_list starts @ Array.to_list durations in
-    ignore (post_now s ~name:"cumulative_var" ~watches prop);
+    ignore (post_now s ~name:"cumulative_var" ~priority:prio_arith ~event:On_bounds ~watches prop);
     propagate s
   end
 
@@ -157,6 +157,6 @@ let post s ~starts ~durations ~resources ~limit =
       end
     in
     ignore
-      (post_now s ~name:"cumulative" ~watches:(Array.to_list starts) prop);
+      (post_now s ~name:"cumulative" ~priority:prio_arith ~event:On_bounds ~watches:(Array.to_list starts) prop);
     propagate s
   end

@@ -69,7 +69,7 @@ let post s rects =
           let watches =
             [ r.ox; r.oy; r.lx; r.ly; r'.ox; r'.oy; r'.lx; r'.ly ]
           in
-          ignore (post_now s ~name:"diff2" ~watches prop))
+          ignore (post_now s ~name:"diff2" ~priority:prio_global ~event:On_bounds ~watches prop))
         rest;
       pairs rest
   in

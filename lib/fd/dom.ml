@@ -1,20 +1,41 @@
-(* Sorted disjoint inclusive intervals.  Invariant: for consecutive
-   intervals (_, h1) (l2, _) we have h1 + 2 <= l2, so representations are
-   canonical and [equal] is structural. *)
+(* Sorted disjoint inclusive intervals with cached bounds and size.
+   Invariant on the interval list: for consecutive intervals (_, h1)
+   (l2, _) we have h1 + 2 <= l2, so representations are canonical and
+   interval-list equality is structural.  The record caches [min], [max]
+   and [size] so the solver's hottest queries (bounds, first-fail domain
+   size) are O(1) instead of walking the list. *)
 
-type t = (int * int) list
+type t = {
+  ivs : (int * int) list;
+  lo : int;  (* = min; unspecified when ivs = [] *)
+  hi : int;  (* = max; unspecified when ivs = [] *)
+  sz : int;  (* = number of values; 0 when ivs = [] *)
+}
 
 exception Empty_domain
 
-let empty : t = []
+let empty : t = { ivs = []; lo = 0; hi = -1; sz = 0 }
 
-let interval lo hi : t = if lo > hi then [] else [ (lo, hi) ]
+(* Rebuild the cache from a canonical interval list. *)
+let mk = function
+  | [] -> empty
+  | (lo, _) :: _ as ivs ->
+    let rec scan sz = function
+      | [] -> assert false
+      | [ (l, h) ] -> (sz + h - l + 1, h)
+      | (l, h) :: rest -> scan (sz + h - l + 1) rest
+    in
+    let sz, hi = scan 0 ivs in
+    { ivs; lo; hi; sz }
 
-let singleton v : t = [ (v, v) ]
+let interval lo hi : t =
+  if lo > hi then empty else { ivs = [ (lo, hi) ]; lo; hi; sz = hi - lo + 1 }
+
+let singleton v : t = { ivs = [ (v, v) ]; lo = v; hi = v; sz = 1 }
 
 (* Normalize a list of intervals: sort by origin, merge overlapping or
    adjacent ones. *)
-let normalize (ivs : (int * int) list) : t =
+let normalize ivs =
   let ivs = List.filter (fun (lo, hi) -> lo <= hi) ivs in
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ivs in
   let rec merge = function
@@ -24,101 +45,151 @@ let normalize (ivs : (int * int) list) : t =
       if l2 <= h1 + 1 then merge ((l1, Stdlib.max h1 h2) :: rest)
       else (l1, h1) :: merge ((l2, h2) :: rest)
   in
-  merge sorted
+  mk (merge sorted)
 
 let of_intervals ivs = normalize ivs
 
 let of_list vs = normalize (List.map (fun v -> (v, v)) vs)
 
-let is_empty d = d = []
+let is_empty d = d.sz = 0
 
-let is_singleton = function [ (lo, hi) ] -> lo = hi | _ -> false
+let is_singleton d = d.sz = 1
 
-let rec mem v = function
-  | [] -> false
-  | (lo, hi) :: rest -> if v < lo then false else v <= hi || mem v rest
+let mem v d =
+  if v < d.lo || v > d.hi then false
+  else
+    let rec go = function
+      | [] -> false
+      | (lo, hi) :: rest -> if v < lo then false else v <= hi || go rest
+    in
+    go d.ivs
 
-let min = function [] -> raise Empty_domain | (lo, _) :: _ -> lo
+let min d = if d.sz = 0 then raise Empty_domain else d.lo
 
-let rec max = function
-  | [] -> raise Empty_domain
-  | [ (_, hi) ] -> hi
-  | _ :: rest -> max rest
+let max d = if d.sz = 0 then raise Empty_domain else d.hi
 
 let choose = min
 
-let size d = List.fold_left (fun acc (lo, hi) -> acc + hi - lo + 1) 0 d
+let size d = d.sz
 
-let equal (a : t) (b : t) = a = b
+let equal (a : t) (b : t) =
+  a == b || (a.sz = b.sz && a.lo = b.lo && a.hi = b.hi && a.ivs = b.ivs)
 
-let is_interval = function [] | [ _ ] -> true | _ -> false
+let is_interval d = match d.ivs with [] | [ _ ] -> true | _ -> false
 
-let intervals d = d
+let intervals d = d.ivs
 
 let to_list d =
-  List.concat_map
-    (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
-    d
+  List.concat_map (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i)) d.ivs
 
-let rec remove v = function
-  | [] -> []
-  | ((lo, hi) as iv) :: rest ->
-    if v < lo then iv :: rest
-    else if v > hi then iv :: remove v rest
-    else if lo = hi then rest
-    else if v = lo then (lo + 1, hi) :: rest
-    else if v = hi then (lo, hi - 1) :: rest
-    else (lo, v - 1) :: (v + 1, hi) :: rest
-
-let rec remove_below b = function
-  | [] -> []
-  | (lo, hi) :: rest ->
-    if hi < b then remove_below b rest
-    else if lo >= b then (lo, hi) :: rest
-    else (b, hi) :: rest
-
-let rec remove_above b = function
-  | [] -> []
-  | ((lo, hi) as iv) :: rest ->
-    if lo > b then []
-    else if hi <= b then iv :: remove_above b rest
-    else [ (lo, b) ]
-
-let rec remove_interval rlo rhi d =
-  if rlo > rhi then d
+let remove v d =
+  if v < d.lo || v > d.hi then d
   else
-    match d with
-    | [] -> []
-    | ((lo, hi) as iv) :: rest ->
-      if rhi < lo then iv :: rest
-      else if rlo > hi then iv :: remove_interval rlo rhi rest
-      else
-        let left = if lo < rlo then [ (lo, rlo - 1) ] else [] in
-        let right = remove_interval rlo rhi (if rhi < hi then (rhi + 1, hi) :: rest else rest) in
-        left @ right
-
-let rec inter (a : t) (b : t) : t =
-  match (a, b) with
-  | [], _ | _, [] -> []
-  | (l1, h1) :: ra, (l2, h2) :: rb ->
-    let lo = Stdlib.max l1 l2 and hi = Stdlib.min h1 h2 in
-    let tail =
-      if h1 < h2 then inter ra b
-      else if h2 < h1 then inter a rb
-      else inter ra rb
+    let rec go = function
+      | [] -> []
+      | ((lo, hi) as iv) :: rest ->
+        if v < lo then iv :: rest
+        else if v > hi then iv :: go rest
+        else if lo = hi then rest
+        else if v = lo then (lo + 1, hi) :: rest
+        else if v = hi then (lo, hi - 1) :: rest
+        else (lo, v - 1) :: (v + 1, hi) :: rest
     in
-    if lo <= hi then (lo, hi) :: tail else tail
+    mk (go d.ivs)
 
-let union a b = normalize (a @ b)
+let remove_below b d =
+  if b <= d.lo then d
+  else
+    let rec go = function
+      | [] -> []
+      | (lo, hi) :: rest ->
+        if hi < b then go rest
+        else if lo >= b then (lo, hi) :: rest
+        else (b, hi) :: rest
+    in
+    mk (go d.ivs)
 
-let diff a b =
-  List.fold_left (fun acc (lo, hi) -> remove_interval lo hi acc) a b
+let remove_above b d =
+  if b >= d.hi then d
+  else
+    let rec go = function
+      | [] -> []
+      | ((lo, hi) as iv) :: rest ->
+        if lo > b then []
+        else if hi <= b then iv :: go rest
+        else [ (lo, b) ]
+    in
+    mk (go d.ivs)
 
-let shift k d = List.map (fun (lo, hi) -> (lo + k, hi + k)) d
+let remove_interval rlo rhi d =
+  let rec go rlo rhi ivs =
+    if rlo > rhi then ivs
+    else
+      match ivs with
+      | [] -> []
+      | ((lo, hi) as iv) :: rest ->
+        if rhi < lo then iv :: rest
+        else if rlo > hi then iv :: go rlo rhi rest
+        else
+          let left = if lo < rlo then [ (lo, rlo - 1) ] else [] in
+          let right = go rlo rhi (if rhi < hi then (rhi + 1, hi) :: rest else rest) in
+          left @ right
+  in
+  if rlo > rhi || rhi < d.lo || rlo > d.hi then d else mk (go rlo rhi d.ivs)
 
-let neg d = List.rev_map (fun (lo, hi) -> (-hi, -lo)) d
+let inter (a : t) (b : t) : t =
+  (* Fast paths: disjoint ranges, and the ubiquitous single-interval /
+     single-interval case (bounds reasoning), which needs no list walk. *)
+  if a.sz = 0 || b.sz = 0 || a.hi < b.lo || b.hi < a.lo then empty
+  else
+    match (a.ivs, b.ivs) with
+    | [ _ ], [ _ ] -> interval (Stdlib.max a.lo b.lo) (Stdlib.min a.hi b.hi)
+    | _ ->
+      let rec go a b =
+        match (a, b) with
+        | [], _ | _, [] -> []
+        | (l1, h1) :: ra, (l2, h2) :: rb ->
+          let lo = Stdlib.max l1 l2 and hi = Stdlib.min h1 h2 in
+          let tail =
+            if h1 < h2 then go ra b
+            else if h2 < h1 then go a rb
+            else go ra rb
+          in
+          if lo <= hi then (lo, hi) :: tail else tail
+      in
+      mk (go a.ivs b.ivs)
 
-let iter f d = List.iter (fun (lo, hi) -> for v = lo to hi do f v done) d
+let union a b = normalize (a.ivs @ b.ivs)
+
+let diff a b = List.fold_left (fun acc (lo, hi) -> remove_interval lo hi acc) a b.ivs
+
+let shift k d =
+  if d.sz = 0 then d
+  else
+    {
+      ivs = List.map (fun (lo, hi) -> (lo + k, hi + k)) d.ivs;
+      lo = d.lo + k;
+      hi = d.hi + k;
+      sz = d.sz;
+    }
+
+let neg d =
+  if d.sz = 0 then d
+  else
+    {
+      ivs = List.rev_map (fun (lo, hi) -> (-hi, -lo)) d.ivs;
+      lo = -d.hi;
+      hi = -d.lo;
+      sz = d.sz;
+    }
+
+let iter f d =
+  List.iter
+    (fun (lo, hi) ->
+      for v = lo to hi do
+        f v
+      done)
+    d.ivs
 
 let fold f acc d =
   List.fold_left
@@ -128,18 +199,60 @@ let fold f acc d =
         r := f !r v
       done;
       !r)
-    acc d
+    acc d.ivs
 
 let for_all p d =
   List.for_all
     (fun (lo, hi) ->
       let rec go v = v > hi || (p v && go (v + 1)) in
       go lo)
-    d
+    d.ivs
 
 let exists p d = not (for_all (fun v -> not (p v)) d)
 
-let filter p d = of_list (List.filter p (to_list d))
+(* Filter interval-wise: emit maximal runs of accepted values directly,
+   without materializing the value list or re-sorting. *)
+let filter p d =
+  let out = ref [] in
+  let emit s e = out := (s, e) :: !out in
+  List.iter
+    (fun (lo, hi) ->
+      let run = ref lo in
+      let in_run = ref false in
+      for v = lo to hi do
+        if p v then begin
+          if not !in_run then begin
+            run := v;
+            in_run := true
+          end
+        end
+        else if !in_run then begin
+          emit !run (v - 1);
+          in_run := false
+        end
+      done;
+      if !in_run then emit !run hi)
+    d.ivs;
+  mk (List.rev !out)
+
+(* Closest member to [target]; ties go to the smaller value.  Walks the
+   interval list (O(#intervals)), never the values. *)
+let closest target d =
+  if d.sz = 0 then raise Empty_domain
+  else begin
+    let best = ref d.lo in
+    let best_dist = ref (abs (d.lo - target)) in
+    List.iter
+      (fun (lo, hi) ->
+        let cand = if target < lo then lo else if target > hi then hi else target in
+        let dist = abs (cand - target) in
+        if dist < !best_dist then begin
+          best := cand;
+          best_dist := dist
+        end)
+      d.ivs;
+    !best
+  end
 
 (* Exact image under a monotone map.  Interval endpoints alone are not
    enough (e.g. x -> 2x tears holes into intervals), so enumerate values
@@ -148,18 +261,22 @@ let map_monotone f d =
   normalize
     (List.concat_map
        (fun (lo, hi) ->
-         if f hi - f lo = hi - lo then [ (f lo, f hi) ]  (* shift-like *)
+         if f hi - f lo = hi - lo then [ (f lo, f hi) ] (* shift-like *)
          else List.init (hi - lo + 1) (fun i -> (f (lo + i), f (lo + i))))
-       d)
+       d.ivs)
 
 let check_invariant d =
   let rec go = function
     | [] -> true
     | [ (lo, hi) ] -> lo <= hi
-    | (l1, h1) :: ((l2, _) :: _ as rest) ->
-      l1 <= h1 && h1 + 2 <= l2 && go rest
+    | (l1, h1) :: ((l2, _) :: _ as rest) -> l1 <= h1 && h1 + 2 <= l2 && go rest
   in
-  go d
+  go d.ivs
+  && (match d.ivs with
+     | [] -> d.sz = 0
+     | (lo, _) :: _ ->
+       let cached = mk d.ivs in
+       d.lo = lo && d.hi = cached.hi && d.sz = cached.sz)
 
 let pp ppf d =
   let pp_iv ppf (lo, hi) =
@@ -170,6 +287,6 @@ let pp ppf d =
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        pp_iv)
-    d
+    d.ivs
 
 let to_string d = Format.asprintf "%a" pp d

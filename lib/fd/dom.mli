@@ -1,9 +1,13 @@
 (** Finite integer domains represented as sorted lists of disjoint,
-    non-adjacent, inclusive intervals.
+    non-adjacent, inclusive intervals, with cached bounds and size.
 
     This is the value representation used by every finite-domain variable
     in the solver.  All operations are purely functional; the solver's
     {!Store} handles mutation and trailing on top of this module.
+
+    {!min}, {!max} and {!size} are O(1) (cached at construction); this
+    matters because they dominate the solver's propagation and
+    variable-selection hot paths.
 
     Invariant (checked by {!check_invariant} and enforced by all
     constructors): intervals [(lo, hi)] satisfy [lo <= hi], are sorted in
@@ -41,10 +45,15 @@ val is_singleton : t -> bool
 val mem : int -> t -> bool
 
 val min : t -> int
-(** Smallest value. @raise Empty_domain on the empty domain. *)
+(** Smallest value, O(1). @raise Empty_domain on the empty domain. *)
 
 val max : t -> int
-(** Largest value. @raise Empty_domain on the empty domain. *)
+(** Largest value, O(1). @raise Empty_domain on the empty domain. *)
+
+val closest : int -> t -> int
+(** [closest target d] is the member of [d] nearest to [target], ties
+    resolved to the smaller value.  O(number of intervals).
+    @raise Empty_domain on the empty domain. *)
 
 val choose : t -> int
 (** An arbitrary value (the minimum). @raise Empty_domain if empty. *)

@@ -27,7 +27,7 @@ let post s ~index xs z =
       update st z joint
     end
   in
-  ignore (post_now s ~name:"element" ~watches:(index :: z :: Array.to_list xs) prop);
+  ignore (post_now s ~name:"element" ~priority:prio_channel ~watches:(index :: z :: Array.to_list xs) prop);
   propagate s
 
 let post_const s ~index table z =

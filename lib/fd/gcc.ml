@@ -25,5 +25,5 @@ let post s vars cards =
           List.iter (fun x -> update st x (Dom.singleton v)) can_take_v)
       cards
   in
-  ignore (post_now s ~name:"gcc" ~watches:vars prop);
+  ignore (post_now s ~name:"gcc" ~priority:prio_channel ~watches:vars prop);
   propagate s

@@ -39,6 +39,6 @@ let of_slot s ~banks ~page_size slot =
     in
     update st slot (Dom.filter keep (dom slot))
   in
-  ignore (post_now s ~name:"slot_geometry" ~watches:[ slot; bank; line; page ] prop);
+  ignore (post_now s ~name:"slot_geometry" ~priority:prio_channel ~watches:[ slot; bank; line; page ] prop);
   propagate s;
   { slot; bank; line; page }

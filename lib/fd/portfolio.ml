@@ -1,0 +1,127 @@
+(* Parallel portfolio search on OCaml 5 domains.
+
+   Each strategy thunk builds its own independent store/model (stores
+   are not thread-safe; sharing one across domains is unsound) and runs
+   branch & bound over it.  The only shared state is one atomic
+   incumbent bound: every worker publishes improving objective values
+   and re-reads the global bound at each choice point, so one worker's
+   solution prunes everyone else's tree (cooperative B&B).
+
+   Under a node budget the portfolio's best bound is never worse than
+   running the first strategy alone with the same budget: pruning with a
+   foreign incumbent only skips subtrees that cannot contain a strictly
+   better solution. *)
+
+type 'a task = {
+  store : Store.t;
+  phases : Search.phase list;
+  objective : Store.var;
+  snapshot : unit -> 'a;
+  restarts : bool;  (* run under a Luby restart policy *)
+}
+
+type 'a strategy = unit -> 'a task
+
+(* The shared incumbent: max_int encodes "no solution yet". *)
+let atomic_min cell v =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if v < cur && not (Atomic.compare_and_set cell cur v) then go ()
+  in
+  go ()
+
+type 'a worker_result = {
+  outcome : ('a * int) Search.outcome option;  (* None: task build failed *)
+  proof : bool;      (* exhausted its search space *)
+  infeasible : bool; (* model construction already failed *)
+  wstats : Search.stats;
+}
+
+let run_worker incumbent budget strat =
+  let bound_get () =
+    let b = Atomic.get incumbent in
+    if b = max_int then None else Some b
+  in
+  let bound_put v = atomic_min incumbent v in
+  match strat () with
+  | exception Store.Fail _ ->
+    {
+      outcome = None;
+      proof = true;
+      infeasible = true;
+      wstats = Search.zero_stats ~optimal:true;
+    }
+  | task ->
+    let on_solution () = (task.snapshot (), Store.vmin task.objective) in
+    let outcome =
+      if task.restarts then
+        Search.minimize_restarts ?budget ~bound_get ~bound_put task.store
+          task.phases ~objective:task.objective ~on_solution
+      else
+        Search.minimize ?budget ~bound_get ~bound_put task.store task.phases
+          ~objective:task.objective ~on_solution
+    in
+    let proof, wstats =
+      match outcome with
+      | Search.Solution (_, st) | Search.Unsat st -> (st.Search.optimal, st)
+      | Search.Best (_, st) | Search.Timeout st -> (false, st)
+    in
+    { outcome = Some outcome; proof; infeasible = false; wstats }
+
+let minimize ?budget ?workers strategies =
+  let strategies =
+    match workers with
+    | Some n when n >= 1 && n < List.length strategies ->
+      List.filteri (fun i _ -> i < n) strategies
+    | _ -> strategies
+  in
+  if strategies = [] then invalid_arg "Portfolio.minimize: no strategies";
+  let t0 = Unix.gettimeofday () in
+  let incumbent = Atomic.make max_int in
+  let results =
+    match strategies with
+    | [ only ] -> [ run_worker incumbent budget only ]
+    | _ ->
+      let domains =
+        List.map
+          (fun strat -> Domain.spawn (fun () -> run_worker incumbent budget strat))
+          strategies
+      in
+      List.map Domain.join domains
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (* Merge: nodes/failures/propagations sum across workers; time is the
+     portfolio's wall clock; optimal if any worker exhausted its tree. *)
+  let any_proof = List.exists (fun r -> r.proof) results in
+  let all_infeasible = List.for_all (fun r -> r.infeasible) results in
+  let stats =
+    List.fold_left
+      (fun acc r ->
+        {
+          acc with
+          Search.nodes = acc.Search.nodes + r.wstats.Search.nodes;
+          failures = acc.Search.failures + r.wstats.Search.failures;
+          solutions = acc.Search.solutions + r.wstats.Search.solutions;
+          propagations = acc.Search.propagations + r.wstats.Search.propagations;
+        })
+      { (Search.zero_stats ~optimal:any_proof) with Search.time_ms = wall_ms }
+      results
+  in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match r.outcome with
+        | Some (Search.Solution ((snap, v), _)) | Some (Search.Best ((snap, v), _))
+          -> (
+          match acc with
+          | Some (_, v0) when v0 <= v -> acc
+          | _ -> Some (snap, v))
+        | _ -> acc)
+      None results
+  in
+  match best with
+  | Some (snap, _) ->
+    if any_proof then Search.Solution (snap, stats) else Search.Best (snap, stats)
+  | None ->
+    if any_proof || all_infeasible then Search.Unsat stats
+    else Search.Timeout stats

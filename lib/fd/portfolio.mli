@@ -1,0 +1,40 @@
+(** Parallel portfolio branch & bound on OCaml 5 domains.
+
+    Runs several diversified search strategies concurrently, each over
+    its own independently-built model (stores are not shared between
+    domains).  Workers cooperate through a single atomic incumbent
+    bound: every improving solution is published, and every worker
+    re-reads the global bound at each choice point, pruning its tree
+    with the best solution found anywhere.
+
+    Guarantee: under a node budget, the returned bound is never worse
+    than running the first strategy alone with the same budget —
+    cooperative pruning only skips subtrees that cannot contain a
+    strictly better solution.  (Under a wall-clock budget on an
+    oversubscribed machine, time slicing can still cost nodes.) *)
+
+type 'a task = {
+  store : Store.t;
+  phases : Search.phase list;
+  objective : Store.var;
+  snapshot : unit -> 'a;       (** called on each improving solution *)
+  restarts : bool;             (** run under a Luby restart policy *)
+}
+
+type 'a strategy = unit -> 'a task
+(** Evaluated inside the worker's domain; must build a fresh store.
+    May raise {!Store.Fail} to signal root infeasibility. *)
+
+val minimize :
+  ?budget:Search.budget ->
+  ?workers:int ->
+  'a strategy list ->
+  'a Search.outcome
+(** Run one worker per strategy (limited to the first [workers]
+    strategies when given).  [Solution] means some worker exhausted its
+    search space, which proves the returned incumbent globally optimal;
+    [Best] a budget expired first; [Unsat] no solution exists.
+
+    Each worker receives the full [budget]; with more workers than
+    cores, wall-clock time is shared.
+    @raise Invalid_argument on an empty strategy list. *)

@@ -21,7 +21,7 @@ let leq_iff s x y b =
       remove_above st y (vmax x - 1)
     end
   in
-  ignore (post_now s ~name:"leq_iff" ~watches:[ x; y; b ] prop);
+  ignore (post_now s ~name:"leq_iff" ~event:On_bounds ~watches:[ x; y; b ] prop);
   propagate s
 
 let eq_iff s x y b =
@@ -65,7 +65,7 @@ let conj s bs b =
       | _ -> ()
     end
   in
-  ignore (post_now s ~name:"conj" ~watches:(b :: bs) prop);
+  ignore (post_now s ~name:"conj" ~event:On_fix ~watches:(b :: bs) prop);
   propagate s
 
 let disj s bs b =
@@ -79,7 +79,7 @@ let disj s bs b =
       | _ -> ()
     end
   in
-  ignore (post_now s ~name:"disj" ~watches:(b :: bs) prop);
+  ignore (post_now s ~name:"disj" ~event:On_fix ~watches:(b :: bs) prop);
   propagate s
 
 let negation s a b =

@@ -1,12 +1,109 @@
 open Store
 
-type var_select = var list -> var option
+(* Variable selection is a closed set of incremental heuristics plus a
+   [Custom] escape hatch.  The built-ins run over a backtrackable sparse
+   set of possibly-unfixed variables (no List.filter per node) and break
+   ties exactly like the seed engine: by original list position. *)
+type var_select =
+  | Input_order
+  | First_fail
+  | Smallest_min
+  | Most_constrained
+  | Custom of (var list -> var option)
+
+let input_order = Input_order
+let first_fail = First_fail
+let smallest_min = Smallest_min
+let most_constrained = Most_constrained
+let custom f = Custom f
+
 type val_select = var -> int
 
-let unfixed vars = List.filter (fun v -> not (is_fixed v)) vars
+let select_min v = vmin v
+let select_max v = vmax v
 
-let input_order vars =
-  List.find_opt (fun v -> not (is_fixed v)) vars
+let select_mid v =
+  let d = dom v in
+  Dom.closest ((Dom.min d + Dom.max d) / 2) d
+
+type phase = { vars : var list; var_select : var_select; val_select : val_select }
+
+let phase ?(var_select = First_fail) ?(val_select = select_min) vars =
+  { vars; var_select; val_select }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime phase state: a sparse set over the phase's variables.  The
+   prefix [0, n_active) of [arr] holds every possibly-unfixed variable;
+   fixed variables are swapped out to the suffix during selection.
+   Because variables only become fixed while descending and only become
+   unfixed again on backtracking, restoring [n_active] on backtrack
+   restores exactly the previous membership (order inside the prefix is
+   irrelevant: tie-breaking uses the original index in [orig]). *)
+
+type rt_phase = {
+  arr : var array;
+  orig : int array;  (* arr.(i)'s position in the user's list *)
+  mutable n_active : int;
+  sel : var_select;
+  value_of : val_select;
+}
+
+let rt_of_phase ph =
+  let arr = Array.of_list ph.vars in
+  {
+    arr;
+    orig = Array.init (Array.length arr) Fun.id;
+    n_active = Array.length arr;
+    sel = ph.var_select;
+    value_of = ph.val_select;
+  }
+
+(* Scan the active prefix once: compact newly-fixed variables out and
+   return the best variable under [key] (smaller is better, ties to the
+   smallest original index). *)
+let scan_best rp key =
+  let best = ref None in
+  let best_key = ref (max_int, max_int) in
+  let i = ref 0 in
+  while !i < rp.n_active do
+    let v = rp.arr.(!i) in
+    if is_fixed v then begin
+      let last = rp.n_active - 1 in
+      rp.arr.(!i) <- rp.arr.(last);
+      rp.arr.(last) <- v;
+      let o = rp.orig.(!i) in
+      rp.orig.(!i) <- rp.orig.(last);
+      rp.orig.(last) <- o;
+      rp.n_active <- last
+    end
+    else begin
+      let k = (key v, rp.orig.(!i)) in
+      if k < !best_key then begin
+        best_key := k;
+        best := Some v
+      end;
+      incr i
+    end
+  done;
+  !best
+
+let rt_select rp =
+  match rp.sel with
+  | Input_order -> scan_best rp (fun _ -> 0)
+  | First_fail -> scan_best rp (fun v -> Dom.size (dom v))
+  | Smallest_min -> scan_best rp vmin
+  | Most_constrained ->
+    (* Domain size dominates; we approximate "most watchers" by
+       preferring earlier creation order (models post structural
+       constraints on the variables they create first). *)
+    scan_best rp (fun v -> (Dom.size (dom v) * 1_000_000) + id v)
+  | Custom f ->
+    (* No sparse-set bookkeeping: the closure sees the original list. *)
+    f (Array.to_list rp.arr |> List.filter (fun v -> not (is_fixed v)))
+
+(* List-based selection, for callers that use heuristics outside a
+   search (kept for the public API). *)
+let unfixed vars = List.filter (fun v -> not (is_fixed v)) vars
 
 let best_by score vars =
   match unfixed vars with
@@ -17,40 +114,27 @@ let best_by score vars =
          (fun best v -> if score v < score best then v else best)
          v0 rest)
 
-let first_fail vars = best_by (fun v -> Dom.size (dom v)) vars
-let smallest_min vars = best_by (fun v -> vmin v) vars
+let select_var sel vars =
+  match sel with
+  | Input_order -> List.find_opt (fun v -> not (is_fixed v)) vars
+  | First_fail -> best_by (fun v -> Dom.size (dom v)) vars
+  | Smallest_min -> best_by vmin vars
+  | Most_constrained -> best_by (fun v -> (Dom.size (dom v) * 1_000_000) + id v) vars
+  | Custom f -> f vars
 
-let most_constrained vars =
-  (* Domain size dominates; we approximate "most watchers" by preferring
-     earlier creation order (models post structural constraints on the
-     variables they create first). *)
-  best_by (fun v -> (Dom.size (dom v) * 1_000_000) + id v) vars
-
-let select_min v = vmin v
-let select_max v = vmax v
-
-let select_mid v =
-  let d = dom v in
-  let target = (Dom.min d + Dom.max d) / 2 in
-  (* Closest value to the middle that is actually in the domain. *)
-  let best = ref (Dom.min d) in
-  Dom.iter
-    (fun x -> if abs (x - target) < abs (!best - target) then best := x)
-    d;
-  !best
-
-type phase = { vars : var list; var_select : var_select; val_select : val_select }
-
-let phase ?(var_select = first_fail) ?(val_select = select_min) vars =
-  { vars; var_select; val_select }
+(* ------------------------------------------------------------------ *)
 
 type stats = {
   nodes : int;
   failures : int;
   solutions : int;
+  propagations : int;
   time_ms : float;
   optimal : bool;
 }
+
+let zero_stats ~optimal =
+  { nodes = 0; failures = 0; solutions = 0; propagations = 0; time_ms = 0.; optimal }
 
 type 'a outcome =
   | Solution of 'a * stats
@@ -70,16 +154,24 @@ exception Out_of_budget
 
 (* [all] collects every solution (up to [limit]) instead of stopping at
    the first; the store is always unwound to its entry level so callers
-   can reuse it (restarts, iterated bounds). *)
-let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
-    ~on_solution =
+   can reuse it (restarts, iterated bounds).
+
+   [bound_get]/[bound_put] connect this search to an external incumbent
+   (the portfolio's shared atomic bound): the effective bound is the
+   minimum of the local and external ones, and every improving solution
+   is published through [bound_put]. *)
+let run ?(budget = no_budget) ?(all = false) ?limit ?bound_get ?bound_put store
+    phases ~objective ~on_solution =
   let t0 = Unix.gettimeofday () in
   let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  let steps0 = Store.propagation_steps store in
   let nodes = ref 0 and failures = ref 0 and solutions = ref 0 in
   let best : 'a option ref = ref None in
   let collected : 'a list ref = ref [] in
   let bound : int option ref = ref None in
   let entry_level = Store.level store in
+  let rts = List.map rt_of_phase phases in
+  let rts_arr = Array.of_list rts in
   let check_budget () =
     (match budget.max_nodes with
     | Some n when !nodes >= n -> raise Out_of_budget
@@ -89,8 +181,15 @@ let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
       raise Out_of_budget
     | _ -> ()
   in
+  let effective_bound () =
+    let ext = match bound_get with Some get -> get () | None -> None in
+    match (!bound, ext) with
+    | Some a, Some b -> Some (Stdlib.min a b)
+    | (Some _ as b), None | None, (Some _ as b) -> b
+    | None, None -> None
+  in
   let apply_bound () =
-    match (objective, !bound) with
+    match (objective, effective_bound ()) with
     | Some obj, Some b -> remove_above store obj (b - 1)
     | _ -> ()
   in
@@ -109,37 +208,42 @@ let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
     else
       match objective with
       | Some obj ->
-        bound := Some (vmin obj);
+        let v = vmin obj in
+        bound := Some v;
+        (match bound_put with Some put -> put v | None -> ());
         (* Continue branch & bound by treating the solution as a failure. *)
         raise (Fail "bnb: improve")
       | None -> raise Found
   in
   let rec label = function
     | [] -> record_solution ()
-    | ph :: rest as phases -> (
-      match ph.var_select ph.vars with
+    | rp :: rest as rps -> (
+      match rt_select rp with
       | None -> label rest
       | Some v ->
         check_budget ();
         incr nodes;
-        let k = ph.val_select v in
-        try_branch phases (fun () -> assign store v k);
-        try_branch phases (fun () -> remove_value store v k))
-  and try_branch phases act =
+        let k = rp.value_of v in
+        try_branch rps (fun () -> assign store v k);
+        try_branch rps (fun () -> remove_value store v k))
+  and try_branch rps act =
+    let saved = Array.map (fun rp -> rp.n_active) rts_arr in
     push_level store;
     (try
        apply_bound ();
        act ();
        propagate store;
-       label phases
+       label rps
      with Fail _ -> incr failures);
-    pop_level store
+    pop_level store;
+    Array.iteri (fun i rp -> rp.n_active <- saved.(i)) rts_arr
   in
   let stats optimal =
     {
       nodes = !nodes;
       failures = !failures;
       solutions = !solutions;
+      propagations = Store.propagation_steps store - steps0;
       time_ms = elapsed_ms ();
       optimal;
     }
@@ -152,7 +256,7 @@ let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
   let outcome =
     match
       propagate store;
-      label phases
+      label rts
     with
     | () -> (
       (* Search space exhausted. *)
@@ -179,8 +283,9 @@ let run ?(budget = no_budget) ?(all = false) ?limit store phases ~objective
 let solve ?budget store phases ~on_solution =
   fst (run ?budget store phases ~objective:None ~on_solution)
 
-let minimize ?budget store phases ~objective ~on_solution =
-  fst (run ?budget store phases ~objective:(Some objective) ~on_solution)
+let minimize ?budget ?bound_get ?bound_put store phases ~objective ~on_solution =
+  fst (run ?budget ?bound_get ?bound_put store phases ~objective:(Some objective)
+         ~on_solution)
 
 let solve_all ?budget ?limit store phases ~on_solution =
   match run ?budget ~all:true ?limit store phases ~objective:None ~on_solution with
@@ -198,12 +303,10 @@ let luby i =
   let rec find_k k = if (1 lsl k) - 1 >= i then k else find_k (k + 1) in
   go i (find_k 1)
 
-let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget store phases
-    ~objective ~on_solution =
+let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget ?bound_get
+    ?bound_put store phases ~objective ~on_solution =
   let best = ref None in
-  let total =
-    ref { nodes = 0; failures = 0; solutions = 0; time_ms = 0.; optimal = false }
-  in
+  let total = ref (zero_stats ~optimal:false) in
   let deadline_budget run_idx =
     let node_cap = base * luby run_idx in
     match budget with
@@ -216,9 +319,20 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget store phases
         nodes = !total.nodes + st.nodes;
         failures = !total.failures + st.failures;
         solutions = !total.solutions + st.solutions;
+        propagations = !total.propagations + st.propagations;
         time_ms = !total.time_ms +. st.time_ms;
         optimal = st.optimal;
       }
+  in
+  let incumbent () =
+    (* carry the better of the local and the external bound into the
+       next restart *)
+    let local = match !best with Some (_, v) -> Some v | None -> None in
+    let ext = match bound_get with Some get -> get () | None -> None in
+    match (local, ext) with
+    | Some a, Some b -> Some (Stdlib.min a b)
+    | (Some _ as b), None | None, (Some _ as b) -> b
+    | None, None -> None
   in
   let rec go run_idx =
     if run_idx > max_restarts then
@@ -227,10 +341,9 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget store phases
       | None -> Timeout !total
     else begin
       push_level store;
-      (* carry the incumbent bound into this restart *)
       let ok =
-        match !best with
-        | Some (_, obj_val) -> (
+        match incumbent () with
+        | Some obj_val -> (
           try
             remove_above store objective (obj_val - 1);
             propagate store;
@@ -246,7 +359,8 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget store phases
       end
       else begin
         let outcome =
-          run ~budget:(deadline_budget run_idx) store phases
+          run ~budget:(deadline_budget run_idx) ?bound_get ?bound_put store
+            phases
             ~objective:(Some objective)
             ~on_solution:(fun () -> (on_solution (), vmin objective))
         in

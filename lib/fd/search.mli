@@ -1,32 +1,44 @@
 (** Depth-first search with variable/value selection heuristics,
     branch & bound minimization, multi-phase variable ordering (paper
-    §3.5) and node/time budgets. *)
+    §3.5) and node/time budgets.
+
+    The engine keeps a backtrackable sparse set of possibly-unfixed
+    variables per phase, so variable selection never rescans fixed
+    variables, and domain-size / bounds queries used by the heuristics
+    are O(1) (see {!Dom}). *)
 
 open Store
 
-(** Variable selection heuristic: picks one unfixed variable from the
-    list, or returns [None] when all are fixed. *)
-type var_select = var list -> var option
+(** Variable selection heuristic.  The named constructors are evaluated
+    incrementally inside the engine; {!Custom} receives the list of
+    currently-unfixed variables of the phase (in original order) and is
+    the compatibility escape hatch. *)
+type var_select =
+  | Input_order       (** first unfixed variable in list order *)
+  | First_fail        (** smallest domain, ties by list order *)
+  | Smallest_min      (** smallest domain minimum (list scheduling) *)
+  | Most_constrained  (** smallest domain, ties by creation order *)
+  | Custom of (var list -> var option)
 
 (** Value selection heuristic: picks the value to try first. *)
 type val_select = var -> int
 
 val input_order : var_select
-(** First unfixed variable in list order. *)
-
 val first_fail : var_select
-(** Unfixed variable with the smallest domain, ties by list order. *)
-
 val smallest_min : var_select
-(** Unfixed variable with the smallest domain minimum — the natural
-    choice for start-time variables (mimics list scheduling). *)
-
 val most_constrained : var_select
-(** Smallest domain, ties broken by most watchers. *)
+val custom : (var list -> var option) -> var_select
+
+val select_var : var_select -> var list -> var option
+(** Apply a heuristic to an explicit list (non-incremental; for use
+    outside the engine). *)
 
 val select_min : val_select
 val select_max : val_select
+
 val select_mid : val_select
+(** Closest value to the middle of the domain's range; computed by
+    interval arithmetic, never by enumerating the domain. *)
 
 (** One search phase: a set of decision variables with its heuristics.
     Phases are exhausted in order (paper §3.5 uses three). *)
@@ -40,10 +52,13 @@ type stats = {
   nodes : int;          (** decision nodes explored *)
   failures : int;       (** backtracks *)
   solutions : int;      (** solutions found (B&B counts improvements) *)
+  propagations : int;   (** propagator executions during this search *)
   time_ms : float;      (** wall-clock search time *)
   optimal : bool;       (** search space exhausted (proof of optimality /
                             unsatisfiability) *)
 }
+
+val zero_stats : optimal:bool -> stats
 
 type 'a outcome =
   | Solution of 'a * stats        (** with proof of optimality for B&B *)
@@ -69,6 +84,8 @@ val solve :
 
 val minimize :
   ?budget:budget ->
+  ?bound_get:(unit -> int option) ->
+  ?bound_put:(int -> unit) ->
   Store.t ->
   phase list ->
   objective:var ->
@@ -77,7 +94,12 @@ val minimize :
 (** Branch & bound: every solution adds the constraint
     [objective <= value - 1] and search continues.  [Solution] means the
     last snapshot is proven optimal; [Best] means the budget expired
-    first. *)
+    first.
+
+    [bound_get]/[bound_put] connect the search to an external incumbent
+    (see {!Portfolio}): the effective bound is the minimum of the local
+    and external bounds, re-read at every choice point, and improving
+    solutions are published through [bound_put]. *)
 
 val solve_all :
   ?budget:budget ->
@@ -97,6 +119,8 @@ val minimize_restarts :
   ?base:int ->
   ?max_restarts:int ->
   ?budget:budget ->
+  ?bound_get:(unit -> int option) ->
+  ?bound_put:(int -> unit) ->
   Store.t ->
   phase list ->
   objective:var ->

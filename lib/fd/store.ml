@@ -1,18 +1,29 @@
 exception Fail of string
 
+(* Wake events: which kind of domain change re-schedules a watcher.
+   [On_change] is any narrowing; [On_bounds] only min/max changes (which
+   includes becoming fixed); [On_fix] only the transition to a
+   singleton.  Bounds-consistent propagators subscribe with [On_bounds]
+   and are therefore never re-run for interior hole removals. *)
+type event = On_change | On_bounds | On_fix
+
 type var = {
   vid : int;
   vname : string;
   mutable vdom : Dom.t;
-  mutable watchers : propagator list;
+  mutable w_change : propagator list;
+  mutable w_bounds : propagator list;
+  mutable w_fix : propagator list;
 }
 
 and propagator = {
   pid : int;
   pname : string;
+  prio : int;
   exec : t -> unit;
   mutable queued : bool;
   mutable entailed : bool;
+  mutable runs : int;
 }
 
 and trail_entry =
@@ -25,12 +36,23 @@ and t = {
   mutable next_vid : int;
   mutable next_pid : int;
   mutable n_props : int;
+  mutable props : propagator list;
   mutable trail : trail_entry list;
   mutable depth : int;
-  queue : propagator Queue.t;
+  queues : propagator Queue.t array;  (* one FIFO bucket per priority *)
   mutable steps : int;
-  mutable consts : (int * var) list;
+  consts : (int, var) Hashtbl.t;
 }
+
+(* Priority buckets: 0 = cheap arithmetic/reification, 1 = channeling and
+   table-style propagators, 2 = expensive globals (Cumulative, Alldiff,
+   Diff2).  Cheap propagators reach their fixpoint before any global
+   re-runs, so the globals see already-tightened bounds. *)
+let n_priorities = 3
+
+let prio_arith = 0
+let prio_channel = 1
+let prio_global = n_priorities - 1
 
 let create () =
   {
@@ -38,11 +60,12 @@ let create () =
     next_vid = 0;
     next_pid = 0;
     n_props = 0;
+    props = [];
     trail = [];
     depth = 0;
-    queue = Queue.create ();
+    queues = Array.init n_priorities (fun _ -> Queue.create ());
     steps = 0;
-    consts = [];
+    consts = Hashtbl.create 32;
   }
 
 let var_count s = s.next_vid
@@ -54,18 +77,18 @@ let new_var ?name s dom =
   let vid = s.next_vid in
   s.next_vid <- vid + 1;
   let vname = match name with Some n -> n | None -> Printf.sprintf "_v%d" vid in
-  let v = { vid; vname; vdom = dom; watchers = [] } in
+  let v = { vid; vname; vdom = dom; w_change = []; w_bounds = []; w_fix = [] } in
   s.vars <- v :: s.vars;
   v
 
 let interval_var ?name s lo hi = new_var ?name s (Dom.interval lo hi)
 
 let const s k =
-  match List.assoc_opt k s.consts with
+  match Hashtbl.find_opt s.consts k with
   | Some v -> v
   | None ->
     let v = new_var ~name:(string_of_int k) s (Dom.singleton k) in
-    s.consts <- (k, v) :: s.consts;
+    Hashtbl.add s.consts k v;
     v
 
 let name v = v.vname
@@ -82,45 +105,67 @@ let value v =
 let schedule s p =
   if (not p.queued) && not p.entailed then begin
     p.queued <- true;
-    Queue.add p s.queue
+    Queue.add p s.queues.(p.prio)
   end
 
-let notify s v = List.iter (schedule s) v.watchers
+(* Wake watchers according to what actually changed.  A variable that
+   became fixed necessarily changed a bound, so [fixed] implies
+   [bounds]. *)
+let notify s v ~bounds ~fixed =
+  List.iter (schedule s) v.w_change;
+  if bounds then List.iter (schedule s) v.w_bounds;
+  if fixed then List.iter (schedule s) v.w_fix
 
-let update s v d =
-  let d' = Dom.inter v.vdom d in
+(* Install domain [d'] (already a subset check is the caller's concern:
+   d' must be the intersection of the old domain with the update). *)
+let commit s v d' =
   if Dom.is_empty d' then raise (Fail (v.vname ^ ": empty domain"));
-  if not (Dom.equal d' v.vdom) then begin
-    s.trail <- Dom_change (v, v.vdom) :: s.trail;
+  let old = v.vdom in
+  if not (Dom.equal d' old) then begin
+    s.trail <- Dom_change (v, old) :: s.trail;
     v.vdom <- d';
-    notify s v
+    let bounds = Dom.min d' <> Dom.min old || Dom.max d' <> Dom.max old in
+    let fixed = Dom.is_singleton d' && not (Dom.is_singleton old) in
+    notify s v ~bounds ~fixed
   end
+
+let update s v d = commit s v (Dom.inter v.vdom d)
 
 let assign s v k = update s v (Dom.singleton k)
 
-let remove_value s v k =
-  let d' = Dom.remove k v.vdom in
-  if Dom.is_empty d' then raise (Fail (v.vname ^ ": empty domain"));
-  if not (Dom.equal d' v.vdom) then begin
-    s.trail <- Dom_change (v, v.vdom) :: s.trail;
-    v.vdom <- d';
-    notify s v
-  end
+let remove_value s v k = commit s v (Dom.remove k v.vdom)
 
-let remove_below s v b = if b > Dom.min v.vdom then update s v (Dom.interval b max_int)
-let remove_above s v b = if b < Dom.max v.vdom then update s v (Dom.interval min_int b)
+let remove_below s v b =
+  if b > Dom.min v.vdom then commit s v (Dom.remove_below b v.vdom)
 
-let post ?name s ~watches exec =
+let remove_above s v b =
+  if b < Dom.max v.vdom then commit s v (Dom.remove_above b v.vdom)
+
+let post ?name ?(priority = prio_arith) ?(event = On_change) s ~watches exec =
   let pid = s.next_pid in
   s.next_pid <- pid + 1;
   s.n_props <- s.n_props + 1;
   let pname = match name with Some n -> n | None -> Printf.sprintf "_p%d" pid in
-  let p = { pid; pname; exec; queued = false; entailed = false } in
-  List.iter (fun v -> v.watchers <- p :: v.watchers) watches;
+  let priority =
+    if priority < 0 then 0
+    else if priority >= n_priorities then n_priorities - 1
+    else priority
+  in
+  let p =
+    { pid; pname; prio = priority; exec; queued = false; entailed = false; runs = 0 }
+  in
+  s.props <- p :: s.props;
+  List.iter
+    (fun v ->
+      match event with
+      | On_change -> v.w_change <- p :: v.w_change
+      | On_bounds -> v.w_bounds <- p :: v.w_bounds
+      | On_fix -> v.w_fix <- p :: v.w_fix)
+    watches;
   p
 
-let post_now ?name s ~watches exec =
-  let p = post ?name s ~watches exec in
+let post_now ?name ?priority ?event s ~watches exec =
+  let p = post ?name ?priority ?event s ~watches exec in
   schedule s p;
   p
 
@@ -131,25 +176,57 @@ let entail s p =
   end
 
 let propagate s =
-  while not (Queue.is_empty s.queue) do
-    let p = Queue.pop s.queue in
-    p.queued <- false;
-    if not p.entailed then begin
-      s.steps <- s.steps + 1;
-      p.exec s
-    end
-  done
+  let rec drain () =
+    (* lowest-priority-index bucket first; restart the scan after every
+       execution because cheap propagators may have been re-scheduled *)
+    let rec find i =
+      if i >= n_priorities then None
+      else if Queue.is_empty s.queues.(i) then find (i + 1)
+      else Some (Queue.pop s.queues.(i))
+    in
+    match find 0 with
+    | None -> ()
+    | Some p ->
+      p.queued <- false;
+      if not p.entailed then begin
+        s.steps <- s.steps + 1;
+        p.runs <- p.runs + 1;
+        p.exec s
+      end;
+      drain ()
+  in
+  drain ()
+
+(* Re-schedule every propagator (ignoring events): running [propagate]
+   afterwards re-checks the fixpoint from scratch.  Used by tests to
+   assert that event-filtered propagation reached the same fixpoint a
+   full sweep would. *)
+let reschedule_all s = List.iter (schedule s) s.props
+
+let stats s =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let k = p.pname in
+      Hashtbl.replace tbl k (p.runs + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    s.props;
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let push_level s =
   s.trail <- Mark :: s.trail;
   s.depth <- s.depth + 1
 
 let pop_level s =
-  (* A failed propagation can leave stale entries in the queue; they are
+  (* A failed propagation can leave stale entries in the queues; they are
      harmless (propagators are monotone re-checks) but we flush them so a
      restored state starts clean. *)
-  Queue.iter (fun p -> p.queued <- false) s.queue;
-  Queue.clear s.queue;
+  Array.iter
+    (fun q ->
+      Queue.iter (fun p -> p.queued <- false) q;
+      Queue.clear q)
+    s.queues;
   let rec unwind = function
     | [] -> failwith "Store.pop_level: no matching push_level"
     | Mark :: rest ->

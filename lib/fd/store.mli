@@ -1,10 +1,12 @@
 (** Constraint store: finite-domain variables, trail-based state
-    restoration and a propagation engine.
+    restoration and an event-based, prioritized propagation engine.
 
     A {!Store.t} owns a set of variables and propagators.  Domain updates
     go through {!update} (or the convenience wrappers below), which trail
     the old domain so that {!pop_level} can restore it, and schedule the
-    watching propagators.  {!propagate} runs the queue to fixpoint.
+    watching propagators whose {!event} subscription matches the change.
+    {!propagate} runs the queues to fixpoint, cheapest priority bucket
+    first.
 
     Propagators are closures registered with {!post}; they prune domains
     and raise {!Fail} when they detect inconsistency.  A propagator that
@@ -69,14 +71,50 @@ val remove_above : t -> var -> int -> unit
 
 (** {1 Propagators} *)
 
-val post : ?name:string -> t -> watches:var list -> (t -> unit) -> propagator
-(** [post s ~watches f] registers propagator [f], subscribes it to every
-    variable in [watches], runs it once immediately is {e not} done —
-    call {!schedule} or {!propagate_now} for that.  Returns the handle. *)
+type event =
+  | On_change  (** wake on any domain narrowing (default) *)
+  | On_bounds  (** wake only when the min or max moved (incl. fixing) *)
+  | On_fix     (** wake only when the variable becomes a singleton *)
+(** Wake-event taxonomy.  A bounds-consistent propagator (one whose
+    pruning depends only on variable bounds) should subscribe with
+    {!On_bounds}: interior hole removals then never re-run it. *)
 
-val post_now : ?name:string -> t -> watches:var list -> (t -> unit) -> propagator
-(** Like {!post} but also runs the propagator once, immediately, to
-    establish initial consistency.  @raise Fail on inconsistency. *)
+val prio_arith : int
+(** Priority 0: cheap arithmetic / reification propagators, run first. *)
+
+val prio_channel : int
+(** Priority 1: channeling, element, table-style propagators. *)
+
+val prio_global : int
+(** Highest priority index: expensive global constraints (Cumulative,
+    Alldiff, Diff2), run only once the cheap queues are empty. *)
+
+val post :
+  ?name:string ->
+  ?priority:int ->
+  ?event:event ->
+  t ->
+  watches:var list ->
+  (t -> unit) ->
+  propagator
+(** [post s ~watches f] registers propagator [f], subscribes it to every
+    variable in [watches] with the given wake [event] (default
+    {!On_change}) and scheduling [priority] (default {!prio_arith};
+    clamped to the valid bucket range).  Running it once immediately is
+    {e not} done — call {!schedule} or {!post_now} for that.  Returns the
+    handle. *)
+
+val post_now :
+  ?name:string ->
+  ?priority:int ->
+  ?event:event ->
+  t ->
+  watches:var list ->
+  (t -> unit) ->
+  propagator
+(** Like {!post} but also schedules the propagator for an immediate
+    first run to establish initial consistency.
+    @raise Fail on inconsistency. *)
 
 val schedule : t -> propagator -> unit
 (** Put a propagator in the queue (idempotent while queued). *)
@@ -86,7 +124,13 @@ val entail : t -> propagator -> unit
     this subtree.  Undone by {!pop_level}. *)
 
 val propagate : t -> unit
-(** Run the queue to fixpoint.  @raise Fail on inconsistency. *)
+(** Run the priority queues to fixpoint, cheapest bucket first.
+    @raise Fail on inconsistency. *)
+
+val reschedule_all : t -> unit
+(** Schedule every registered propagator, ignoring wake events.  A
+    subsequent {!propagate} re-establishes the fixpoint from scratch;
+    tests use this to verify that event filtering loses no pruning. *)
 
 (** {1 Search support} *)
 
@@ -103,3 +147,7 @@ val level : t -> int
 val pp_var : Format.formatter -> var -> unit
 val propagation_steps : t -> int
 (** Number of propagator executions so far (for statistics). *)
+
+val stats : t -> (string * int) list
+(** Cumulative execution counts aggregated by propagator name, most
+    executed first. *)

@@ -28,5 +28,5 @@ let post s vars rows =
         update st v support)
       arr
   in
-  ignore (post_now s ~name:"table" ~watches:vars prop);
+  ignore (post_now s ~name:"table" ~priority:prio_channel ~watches:vars prop);
   propagate s

@@ -135,7 +135,7 @@ let solve_one g arch ~ii ~minimize_rec ~budget_ms =
       St.remove_below st recvar (Eit.Config.count_reconfigs_cyclic seq)
   in
   ignore
-    (St.post_now s ~name:"rec_count" ~watches:(List.map mv vop_list) rec_prop);
+    (St.post_now s ~name:"rec_count" ~priority:St.prio_channel ~event:St.On_fix ~watches:(List.map mv vop_list) rec_prop);
   let phases =
     if minimize_rec then begin
       (* Branch on the residues of the vector ops first, grouped by
@@ -179,8 +179,7 @@ let solve_one g arch ~ii ~minimize_rec ~budget_ms =
         Fd.Search.minimize ~budget s phases ~objective:recvar ~on_solution:snapshot
       else Fd.Search.solve ~budget s phases ~on_solution:snapshot
     with St.Fail _ ->
-      Fd.Search.Unsat
-        { nodes = 0; failures = 0; solutions = 0; time_ms = 0.; optimal = true }
+      Fd.Search.Unsat (Fd.Search.zero_stats ~optimal:true)
   in
   outcome
 

@@ -13,29 +13,73 @@ let pp_status ppf = function
   | Unsat -> Format.pp_print_string ppf "unsat"
   | Timeout -> Format.pp_print_string ppf "timeout"
 
+(* The portfolio's strategy templates, in fixed order.  Strategy 0 is
+   the sequential default (paper §3.5 phases), so a portfolio run
+   subsumes the sequential one; the others diversify the first phase's
+   heuristics and add a Luby-restart worker. *)
+let strategy_templates =
+  [
+    ("default", None, false);
+    ("first-fail", Some (Fd.Search.first_fail, Fd.Search.select_min), false);
+    ("most-constrained-mid", Some (Fd.Search.most_constrained, Fd.Search.select_mid), false);
+    ("input-order-luby", Some (Fd.Search.input_order, Fd.Search.select_min), true);
+  ]
+
+let portfolio_strategies ~memory g arch n =
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  (* cycle the templates if more workers than templates are requested *)
+  let templates =
+    let rec cycle acc k =
+      if k <= 0 then List.rev acc
+      else
+        let needed = take (min k (List.length strategy_templates)) strategy_templates in
+        cycle (List.rev_append needed acc) (k - List.length needed)
+    in
+    cycle [] n
+  in
+  List.map
+    (fun (_, override, restarts) () ->
+      let m = Model.build ~memory g arch in
+      let phases =
+        match (override, Model.phases m) with
+        | Some (var_select, val_select), p1 :: rest ->
+          { p1 with Fd.Search.var_select; val_select } :: rest
+        | _, phases -> phases
+      in
+      {
+        Fd.Portfolio.store = m.Model.store;
+        phases;
+        objective = m.Model.makespan;
+        snapshot = (fun () -> Model.extract m);
+        restarts;
+      })
+    templates
+
 let run ?(budget = Fd.Search.time_budget 10_000.) ?(memory = true)
-    ?(arch = Eit.Arch.default) ?(validate = true) g =
-  let outcome =
-    match Model.build ~memory g arch with
-    | m -> (
-      match
+    ?(arch = Eit.Arch.default) ?(validate = true) ?(parallel = 0) g =
+  let search_outcome =
+    if parallel >= 2 then
+      Fd.Portfolio.minimize ~budget (portfolio_strategies ~memory g arch parallel)
+    else
+      match Model.build ~memory g arch with
+      | m ->
         Fd.Search.minimize ~budget m.Model.store (Model.phases m)
           ~objective:m.Model.makespan
           ~on_solution:(fun () -> Model.extract m)
-      with
-      | Fd.Search.Solution (sched, stats) ->
-        { status = Optimal; schedule = Some sched; stats }
-      | Fd.Search.Best (sched, stats) ->
-        { status = Feasible; schedule = Some sched; stats }
-      | Fd.Search.Unsat stats -> { status = Unsat; schedule = None; stats }
-      | Fd.Search.Timeout stats -> { status = Timeout; schedule = None; stats })
-    | exception Fd.Store.Fail _ ->
-      {
-        status = Unsat;
-        schedule = None;
-        stats =
-          { nodes = 0; failures = 0; solutions = 0; time_ms = 0.; optimal = true };
-      }
+      | exception Fd.Store.Fail _ ->
+        Fd.Search.Unsat (Fd.Search.zero_stats ~optimal:true)
+  in
+  let outcome =
+    match search_outcome with
+    | Fd.Search.Solution (sched, stats) ->
+      { status = Optimal; schedule = Some sched; stats }
+    | Fd.Search.Best (sched, stats) ->
+      { status = Feasible; schedule = Some sched; stats }
+    | Fd.Search.Unsat stats -> { status = Unsat; schedule = None; stats }
+    | Fd.Search.Timeout stats -> { status = Timeout; schedule = None; stats }
   in
   (match (validate, outcome.schedule) with
   | true, Some sched ->

@@ -20,10 +20,14 @@ val run :
   ?memory:bool ->
   ?arch:Eit.Arch.t ->
   ?validate:bool ->
+  ?parallel:int ->
   Ir.t ->
   outcome
 (** Defaults: 10-second time budget, memory allocation on,
-    {!Eit.Arch.default}, validation on.
+    {!Eit.Arch.default}, validation on, [parallel = 0] (sequential).
+    [parallel >= 2] runs a cooperative portfolio of that many diversified
+    search strategies on OCaml domains (see {!Fd.Portfolio}), each over
+    an independently-built model, sharing one atomic incumbent bound.
     @raise Failure if [validate] and the produced schedule violates the
     independent checker (a solver bug — should never happen). *)
 

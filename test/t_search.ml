@@ -141,6 +141,100 @@ let test_phases_ordering () =
     Alcotest.failf "expected lexicographically first (0,1), got (%d,%d)" a b
   | _ -> Alcotest.fail "expected solution"
 
+(* Event-filtered propagation must compute the same fixpoint a full
+   sweep would: after propagate, rescheduling every propagator and
+   propagating again may not change any domain. *)
+let fixpoint_property =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 3 6 in
+      let* dmax = int_range 3 12 in
+      let* leqs =
+        list_size (int_range 0 5)
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range (-2) 3))
+      in
+      let* neqs =
+        list_size (int_range 0 3) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let* use_cumul = bool in
+      let* prunes =
+        list_size (int_range 0 4) (pair (int_range 0 (n - 1)) (int_range 0 dmax))
+      in
+      return (n, dmax, leqs, neqs, use_cumul, prunes))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"event fixpoint = full-sweep fixpoint" ~count:300 gen
+       (fun (n, dmax, leqs, neqs, use_cumul, prunes) ->
+         let s = Store.create () in
+         let xs = Array.init n (fun _ -> Store.interval_var s 0 dmax) in
+         try
+           List.iter
+             (fun (i, j, c) -> if i <> j then Arith.leq_offset s xs.(i) c xs.(j))
+             leqs;
+           List.iter (fun (i, j) -> if i <> j then Arith.neq s xs.(i) xs.(j)) neqs;
+           if use_cumul then
+             Cumulative.post s ~starts:xs
+               ~durations:(Array.make n 2)
+               ~resources:(Array.make n 1)
+               ~limit:2;
+           Store.propagate s;
+           List.iter
+             (fun (i, k) ->
+               Store.remove_value s xs.(i) k;
+               Store.propagate s)
+             prunes;
+           let doms = Array.map Store.dom xs in
+           Store.reschedule_all s;
+           Store.propagate s;
+           Array.for_all2 Dom.equal doms (Array.map Store.dom xs)
+         with Store.Fail _ -> true))
+
+(* The paper's kernels must keep their proven-optimal makespans on the
+   event-based prioritized engine (same optima as the seed engine). *)
+let kernel_graph build graph =
+  (Eit_dsl.Merge.run (graph build)).Eit_dsl.Merge.graph
+
+let solve_makespan g =
+  match
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 60_000.) g
+  with
+  | { Sched.Solve.status = Sched.Solve.Optimal; schedule = Some sch; _ } ->
+    sch.Sched.Schedule.makespan
+  | _ -> Alcotest.fail "expected a proven optimum"
+
+let test_kernel_optima () =
+  Alcotest.(check int) "QRD makespan" 168
+    (solve_makespan (kernel_graph (Apps.Qrd.build ()) Apps.Qrd.graph));
+  Alcotest.(check int) "ARF makespan" 56
+    (solve_makespan (kernel_graph (Apps.Arf.build ()) Apps.Arf.graph));
+  Alcotest.(check int) "MATMUL makespan" 11
+    (solve_makespan (kernel_graph (Apps.Matmul.build ()) Apps.Matmul.graph))
+
+(* Under the same node budget, the portfolio's returned bound is never
+   worse than the sequential engine's: its first strategy IS the
+   sequential strategy, and cooperative pruning only skips subtrees that
+   cannot contain a strictly better solution. *)
+let test_portfolio_no_worse () =
+  List.iter
+    (fun (name, g, nodes) ->
+      let budget = Search.node_budget nodes in
+      let seq = Sched.Solve.run ~budget g in
+      let par = Sched.Solve.run ~budget ~parallel:3 g in
+      match (seq.Sched.Solve.schedule, par.Sched.Solve.schedule) with
+      | None, _ -> ()  (* sequential found nothing: trivially no worse *)
+      | Some _, None ->
+        Alcotest.failf "%s: portfolio lost a solution the sequential run found"
+          name
+      | Some s1, Some s2 ->
+        Alcotest.(check bool)
+          (name ^ ": portfolio bound no worse")
+          true
+          (s2.Sched.Schedule.makespan <= s1.Sched.Schedule.makespan))
+    [
+      ("QRD", kernel_graph (Apps.Qrd.build ()) Apps.Qrd.graph, 60);
+      ("MATMUL", kernel_graph (Apps.Matmul.build ()) Apps.Matmul.graph, 300);
+    ]
+
 let suite =
   [
     Alcotest.test_case "first solution" `Quick test_first_solution;
@@ -150,4 +244,8 @@ let suite =
     Alcotest.test_case "select_mid" `Quick test_select_mid;
     Alcotest.test_case "phase ordering" `Quick test_phases_ordering;
     bnb_oracle;
+    fixpoint_property;
+    Alcotest.test_case "kernel optima preserved" `Slow test_kernel_optima;
+    Alcotest.test_case "portfolio no worse than sequential" `Slow
+      test_portfolio_no_worse;
   ]

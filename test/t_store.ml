@@ -103,7 +103,108 @@ let test_entailment_trailing () =
 let test_const_cached () =
   let s = Store.create () in
   let a = Store.const s 5 and b = Store.const s 5 in
-  Alcotest.(check int) "same id" (Store.id a) (Store.id b)
+  Alcotest.(check int) "same id" (Store.id a) (Store.id b);
+  (* the cache must also hold under many distinct constants *)
+  let vs = List.init 100 (fun k -> Store.const s k) in
+  List.iteri
+    (fun k v -> Alcotest.(check int) "cached id" (Store.id v) (Store.id (Store.const s k)))
+    vs
+
+(* Wake events: an On_bounds propagator must not re-run when only an
+   interior value is removed, but must re-run when a bound moves. *)
+let test_event_bounds_filtering () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let bounds_runs = ref 0 and change_runs = ref 0 and fix_runs = ref 0 in
+  let _ =
+    Store.post_now s ~event:Store.On_bounds ~watches:[ x ] (fun _ -> incr bounds_runs)
+  in
+  let _ =
+    Store.post_now s ~event:Store.On_change ~watches:[ x ] (fun _ -> incr change_runs)
+  in
+  let _ =
+    Store.post_now s ~event:Store.On_fix ~watches:[ x ] (fun _ -> incr fix_runs)
+  in
+  Store.propagate s;
+  let b0 = !bounds_runs and c0 = !change_runs and f0 = !fix_runs in
+  (* interior hole: only On_change wakes *)
+  Store.remove_value s x 5;
+  Store.propagate s;
+  Alcotest.(check int) "On_bounds ignores interior hole" b0 !bounds_runs;
+  Alcotest.(check bool) "On_change woken by hole" true (!change_runs > c0);
+  Alcotest.(check int) "On_fix ignores interior hole" f0 !fix_runs;
+  (* bound move: On_bounds wakes, On_fix still not *)
+  Store.remove_below s x 2;
+  Store.propagate s;
+  Alcotest.(check bool) "On_bounds woken by min move" true (!bounds_runs > b0);
+  Alcotest.(check int) "On_fix ignores bound move" f0 !fix_runs;
+  (* fixing: all three wake (fixing moves a bound) *)
+  let b1 = !bounds_runs in
+  Store.assign s x 7;
+  Store.propagate s;
+  Alcotest.(check bool) "On_fix woken by fixing" true (!fix_runs > f0);
+  Alcotest.(check bool) "On_bounds woken by fixing" true (!bounds_runs > b1)
+
+(* Priority buckets: all queued low-priority propagators run before any
+   queued high-priority (global) one. *)
+let test_priority_ordering () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 in
+  let order = ref [] in
+  let mk name priority =
+    ignore
+      (Store.post s ~name ~priority ~watches:[ x ] (fun _ ->
+           order := name :: !order))
+  in
+  mk "global" Store.prio_global;
+  mk "arith" Store.prio_arith;
+  mk "channel" Store.prio_channel;
+  Store.remove_below s x 1;
+  Store.propagate s;
+  Alcotest.(check (list string))
+    "cheap buckets drain first"
+    [ "arith"; "channel"; "global" ]
+    (List.rev !order)
+
+(* Per-propagator run counters: Store.stats aggregates by name and the
+   totals account for every executed step. *)
+let test_stats_counters () =
+  let s = Store.create () in
+  let x = Store.interval_var s 0 9 and y = Store.interval_var s 0 9 in
+  Arith.leq_offset s x 1 y;
+  let before = Store.propagation_steps s in
+  Store.remove_below s x 3;
+  Store.propagate s;
+  let executed = Store.propagation_steps s - before in
+  Alcotest.(check bool) "steps advanced" true (executed > 0);
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Store.stats s) in
+  Alcotest.(check int) "stats sum = total steps" (Store.propagation_steps s) total;
+  match List.assoc_opt "leq_offset" (Store.stats s) with
+  | Some n -> Alcotest.(check bool) "leq_offset counted" true (n > 0)
+  | None -> Alcotest.fail "leq_offset missing from stats"
+
+(* reschedule_all + propagate must be a no-op on a store already at its
+   propagation fixpoint: event filtering never leaves pruning behind. *)
+let test_event_fixpoint_complete () =
+  let s = Store.create () in
+  let xs = Array.init 4 (fun _ -> Store.interval_var s 0 12) in
+  Arith.leq_offset s xs.(0) 3 xs.(1);
+  Arith.plus s xs.(1) xs.(2) xs.(3);
+  Arith.neq s xs.(0) xs.(2);
+  Store.propagate s;
+  Store.remove_value s xs.(1) 6;
+  Store.remove_below s xs.(3) 4;
+  Store.propagate s;
+  let doms = Array.map (fun v -> Store.dom v) xs in
+  Store.reschedule_all s;
+  Store.propagate s;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fixpoint stable at %d" i)
+        true
+        (Dom.equal doms.(i) (Store.dom v)))
+    xs
 
 let suite =
   [
@@ -113,4 +214,8 @@ let suite =
     Alcotest.test_case "propagation" `Quick test_propagation_runs;
     Alcotest.test_case "entailment trailing" `Quick test_entailment_trailing;
     Alcotest.test_case "const cache" `Quick test_const_cached;
+    Alcotest.test_case "event filtering" `Quick test_event_bounds_filtering;
+    Alcotest.test_case "priority ordering" `Quick test_priority_ordering;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "event fixpoint complete" `Quick test_event_fixpoint_complete;
   ]
