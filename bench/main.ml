@@ -549,25 +549,79 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: anytime degradation under shrinking budgets             *)
+
+let fallback_makespan ?(arch = Vecsched.Arch.default) g =
+  match Sched.Heuristic.run ~arch g with
+  | Ok sch -> Some sch.Sched.Schedule.makespan
+  | Error _ -> None
+
+let robustness () =
+  header
+    "Robustness: CP vs heuristic fallback under deadline pressure (exit \
+     contract: 0 CP schedule, 2 fallback, 3 infeasible, 4 none)";
+  Format.printf "%-8s %-12s %-18s %-10s %-14s %-6s@." "kernel" "budget (ms)"
+    "status" "engine" "makespan (cc)" "exit";
+  let kernels = [ ("QRD", qrd); ("ARF", arf); ("MATMUL", matmul) ] in
+  List.iter
+    (fun (name, build) ->
+      List.iter
+        (fun budget_ms ->
+          let o = Sched.Solve.run ~budget:(Fd.Search.time_budget budget_ms) (build ()) in
+          Format.printf "%-8s %-12.0f %-18s %-10s %-14s %-6d@." name budget_ms
+            (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
+            (Format.asprintf "%a" Sched.Solve.pp_engine o.Sched.Solve.engine)
+            (match o.Sched.Solve.schedule with
+            | Some sch -> string_of_int sch.Sched.Schedule.makespan
+            | None -> "-")
+            (Sched.Solve.exit_code o))
+        [ 0.; 1.; 10.; 30_000. ])
+    kernels;
+  (* Fault injection: kill one portfolio worker mid-search; the others
+     still deliver (and usually prove) the incumbent. *)
+  Format.printf "@.chaos: 4-worker portfolio on QRD, worker 0 killed after 200 \
+                 propagator executions@.";
+  let chaos = Fd.Chaos.create ~kill_workers:[ 0 ] ~kill_after:200 ~seed:42 () in
+  let o =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 30_000.) ~parallel:4 ~chaos
+      (qrd ())
+  in
+  Format.printf "  status=%a engine=%a makespan=%s crashes=%d validated=%b@."
+    Sched.Solve.pp_status o.Sched.Solve.status Sched.Solve.pp_engine
+    o.Sched.Solve.engine
+    (match o.Sched.Solve.schedule with
+    | Some sch -> string_of_int sch.Sched.Schedule.makespan
+    | None -> "-")
+    (List.length o.Sched.Solve.crashes)
+    (o.Sched.Solve.validation = Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* perfjson: machine-readable solver metrics for regression tracking   *)
 
 let perfjson ?(path = "BENCH_solver.json") () =
   header (Printf.sprintf "Solver performance metrics -> %s" path);
   let budget = Fd.Search.time_budget 30_000. in
-  let entry ~kernel ~mode ~slots o =
+  let entry ~kernel ~mode ~slots ?(arch = Vecsched.Arch.default) ~g o =
     let st = o.Sched.Solve.stats in
     let makespan =
       match o.Sched.Solve.schedule with
       | Some sch -> string_of_int sch.Sched.Schedule.makespan
       | None -> "null"
     in
+    let fb =
+      match fallback_makespan ~arch g with
+      | Some m -> string_of_int m
+      | None -> "null"
+    in
     Printf.sprintf
       "    { \"kernel\": %S, \"mode\": %S, \"slots\": %d, \"status\": %S,\n\
-      \      \"makespan\": %s, \"nodes\": %d, \"failures\": %d,\n\
+      \      \"engine\": %S, \"makespan\": %s, \"fallback_makespan\": %s,\n\
+      \      \"nodes\": %d, \"failures\": %d,\n\
       \      \"propagations\": %d, \"time_ms\": %.1f, \"optimal\": %b }"
       kernel mode slots
       (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
-      makespan st.Fd.Search.nodes st.Fd.Search.failures
+      (Format.asprintf "%a" Sched.Solve.pp_engine o.Sched.Solve.engine)
+      makespan fb st.Fd.Search.nodes st.Fd.Search.failures
       st.Fd.Search.propagations st.Fd.Search.time_ms st.Fd.Search.optimal
   in
   let kernels = [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ] in
@@ -577,17 +631,22 @@ let perfjson ?(path = "BENCH_solver.json") () =
   List.iter
     (fun slots ->
       let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
+      let g = qrd () in
       add
-        (entry ~kernel:"QRD" ~mode:"sequential" ~slots
-           (Sched.Solve.run ~arch ~budget (qrd ()))))
+        (entry ~kernel:"QRD" ~mode:"sequential" ~slots ~arch ~g
+           (Sched.Solve.run ~arch ~budget g)))
     [ 64; 32; 16; 10; 9 ];
   (* Every kernel, sequential vs 4-worker portfolio, default arch. *)
   List.iter
     (fun (kernel, g) ->
-      add (entry ~kernel ~mode:"sequential" ~slots:64 (Sched.Solve.run ~budget g));
+      add (entry ~kernel ~mode:"sequential" ~slots:64 ~g (Sched.Solve.run ~budget g));
       add
-        (entry ~kernel ~mode:"portfolio-4" ~slots:64
-           (Sched.Solve.run ~budget ~parallel:4 g)))
+        (entry ~kernel ~mode:"portfolio-4" ~slots:64 ~g
+           (Sched.Solve.run ~budget ~parallel:4 g));
+      (* the degraded path, measured: what a 0 ms deadline delivers *)
+      add
+        (entry ~kernel ~mode:"fallback" ~slots:64 ~g
+           (Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) g)))
     kernels;
   let oc = open_out path in
   output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
@@ -630,9 +689,11 @@ let () =
   | Some "expressiveness" -> expressiveness ()
   | Some "bechamel" -> bechamel ()
   | Some "perfjson" -> perfjson ()
+  | Some "robustness" -> robustness ()
   | Some other ->
     Format.eprintf
       "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 fig6 \
-       fig8 utilization dynamic ablations archsweep bechamel perfjson)@."
+       fig8 utilization dynamic ablations archsweep bechamel perfjson \
+       robustness)@."
       other;
     exit 2

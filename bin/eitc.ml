@@ -82,8 +82,22 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Print kernel graph statistics")
     Term.(const run $ kernel_arg)
 
+(* The status line + exit-code contract (see README): 0 optimal or
+   CP-feasible, 2 fallback schedule (degraded), 3 infeasible, 4 crashed
+   with no usable schedule. *)
 let report_outcome name arch o =
-  match o.Sched.Solve.schedule with
+  let code = Sched.Solve.exit_code o in
+  Format.printf "status: %a (engine=%a, exit %d)@." Sched.Solve.pp_status
+    o.Sched.Solve.status Sched.Solve.pp_engine o.Sched.Solve.engine code;
+  List.iter
+    (fun c ->
+      Format.printf "  crash: worker %d: %s@." c.Fd.Portfolio.worker
+        c.Fd.Portfolio.reason)
+    o.Sched.Solve.crashes;
+  (match o.Sched.Solve.validation with
+  | Ok () -> ()
+  | Error r -> Format.printf "  validation: %a@." Sched.Validate.pp_report r);
+  (match o.Sched.Solve.schedule with
   | Some sch ->
     Format.printf
       "%s: %a, makespan=%d cc, %d/%d slots used, %d nodes, %d fails, %.0f ms@."
@@ -91,26 +105,40 @@ let report_outcome name arch o =
       sch.Sched.Schedule.makespan
       (Sched.Schedule.slots_used sch)
       (Eit.Arch.slots arch) o.stats.Fd.Search.nodes o.stats.Fd.Search.failures
-      o.stats.Fd.Search.time_ms;
-    Some sch
+      o.stats.Fd.Search.time_ms
   | None ->
     Format.printf "%s: %a after %.0f ms@." name Sched.Solve.pp_status
-      o.Sched.Solve.status o.stats.Fd.Search.time_ms;
-    None
+      o.Sched.Solve.status o.stats.Fd.Search.time_ms);
+  (o.Sched.Solve.schedule, code)
+
+let deadline_arg =
+  let doc =
+    "Hard wall-clock deadline in milliseconds for the whole solve, enforced \
+     inside the propagation fixpoint.  On expiry the best CP incumbent (or \
+     the heuristic fallback) is returned instead of overrunning."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let deadline_of = function
+  | None -> Fd.Deadline.none
+  | Some ms -> Fd.Deadline.after_ms ms
 
 let schedule_cmd =
-  let run kernel budget slots preset verbose parallel =
+  let run kernel budget deadline slots preset verbose parallel =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
-    let o = Vecsched.schedule ~budget_ms:budget ~arch ~parallel c in
+    let o =
+      Vecsched.schedule ~budget_ms:budget ~deadline:(deadline_of deadline)
+        ~arch ~parallel c
+    in
     match report_outcome name arch o with
-    | Some sch ->
+    | Some sch, code ->
       if verbose then begin
         Format.printf "%a" Sched.Schedule.pp sch;
         Format.printf "%a" Sched.Schedule.pp_gantt sch
       end;
-      0
-    | None -> 1
+      code
+    | None, code -> code
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
@@ -125,8 +153,8 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a kernel with memory allocation")
-    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ verbose
-          $ parallel)
+    Term.(const run $ kernel_arg $ budget_arg $ deadline_arg $ slots_arg
+          $ preset_arg $ verbose $ parallel)
 
 let heuristic_cmd =
   let run kernel slots preset =
@@ -155,7 +183,7 @@ let simulate_cmd =
     let arch = arch_of preset slots in
     let o = Vecsched.schedule ~budget_ms:budget ~arch c in
     match report_outcome name arch o with
-    | Some sch -> (
+    | Some sch, _ -> (
       if trace then begin
         let p = Sched.Codegen.program sch in
         ignore
@@ -172,7 +200,7 @@ let simulate_cmd =
       | Error e ->
         Format.printf "simulation FAILED: %s@." e;
         1)
-    | None -> 1
+    | None, code -> code
   in
   let trace_arg =
     Arg.(value & flag & info [ "trace" ]
@@ -249,30 +277,38 @@ let code_cmd =
     let c, name = compile kernel in
     let o = Vecsched.schedule ~budget_ms:budget c in
     match o.Sched.Solve.schedule with
-    | Some sch ->
+    | Some sch -> (
       let p = Sched.Codegen.program sch in
-      let img = Eit.Encode.encode p in
-      Format.printf "%s: %d words, %d pool constants, %d bytes@." name
-        (Array.length img.Eit.Encode.words)
-        (Array.length img.Eit.Encode.pool)
-        (Eit.Encode.size_bytes img);
-      Array.iter
-        (fun w -> Format.printf "  %016Lx  %a@." w Eit.Encode.pp_word w)
-        img.Eit.Encode.words;
-      (* round-trip sanity *)
-      let p' =
-        Eit.Encode.decode ~arch:p.Eit.Instr.arch ~inputs:p.Eit.Instr.inputs
-          ~outputs:p.Eit.Instr.outputs img
-      in
-      if p'.Eit.Instr.instrs = p.Eit.Instr.instrs then begin
-        Format.printf "round-trip: OK@.";
-        0
-      end
-      else begin
-        Format.printf "round-trip: MISMATCH@.";
-        1
-      end
-    | None -> 1
+      match Eit.Encode.encode_result p with
+      | Error e ->
+        Format.printf "encode error: %s@." e;
+        4
+      | Ok img -> (
+        Format.printf "%s: %d words, %d pool constants, %d bytes@." name
+          (Array.length img.Eit.Encode.words)
+          (Array.length img.Eit.Encode.pool)
+          (Eit.Encode.size_bytes img);
+        Array.iter
+          (fun w -> Format.printf "  %016Lx  %a@." w Eit.Encode.pp_word w)
+          img.Eit.Encode.words;
+        (* round-trip sanity *)
+        match
+          Eit.Encode.decode_result ~arch:p.Eit.Instr.arch
+            ~inputs:p.Eit.Instr.inputs ~outputs:p.Eit.Instr.outputs img
+        with
+        | Error e ->
+          Format.printf "decode error: %s@." e;
+          4
+        | Ok p' ->
+          if p'.Eit.Instr.instrs = p.Eit.Instr.instrs then begin
+            Format.printf "round-trip: OK@.";
+            0
+          end
+          else begin
+            Format.printf "round-trip: MISMATCH@.";
+            1
+          end))
+    | None -> Sched.Solve.exit_code o
   in
   Cmd.v
     (Cmd.info "code"
@@ -345,6 +381,35 @@ let run_asm_cmd =
        ~doc:"Assemble, validate and simulate a hand-written program")
     Term.(const run $ path_arg $ trace_arg)
 
+let import_cmd =
+  let run path sched budget =
+    match Vecsched.Xml.load_file path with
+    | Error e ->
+      (* positioned, no backtrace: the parser is total *)
+      Format.printf "%s: %a@." path Vecsched.Xml.pp_error e;
+      1
+    | Ok g ->
+      Format.printf "%s: %a@." path Vecsched.Stats.pp (Vecsched.Stats.of_ir g);
+      if sched then begin
+        let c = Vecsched.compile g in
+        let o = Vecsched.schedule ~budget_ms:budget c in
+        snd (report_outcome path Eit.Arch.default o)
+      end
+      else 0
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"XML graph file to import.")
+  in
+  let sched_arg =
+    Arg.(value & flag & info [ "schedule" ]
+         ~doc:"Also compile and schedule the imported graph.")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Parse an exported XML graph (reporting positioned errors)")
+    Term.(const run $ path_arg $ sched_arg $ budget_arg)
+
 let export_cmd =
   let run kernel fmt path merged =
     let c, _ = compile kernel in
@@ -377,4 +442,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
-            code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd ]))
+            code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd ]))

@@ -5,3 +5,25 @@ set -e
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
+
+# Graceful-degradation contract: at a 0 ms budget the CP engine cannot
+# produce anything, so every kernel must come back from the heuristic
+# fallback — validator-clean, exit code 2 (degraded-but-usable).
+EITC=_build/default/bin/eitc.exe
+for k in matmul qrd qrd-sorted arf fir corr detect; do
+  out=$("$EITC" schedule "$k" --budget 0) && code=0 || code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "check.sh: $k at --budget 0: expected exit 2 (fallback), got $code" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  case "$out" in
+  *"engine=fallback"*) ;;
+  *)
+    echo "check.sh: $k at --budget 0: fallback engine not reported" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+  esac
+done
+echo "check.sh: fallback sweep OK (7 kernels, exit 2, validated)"

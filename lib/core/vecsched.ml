@@ -35,9 +35,10 @@ let compile ?protect raw =
 let compile_dsl ctx =
   compile ~protect:(Dsl.declared_outputs ctx) (Dsl.graph ctx)
 
-let schedule ?(budget_ms = 10_000.) ?(memory = true) ?(arch = Arch.default)
-    ?(parallel = 0) c =
-  Solve.run ~budget:(Fd.Search.time_budget budget_ms) ~memory ~arch ~parallel c.ir
+let schedule ?(budget_ms = 10_000.) ?(deadline = Fd.Deadline.none)
+    ?(memory = true) ?(arch = Arch.default) ?(parallel = 0) c =
+  Solve.run ~budget:(Fd.Search.time_budget budget_ms) ~deadline ~memory ~arch
+    ~parallel c.ir
 
 let run_on_simulator sched = Codegen.run_and_check sched
 

@@ -54,14 +54,19 @@ val compile_dsl : Dsl.ctx -> compiled
 
 val schedule :
   ?budget_ms:float ->
+  ?deadline:Fd.Deadline.t ->
   ?memory:bool ->
   ?arch:Arch.t ->
   ?parallel:int ->
   compiled ->
   Solve.outcome
-(** Schedule the merged graph (defaults: 10 s budget, memory allocation
-    on, {!Arch.default}, sequential).  [parallel >= 2] runs a cooperative
-    portfolio of that many search strategies on OCaml domains. *)
+(** Schedule the merged graph (defaults: 10 s budget, no deadline,
+    memory allocation on, {!Arch.default}, sequential).  [deadline] is
+    an absolute wall-clock cut-off enforced down inside the propagation
+    fixpoint; on expiry the outcome degrades gracefully (CP incumbent,
+    else heuristic fallback) instead of overrunning.  [parallel >= 2]
+    runs a cooperative portfolio of that many search strategies on
+    OCaml domains. *)
 
 val run_on_simulator : Schedule.t -> (unit, string) result
 (** Code-generate and execute the schedule, checking every produced

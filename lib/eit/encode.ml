@@ -149,8 +149,11 @@ let decode ~arch ~inputs ~outputs img =
     | None -> ()
   in
   let pos = ref 0 in
+  (* Every malformed-image message names the offending word, so a
+     truncated or corrupted dump is locatable. *)
+  let bad fmt = Printf.ksprintf (fun m -> failwith ("Encode.decode: " ^ m)) fmt in
   let next () =
-    if !pos >= n then failwith "Encode.decode: truncated image";
+    if !pos >= n then bad "truncated image at word %d" !pos;
     let w = img.words.(!pos) in
     incr pos;
     w
@@ -162,7 +165,10 @@ let decode ~arch ~inputs ~outputs img =
       flush ();
       current := Some (Instr.empty_cycle (field w ~lo:0 ~bits:32))
     | 1 -> (
-      let op = decode_op (field w ~lo:0 ~bits:16) in
+      let op =
+        try decode_op (field w ~lo:0 ~bits:16)
+        with Failure m -> bad "word %d: %s" (!pos - 1) m
+      in
       let dest =
         let addr = field w ~lo:17 ~bits:16 in
         if field w ~lo:16 ~bits:1 = 0 then Instr.Dslot addr else Instr.Dreg addr
@@ -173,30 +179,41 @@ let decode ~arch ~inputs ~outputs img =
         List.init nargs (fun _ ->
             let aw = next () in
             if Int64.to_int (aw >>> 62) <> 2 then
-              failwith "Encode.decode: expected operand word";
+              bad "word %d: expected operand word" (!pos - 1);
             let v = field aw ~lo:0 ~bits:32 in
             match field aw ~lo:60 ~bits:2 with
             | 0 -> Instr.Slot v
             | 1 -> Instr.Reg v
             | 2 ->
               if v >= Array.length img.pool then
-                failwith "Encode.decode: pool index out of range";
+                bad "word %d: pool index %d out of range (pool has %d)"
+                  (!pos - 1) v (Array.length img.pool);
               Instr.Imm img.pool.(v)
-            | _ -> failwith "Encode.decode: bad operand kind")
+            | _ -> bad "word %d: bad operand kind" (!pos - 1))
       in
       let issue = { Instr.op; args; dest; node } in
       match !current with
-      | None -> failwith "Encode.decode: issue before cycle marker"
+      | None -> bad "word %d: issue before cycle marker" (!pos - 1)
       | Some ci -> (
         match Opcode.resource op with
         | Opcode.Vector_core ->
           current := Some { ci with Instr.vector = issue :: ci.Instr.vector }
         | Opcode.Scalar_accel -> current := Some { ci with Instr.scalar = Some issue }
         | Opcode.Index_merge -> current := Some { ci with Instr.im = Some issue }))
-    | _ -> failwith "Encode.decode: unexpected record"
+    | _ -> bad "word %d: unexpected record tag" (!pos - 1)
   done;
   flush ();
   { Instr.arch; inputs; instrs = List.rev !instrs; outputs }
+
+let encode_result p =
+  match encode p with
+  | img -> Ok img
+  | exception (Failure m | Invalid_argument m) -> Error m
+
+let decode_result ~arch ~inputs ~outputs img =
+  match decode ~arch ~inputs ~outputs img with
+  | p -> Ok p
+  | exception (Failure m | Invalid_argument m) -> Error m
 
 let size_bytes img = 8 * (Array.length img.words + (2 * Array.length img.pool))
 

@@ -22,6 +22,7 @@ type image = {
 }
 
 val encode : Instr.program -> image
+(** @raise Invalid_argument on an unencodable program (unknown enum). *)
 
 val decode :
   arch:Arch.t ->
@@ -29,7 +30,20 @@ val decode :
   outputs:(int * Instr.dest) list ->
   image ->
   Instr.program
-(** @raise Failure on a malformed image. *)
+(** @raise Failure on a malformed image; messages name the offending
+    word index. *)
+
+val encode_result : Instr.program -> (image, string) result
+(** Total {!encode}: encoding failures become [Error]. *)
+
+val decode_result :
+  arch:Arch.t ->
+  inputs:Instr.input_binding list ->
+  outputs:(int * Instr.dest) list ->
+  image ->
+  (Instr.program, string) result
+(** Total {!decode}: malformed images become [Error] with the offending
+    word index in the message, never an exception. *)
 
 val size_bytes : image -> int
 (** Code image footprint (words + pool). *)

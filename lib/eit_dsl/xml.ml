@@ -97,7 +97,28 @@ let save path g =
 
 (* --------------------------- parsing ------------------------------ *)
 
-type tag = { tname : string; attrs : (string * string) list }
+type error = { line : int; col : int; reason : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.reason
+
+(* Internal: a parse failure at a byte offset; converted to line/column
+   against the source once, at the boundary. *)
+exception Err of int * string
+
+let error_at s off reason =
+  let off = min (max 0 off) (String.length s) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to off - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  { line = !line; col = !col; reason }
+
+type tag = { tname : string; attrs : (string * string) list; tpos : int }
 
 let parse_tags s =
   let n = String.length s in
@@ -110,7 +131,7 @@ let parse_tags s =
       let gt =
         match String.index_from_opt s lt '>' with
         | Some gt -> gt
-        | None -> failwith "Xml: unterminated tag"
+        | None -> raise (Err (lt, "unterminated tag"))
       in
       let body = String.sub s (lt + 1) (gt - lt - 1) in
       i := gt + 1;
@@ -134,24 +155,24 @@ let parse_tags s =
             let eq =
               match String.index_from_opt body !j '=' with
               | Some e -> e
-              | None -> failwith "Xml: attribute without value"
+              | None -> raise (Err (lt + 1 + !j, "attribute without value"))
             in
             let key = String.trim (String.sub body !j (eq - !j)) in
             let q1 =
               match String.index_from_opt body eq '"' with
               | Some q -> q
-              | None -> failwith "Xml: unquoted attribute"
+              | None -> raise (Err (lt + 1 + eq, "unquoted attribute " ^ key))
             in
             let q2 =
               match String.index_from_opt body (q1 + 1) '"' with
               | Some q -> q
-              | None -> failwith "Xml: unterminated attribute"
+              | None -> raise (Err (lt + 1 + q1, "unterminated attribute " ^ key))
             in
             attrs := (key, unescape (String.sub body (q1 + 1) (q2 - q1 - 1))) :: !attrs;
             j := q2 + 1
           end
         done;
-        tags := { tname; attrs = List.rev !attrs } :: !tags
+        tags := { tname; attrs = List.rev !attrs; tpos = lt } :: !tags
       end
   done;
   List.rev !tags
@@ -159,42 +180,61 @@ let parse_tags s =
 let attr t k =
   match List.assoc_opt k t.attrs with
   | Some v -> v
-  | None -> failwith (Printf.sprintf "Xml: <%s> missing attribute %s" t.tname k)
+  | None ->
+    raise (Err (t.tpos, Printf.sprintf "<%s> missing attribute %s" t.tname k))
 
 let attr_opt t k = List.assoc_opt k t.attrs
 
-let of_string s =
+let int_attr t k =
+  let v = attr t k in
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    raise
+      (Err (t.tpos, Printf.sprintf "<%s> attribute %s: not an integer (%S)" t.tname k v))
+
+(* Semantic constructors ([category_of_name], [Opcode.of_name], the IR
+   builder's well-formedness checks) report through exceptions of their
+   own; anchor them to the tag being processed. *)
+let at_tag t f =
+  try f () with
+  | Err _ as e -> raise e
+  | Failure m | Invalid_argument m -> raise (Err (t.tpos, m))
+
+let parse_exn s =
   let tags = parse_tags s in
   let node_tags = List.filter (fun t -> t.tname = "node") tags in
   let edge_tags = List.filter (fun t -> t.tname = "edge") tags in
   let edges =
     List.map
-      (fun t ->
-        ( int_of_string (attr t "from"),
-          int_of_string (attr t "to"),
-          int_of_string (attr t "pos") ))
+      (fun t -> (int_attr t "from", int_attr t "to", int_attr t "pos"))
       edge_tags
   in
   let b = Ir.builder () in
   let sorted_nodes =
-    List.sort
-      (fun a b -> compare (int_of_string (attr a "id")) (int_of_string (attr b "id")))
-      node_tags
+    List.sort (fun a b -> compare (int_attr a "id") (int_attr b "id")) node_tags
   in
   List.iteri
     (fun expect t ->
-      let id = int_of_string (attr t "id") in
-      if id <> expect then failwith "Xml: node ids must be contiguous from 0";
-      let cat = Ir.category_of_name (attr t "cat") in
+      let id = int_attr t "id" in
+      if id <> expect then
+        raise
+          (Err
+             (t.tpos,
+              Printf.sprintf "node ids must be contiguous from 0 (got %d, expected %d)"
+                id expect));
+      let cat = at_tag t (fun () -> Ir.category_of_name (attr t "cat")) in
       let label = attr t "label" in
       if Ir.is_data cat then begin
         let kind = if cat = Ir.Vector_data then `Vector else `Scalar in
-        let value = Option.map (value_of_string kind) (attr_opt t "value") in
-        let id' = Ir.add_data b ~label ?value kind in
+        let value =
+          at_tag t (fun () -> Option.map (value_of_string kind) (attr_opt t "value"))
+        in
+        let id' = at_tag t (fun () -> Ir.add_data b ~label ?value kind) in
         assert (id' = id)
       end
       else begin
-        let op = Eit.Opcode.of_name (attr t "op") in
+        let op = at_tag t (fun () -> Eit.Opcode.of_name (attr t "op")) in
         let ins =
           List.filter (fun (_, t', _) -> t' = id) edges
           |> List.sort (fun (_, _, p1) (_, _, p2) -> compare p1 p2)
@@ -203,16 +243,39 @@ let of_string s =
         let out =
           match List.filter (fun (f, _, _) -> f = id) edges with
           | [ (_, t', _) ] -> t'
-          | l -> failwith (Printf.sprintf "Xml: op %d has %d outputs" id (List.length l))
+          | l ->
+            raise
+              (Err (t.tpos, Printf.sprintf "op %d has %d outputs" id (List.length l)))
         in
-        let id' = Ir.add_op b ~label op ~args:ins ~result:out in
+        let id' = at_tag t (fun () -> Ir.add_op b ~label op ~args:ins ~result:out) in
         assert (id' = id)
       end)
     sorted_nodes;
-  Ir.freeze b
+  (* freeze checks graph-global well-formedness; no single tag to blame *)
+  try Ir.freeze b
+  with Failure m | Invalid_argument m -> raise (Err (0, m))
+
+let parse s =
+  match parse_exn s with
+  | g -> Ok g
+  | exception Err (off, reason) -> Error (error_at s off reason)
+
+let of_string s =
+  match parse s with
+  | Ok g -> g
+  | Error e -> failwith (Format.asprintf "Xml: %a" pp_error e)
+
+let load_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error { line = 0; col = 0; reason = m }
+  | s -> parse s
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  match load_file path with
+  | Ok g -> g
+  | Error e -> failwith (Format.asprintf "Xml: %s: %a" path pp_error e)

@@ -19,10 +19,28 @@
 val to_string : Ir.t -> string
 val output : out_channel -> Ir.t -> unit
 
+type error = {
+  line : int;   (** 1-based; [0] for file-level (I/O) errors *)
+  col : int;    (** 1-based *)
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ir.t, error) result
+(** Total parser: every malformed input — unterminated tags, missing or
+    non-integer attributes, unknown categories/opcodes, ill-formed
+    graphs — is reported as a positioned {!error}, never an
+    exception. *)
+
+val load_file : string -> (Ir.t, error) result
+(** {!parse} on a file's contents; I/O failures yield a line-0 error. *)
+
 val of_string : string -> Ir.t
-(** @raise Failure on malformed input. *)
+(** {!parse}, raising.  @raise Failure on malformed input. *)
 
 val load : string -> Ir.t
-(** Read a graph from a file path. *)
+(** {!load_file}, raising.  @raise Failure on malformed input or I/O
+    error. *)
 
 val save : string -> Ir.t -> unit

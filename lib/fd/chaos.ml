@@ -1,0 +1,75 @@
+exception Injected of string
+
+type fault = { worker : int; what : string }
+
+type t = {
+  seed : int;
+  crash_prob : float;
+  delay_prob : float;
+  delay_ms : float;
+  spurious_prob : float;
+  kill_workers : int list;
+  kill_after : int;
+  lock : Mutex.t;
+  mutable log : fault list;  (* newest first *)
+}
+
+let create ?(crash_prob = 0.) ?(delay_prob = 0.) ?(delay_ms = 0.2)
+    ?(spurious_prob = 0.) ?(kill_workers = []) ?(kill_after = 50) ~seed () =
+  {
+    seed;
+    crash_prob;
+    delay_prob;
+    delay_ms;
+    spurious_prob;
+    kill_workers;
+    kill_after;
+    lock = Mutex.create ();
+    log = [];
+  }
+
+let record t worker what =
+  Mutex.lock t.lock;
+  t.log <- { worker; what } :: t.log;
+  Mutex.unlock t.lock
+
+let faults t =
+  Mutex.lock t.lock;
+  let l = List.rev t.log in
+  Mutex.unlock t.lock;
+  l
+
+let pp_fault ppf f = Format.fprintf ppf "worker %d: %s" f.worker f.what
+
+(* Busy-free delay: sleep via select so domains stay preemptible. *)
+let sleep_ms ms = ignore (Unix.select [] [] [] (ms /. 1000.))
+
+let instrument t ~worker store =
+  (* Independent stream per (seed, worker): fault draws are reproducible
+     regardless of how the domains interleave. *)
+  let rng = Random.State.make [| t.seed; worker; 0x5eed |] in
+  let execs = ref 0 in
+  let kill = List.mem worker t.kill_workers in
+  Store.set_hook store
+    (Some
+       (fun s pname ->
+         incr execs;
+         if kill && !execs >= t.kill_after then begin
+           record t worker
+             (Printf.sprintf "killed before execution %d of %s" !execs pname);
+           raise (Injected (Printf.sprintf "worker %d killed" worker))
+         end;
+         let r = Random.State.float rng 1.0 in
+         if r < t.crash_prob then begin
+           record t worker ("crash injected into " ^ pname);
+           raise (Injected ("propagator " ^ pname ^ " crashed"))
+         end
+         else if r < t.crash_prob +. t.delay_prob then begin
+           record t worker
+             (Printf.sprintf "delayed %s by %.1f ms" pname t.delay_ms);
+           sleep_ms t.delay_ms
+         end
+         else if r < t.crash_prob +. t.delay_prob +. t.spurious_prob then begin
+           record t worker ("spurious wake of all propagators at " ^ pname);
+           Store.reschedule_all s
+         end))

@@ -1,0 +1,62 @@
+(** Fault injection for the solver — a seeded chaos harness.
+
+    Chaos instruments a store's propagation engine (via
+    {!Store.set_hook}) to inject three fault classes under a seeded
+    RNG, reproducibly:
+
+    - {b crashes}: a propagator execution raises {!Injected} instead of
+      running — the non-[Fail] exception a buggy propagator or a dying
+      worker would produce;
+    - {b artificial delays}: an execution blocks for a configurable
+      time, simulating scheduling jitter / an overloaded core;
+    - {b spurious wakes}: every propagator is re-scheduled for no
+      reason, checking that fixpoints are insensitive to over-waking.
+
+    On top of the probabilistic faults, [kill_workers] deterministically
+    kills named portfolio workers after a fixed number of propagator
+    executions — the reproducible "worker dies mid-search" scenario the
+    recovery tests need.
+
+    A single [t] may instrument several stores concurrently (the
+    portfolio instruments one per worker domain); the fault log is
+    mutex-protected and each instrumentation derives an independent RNG
+    from [(seed, worker)], so injected faults do not depend on domain
+    interleaving. *)
+
+exception Injected of string
+(** The injected crash.  Deliberately {e not} {!Store.Fail}: the engine
+    must treat it as a failure of the machinery, never as a proof that a
+    branch is dead. *)
+
+type t
+
+type fault = {
+  worker : int;    (** which instrumentation site (portfolio worker id,
+                       0 for a sequential solve) *)
+  what : string;   (** human-readable description of the injected fault *)
+}
+
+val create :
+  ?crash_prob:float ->
+  ?delay_prob:float ->
+  ?delay_ms:float ->
+  ?spurious_prob:float ->
+  ?kill_workers:int list ->
+  ?kill_after:int ->
+  seed:int ->
+  unit ->
+  t
+(** Per-propagator-execution fault probabilities (all default [0.]);
+    [delay_ms] (default [0.2]) is the length of one injected delay;
+    [kill_workers] (default none) are killed after [kill_after]
+    (default [50]) propagator executions. *)
+
+val instrument : t -> worker:int -> Store.t -> unit
+(** Install the fault-injection hook on a store.  Faults drawn for this
+    store are logged under [worker] and derived from an RNG seeded by
+    [(seed, worker)]. *)
+
+val faults : t -> fault list
+(** Every fault injected so far, oldest first.  Thread-safe. *)
+
+val pp_fault : Format.formatter -> fault -> unit

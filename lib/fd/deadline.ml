@@ -1,0 +1,20 @@
+(* An absolute point on the process clock, in milliseconds; [infinity]
+   encodes "no deadline".  Keeping the representation a bare float makes
+   [expired] one clock read and one comparison, cheap enough for the
+   propagation fixpoint loop to poll. *)
+
+type t = float
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+let none = infinity
+let after_ms ms = now_ms () +. ms
+let earliest a b = Stdlib.min a b
+let of_time_budget = function Some ms -> after_ms ms | None -> none
+let is_finite t = t < infinity
+let expired t = t < infinity && now_ms () >= t
+let remaining_ms t = if is_finite t then Some (t -. now_ms ()) else None
+
+let pp ppf t =
+  if is_finite t then
+    Format.fprintf ppf "deadline in %.1f ms" (t -. now_ms ())
+  else Format.pp_print_string ppf "no deadline"

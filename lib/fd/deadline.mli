@@ -1,0 +1,40 @@
+(** Absolute deadlines for cooperative cancellation.
+
+    A deadline is a point on the process clock; [none] never expires.
+    Deadlines compose by taking the earliest, so a caller-imposed
+    deadline and a local time budget combine into one cancellation
+    point that every layer (search nodes, the propagation fixpoint
+    loop, portfolio workers) polls cooperatively.
+
+    The clock is {!Unix.gettimeofday} — the same clock the search
+    statistics use.  Deadlines are absolute, so they survive being
+    passed across domains and are immune to per-layer re-anchoring
+    (a worker that starts late does not get extra time). *)
+
+type t
+(** An absolute deadline, in milliseconds on the process clock. *)
+
+val none : t
+(** Never expires. *)
+
+val after_ms : float -> t
+(** [after_ms ms] expires [ms] milliseconds from now.  [ms <= 0]
+    yields a deadline that is already expired. *)
+
+val earliest : t -> t -> t
+(** The tighter of two deadlines. *)
+
+val of_time_budget : float option -> t
+(** [of_time_budget (Some ms)] = [after_ms ms]; [None] = {!none}. *)
+
+val is_finite : t -> bool
+(** [false] iff the deadline is {!none}. *)
+
+val expired : t -> bool
+(** Has the deadline passed?  Constant-time; safe to poll from hot
+    loops (one clock read). *)
+
+val remaining_ms : t -> float option
+(** Milliseconds left, or [None] for {!none}.  May be negative. *)
+
+val pp : Format.formatter -> t -> unit

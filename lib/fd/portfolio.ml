@@ -10,7 +10,15 @@
    Under a node budget the portfolio's best bound is never worse than
    running the first strategy alone with the same budget: pruning with a
    foreign incumbent only skips subtrees that cannot contain a strictly
-   better solution. *)
+   better solution.
+
+   Robustness: a worker that dies (propagator bug, injected fault) is
+   isolated — its crash is recorded, its last incumbent snapshot is
+   salvaged, and the remaining workers still prove or return the
+   incumbent.  Optimality is only claimed when the snapshot we hold is
+   at least as good as the best bound ever published: a proof obtained
+   by pruning against a crashed worker's (lost) incumbent must not
+   promote a worse surviving solution to "optimal". *)
 
 type 'a task = {
   store : Store.t;
@@ -30,14 +38,25 @@ let atomic_min cell v =
   in
   go ()
 
+type worker_crash = { worker : int; reason : string }
+
+type 'a result = {
+  incumbent : 'a option;
+  r_status : Search.status;
+  r_stats : Search.stats;
+  crashes : worker_crash list;
+}
+
 type 'a worker_result = {
-  outcome : ('a * int) Search.outcome option;  (* None: task build failed *)
+  outcome : ('a * int) Search.outcome option;  (* None: no regular outcome *)
+  salvage : ('a * int) option;  (* last incumbent of a crashed worker *)
+  crash : string option;
   proof : bool;      (* exhausted its search space *)
   infeasible : bool; (* model construction already failed *)
   wstats : Search.stats;
 }
 
-let run_worker incumbent budget strat =
+let run_worker incumbent budget deadline chaos widx strat =
   let bound_get () =
     let b = Atomic.get incumbent in
     if b = max_int then None else Some b
@@ -47,28 +66,69 @@ let run_worker incumbent budget strat =
   | exception Store.Fail _ ->
     {
       outcome = None;
+      salvage = None;
+      crash = None;
       proof = true;
       infeasible = true;
       wstats = Search.zero_stats ~optimal:true;
     }
+  | exception e ->
+    (* The model builder itself crashed — not a proof of anything. *)
+    {
+      outcome = None;
+      salvage = None;
+      crash = Some (Printexc.to_string e);
+      proof = false;
+      infeasible = false;
+      wstats = Search.zero_stats ~optimal:false;
+    }
   | task ->
-    let on_solution () = (task.snapshot (), Store.vmin task.objective) in
-    let outcome =
+    (match chaos with
+    | Some c -> Chaos.instrument c ~worker:widx task.store
+    | None -> ());
+    let last = ref None in
+    let on_solution () =
+      let s = (task.snapshot (), Store.vmin task.objective) in
+      last := Some s;
+      s
+    in
+    let search () =
       if task.restarts then
-        Search.minimize_restarts ?budget ~bound_get ~bound_put task.store
-          task.phases ~objective:task.objective ~on_solution
+        Search.minimize_restarts ?budget ?deadline ~bound_get ~bound_put
+          task.store task.phases ~objective:task.objective ~on_solution
       else
-        Search.minimize ?budget ~bound_get ~bound_put task.store task.phases
-          ~objective:task.objective ~on_solution
+        Search.minimize ?budget ?deadline ~bound_get ~bound_put task.store
+          task.phases ~objective:task.objective ~on_solution
     in
-    let proof, wstats =
-      match outcome with
-      | Search.Solution (_, st) | Search.Unsat st -> (st.Search.optimal, st)
-      | Search.Best (_, st) | Search.Timeout st -> (false, st)
-    in
-    { outcome = Some outcome; proof; infeasible = false; wstats }
+    (match search () with
+    | outcome ->
+      let proof, wstats =
+        match outcome with
+        | Search.Solution (_, st) | Search.Unsat st -> (st.Search.optimal, st)
+        | Search.Best (_, st) | Search.Timeout st -> (false, st)
+      in
+      {
+        outcome = Some outcome;
+        salvage = None;
+        crash = None;
+        proof;
+        infeasible = false;
+        wstats;
+      }
+    | exception e ->
+      (* Crashed mid-search: salvage the last incumbent snapshot.  The
+         other workers are unaffected — they only share the atomic
+         bound. *)
+      {
+        outcome = None;
+        salvage = !last;
+        crash = Some (Printexc.to_string e);
+        proof = false;
+        infeasible = false;
+        wstats = Search.zero_stats ~optimal:false;
+      })
 
-let minimize ?budget ?workers strategies =
+let minimize_result ?budget ?deadline ?chaos ?workers strategies =
   let strategies =
     match workers with
     | Some n when n >= 1 && n < List.length strategies ->
@@ -80,11 +140,24 @@ let minimize ?budget ?workers strategies =
   let incumbent = Atomic.make max_int in
   let results =
     match strategies with
-    | [ only ] -> [ run_worker incumbent budget only ]
+    | [ only ] -> [ run_worker incumbent budget deadline chaos 0 only ]
     | _ ->
       let domains =
-        List.map
-          (fun strat -> Domain.spawn (fun () -> run_worker incumbent budget strat))
+        List.mapi
+          (fun i strat ->
+            Domain.spawn (fun () ->
+                (* Nothing may escape the worker function: Domain.join
+                   re-raises, which would crash the whole portfolio. *)
+                try run_worker incumbent budget deadline chaos i strat
+                with e ->
+                  {
+                    outcome = None;
+                    salvage = None;
+                    crash = Some (Printexc.to_string e);
+                    proof = false;
+                    infeasible = false;
+                    wstats = Search.zero_stats ~optimal:false;
+                  }))
           strategies
       in
       List.map Domain.join domains
@@ -94,6 +167,15 @@ let minimize ?budget ?workers strategies =
      portfolio's wall clock; optimal if any worker exhausted its tree. *)
   let any_proof = List.exists (fun r -> r.proof) results in
   let all_infeasible = List.for_all (fun r -> r.infeasible) results in
+  let crashes =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           match r.crash with
+           | Some reason -> [ { worker = i; reason } ]
+           | None -> [])
+         results)
+  in
   let stats =
     List.fold_left
       (fun acc r ->
@@ -110,18 +192,43 @@ let minimize ?budget ?workers strategies =
   let best =
     List.fold_left
       (fun acc r ->
-        match r.outcome with
-        | Some (Search.Solution ((snap, v), _)) | Some (Search.Best ((snap, v), _))
-          -> (
-          match acc with
-          | Some (_, v0) when v0 <= v -> acc
-          | _ -> Some (snap, v))
-        | _ -> acc)
+        let candidates =
+          (match r.outcome with
+          | Some (Search.Solution (sv, _)) | Some (Search.Best (sv, _)) -> [ sv ]
+          | _ -> [])
+          @ (match r.salvage with Some sv -> [ sv ] | None -> [])
+        in
+        List.fold_left
+          (fun acc (snap, v) ->
+            match acc with
+            | Some (_, v0) when v0 <= v -> acc
+            | _ -> Some (snap, v))
+          acc candidates)
       None results
   in
-  match best with
-  | Some (snap, _) ->
-    if any_proof then Search.Solution (snap, stats) else Search.Best (snap, stats)
-  | None ->
-    if any_proof || all_infeasible then Search.Unsat stats
-    else Search.Timeout stats
+  let published = Atomic.get incumbent in
+  let r_status, incumbent_snap =
+    match best with
+    | Some (snap, v) ->
+      (* A proof only makes [snap] optimal if no strictly better bound
+         was ever published (a crashed worker may have found — and
+         lost — a better solution the proofs pruned against). *)
+      if any_proof && v <= published then (Search.Optimal, Some snap)
+      else (Search.Feasible_timeout, Some snap)
+    | None ->
+      if crashes = [] && (any_proof || all_infeasible) then
+        (Search.Infeasible, None)
+      else if crashes = [] then (Search.Feasible_timeout, None)
+      else (Search.Crashed, None)
+  in
+  { incumbent = incumbent_snap; r_status; r_stats = stats; crashes }
+
+let minimize ?budget ?deadline ?workers strategies =
+  let r = minimize_result ?budget ?deadline ?workers strategies in
+  match (r.r_status, r.incumbent) with
+  | Search.Optimal, Some s -> Search.Solution (s, r.r_stats)
+  | (Search.Feasible_timeout | Search.Crashed), Some s ->
+    Search.Best (s, r.r_stats)
+  | Search.Infeasible, _ -> Search.Unsat r.r_stats
+  | (Search.Optimal | Search.Feasible_timeout | Search.Crashed), None ->
+    Search.Timeout r.r_stats

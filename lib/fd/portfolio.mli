@@ -11,7 +11,15 @@
     than running the first strategy alone with the same budget —
     cooperative pruning only skips subtrees that cannot contain a
     strictly better solution.  (Under a wall-clock budget on an
-    oversubscribed machine, time slicing can still cost nodes.) *)
+    oversubscribed machine, time slicing can still cost nodes.)
+
+    Crash isolation: a worker that raises mid-search (propagator bug,
+    {!Chaos} injection) is contained to its own domain — its crash is
+    recorded, the last incumbent it snapshotted is salvaged, and the
+    remaining workers continue unaffected.  Optimality is claimed only
+    when the surviving incumbent is at least as good as the best bound
+    ever published, so a proof obtained by pruning against a crashed
+    worker's (lost) better solution never mislabels a worse one. *)
 
 type 'a task = {
   store : Store.t;
@@ -25,15 +33,46 @@ type 'a strategy = unit -> 'a task
 (** Evaluated inside the worker's domain; must build a fresh store.
     May raise {!Store.Fail} to signal root infeasibility. *)
 
+type worker_crash = { worker : int; reason : string }
+
+type 'a result = {
+  incumbent : 'a option;
+  r_status : Search.status;
+  r_stats : Search.stats;
+  crashes : worker_crash list;
+}
+
+val minimize_result :
+  ?budget:Search.budget ->
+  ?deadline:Deadline.t ->
+  ?chaos:Chaos.t ->
+  ?workers:int ->
+  'a strategy list ->
+  'a result
+(** The anytime portfolio: never raises.  Runs one worker per strategy
+    (limited to the first [workers] strategies when given); each worker
+    observes the budget and the absolute [deadline] cooperatively.
+
+    Status semantics:
+    - [Optimal]: some worker exhausted its search space and the
+      returned incumbent matches the best published bound;
+    - [Feasible_timeout]: an incumbent exists but optimality could not
+      be (safely) claimed, or nothing was found before the deadline;
+    - [Infeasible]: proven — requires that {e no} worker crashed;
+    - [Crashed]: every worker crashed before finding a solution.
+
+    [chaos] instruments every worker's store for fault injection.
+    @raise Invalid_argument on an empty strategy list. *)
+
 val minimize :
   ?budget:Search.budget ->
+  ?deadline:Deadline.t ->
   ?workers:int ->
   'a strategy list ->
   'a Search.outcome
-(** Run one worker per strategy (limited to the first [workers]
-    strategies when given).  [Solution] means some worker exhausted its
-    search space, which proves the returned incumbent globally optimal;
-    [Best] a budget expired first; [Unsat] no solution exists.
+(** Compatibility wrapper over {!minimize_result}: [Solution] is a
+    proven-optimal incumbent, [Best] an unproven one, [Unsat] a
+    crash-free infeasibility proof, [Timeout] no solution.
 
     Each worker receives the full [budget]; with more workers than
     cores, wall-clock time is shared.

@@ -160,10 +160,13 @@ exception Out_of_budget
    (the portfolio's shared atomic bound): the effective bound is the
    minimum of the local and external ones, and every improving solution
    is published through [bound_put]. *)
-let run ?(budget = no_budget) ?(all = false) ?limit ?bound_get ?bound_put store
-    phases ~objective ~on_solution =
+let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
+    ?bound_get ?bound_put store phases ~objective ~on_solution =
   let t0 = Unix.gettimeofday () in
   let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  (* One absolute cancellation point: the caller's deadline and the
+     local time budget compose by taking the earliest. *)
+  let dl = Deadline.earliest deadline (Deadline.of_time_budget budget.max_time_ms) in
   let steps0 = Store.propagation_steps store in
   let nodes = ref 0 and failures = ref 0 and solutions = ref 0 in
   let best : 'a option ref = ref None in
@@ -176,11 +179,17 @@ let run ?(budget = no_budget) ?(all = false) ?limit ?bound_get ?bound_put store
     (match budget.max_nodes with
     | Some n when !nodes >= n -> raise Out_of_budget
     | _ -> ());
-    match budget.max_time_ms with
-    | Some ms when !nodes land 63 = 0 && elapsed_ms () > ms ->
-      raise Out_of_budget
-    | _ -> ()
+    if !nodes land 63 = 0 && Deadline.expired dl then raise Out_of_budget
   in
+  (* The propagation fixpoint loop polls the same deadline, so a single
+     long sweep cannot blow past it (it used to be checked only between
+     search nodes). *)
+  let saved_poll = Store.poll_of store in
+  if Deadline.is_finite dl then
+    Store.set_poll store
+      (Some
+         (fun () ->
+           if Deadline.expired dl then raise (Store.Interrupted "deadline")));
   let effective_bound () =
     let ext = match bound_get with Some get -> get () | None -> None in
     match (!bound, ext) with
@@ -276,19 +285,29 @@ let run ?(budget = no_budget) ?(all = false) ?limit ?bound_get ?bound_put store
       match !best with
       | Some sol -> Best (sol, stats false)
       | None -> Timeout (stats false))
+    | exception Store.Interrupted _ -> (
+      (* The deadline fired inside a propagation sweep. *)
+      match !best with
+      | Some sol -> Best (sol, stats false)
+      | None -> Timeout (stats false))
   in
+  Store.set_poll store saved_poll;
   unwind ();
   (outcome, List.rev !collected)
 
-let solve ?budget store phases ~on_solution =
-  fst (run ?budget store phases ~objective:None ~on_solution)
+let solve ?budget ?deadline store phases ~on_solution =
+  fst (run ?budget ?deadline store phases ~objective:None ~on_solution)
 
-let minimize ?budget ?bound_get ?bound_put store phases ~objective ~on_solution =
-  fst (run ?budget ?bound_get ?bound_put store phases ~objective:(Some objective)
-         ~on_solution)
+let minimize ?budget ?deadline ?bound_get ?bound_put store phases ~objective
+    ~on_solution =
+  fst (run ?budget ?deadline ?bound_get ?bound_put store phases
+         ~objective:(Some objective) ~on_solution)
 
-let solve_all ?budget ?limit store phases ~on_solution =
-  match run ?budget ~all:true ?limit store phases ~objective:None ~on_solution with
+let solve_all ?budget ?deadline ?limit store phases ~on_solution =
+  match
+    run ?budget ?deadline ~all:true ?limit store phases ~objective:None
+      ~on_solution
+  with
   | Solution (_, st), sols | Best (_, st), sols -> (sols, st)
   | Unsat st, _ -> ([], st)
   | Timeout st, _ -> ([], st)
@@ -303,8 +322,9 @@ let luby i =
   let rec find_k k = if (1 lsl k) - 1 >= i then k else find_k (k + 1) in
   go i (find_k 1)
 
-let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget ?bound_get
-    ?bound_put store phases ~objective ~on_solution =
+let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget
+    ?(deadline = Deadline.none) ?bound_get ?bound_put store phases ~objective
+    ~on_solution =
   let best = ref None in
   let total = ref (zero_stats ~optimal:false) in
   let deadline_budget run_idx =
@@ -335,7 +355,7 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget ?bound_get
     | None, None -> None
   in
   let rec go run_idx =
-    if run_idx > max_restarts then
+    if run_idx > max_restarts || Deadline.expired deadline then
       match !best with
       | Some (sol, _) -> Best (sol, !total)
       | None -> Timeout !total
@@ -359,8 +379,8 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget ?bound_get
       end
       else begin
         let outcome =
-          run ~budget:(deadline_budget run_idx) ?bound_get ?bound_put store
-            phases
+          run ~budget:(deadline_budget run_idx) ~deadline ?bound_get ?bound_put
+            store phases
             ~objective:(Some objective)
             ~on_solution:(fun () -> (on_solution (), vmin objective))
         in
@@ -390,3 +410,54 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget ?bound_get
     end
   in
   go 1
+
+(* ------------------------------------------------------------------ *)
+(* Anytime interface: typed status, never raises.                      *)
+
+type status = Optimal | Feasible_timeout | Infeasible | Crashed
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible_timeout -> Format.pp_print_string ppf "feasible-timeout"
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Crashed -> Format.pp_print_string ppf "crashed"
+
+type 'a anytime = {
+  a_status : status;
+  incumbent : 'a option;
+  a_stats : stats;
+  crash : string option;
+}
+
+let minimize_anytime ?budget ?deadline ?bound_get ?bound_put store phases
+    ~objective ~on_solution =
+  (* Keep the latest snapshot outside the engine so it survives a
+     crash: [on_solution] already runs at every improving solution. *)
+  let last = ref None in
+  let snap () =
+    let s = on_solution () in
+    last := Some s;
+    s
+  in
+  match
+    minimize ?budget ?deadline ?bound_get ?bound_put store phases ~objective
+      ~on_solution:snap
+  with
+  | Solution (s, st) ->
+    { a_status = Optimal; incumbent = Some s; a_stats = st; crash = None }
+  | Best (s, st) ->
+    { a_status = Feasible_timeout; incumbent = Some s; a_stats = st; crash = None }
+  | Unsat st ->
+    { a_status = Infeasible; incumbent = None; a_stats = st; crash = None }
+  | Timeout st ->
+    { a_status = Feasible_timeout; incumbent = None; a_stats = st; crash = None }
+  | exception e ->
+    (* A propagator, heuristic or snapshot crashed (or a fault was
+       injected): degrade to the best incumbent found so far.  The
+       store is left as-is — a crashed store is not reused. *)
+    {
+      a_status = Crashed;
+      incumbent = !last;
+      a_stats = zero_stats ~optimal:false;
+      crash = Some (Printexc.to_string e);
+    }

@@ -73,8 +73,15 @@ val node_budget : int -> budget
 val time_budget : float -> budget
 val both_budget : int -> float -> budget
 
+(** All searches also accept an absolute [?deadline] ({!Deadline.t}):
+    it composes with the budget's [max_time_ms] by taking the earliest,
+    is checked between search nodes, {e and} is polled inside the
+    propagation fixpoint loop (via {!Store.set_poll}), so a single long
+    sweep cannot overshoot it. *)
+
 val solve :
   ?budget:budget ->
+  ?deadline:Deadline.t ->
   Store.t ->
   phase list ->
   on_solution:(unit -> 'a) ->
@@ -84,6 +91,7 @@ val solve :
 
 val minimize :
   ?budget:budget ->
+  ?deadline:Deadline.t ->
   ?bound_get:(unit -> int option) ->
   ?bound_put:(int -> unit) ->
   Store.t ->
@@ -103,6 +111,7 @@ val minimize :
 
 val solve_all :
   ?budget:budget ->
+  ?deadline:Deadline.t ->
   ?limit:int ->
   Store.t ->
   phase list ->
@@ -119,6 +128,7 @@ val minimize_restarts :
   ?base:int ->
   ?max_restarts:int ->
   ?budget:budget ->
+  ?deadline:Deadline.t ->
   ?bound_get:(unit -> int option) ->
   ?bound_put:(int -> unit) ->
   Store.t ->
@@ -130,3 +140,41 @@ val minimize_restarts :
     node cap of [base * luby i], carrying the incumbent bound across
     restarts.  Useful against heavy-tailed search behaviour.  [Solution]
     is a proof of optimality, as in {!minimize}. *)
+
+(** {1 Anytime interface}
+
+    The typed-status layer for callers that must never see an
+    exception: whatever happens — optimality proof, deadline, root
+    infeasibility, or a crash in a propagator — the result is a status
+    plus the best incumbent found before the event. *)
+
+type status =
+  | Optimal           (** incumbent present and proven optimal *)
+  | Feasible_timeout  (** deadline/budget expired; incumbent is the best
+                          found so far ([None] if none was found) *)
+  | Infeasible        (** proven: no solution exists *)
+  | Crashed           (** an exception escaped the engine; the incumbent
+                          (if any) is the last solution found before *)
+
+val pp_status : Format.formatter -> status -> unit
+
+type 'a anytime = {
+  a_status : status;
+  incumbent : 'a option;
+  a_stats : stats;       (** zeroed when the engine crashed *)
+  crash : string option; (** printed exception, when [a_status = Crashed] *)
+}
+
+val minimize_anytime :
+  ?budget:budget ->
+  ?deadline:Deadline.t ->
+  ?bound_get:(unit -> int option) ->
+  ?bound_put:(int -> unit) ->
+  Store.t ->
+  phase list ->
+  objective:var ->
+  on_solution:(unit -> 'a) ->
+  'a anytime
+(** {!minimize}, repackaged: never raises.  Incumbent snapshots are
+    retained outside the engine, so even a mid-search crash returns the
+    best solution found before it. *)

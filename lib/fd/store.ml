@@ -1,4 +1,5 @@
 exception Fail of string
+exception Interrupted of string
 
 (* Wake events: which kind of domain change re-schedules a watcher.
    [On_change] is any narrowing; [On_bounds] only min/max changes (which
@@ -42,7 +43,20 @@ and t = {
   queues : propagator Queue.t array;  (* one FIFO bucket per priority *)
   mutable steps : int;
   consts : (int, var) Hashtbl.t;
+  mutable poll : (unit -> unit) option;
+      (* cancellation poll, run every [poll_period] fixpoint iterations;
+         raises (e.g. [Interrupted]) to abandon the sweep *)
+  mutable poll_countdown : int;
+  mutable hook : (t -> string -> unit) option;
+      (* instrumentation, run before every propagator execution (fault
+         injection, tracing); receives the propagator's name *)
 }
+
+(* How many fixpoint-loop iterations pass between two cancellation
+   polls.  Small enough that even one long sweep observes a deadline
+   within microseconds, large enough that the clock read disappears in
+   the propagation cost. *)
+let poll_period = 64
 
 (* Priority buckets: 0 = cheap arithmetic/reification, 1 = channeling and
    table-style propagators, 2 = expensive globals (Cumulative, Alldiff,
@@ -66,7 +80,14 @@ let create () =
     queues = Array.init n_priorities (fun _ -> Queue.create ());
     steps = 0;
     consts = Hashtbl.create 32;
+    poll = None;
+    poll_countdown = poll_period;
+    hook = None;
   }
+
+let set_poll s f = s.poll <- f
+let poll_of s = s.poll
+let set_hook s f = s.hook <- f
 
 let var_count s = s.next_vid
 let propagator_count s = s.n_props
@@ -177,6 +198,17 @@ let entail s p =
 
 let propagate s =
   let rec drain () =
+    (* Cancellation poll: runs while the pending propagator is still
+       queued, so an abandoned sweep loses no wake-ups — a later
+       [propagate] resumes exactly where this one stopped. *)
+    (match s.poll with
+    | Some f ->
+      s.poll_countdown <- s.poll_countdown - 1;
+      if s.poll_countdown <= 0 then begin
+        s.poll_countdown <- poll_period;
+        f ()
+      end
+    | None -> ());
     (* lowest-priority-index bucket first; restart the scan after every
        execution because cheap propagators may have been re-scheduled *)
     let rec find i =
@@ -189,6 +221,7 @@ let propagate s =
     | Some p ->
       p.queued <- false;
       if not p.entailed then begin
+        (match s.hook with Some h -> h s p.pname | None -> ());
         s.steps <- s.steps + 1;
         p.runs <- p.runs + 1;
         p.exec s

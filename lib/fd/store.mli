@@ -17,6 +17,12 @@ exception Fail of string
 (** Raised when a domain becomes empty or a constraint is violated.  The
     payload names the responsible constraint (for debugging). *)
 
+exception Interrupted of string
+(** Raised by a cancellation poll (see {!set_poll}) to abandon the
+    current propagation sweep cooperatively — e.g. a deadline expired.
+    Unlike {!Fail} this is not a logical inconsistency: the search layer
+    maps it to a timeout, not a dead branch. *)
+
 type t
 (** A constraint store. *)
 
@@ -125,7 +131,27 @@ val entail : t -> propagator -> unit
 
 val propagate : t -> unit
 (** Run the priority queues to fixpoint, cheapest bucket first.
-    @raise Fail on inconsistency. *)
+    @raise Fail on inconsistency.
+    @raise Interrupted if the store's cancellation poll does. *)
+
+val set_poll : t -> (unit -> unit) option -> unit
+(** Install (or clear) the cancellation poll: a closure run every few
+    dozen fixpoint iterations {e inside} {!propagate}, so even a single
+    long sweep observes a deadline.  The poll signals cancellation by
+    raising {!Interrupted}; it is called at a point where no pending
+    wake-up can be lost, so a store whose sweep was interrupted can
+    resume propagation later. *)
+
+val poll_of : t -> (unit -> unit) option
+(** The currently installed poll (to save/restore around a search). *)
+
+val set_hook : t -> (t -> string -> unit) option -> unit
+(** Install (or clear) the execution hook: a closure run immediately
+    before every propagator execution, receiving the store and the
+    propagator's name.  Used for fault injection ({!Chaos}) and
+    tracing.  An exception from the hook aborts the sweep like a
+    crashing propagator would — the engine's recovery path, not the
+    hook mechanism, is responsible for containing it. *)
 
 val reschedule_all : t -> unit
 (** Schedule every registered propagator, ignoring wake events.  A

@@ -24,11 +24,19 @@ let horizon_estimate g arch =
 let vector_reads g i =
   List.filter (fun p -> Ir.category g p = Ir.Vector_data) (Ir.preds g i)
 
-let build ?horizon ?(memory = true) g arch =
+let build ?horizon ?(deadline = Fd.Deadline.none) ?(memory = true) g arch =
   let horizon =
     match horizon with Some h -> h | None -> horizon_estimate g arch
   in
   let s = St.create () in
+  (* Root propagation below can be the longest single sweep of the whole
+     solve; it must observe the deadline too. *)
+  if Fd.Deadline.is_finite deadline then
+    St.set_poll s
+      (Some
+         (fun () ->
+           if Fd.Deadline.expired deadline then
+             raise (St.Interrupted "deadline")));
   let n = Ir.size g in
   let start =
     Array.init n (fun i ->

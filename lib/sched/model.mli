@@ -31,12 +31,16 @@ type t = {
 val horizon_estimate : Ir.t -> Eit.Arch.t -> int
 (** A safe upper bound on the optimal makespan: serialize everything. *)
 
-val build : ?horizon:int -> ?memory:bool -> Ir.t -> Eit.Arch.t -> t
+val build :
+  ?horizon:int -> ?deadline:Fd.Deadline.t -> ?memory:bool -> Ir.t -> Eit.Arch.t -> t
 (** Construct the model and run root propagation.
     [memory] (default [true]) includes the slot-allocation part; turning
     it off reproduces a scheduling-only model (used as ablation and by
-    the manual baseline).
-    @raise Fd.Store.Fail if the root model is inconsistent. *)
+    the manual baseline).  A finite [deadline] installs a store poll, so
+    even the root propagation sweep is interruptible.
+    @raise Fd.Store.Fail if the root model is inconsistent.
+    @raise Fd.Store.Interrupted if [deadline] expires during root
+    propagation. *)
 
 val phases : t -> Fd.Search.phase list
 (** The paper's three search phases (§3.5): operation starts, then data

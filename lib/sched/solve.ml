@@ -1,17 +1,27 @@
+(* The status taxonomy is shared with the solver layer so callers can
+   pattern-match either name. *)
+type status = Fd.Search.status =
+  | Optimal
+  | Feasible_timeout
+  | Infeasible
+  | Crashed
 
-type status = Optimal | Feasible | Unsat | Timeout
+let pp_status = Fd.Search.pp_status
+
+type engine = Cp | Fallback
+
+let pp_engine ppf = function
+  | Cp -> Format.pp_print_string ppf "cp"
+  | Fallback -> Format.pp_print_string ppf "fallback"
 
 type outcome = {
   status : status;
+  engine : engine;
   schedule : Schedule.t option;
   stats : Fd.Search.stats;
+  crashes : Fd.Portfolio.worker_crash list;
+  validation : (unit, Validate.report) result;
 }
-
-let pp_status ppf = function
-  | Optimal -> Format.pp_print_string ppf "optimal"
-  | Feasible -> Format.pp_print_string ppf "feasible"
-  | Unsat -> Format.pp_print_string ppf "unsat"
-  | Timeout -> Format.pp_print_string ppf "timeout"
 
 (* The portfolio's strategy templates, in fixed order.  Strategy 0 is
    the sequential default (paper §3.5 phases), so a portfolio run
@@ -25,7 +35,7 @@ let strategy_templates =
     ("input-order-luby", Some (Fd.Search.input_order, Fd.Search.select_min), true);
   ]
 
-let portfolio_strategies ~memory g arch n =
+let portfolio_strategies ?deadline ~memory g arch n =
   let rec take n = function
     | x :: rest when n > 0 -> x :: take (n - 1) rest
     | _ -> []
@@ -42,7 +52,7 @@ let portfolio_strategies ~memory g arch n =
   in
   List.map
     (fun (_, override, restarts) () ->
-      let m = Model.build ~memory g arch in
+      let m = Model.build ?deadline ~memory g arch in
       let phases =
         match (override, Model.phases m) with
         | Some (var_select, val_select), p1 :: rest ->
@@ -58,49 +68,113 @@ let portfolio_strategies ~memory g arch n =
       })
     templates
 
-let run ?(budget = Fd.Search.time_budget 10_000.) ?(memory = true)
-    ?(arch = Eit.Arch.default) ?(validate = true) ?(parallel = 0) g =
-  let search_outcome =
-    if parallel >= 2 then
-      Fd.Portfolio.minimize ~budget (portfolio_strategies ~memory g arch parallel)
-    else
-      match Model.build ~memory g arch with
-      | m ->
-        Fd.Search.minimize ~budget m.Model.store (Model.phases m)
-          ~objective:m.Model.makespan
-          ~on_solution:(fun () -> Model.extract m)
-      | exception Fd.Store.Fail _ ->
-        Fd.Search.Unsat (Fd.Search.zero_stats ~optimal:true)
-  in
-  let outcome =
-    match search_outcome with
-    | Fd.Search.Solution (sched, stats) ->
-      { status = Optimal; schedule = Some sched; stats }
-    | Fd.Search.Best (sched, stats) ->
-      { status = Feasible; schedule = Some sched; stats }
-    | Fd.Search.Unsat stats -> { status = Unsat; schedule = None; stats }
-    | Fd.Search.Timeout stats -> { status = Timeout; schedule = None; stats }
-  in
-  (match (validate, outcome.schedule) with
-  | true, Some sched ->
-    let violations = Schedule.validate sched in
-    (* Without the memory part of the model, memory-related rules are
-       not enforced and must not be re-checked. *)
-    let relevant =
-      if memory then violations
-      else
-        List.filter
-          (fun v ->
-            not
-              (List.mem v.Schedule.where
-                 [ "memory"; "memory-access"; "slot-reuse" ]))
-          violations
+(* The CP attempt, repackaged so nothing escapes: status + optional
+   incumbent + stats + worker crashes. *)
+let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
+  if parallel >= 2 then
+    let r =
+      Fd.Portfolio.minimize_result ~budget ~deadline ?chaos
+        (portfolio_strategies ~deadline ~memory g arch parallel)
     in
-    if relevant <> [] then
-      failwith
-        (Format.asprintf "Solve.run: solver produced an invalid schedule: %a"
-           (Format.pp_print_list ~pp_sep:Format.pp_print_space
-              Schedule.pp_violation)
-           relevant)
-  | _ -> ());
-  outcome
+    (r.Fd.Portfolio.r_status, r.Fd.Portfolio.incumbent, r.Fd.Portfolio.r_stats,
+     r.Fd.Portfolio.crashes)
+  else
+    match Model.build ~deadline ~memory g arch with
+    | exception Fd.Store.Fail _ ->
+      (Infeasible, None, Fd.Search.zero_stats ~optimal:true, [])
+    | exception Fd.Store.Interrupted _ ->
+      (Feasible_timeout, None, Fd.Search.zero_stats ~optimal:false, [])
+    | exception e ->
+      ( Crashed,
+        None,
+        Fd.Search.zero_stats ~optimal:false,
+        [ { Fd.Portfolio.worker = 0; reason = Printexc.to_string e } ] )
+    | m ->
+      (match chaos with
+      | Some c -> Fd.Chaos.instrument c ~worker:0 m.Model.store
+      | None -> ());
+      let a =
+        Fd.Search.minimize_anytime ~budget ~deadline m.Model.store
+          (Model.phases m) ~objective:m.Model.makespan
+          ~on_solution:(fun () -> Model.extract m)
+      in
+      let crashes =
+        match a.Fd.Search.crash with
+        | Some reason -> [ { Fd.Portfolio.worker = 0; reason } ]
+        | None -> []
+      in
+      (a.Fd.Search.a_status, a.Fd.Search.incumbent, a.Fd.Search.a_stats, crashes)
+
+let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
+    ?(memory = true) ?(arch = Eit.Arch.default) ?(validate = true)
+    ?(parallel = 0) ?chaos ?(fallback = true) g =
+  let deadline =
+    Fd.Deadline.earliest deadline
+      (Fd.Deadline.of_time_budget budget.Fd.Search.max_time_ms)
+  in
+  let cp_status, cp_incumbent, stats, crashes =
+    run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g
+  in
+  let check sch ~memory =
+    if validate then Validate.schedule ~memory sch else Ok ()
+  in
+  (* Degradation ladder: a CP incumbent that passes the independent
+     validator wins; otherwise the heuristic fallback is tried (also
+     validated); an infeasibility proof needs no schedule at all. *)
+  let cp_checked =
+    match cp_incumbent with
+    | Some sch -> Some (sch, check sch ~memory)
+    | None -> None
+  in
+  match (cp_status, cp_checked) with
+  | Infeasible, _ ->
+    { status = Infeasible; engine = Cp; schedule = None; stats; crashes;
+      validation = Ok () }
+  | _, Some (sch, Ok ()) ->
+    { status = cp_status; engine = Cp; schedule = Some sch; stats; crashes;
+      validation = Ok () }
+  | _, cp_checked -> (
+    (* Either CP found nothing, or what it found fails validation (a
+       solver or chaos casualty).  Keep the bad schedule's report. *)
+    let cp_report =
+      match cp_checked with Some (_, Error r) -> Some r | _ -> None
+    in
+    let fb =
+      if fallback then Heuristic.run ~arch g else Error "fallback disabled"
+    in
+    match fb with
+    | Ok sch -> (
+      match check sch ~memory:true with
+      | Ok () ->
+        (* A fallback result is never optimal and never hides a crash:
+           the status says the degradation path was taken. *)
+        { status = Feasible_timeout; engine = Fallback; schedule = Some sch;
+          stats; crashes; validation = Ok () }
+      | Error r ->
+        { status = Crashed; engine = Fallback; schedule = None; stats;
+          crashes; validation = Error r })
+    | Error reason ->
+      let validation =
+        match cp_report with Some r -> Error r | None -> Ok ()
+      in
+      let crashes =
+        if fallback then
+          crashes @ [ { Fd.Portfolio.worker = -1; reason = "fallback: " ^ reason } ]
+        else crashes
+      in
+      let status =
+        match cp_status with
+        | Crashed -> Crashed
+        | _ when cp_report <> None ->
+          Crashed (* CP produced garbage and no fallback rescued it *)
+        | _ -> Feasible_timeout (* an honest timeout, nothing crashed *)
+      in
+      { status; engine = Cp; schedule = None; stats; crashes; validation })
+
+let exit_code o =
+  match (o.status, o.schedule, o.engine) with
+  | Optimal, _, _ -> 0
+  | Feasible_timeout, Some _, Cp -> 0
+  | Feasible_timeout, Some _, Fallback -> 2
+  | Infeasible, _, _ -> 3
+  | (Feasible_timeout | Crashed), _, _ -> 4 (* no usable schedule *)

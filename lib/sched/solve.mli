@@ -1,34 +1,84 @@
-(** End-to-end scheduling: build the model, run the three-phase branch &
-    bound (paper §3.5), return a validated schedule. *)
+(** End-to-end scheduling with graceful degradation: build the model,
+    run the (possibly parallel) branch & bound under a deadline, fall
+    back to the heuristic list scheduler when the CP engine produced
+    nothing usable, and re-check whatever came out with the independent
+    validator ({!Validate}) before anyone downstream sees it.
+
+    [run] never raises: every failure mode — deadline, root
+    infeasibility, a crashing propagator, an invalid solver schedule —
+    is reported through the typed {!status} / {!engine} / [validation]
+    fields. *)
 
 open Eit_dsl
 
-type status =
-  | Optimal     (** proven shortest schedule *)
-  | Feasible    (** budget hit; best schedule found so far *)
-  | Unsat       (** no schedule exists (e.g. too few memory slots) *)
-  | Timeout     (** budget hit before any solution *)
+type status = Fd.Search.status =
+  | Optimal           (** proven shortest schedule *)
+  | Feasible_timeout  (** budget/deadline hit; best schedule returned
+                          (from the CP engine or the fallback) *)
+  | Infeasible        (** proven: no schedule exists (e.g. too few
+                          memory slots) — requires a crash-free run *)
+  | Crashed           (** the engine failed (crash or invalid schedule)
+                          {e and} the degradation path could not produce
+                          a validated schedule *)
+
+type engine =
+  | Cp        (** the schedule came from the constraint solver *)
+  | Fallback  (** the heuristic list scheduler rescued the run *)
 
 type outcome = {
   status : status;
+  engine : engine;
   schedule : Schedule.t option;
+      (** invariant: [Some] implies [status] is [Optimal] or
+          [Feasible_timeout]; always validated when [validate] is on.
+          [Feasible_timeout] with [None] is an honest timeout whose
+          fallback also (legitimately) failed *)
   stats : Fd.Search.stats;
+  crashes : Fd.Portfolio.worker_crash list;
+      (** every isolated failure: portfolio workers by index, [0] for a
+          sequential solve, [-1] for the fallback itself *)
+  validation : (unit, Validate.report) result;
+      (** the report of the last validation performed; [Error] only
+          when an invalid schedule was produced and discarded *)
 }
 
 val run :
   ?budget:Fd.Search.budget ->
+  ?deadline:Fd.Deadline.t ->
   ?memory:bool ->
   ?arch:Eit.Arch.t ->
   ?validate:bool ->
   ?parallel:int ->
+  ?chaos:Fd.Chaos.t ->
+  ?fallback:bool ->
   Ir.t ->
   outcome
-(** Defaults: 10-second time budget, memory allocation on,
-    {!Eit.Arch.default}, validation on, [parallel = 0] (sequential).
-    [parallel >= 2] runs a cooperative portfolio of that many diversified
-    search strategies on OCaml domains (see {!Fd.Portfolio}), each over
-    an independently-built model, sharing one atomic incumbent bound.
-    @raise Failure if [validate] and the produced schedule violates the
-    independent checker (a solver bug — should never happen). *)
+(** Defaults: 10-second time budget, no extra deadline, memory
+    allocation on, {!Eit.Arch.default}, validation on, [parallel = 0]
+    (sequential), no fault injection, fallback on.
+
+    The effective deadline is the earlier of [deadline] and the
+    budget's time component; it is observed inside propagation sweeps
+    (including root propagation), so the engine cannot overshoot it by
+    one long fixpoint.
+
+    [parallel >= 2] runs a cooperative portfolio of that many
+    diversified search strategies on OCaml domains (see
+    {!Fd.Portfolio}), each over an independently-built model, sharing
+    one atomic incumbent bound; a crashing worker is isolated and
+    recorded in [crashes].
+
+    [chaos] instruments every store (sequential or portfolio) for fault
+    injection — see {!Fd.Chaos}.
+
+    [fallback = false] disables the heuristic rescue (for measuring the
+    CP engine alone); a no-incumbent timeout then reports
+    [Feasible_timeout] with no schedule. *)
+
+val exit_code : outcome -> int
+(** The process exit code contract (also used by [eitc schedule]):
+    [0] optimal or CP-feasible, [2] fallback schedule (degraded),
+    [3] infeasible, [4] crashed / no usable schedule. *)
 
 val pp_status : Format.formatter -> status -> unit
+val pp_engine : Format.formatter -> engine -> unit

@@ -1,0 +1,187 @@
+open Eit_dsl
+
+type report = { subject : string; violations : Schedule.violation list }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %d violation(s):@,  @[<v>%a@]" r.subject
+    (List.length r.violations)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Schedule.pp_violation)
+    r.violations
+
+let to_result subject violations =
+  if violations = [] then Ok () else Error { subject; violations }
+
+(* The memory-free model does not enforce allocation rules, so a
+   schedule produced without it must not be held to them. *)
+let memory_groups = [ "memory"; "memory-access"; "slot-reuse" ]
+
+let schedule ?(memory = true) sch =
+  let violations = Schedule.validate sch in
+  let relevant =
+    if memory then violations
+    else
+      List.filter
+        (fun v -> not (List.mem v.Schedule.where memory_groups))
+        violations
+  in
+  to_result "schedule" relevant
+
+let node_latency g arch i =
+  match (Ir.node g i).Ir.op with
+  | Some op -> Eit.Arch.latency arch op
+  | None -> 0
+
+(* Re-derive every property of an overlapped execution from the bundle
+   list alone — nothing is trusted from [Overlap.run]'s own
+   bookkeeping. *)
+let overlap g arch (t : Overlap.t) =
+  let violations = ref [] in
+  let add where fmt =
+    Format.kasprintf
+      (fun msg -> violations := { Schedule.where; msg } :: !violations)
+      fmt
+  in
+  let bundles = List.map snd t.Overlap.bundles in
+  let m = t.Overlap.m in
+  if m < 1 then add "overlap" "M = %d is not positive" m;
+  (* Coverage: each operation is issued exactly once per iteration. *)
+  let bundle_of = Hashtbl.create 64 in
+  List.iteri
+    (fun k ops ->
+      List.iter
+        (fun i ->
+          if Hashtbl.mem bundle_of i then
+            add "overlap" "op %d appears in more than one bundle" i
+          else Hashtbl.add bundle_of i k)
+        ops)
+    bundles;
+  List.iter
+    (fun i ->
+      if not (Hashtbl.mem bundle_of i) then
+        add "overlap" "op %d missing from the bundle sequence" i)
+    (Ir.op_nodes g);
+  (* Masked dependencies: iteration [i]'s copy of instruction [k]
+     issues at [k*M + i], so a producer in bundle [kp] and a consumer
+     in bundle [kc] of the same iteration are [(kc - kp) * M] cycles
+     apart — that gap must cover the producer's latency. *)
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt bundle_of p with
+      | None -> ()
+      | Some kp ->
+        List.iter
+          (fun d ->
+            List.iter
+              (fun c ->
+                match Hashtbl.find_opt bundle_of c with
+                | None -> ()
+                | Some kc ->
+                  if (kc - kp) * m < node_latency g arch p then
+                    add "precedence"
+                      "ops %d (bundle %d) -> %d (bundle %d): gap %d does not \
+                       mask latency %d"
+                      p kp c kc
+                      ((kc - kp) * m)
+                      (node_latency g arch p))
+              (Ir.succs g d))
+          (Ir.succs g p))
+    (Ir.op_nodes g);
+  (* Ground resource check over the full overlapped stream: every copy
+     of every instruction, at its actual issue cycle. *)
+  let stream rc =
+    List.concat
+      (List.mapi
+         (fun k ops ->
+           List.concat_map
+             (fun i ->
+               if Eit.Opcode.resource (Ir.opcode g i) = rc then
+                 List.init m (fun iter -> (i, (k * m) + iter))
+               else [])
+             ops)
+         bundles)
+  in
+  let check_resource rc limit label =
+    let issues = stream rc in
+    if issues <> [] then begin
+      let starts = Array.of_list (List.map snd issues) in
+      let durations =
+        Array.of_list
+          (List.map (fun (i, _) -> Eit.Arch.duration arch (Ir.opcode g i)) issues)
+      in
+      let resources =
+        Array.of_list
+          (List.map
+             (fun (i, _) ->
+               match rc with
+               | Eit.Opcode.Vector_core -> Eit.Opcode.lanes (Ir.opcode g i)
+               | _ -> 1)
+             issues)
+      in
+      if not (Fd.Cumulative.check ~starts ~durations ~resources ~limit) then
+        add "resource" "%s capacity %d exceeded in the overlapped stream"
+          label limit
+    end
+  in
+  check_resource Eit.Opcode.Vector_core arch.Eit.Arch.n_lanes "vector core";
+  check_resource Eit.Opcode.Scalar_accel 1 "scalar accelerator";
+  check_resource Eit.Opcode.Index_merge 1 "index/merge unit";
+  (* Configuration grouping: all M copies of one bundle issue in
+     consecutive cycles under one configuration, so the bundle's
+     vector-core ops must agree on it (eq. 3). *)
+  List.iteri
+    (fun k ops ->
+      let vops =
+        List.filter
+          (fun i ->
+            Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+          ops
+      in
+      match vops with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        List.iter
+          (fun j ->
+            if not (Eit.Opcode.config_equal (Ir.opcode g first) (Ir.opcode g j))
+            then
+              add "configuration"
+                "bundle %d mixes configurations (%s vs %s)" k
+                (Eit.Opcode.name (Ir.opcode g first))
+                (Eit.Opcode.name (Ir.opcode g j)))
+          rest)
+    bundles;
+  (* Book-keeping: recompute the derived figures. *)
+  let n = List.length bundles in
+  if t.Overlap.n_instructions <> n then
+    add "overlap" "records %d instructions, bundle list has %d"
+      t.Overlap.n_instructions n;
+  let drain =
+    match List.rev bundles with
+    | ops :: _ ->
+      List.fold_left (fun acc i -> max acc (node_latency g arch i)) 0 ops
+    | [] -> 0
+  in
+  if t.Overlap.length <> (n * m) + drain then
+    add "overlap" "length %d <> N*M + drain = %d" t.Overlap.length
+      ((n * m) + drain);
+  let configs =
+    List.map
+      (fun ops ->
+        List.find_map
+          (fun i ->
+            let op = Ir.opcode g i in
+            if Eit.Opcode.resource op = Eit.Opcode.Vector_core then Some op
+            else None)
+          ops)
+      bundles
+  in
+  let reconfigs = Eit.Config.count_reconfigs configs in
+  if t.Overlap.reconfigurations <> reconfigs then
+    add "configuration" "records %d reconfigurations, recount gives %d"
+      t.Overlap.reconfigurations reconfigs;
+  to_result "overlap" (List.rev !violations)
+
+let modulo g arch r =
+  match Modulo.validate g arch r with
+  | Ok () -> Ok ()
+  | Error msg ->
+    Error { subject = "modulo"; violations = [ { where = "modulo"; msg } ] }

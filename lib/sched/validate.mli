@@ -1,0 +1,41 @@
+(** The independent schedule validator — the trust anchor of the
+    degradation path.
+
+    Whatever produced a result — the CP solver, the heuristic fallback,
+    the overlapped-execution transform or the modulo scheduler — it is
+    re-checked here from the IR and architecture description alone,
+    before anything downstream (code generation, reporting) consumes
+    it.  The checks share no code with the solvers: precedences with
+    latencies, lane/unit capacities (ground cumulative), configuration
+    exclusivity, memory slot ranges, lifetime-disjoint slot reuse and
+    the page/line access rules.
+
+    All entry points return a {!report} instead of raising, so a buggy
+    or fault-injected solver can never push an invalid schedule past
+    this point silently. *)
+
+open Eit_dsl
+
+type report = {
+  subject : string;  (** what was validated: "schedule" / "overlap" / "modulo" *)
+  violations : Schedule.violation list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val schedule : ?memory:bool -> Schedule.t -> (unit, report) result
+(** Full re-check of a flat schedule ({!Schedule.validate}).
+    [memory = false] (for schedules produced without the allocation
+    part of the model) skips the memory constraint groups, which such a
+    schedule never promised to satisfy. *)
+
+val overlap : Ir.t -> Eit.Arch.t -> Overlap.t -> (unit, report) result
+(** Re-derive an overlapped execution's guarantees from its bundle list
+    alone: every op issued exactly once per iteration, all dependency
+    latencies masked by the [(kc - kp) * M] issue gap, ground resource
+    capacities over the full overlapped stream, one configuration per
+    bundle, and the recorded length / instruction / reconfiguration
+    figures. *)
+
+val modulo : Ir.t -> Eit.Arch.t -> Modulo.result -> (unit, report) result
+(** {!Modulo.validate}, repackaged as a report. *)

@@ -30,4 +30,5 @@ let () =
       ("sched.heuristic", T_heuristic.suite);
       ("integration", T_integration.suite);
       ("more", T_more.suite);
+      ("robust", T_robust.suite);
     ]

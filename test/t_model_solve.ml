@@ -88,9 +88,14 @@ let test_memory_infeasible () =
   let acc = List.fold_left (fun acc v -> Dsl.v_add ctx acc v) (List.hd inputs) (List.tl inputs) in
   ignore acc;
   let g = Dsl.graph ctx in
-  match (solve ~slots:(Some 2) g).Sched.Solve.status with
-  | Sched.Solve.Unsat | Sched.Solve.Timeout -> ()
-  | s -> Alcotest.failf "expected unsat/timeout, got %a" Sched.Solve.pp_status s
+  let o = solve ~slots:(Some 2) g in
+  (match o.Sched.Solve.status with
+  | Sched.Solve.Infeasible | Sched.Solve.Feasible_timeout -> ()
+  | s ->
+    Alcotest.failf "expected infeasible/feasible-timeout, got %a"
+      Sched.Solve.pp_status s);
+  (* the greedy fallback cannot conjure slots either *)
+  Alcotest.(check bool) "no schedule" true (o.Sched.Solve.schedule = None)
 
 let test_memory_off_ablation () =
   (* without memory constraints, 2 slots are no obstacle *)

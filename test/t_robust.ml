@@ -1,0 +1,396 @@
+(* Robustness and graceful degradation: the independent validator on
+   every outcome kind, mutation rejection, deadline observance, the
+   heuristic fallback path, and fault injection (Fd.Chaos). *)
+
+open Eit_dsl
+
+let merged g = (Merge.run g).Merge.graph
+
+let kernels =
+  [
+    ("matmul", fun () -> merged (Apps.Matmul.graph (Apps.Matmul.build ())));
+    ("qrd", fun () -> merged (Apps.Qrd.graph (Apps.Qrd.build ())));
+    ("qrd-sorted", fun () -> merged (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ())));
+    ("arf", fun () -> merged (Apps.Arf.graph (Apps.Arf.build ())));
+    ("fir", fun () -> merged (Apps.Fir.graph (Apps.Fir.build ())));
+    ("corr", fun () -> merged (Apps.Corr.graph (Apps.Corr.build ())));
+    ("detect", fun () -> merged (Apps.Detect.graph (Apps.Detect.build ())));
+  ]
+
+let solve ?(budget = 20_000.) g =
+  Sched.Solve.run ~budget:(Fd.Search.time_budget budget) g
+
+let schedule_of name o =
+  match o.Sched.Solve.schedule with
+  | Some sch -> sch
+  | None -> Alcotest.failf "%s: no schedule" name
+
+(* ------------- the validator accepts every honest result ------------- *)
+
+let test_validator_accepts_all_kernels () =
+  List.iter
+    (fun (name, g) ->
+      let o = solve (g ()) in
+      let sch = schedule_of name o in
+      match Sched.Validate.schedule sch with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "%s: %a" name Sched.Validate.pp_report r)
+    kernels
+
+let test_validator_accepts_fallback () =
+  List.iter
+    (fun (name, g) ->
+      match Sched.Heuristic.run (g ()) with
+      | Error e -> Alcotest.failf "%s: fallback failed: %s" name e
+      | Ok sch -> (
+        match Sched.Validate.schedule sch with
+        | Ok () -> ()
+        | Error r -> Alcotest.failf "%s: %a" name Sched.Validate.pp_report r))
+    kernels
+
+let test_validator_accepts_overlap_and_modulo () =
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let o = solve g in
+  let sch = schedule_of "matmul" o in
+  let m = Sched.Overlap.min_overlap sch in
+  let ov = Sched.Overlap.run sch ~m in
+  (match Sched.Validate.overlap g sch.Sched.Schedule.arch ov with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "overlap: %a" Sched.Validate.pp_report r);
+  match Sched.Modulo.solve_excluding ~budget_ms:20_000. g with
+  | None -> Alcotest.fail "modulo: no result"
+  | Some r -> (
+    match Sched.Validate.modulo g Eit.Arch.default r with
+    | Ok () -> ()
+    | Error rep -> Alcotest.failf "modulo: %a" Sched.Validate.pp_report rep)
+
+let test_validator_rejects_tampered_overlap () =
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let sch = schedule_of "matmul" (solve g) in
+  let ov = Sched.Overlap.run sch ~m:(Sched.Overlap.min_overlap sch) in
+  (* lie about the reconfiguration count *)
+  let forged =
+    { ov with Sched.Overlap.reconfigurations = ov.Sched.Overlap.reconfigurations + 1 }
+  in
+  (match Sched.Validate.overlap g sch.Sched.Schedule.arch forged with
+  | Ok () -> Alcotest.fail "forged reconfiguration count accepted"
+  | Error _ -> ());
+  (* drop a bundle: coverage must catch the missing ops *)
+  match ov.Sched.Overlap.bundles with
+  | [] -> Alcotest.fail "no bundles"
+  | _ :: rest -> (
+    let truncated = { ov with Sched.Overlap.bundles = rest } in
+    match Sched.Validate.overlap g sch.Sched.Schedule.arch truncated with
+    | Ok () -> Alcotest.fail "truncated bundle list accepted"
+    | Error _ -> ())
+
+(* --------------------- mutation rejection (QCheck) ------------------- *)
+
+(* A reference schedule, solved once and shared by the mutation tests. *)
+let base_schedule =
+  lazy
+    (let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+     schedule_of "qrd" (solve g))
+
+let with_start sch f =
+  let start = Array.copy sch.Sched.Schedule.start in
+  f start;
+  { sch with Sched.Schedule.start }
+
+let rejects sch = not (Sched.Schedule.is_valid sch)
+
+let shifted_start_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"mutation: shifted op start rejected" ~count:40
+       QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 5))
+       (fun (pick, delta) ->
+         let sch = Lazy.force base_schedule in
+         let ops = Ir.op_nodes sch.Sched.Schedule.ir in
+         let op = List.nth ops (pick mod List.length ops) in
+         rejects (with_start sch (fun s -> s.(op) <- s.(op) + delta))))
+
+let stolen_slot_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"mutation: stolen slot rejected" ~count:40
+       QCheck2.Gen.(int_bound 10_000)
+       (fun pick ->
+         let sch = Lazy.force base_schedule in
+         (* every pair of data whose lifetimes overlap on distinct slots *)
+         let live d =
+           let s = Sched.Schedule.start_of sch d in
+           (s, s + Sched.Schedule.lifetime sch d)
+         in
+         let pairs =
+           List.concat_map
+             (fun (d1, k1) ->
+               List.filter_map
+                 (fun (d2, k2) ->
+                   let b1, e1 = live d1 and b2, e2 = live d2 in
+                   if d1 < d2 && k1 <> k2 && b1 < e2 && b2 < e1 then
+                     Some (d1, k2)
+                   else None)
+                 sch.Sched.Schedule.slot)
+             sch.Sched.Schedule.slot
+         in
+         match pairs with
+         | [] -> QCheck2.assume_fail ()
+         | _ ->
+           let d, stolen = List.nth pairs (pick mod List.length pairs) in
+           let slot =
+             List.map
+               (fun (d', k) -> if d' = d then (d', stolen) else (d', k))
+               sch.Sched.Schedule.slot
+           in
+           rejects { sch with Sched.Schedule.slot }))
+
+let swapped_config_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"mutation: swapped config co-schedule rejected"
+       ~count:40
+       QCheck2.Gen.(int_bound 10_000)
+       (fun pick ->
+         let sch = Lazy.force base_schedule in
+         let g = sch.Sched.Schedule.ir in
+         (* pairs of vector ops with different configurations *)
+         let vops =
+           List.filter
+             (fun i ->
+               Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core)
+             (Ir.op_nodes g)
+         in
+         let pairs =
+           List.concat_map
+             (fun i ->
+               List.filter_map
+                 (fun j ->
+                   if
+                     i < j
+                     && not (Eit.Opcode.config_equal (Ir.opcode g i) (Ir.opcode g j))
+                   then Some (i, j)
+                   else None)
+                 vops)
+             vops
+         in
+         match pairs with
+         | [] -> QCheck2.assume_fail ()
+         | _ ->
+           let i, j = List.nth pairs (pick mod List.length pairs) in
+           (* force them into the same cycle: eq. 3 must fire *)
+           rejects (with_start sch (fun s -> s.(i) <- s.(j)))))
+
+(* ----------------------- graceful degradation ----------------------- *)
+
+let test_budget_zero_falls_back () =
+  List.iter
+    (fun (name, g) ->
+      let o = solve ~budget:0. (g ()) in
+      Alcotest.(check bool) (name ^ " fallback engine") true
+        (o.Sched.Solve.engine = Sched.Solve.Fallback);
+      Alcotest.(check bool) (name ^ " status") true
+        (o.Sched.Solve.status = Sched.Solve.Feasible_timeout);
+      Alcotest.(check int) (name ^ " exit code") 2 (Sched.Solve.exit_code o);
+      Alcotest.(check bool) (name ^ " validated") true
+        (o.Sched.Solve.validation = Ok ()
+        && (match o.Sched.Solve.schedule with
+           | Some sch -> Sched.Schedule.is_valid sch
+           | None -> false)))
+    kernels
+
+let test_deadline_observed () =
+  (* an already-expired deadline must come back (degraded) almost
+     immediately, even though the budget alone would allow 10 s *)
+  let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.)
+      ~deadline:(Fd.Deadline.after_ms 0.) g
+  in
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Alcotest.(check bool) "returned quickly" true (dt_ms < 2_000.);
+  Alcotest.(check bool) "fallback used" true
+    (o.Sched.Solve.engine = Sched.Solve.Fallback
+    && o.Sched.Solve.schedule <> None)
+
+let test_tiny_budget_inside_propagation () =
+  (* the budget is enforced inside the fixpoint loop: a 5 ms budget on
+     QRD must not overshoot by a long propagation sweep *)
+  let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let t0 = Unix.gettimeofday () in
+  ignore (Sched.Solve.run ~budget:(Fd.Search.time_budget 5.) g);
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Alcotest.(check bool) "no overshoot" true (dt_ms < 2_000.)
+
+(* --------------------------- fault injection ------------------------- *)
+
+let test_chaos_sequential_crash_rescued () =
+  (* kill the sequential engine early: the fallback must rescue, the
+     crash must be recorded, and nothing may escape as an exception *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let chaos = Fd.Chaos.create ~kill_workers:[ 0 ] ~kill_after:10 ~seed:7 () in
+  let o = Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) ~chaos g in
+  Alcotest.(check bool) "crash recorded" true (o.Sched.Solve.crashes <> []);
+  Alcotest.(check bool) "faults logged" true (Fd.Chaos.faults chaos <> []);
+  Alcotest.(check bool) "fallback rescued" true
+    (o.Sched.Solve.engine = Sched.Solve.Fallback
+    && o.Sched.Solve.status = Sched.Solve.Feasible_timeout
+    && (match o.Sched.Solve.schedule with
+       | Some sch -> Sched.Schedule.is_valid sch
+       | None -> false))
+
+let test_chaos_portfolio_survivors_deliver () =
+  (* kill one of three portfolio workers mid-search: the survivors must
+     still return (and normally prove) a validated optimum *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let chaos = Fd.Chaos.create ~kill_workers:[ 1 ] ~kill_after:50 ~seed:11 () in
+  let o =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 30_000.) ~parallel:3 ~chaos g
+  in
+  Alcotest.(check bool) "crash recorded" true
+    (List.exists (fun c -> c.Fd.Portfolio.worker = 1) o.Sched.Solve.crashes);
+  Alcotest.(check bool) "survivors delivered a CP schedule" true
+    (o.Sched.Solve.engine = Sched.Solve.Cp);
+  let sch = schedule_of "matmul" o in
+  Alcotest.(check bool) "validated" true (Sched.Schedule.is_valid sch);
+  Alcotest.(check bool) "status sane" true
+    (match o.Sched.Solve.status with
+    | Sched.Solve.Optimal | Sched.Solve.Feasible_timeout -> true
+    | _ -> false)
+
+let test_chaos_all_workers_killed () =
+  (* every worker dies: the CP layer reports Crashed, the fallback still
+     produces a validated schedule, and Infeasible is never claimed *)
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let chaos =
+    Fd.Chaos.create ~kill_workers:[ 0; 1; 2 ] ~kill_after:5 ~seed:3 ()
+  in
+  let o =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) ~parallel:3 ~chaos g
+  in
+  Alcotest.(check bool) "not infeasible" true
+    (o.Sched.Solve.status <> Sched.Solve.Infeasible);
+  Alcotest.(check bool) "fallback rescued" true
+    (o.Sched.Solve.engine = Sched.Solve.Fallback
+    && o.Sched.Solve.schedule <> None);
+  Alcotest.(check bool) "all crashes recorded" true
+    (List.length
+       (List.filter (fun c -> c.Fd.Portfolio.worker >= 0) o.Sched.Solve.crashes)
+    >= 3)
+
+let chaos_never_escapes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"chaos: random faults never escape, invariants hold" ~count:12
+       QCheck2.Gen.(int_bound 1_000_000)
+       (fun seed ->
+         let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+         let chaos =
+           Fd.Chaos.create ~crash_prob:0.02 ~spurious_prob:0.02
+             ~delay_prob:0.01 ~delay_ms:0.05 ~seed ()
+         in
+         let o =
+           Sched.Solve.run ~budget:(Fd.Search.node_budget 3_000) ~chaos g
+         in
+         (* outcome invariants, whatever the injected faults did *)
+         (match (o.Sched.Solve.status, o.Sched.Solve.schedule) with
+         | (Sched.Solve.Optimal | Sched.Solve.Feasible_timeout), Some sch ->
+           Sched.Schedule.is_valid sch
+         | (Sched.Solve.Infeasible | Sched.Solve.Crashed), None ->
+           (* chaos faults are engine failures, never proofs *)
+           o.Sched.Solve.status <> Sched.Solve.Infeasible
+           || o.Sched.Solve.crashes = []
+         | Sched.Solve.Feasible_timeout, None -> true
+         | _, _ -> false)
+         (* a crash-free optimal run of matmul must still say 11 *)
+         && (o.Sched.Solve.crashes <> []
+            || o.Sched.Solve.status <> Sched.Solve.Optimal
+            ||
+            match o.Sched.Solve.schedule with
+            | Some sch -> sch.Sched.Schedule.makespan = 11
+            | None -> false)))
+
+(* ------------------- total parse / encode frontends ------------------ *)
+
+let test_xml_errors_are_positioned () =
+  (match Xml.parse "<graph>\n  <node id=\"0\" cat=\"nonsense\" label=\"x\"/>\n</graph>" with
+  | Ok _ -> Alcotest.fail "bad category accepted"
+  | Error e ->
+    Alcotest.(check int) "line" 2 e.Xml.line;
+    Alcotest.(check bool) "col > 0" true (e.Xml.col > 0));
+  (match Xml.parse "<graph>\n  <node id=\"zero\" cat=\"vector_data\" label=\"x\"/>\n</graph>" with
+  | Ok _ -> Alcotest.fail "non-integer id accepted"
+  | Error e -> Alcotest.(check int) "line" 2 e.Xml.line);
+  (match Xml.parse "<graph><node id=\"0\"" with
+  | Ok _ -> Alcotest.fail "unterminated tag accepted"
+  | Error _ -> ());
+  (* the total parser round-trips every kernel *)
+  List.iter
+    (fun (name, g) ->
+      match Xml.parse (Xml.to_string (g ())) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %a" name Xml.pp_error e)
+    kernels
+
+let test_encode_result_total () =
+  let g = merged (Apps.Matmul.graph (Apps.Matmul.build ())) in
+  let sch = schedule_of "matmul" (solve g) in
+  let p = Sched.Codegen.program sch in
+  match Eit.Encode.encode_result p with
+  | Error e -> Alcotest.failf "encode: %s" e
+  | Ok img -> (
+    (match
+       Eit.Encode.decode_result ~arch:p.Eit.Instr.arch ~inputs:p.Eit.Instr.inputs
+         ~outputs:p.Eit.Instr.outputs img
+     with
+    | Ok p' ->
+      Alcotest.(check bool) "round trip" true
+        (p'.Eit.Instr.instrs = p.Eit.Instr.instrs)
+    | Error e -> Alcotest.failf "decode: %s" e);
+    (* truncation must be an Error naming the word, not an exception *)
+    let cut =
+      { img with
+        Eit.Encode.words =
+          Array.sub img.Eit.Encode.words 0 (Array.length img.Eit.Encode.words - 1)
+      }
+    in
+    match
+      Eit.Encode.decode_result ~arch:p.Eit.Instr.arch ~inputs:p.Eit.Instr.inputs
+        ~outputs:p.Eit.Instr.outputs cut
+    with
+    | Ok _ -> Alcotest.fail "truncated image decoded"
+    | Error e ->
+      let contains frag s =
+        let n = String.length frag and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = frag || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "positioned" true (contains "word" e))
+
+let suite =
+  [
+    Alcotest.test_case "validator accepts all kernels (CP)" `Slow
+      test_validator_accepts_all_kernels;
+    Alcotest.test_case "validator accepts all kernels (fallback)" `Quick
+      test_validator_accepts_fallback;
+    Alcotest.test_case "validator accepts overlap + modulo" `Slow
+      test_validator_accepts_overlap_and_modulo;
+    Alcotest.test_case "validator rejects tampered overlap" `Slow
+      test_validator_rejects_tampered_overlap;
+    shifted_start_rejected;
+    stolen_slot_rejected;
+    swapped_config_rejected;
+    Alcotest.test_case "budget 0 falls back on all kernels" `Quick
+      test_budget_zero_falls_back;
+    Alcotest.test_case "deadline observed" `Quick test_deadline_observed;
+    Alcotest.test_case "tiny budget: no propagation overshoot" `Quick
+      test_tiny_budget_inside_propagation;
+    Alcotest.test_case "chaos: sequential crash rescued" `Quick
+      test_chaos_sequential_crash_rescued;
+    Alcotest.test_case "chaos: portfolio survivors deliver" `Slow
+      test_chaos_portfolio_survivors_deliver;
+    Alcotest.test_case "chaos: all workers killed" `Slow
+      test_chaos_all_workers_killed;
+    chaos_never_escapes;
+    Alcotest.test_case "xml errors are positioned" `Quick
+      test_xml_errors_are_positioned;
+    Alcotest.test_case "encode/decode are total" `Slow test_encode_result_total;
+  ]
