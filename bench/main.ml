@@ -596,6 +596,93 @@ let robustness () =
     (o.Sched.Solve.validation = Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Per-propagator hot-spot profiles: one sequential solve per kernel
+   with an [Obs.Agg] sink attached (store timing is auto-enabled by the
+   search when a sink is live).  These runs are separate from the
+   timed regression rows so the <5% instrumentation overhead never
+   pollutes the tracked time_ms numbers. *)
+
+let profile_rows ?(budget = Fd.Search.time_budget 10_000.) kernels =
+  List.map
+    (fun (kernel, g) ->
+      let agg = Obs.Agg.create () in
+      Obs.with_sink (Obs.Agg.sink agg) (fun () ->
+          ignore (Sched.Solve.run ~budget g));
+      (kernel, Obs.Agg.profiles agg))
+    kernels
+
+let profile_json profiles =
+  let open Obs.Json in
+  Arr
+    (List.map
+       (fun (kernel, rows) ->
+         Obj
+           [
+             ("kernel", Str kernel);
+             ( "rows",
+               Arr
+                 (List.map
+                    (fun (name, p) ->
+                      Obj
+                        [
+                          ("name", Str name);
+                          ("runs", Num (float_of_int p.Obs.Agg.p_runs));
+                          ("wakes", Num (float_of_int p.Obs.Agg.p_wakes));
+                          ("prunes", Num (float_of_int p.Obs.Agg.p_prunes));
+                          ("time_ms", Num p.Obs.Agg.p_time_ms);
+                        ])
+                    rows) );
+           ])
+       profiles)
+
+let print_profile_table profiles =
+  List.iter
+    (fun (kernel, rows) ->
+      Format.printf "@.%s@.%-22s %8s %8s %8s %12s@." kernel "propagator" "runs"
+        "wakes" "prunes" "time (ms)";
+      List.iter
+        (fun (name, p) ->
+          Format.printf "%-22s %8d %8d %8d %12.2f@." name p.Obs.Agg.p_runs
+            p.Obs.Agg.p_wakes p.Obs.Agg.p_prunes p.Obs.Agg.p_time_ms)
+        rows)
+    profiles
+
+(* The `profile` subcommand: regenerate only the propagator_profiles
+   section of BENCH_solver.json, keeping the regression rows already in
+   the file (so a quick profile refresh needs no 30 s sweep). *)
+let profile ?(path = "BENCH_solver.json") () =
+  header (Printf.sprintf "Per-propagator hot-spot profiles -> %s" path);
+  let profiles =
+    profile_rows [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+  in
+  print_profile_table profiles;
+  let suite, runs =
+    match Obs.Json.parse_file path with
+    | Ok j ->
+      ( (match Obs.Json.member "suite" j with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> "vecsched-solver"),
+        match Obs.Json.member "runs" j with
+        | Some (Obs.Json.Arr rs) -> rs
+        | _ -> [] )
+    | Error _ -> ("vecsched-solver", [])
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("suite", Obs.Json.Str suite);
+        ("runs", Obs.Json.Arr runs);
+        ("propagator_profiles", profile_json profiles);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "@.wrote %d kernel profiles to %s (%d runs kept)@."
+    (List.length profiles) path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* perfjson: machine-readable solver metrics for regression tracking   *)
 
 let perfjson ?(path = "BENCH_solver.json") () =
@@ -626,34 +713,52 @@ let perfjson ?(path = "BENCH_solver.json") () =
   in
   let kernels = [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ] in
   let rows = ref [] in
-  let add r = rows := r :: !rows in
+  (* One row per (kernel, mode, slots): the Table-1 sweep and the
+     per-kernel loop both produce (QRD, sequential, 64), which used to
+     land in the file twice — the lazy run wins, the later duplicate is
+     skipped. *)
+  let seen = Hashtbl.create 16 in
+  let add ~kernel ~mode ~slots mk_row =
+    let key = (kernel, mode, slots) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      rows := mk_row () :: !rows
+    end
+  in
   (* Table 1 sweep: the sequential engine across memory pressures. *)
   List.iter
     (fun slots ->
       let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
       let g = qrd () in
-      add
-        (entry ~kernel:"QRD" ~mode:"sequential" ~slots ~arch ~g
-           (Sched.Solve.run ~arch ~budget g)))
+      add ~kernel:"QRD" ~mode:"sequential" ~slots (fun () ->
+          entry ~kernel:"QRD" ~mode:"sequential" ~slots ~arch ~g
+            (Sched.Solve.run ~arch ~budget g)))
     [ 64; 32; 16; 10; 9 ];
   (* Every kernel, sequential vs 4-worker portfolio, default arch. *)
   List.iter
     (fun (kernel, g) ->
-      add (entry ~kernel ~mode:"sequential" ~slots:64 ~g (Sched.Solve.run ~budget g));
-      add
-        (entry ~kernel ~mode:"portfolio-4" ~slots:64 ~g
-           (Sched.Solve.run ~budget ~parallel:4 g));
+      add ~kernel ~mode:"sequential" ~slots:64 (fun () ->
+          entry ~kernel ~mode:"sequential" ~slots:64 ~g (Sched.Solve.run ~budget g));
+      add ~kernel ~mode:"portfolio-4" ~slots:64 (fun () ->
+          entry ~kernel ~mode:"portfolio-4" ~slots:64 ~g
+            (Sched.Solve.run ~budget ~parallel:4 g));
       (* the degraded path, measured: what a 0 ms deadline delivers *)
-      add
-        (entry ~kernel ~mode:"fallback" ~slots:64 ~g
-           (Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) g)))
+      add ~kernel ~mode:"fallback" ~slots:64 (fun () ->
+          entry ~kernel ~mode:"fallback" ~slots:64 ~g
+            (Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) g)))
     kernels;
+  (* The hot-spot table rides along in the same file (separate,
+     instrumented runs -- see profile_rows). *)
+  let profiles = profile_rows kernels in
   let oc = open_out path in
   output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
-  output_string oc "\n  ]\n}\n";
+  output_string oc "\n  ],\n  \"propagator_profiles\": ";
+  output_string oc (Obs.Json.to_string (profile_json profiles));
+  output_string oc "\n}\n";
   close_out oc;
-  Format.printf "wrote %d runs to %s@." (List.length !rows) path
+  Format.printf "wrote %d runs and %d kernel profiles to %s@."
+    (List.length !rows) (List.length profiles) path
 
 (* ------------------------------------------------------------------ *)
 
@@ -689,11 +794,12 @@ let () =
   | Some "expressiveness" -> expressiveness ()
   | Some "bechamel" -> bechamel ()
   | Some "perfjson" -> perfjson ()
+  | Some "profile" -> profile ()
   | Some "robustness" -> robustness ()
   | Some other ->
     Format.eprintf
       "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 fig6 \
-       fig8 utilization dynamic ablations archsweep bechamel perfjson \
+       fig8 utilization dynamic ablations archsweep bechamel perfjson profile \
        robustness)@."
       other;
     exit 2

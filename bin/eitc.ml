@@ -69,6 +69,91 @@ let compile kernel =
   (Vecsched.compile g, name)
 
 (* ------------------------------------------------------------------ *)
+(* Observability surface: `--trace FILE` attaches a Chrome trace_event
+   sink (open the file in ui.perfetto.dev or about://tracing),
+   `--metrics` attaches an in-memory aggregator and prints the summary
+   tables afterwards.  With neither flag no sink is attached and the
+   instrumented hot paths cost one atomic load each. *)
+
+let trace_file_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Write a Chrome trace_event JSON file covering the solve (and \
+              the simulation, for $(b,simulate)).  Load it in Perfetto or \
+              about://tracing.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:
+             "Print aggregated metrics after the run: span totals, event \
+              counts, gauge peaks and the per-propagator profile table.")
+
+let print_metrics agg =
+  let open Obs.Agg in
+  (match spans agg with
+  | [] -> ()
+  | sp ->
+    Format.printf "@.%-24s %8s %14s@." "span" "count" "total (ms)";
+    List.iter
+      (fun (n, s) ->
+        Format.printf "%-24s %8d %14.2f@." n s.s_count (s.s_total_us /. 1000.))
+      sp);
+  (match counts agg with
+  | [] -> ()
+  | cs ->
+    Format.printf "@.%-24s %8s@." "event" "count";
+    List.iter (fun (n, c) -> Format.printf "%-24s %8d@." n c) cs);
+  (match gauges agg with
+  | [] -> ()
+  | gs ->
+    Format.printf "@.%-24s %10s %10s@." "gauge" "last" "max";
+    List.iter
+      (fun (n, (last, mx)) ->
+        Format.printf "%-24s %10.0f %10.0f@." n last mx)
+      gs);
+  match profiles agg with
+  | [] -> ()
+  | ps ->
+    Format.printf "@.%-22s %8s %8s %8s %12s %8s@." "propagator" "runs" "wakes"
+      "prunes" "time (ms)" "workers";
+    List.iter
+      (fun (n, p) ->
+        Format.printf "%-22s %8d %8d %8d %12.2f %8d@." n p.p_runs p.p_wakes
+          p.p_prunes p.p_time_ms p.p_workers)
+      ps
+
+(* Attach the requested sinks around [f], detach afterwards (flushing
+   the trace file) and only then print the metrics tables, so they land
+   after the run's own output. *)
+let with_obs ~trace ~metrics f =
+  let chrome = Option.map (fun path -> Obs.attach (Obs.Chrome.sink ~path)) trace in
+  let agg =
+    if metrics then begin
+      let a = Obs.Agg.create () in
+      Some (a, Obs.attach (Obs.Agg.sink a))
+    end
+    else None
+  in
+  let detach_all () =
+    Option.iter Obs.detach chrome;
+    Option.iter (fun (_, h) -> Obs.detach h) agg
+  in
+  let r =
+    match f () with
+    | r -> r
+    | exception e ->
+      detach_all ();
+      raise e
+  in
+  detach_all ();
+  Option.iter (fun path -> Format.printf "wrote trace %s@." path) trace;
+  Option.iter (fun (a, _) -> print_metrics a) agg;
+  r
+
+(* ------------------------------------------------------------------ *)
 
 let info_cmd =
   let run kernel =
@@ -124,12 +209,13 @@ let deadline_of = function
   | Some ms -> Fd.Deadline.after_ms ms
 
 let schedule_cmd =
-  let run kernel budget deadline slots preset verbose parallel =
+  let run kernel budget deadline slots preset verbose parallel trace metrics =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
     let o =
-      Vecsched.schedule ~budget_ms:budget ~deadline:(deadline_of deadline)
-        ~arch ~parallel c
+      with_obs ~trace ~metrics (fun () ->
+          Vecsched.schedule ~budget_ms:budget ~deadline:(deadline_of deadline)
+            ~arch ~parallel c)
     in
     match report_outcome name arch o with
     | Some sch, code ->
@@ -154,7 +240,7 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a kernel with memory allocation")
     Term.(const run $ kernel_arg $ budget_arg $ deadline_arg $ slots_arg
-          $ preset_arg $ verbose $ parallel)
+          $ preset_arg $ verbose $ parallel $ trace_file_arg $ metrics_arg)
 
 let heuristic_cmd =
   let run kernel slots preset =
@@ -178,38 +264,41 @@ let heuristic_cmd =
     Term.(const run $ kernel_arg $ slots_arg $ preset_arg)
 
 let simulate_cmd =
-  let run kernel budget slots preset trace =
+  let run kernel budget slots preset print_trace trace metrics =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
-    let o = Vecsched.schedule ~budget_ms:budget ~arch c in
-    match report_outcome name arch o with
-    | Some sch, _ -> (
-      if trace then begin
-        let p = Sched.Codegen.program sch in
-        ignore
-          (Eit.Machine.run
-             ~trace:(fun ev ->
-               Format.printf "%a@." Eit.Machine.pp_trace_event ev)
-             p)
-      end;
-      match Vecsched.run_on_simulator sch with
-      | Ok () ->
-        Format.printf "simulation: all %d operation results match the reference@."
-          (List.length (Vecsched.Ir.op_nodes c.Vecsched.ir));
-        0
-      | Error e ->
-        Format.printf "simulation FAILED: %s@." e;
-        1)
-    | None, code -> code
+    with_obs ~trace ~metrics (fun () ->
+        let o = Vecsched.schedule ~budget_ms:budget ~arch c in
+        match report_outcome name arch o with
+        | Some sch, _ -> (
+          if print_trace then begin
+            let p = Sched.Codegen.program sch in
+            ignore
+              (Eit.Machine.run
+                 ~trace:(fun ev ->
+                   Format.printf "%a@." Eit.Machine.pp_trace_event ev)
+                 p)
+          end;
+          match Vecsched.run_on_simulator sch with
+          | Ok () ->
+            Format.printf
+              "simulation: all %d operation results match the reference@."
+              (List.length (Vecsched.Ir.op_nodes c.Vecsched.ir));
+            0
+          | Error e ->
+            Format.printf "simulation FAILED: %s@." e;
+            1)
+        | None, code -> code)
   in
-  let trace_arg =
-    Arg.(value & flag & info [ "trace" ]
-         ~doc:"Print the cycle-by-cycle execution trace.")
+  let print_trace_arg =
+    Arg.(value & flag & info [ "print-trace" ]
+         ~doc:"Print the cycle-by-cycle execution trace as text.")
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Schedule, generate code and verify on the cycle-accurate simulator")
-    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg $ trace_arg)
+    Term.(const run $ kernel_arg $ budget_arg $ slots_arg $ preset_arg
+          $ print_trace_arg $ trace_file_arg $ metrics_arg)
 
 let overlap_cmd =
   let run kernel budget m =
@@ -381,6 +470,27 @@ let run_asm_cmd =
        ~doc:"Assemble, validate and simulate a hand-written program")
     Term.(const run $ path_arg $ trace_arg)
 
+let trace_check_cmd =
+  let run path =
+    match Obs.Check.trace_file path with
+    | Ok n ->
+      Format.printf "%s: OK (%d events, spans balanced)@." path n;
+      0
+    | Error e ->
+      Format.printf "%s: INVALID -- %s@." path e;
+      1
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Chrome trace_event JSON file (from --trace) to validate.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a trace file emitted by --trace: JSON parses, every event \
+          is well-formed, Begin/End spans nest per track")
+    Term.(const run $ path_arg)
+
 let import_cmd =
   let run path sched budget =
     match Vecsched.Xml.load_file path with
@@ -442,4 +552,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
-            code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd ]))
+            code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd;
+            trace_check_cmd ]))

@@ -27,3 +27,31 @@ for k in matmul qrd qrd-sorted arf fir corr detect; do
   esac
 done
 echo "check.sh: fallback sweep OK (7 kernels, exit 2, validated)"
+
+# Observability smoke: a traced QRD solve must produce a structurally
+# valid Chrome trace (JSON parses, spans balanced per track) that the
+# repo's own checker accepts, and the optimum must be unaffected by
+# the attached sink.
+trace=$(mktemp /tmp/eitc-trace.XXXXXX.json)
+out=$("$EITC" schedule qrd --trace "$trace" --metrics) || {
+  echo "check.sh: traced qrd schedule failed" >&2
+  echo "$out" >&2
+  rm -f "$trace"
+  exit 1
+}
+case "$out" in
+*"makespan=168"*) ;;
+*)
+  echo "check.sh: traced qrd solve did not report makespan=168" >&2
+  echo "$out" >&2
+  rm -f "$trace"
+  exit 1
+  ;;
+esac
+if ! "$EITC" trace-check "$trace"; then
+  echo "check.sh: emitted trace failed validation" >&2
+  rm -f "$trace"
+  exit 1
+fi
+rm -f "$trace"
+echo "check.sh: trace smoke OK (qrd traced, makespan 168, trace validates)"

@@ -51,6 +51,32 @@ let pp_trace_event ppf = function
     Format.fprintf ppf "%4d  wb    n%d -> %a = %a" cycle node pp_dest dest
       Value.pp value
 
+(* Per-cycle occupancy accumulators for the Obs timeline: lane-cycles
+   of the vector core plus bank-port traffic, indexed by cycle.  Only
+   allocated when a sink is attached. *)
+type occupancy = {
+  occ_lanes : int array;
+  occ_reads : int array;
+  occ_writes : int array;
+}
+
+let emit_timeline occ horizon =
+  (* The machine's track uses simulated time: 1 us = 1 cycle (pid 2 in
+     the Chrome sink, so the scale never mixes with wall-clock spans). *)
+  for cycle = 0 to horizon do
+    let ts_us = float_of_int cycle in
+    Obs.counter ~cat:"machine" ~ts_us "lanes"
+      [ ("busy", Obs.I occ.occ_lanes.(cycle)) ];
+    Obs.counter ~cat:"machine" ~ts_us "bank-ports"
+      [ ("reads", Obs.I occ.occ_reads.(cycle));
+        ("writes", Obs.I occ.occ_writes.(cycle)) ]
+  done
+
+let unit_tid = function
+  | Opcode.Vector_core -> 0
+  | Opcode.Scalar_accel -> 1
+  | Opcode.Index_merge -> 2
+
 let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
   (match Instr.validate_structure p with
   | Ok () -> ()
@@ -84,6 +110,16 @@ let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
           in
           List.fold_left (fun m op -> max m (Arch.latency arch op)) acc ops)
         0 p.instrs
+  in
+  let occ =
+    if Obs.enabled () then
+      Some
+        {
+          occ_lanes = Array.make (horizon + 1) 0;
+          occ_reads = Array.make (horizon + 1) 0;
+          occ_writes = Array.make (horizon + 1) 0;
+        }
+    else None
   in
   for cycle = 0 to horizon do
     (* 1. Write-backs due this cycle (memory writes checked as this
@@ -136,6 +172,12 @@ let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
       wbs;
     if read_slots <> [] then
       reads_per_cycle := (cycle, List.length (List.sort_uniq compare read_slots)) :: !reads_per_cycle;
+    (match occ with
+    | Some occ ->
+      occ.occ_reads.(cycle) <-
+        List.length (List.sort_uniq compare read_slots);
+      occ.occ_writes.(cycle) <- List.length wbs
+    | None -> ());
     (* Execute issues. *)
     List.iter
       (fun (i : Instr.issue) ->
@@ -158,6 +200,24 @@ let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
           | Opcode.Index_merge -> "M"
         in
         trace (Ev_issue { cycle; unit; issue = i });
+        (match occ with
+        | Some occ ->
+          (* one Complete span per issue on the unit's track, plus lane
+             occupancy over the op's pipeline duration *)
+          let dur = max 1 (Arch.duration arch i.op) in
+          Obs.complete ~cat:"machine"
+            ~tid:(unit_tid (Opcode.resource i.op))
+            ~ts_us:(float_of_int cycle)
+            ~dur_us:(float_of_int (Arch.latency arch i.op))
+            ~args:[ ("node", Obs.I i.node); ("unit", Obs.S unit) ]
+            (Opcode.name i.op);
+          if Opcode.resource i.op = Opcode.Vector_core then
+            for d = 0 to dur - 1 do
+              if cycle + d <= horizon then
+                occ.occ_lanes.(cycle + d) <-
+                  occ.occ_lanes.(cycle + d) + Opcode.lanes i.op
+            done
+        | None -> ());
         let args = List.map fetch i.args in
         let value = Opcode.eval i.op args in
         add_pending
@@ -171,6 +231,7 @@ let run ?(check_access = true) ?(trace = fun _ -> ()) (p : Instr.program) =
   done;
   if Hashtbl.length pending > 0 then
     raise (Sim_error (Structural "pending write-backs after horizon"));
+  (match occ with Some occ -> emit_timeline occ horizon | None -> ());
   {
     memory = mem;
     registers = Hashtbl.fold (fun r c acc -> (r, c) :: acc) regs [];

@@ -95,10 +95,18 @@ let run_worker incumbent budget deadline chaos widx strat =
     let search () =
       if task.restarts then
         Search.minimize_restarts ?budget ?deadline ~bound_get ~bound_put
-          task.store task.phases ~objective:task.objective ~on_solution
+          ~tid:widx task.store task.phases ~objective:task.objective
+          ~on_solution
       else
-        Search.minimize ?budget ?deadline ~bound_get ~bound_put task.store
-          task.phases ~objective:task.objective ~on_solution
+        Search.minimize ?budget ?deadline ~bound_get ~bound_put ~tid:widx
+          task.store task.phases ~objective:task.objective ~on_solution
+    in
+    (* Each worker contributes its store's per-propagator profile to the
+       trace, tagged with its index, so hot-spot tables can be compared
+       across strategies. *)
+    let finish r =
+      Store.emit_profile ~tid:widx task.store;
+      r
     in
     (match search () with
     | outcome ->
@@ -107,26 +115,28 @@ let run_worker incumbent budget deadline chaos widx strat =
         | Search.Solution (_, st) | Search.Unsat st -> (st.Search.optimal, st)
         | Search.Best (_, st) | Search.Timeout st -> (false, st)
       in
-      {
-        outcome = Some outcome;
-        salvage = None;
-        crash = None;
-        proof;
-        infeasible = false;
-        wstats;
-      }
+      finish
+        {
+          outcome = Some outcome;
+          salvage = None;
+          crash = None;
+          proof;
+          infeasible = false;
+          wstats;
+        }
     | exception e ->
       (* Crashed mid-search: salvage the last incumbent snapshot.  The
          other workers are unaffected — they only share the atomic
          bound. *)
-      {
-        outcome = None;
-        salvage = !last;
-        crash = Some (Printexc.to_string e);
-        proof = false;
-        infeasible = false;
-        wstats = Search.zero_stats ~optimal:false;
-      })
+      finish
+        {
+          outcome = None;
+          salvage = !last;
+          crash = Some (Printexc.to_string e);
+          proof = false;
+          infeasible = false;
+          wstats = Search.zero_stats ~optimal:false;
+        })
 
 let minimize_result ?budget ?deadline ?chaos ?workers strategies =
   let strategies =
@@ -138,7 +148,7 @@ let minimize_result ?budget ?deadline ?chaos ?workers strategies =
   if strategies = [] then invalid_arg "Portfolio.minimize: no strategies";
   let t0 = Unix.gettimeofday () in
   let incumbent = Atomic.make max_int in
-  let results =
+  let spawn_and_join () =
     match strategies with
     | [ only ] -> [ run_worker incumbent budget deadline chaos 0 only ]
     | _ ->
@@ -161,6 +171,13 @@ let minimize_result ?budget ?deadline ?chaos ?workers strategies =
           strategies
       in
       List.map Domain.join domains
+  in
+  let results =
+    if Obs.enabled () then
+      Obs.span ~cat:"search"
+        ~args:[ ("workers", Obs.I (List.length strategies)) ]
+        "portfolio" spawn_and_join
+    else spawn_and_join ()
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   (* Merge: nodes/failures/propagations sum across workers; time is the

@@ -161,8 +161,11 @@ exception Out_of_budget
    minimum of the local and external ones, and every improving solution
    is published through [bound_put]. *)
 let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
-    ?bound_get ?bound_put store phases ~objective ~on_solution =
+    ?bound_get ?bound_put ?(tid = 0) store phases ~objective ~on_solution =
   let t0 = Unix.gettimeofday () in
+  (* With a trace sink attached, also clock propagator executions so the
+     per-class profile carries cumulative time. *)
+  if Obs.enabled () && not (Store.timed store) then Store.set_timed store true;
   let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
   (* One absolute cancellation point: the caller's deadline and the
      local time budget compose by taking the earliest. *)
@@ -204,6 +207,14 @@ let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
   in
   let record_solution () =
     incr solutions;
+    if Obs.enabled () then
+      Obs.instant ~cat:"search" ~tid "solution"
+        ~args:
+          (( "n", Obs.I !solutions )
+          ::
+          (match objective with
+          | Some obj -> [ ("objective", Obs.I (vmin obj)) ]
+          | None -> []));
     let snap = on_solution () in
     best := Some snap;
     if all then begin
@@ -233,6 +244,11 @@ let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
         check_budget ();
         incr nodes;
         let k = rp.value_of v in
+        if Obs.enabled () then
+          Obs.instant ~cat:"search" ~tid "branch"
+            ~args:
+              [ ("var", Obs.S (name v)); ("val", Obs.I k);
+                ("node", Obs.I !nodes); ("depth", Obs.I (Store.level store)) ];
         try_branch rps (fun () -> assign store v k);
         try_branch rps (fun () -> remove_value store v k))
   and try_branch rps act =
@@ -243,8 +259,15 @@ let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
        act ();
        propagate store;
        label rps
-     with Fail _ -> incr failures);
+     with Fail _ ->
+       incr failures;
+       if Obs.enabled () then
+         Obs.instant ~cat:"search" ~tid "fail"
+           ~args:[ ("node", Obs.I !nodes); ("depth", Obs.I (Store.level store)) ]);
     pop_level store;
+    if Obs.enabled () then
+      Obs.instant ~cat:"search" ~tid "backtrack"
+        ~args:[ ("depth", Obs.I (Store.level store)) ];
     Array.iteri (fun i rp -> rp.n_active <- saved.(i)) rts_arr
   in
   let stats optimal =
@@ -262,7 +285,7 @@ let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
       pop_level store
     done
   in
-  let outcome =
+  let compute () =
     match
       propagate store;
       label rts
@@ -291,16 +314,22 @@ let run ?(budget = no_budget) ?(deadline = Deadline.none) ?(all = false) ?limit
       | Some sol -> Best (sol, stats false)
       | None -> Timeout (stats false))
   in
+  let outcome =
+    (* Obs.span closes the search span even if a propagator crashes out
+       of [compute] (the anytime wrapper catches that one level up). *)
+    if Obs.enabled () then Obs.span ~cat:"search" ~tid "search" compute
+    else compute ()
+  in
   Store.set_poll store saved_poll;
   unwind ();
   (outcome, List.rev !collected)
 
-let solve ?budget ?deadline store phases ~on_solution =
-  fst (run ?budget ?deadline store phases ~objective:None ~on_solution)
+let solve ?budget ?deadline ?tid store phases ~on_solution =
+  fst (run ?budget ?deadline ?tid store phases ~objective:None ~on_solution)
 
-let minimize ?budget ?deadline ?bound_get ?bound_put store phases ~objective
-    ~on_solution =
-  fst (run ?budget ?deadline ?bound_get ?bound_put store phases
+let minimize ?budget ?deadline ?bound_get ?bound_put ?tid store phases
+    ~objective ~on_solution =
+  fst (run ?budget ?deadline ?bound_get ?bound_put ?tid store phases
          ~objective:(Some objective) ~on_solution)
 
 let solve_all ?budget ?deadline ?limit store phases ~on_solution =
@@ -323,8 +352,8 @@ let luby i =
   go i (find_k 1)
 
 let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget
-    ?(deadline = Deadline.none) ?bound_get ?bound_put store phases ~objective
-    ~on_solution =
+    ?(deadline = Deadline.none) ?bound_get ?bound_put ?(tid = 0) store phases
+    ~objective ~on_solution =
   let best = ref None in
   let total = ref (zero_stats ~optimal:false) in
   let deadline_budget run_idx =
@@ -378,9 +407,12 @@ let minimize_restarts ?(base = 64) ?(max_restarts = 32) ?budget
         | None -> Unsat { !total with optimal = true }
       end
       else begin
+        if Obs.enabled () then
+          Obs.instant ~cat:"search" ~tid "restart"
+            ~args:[ ("run", Obs.I run_idx) ];
         let outcome =
           run ~budget:(deadline_budget run_idx) ~deadline ?bound_get ?bound_put
-            store phases
+            ~tid store phases
             ~objective:(Some objective)
             ~on_solution:(fun () -> (on_solution (), vmin objective))
         in
@@ -429,7 +461,7 @@ type 'a anytime = {
   crash : string option;
 }
 
-let minimize_anytime ?budget ?deadline ?bound_get ?bound_put store phases
+let minimize_anytime ?budget ?deadline ?bound_get ?bound_put ?tid store phases
     ~objective ~on_solution =
   (* Keep the latest snapshot outside the engine so it survives a
      crash: [on_solution] already runs at every improving solution. *)
@@ -440,8 +472,8 @@ let minimize_anytime ?budget ?deadline ?bound_get ?bound_put store phases
     s
   in
   match
-    minimize ?budget ?deadline ?bound_get ?bound_put store phases ~objective
-      ~on_solution:snap
+    minimize ?budget ?deadline ?bound_get ?bound_put ?tid store phases
+      ~objective ~on_solution:snap
   with
   | Solution (s, st) ->
     { a_status = Optimal; incumbent = Some s; a_stats = st; crash = None }

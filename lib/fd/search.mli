@@ -77,11 +77,19 @@ val both_budget : int -> float -> budget
     it composes with the budget's [max_time_ms] by taking the earliest,
     is checked between search nodes, {e and} is polled inside the
     propagation fixpoint loop (via {!Store.set_poll}), so a single long
-    sweep cannot overshoot it. *)
+    sweep cannot overshoot it.
+
+    When an {!Obs} sink is attached, every search wraps itself in a
+    ["search"] span and emits [branch] / [fail] / [backtrack] /
+    [solution] / [restart] instants (cat ["search"]) tagged with the
+    caller's [?tid] (the portfolio passes each worker's index), so
+    search trees can be replayed and diffed across workers.  With no
+    sink attached the hooks are single-branch no-ops. *)
 
 val solve :
   ?budget:budget ->
   ?deadline:Deadline.t ->
+  ?tid:int ->
   Store.t ->
   phase list ->
   on_solution:(unit -> 'a) ->
@@ -94,6 +102,7 @@ val minimize :
   ?deadline:Deadline.t ->
   ?bound_get:(unit -> int option) ->
   ?bound_put:(int -> unit) ->
+  ?tid:int ->
   Store.t ->
   phase list ->
   objective:var ->
@@ -131,6 +140,7 @@ val minimize_restarts :
   ?deadline:Deadline.t ->
   ?bound_get:(unit -> int option) ->
   ?bound_put:(int -> unit) ->
+  ?tid:int ->
   Store.t ->
   phase list ->
   objective:var ->
@@ -170,6 +180,7 @@ val minimize_anytime :
   ?deadline:Deadline.t ->
   ?bound_get:(unit -> int option) ->
   ?bound_put:(int -> unit) ->
+  ?tid:int ->
   Store.t ->
   phase list ->
   objective:var ->

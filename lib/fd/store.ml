@@ -25,6 +25,9 @@ and propagator = {
   mutable queued : bool;
   mutable entailed : bool;
   mutable runs : int;
+  mutable wakes : int;   (* false->true queued transitions *)
+  mutable prunes : int;  (* domain commits made while executing *)
+  mutable time_s : float;  (* cumulative execution time, only when timed *)
 }
 
 and trail_entry =
@@ -50,6 +53,12 @@ and t = {
   mutable hook : (t -> string -> unit) option;
       (* instrumentation, run before every propagator execution (fault
          injection, tracing); receives the propagator's name *)
+  mutable running : propagator option;
+      (* the propagator currently executing, so [commit] can attribute
+         prunes to it *)
+  mutable timed : bool;
+      (* clock every execution into [time_s]; off by default — reading
+         the clock (and boxing the float) is not free on the hot path *)
 }
 
 (* How many fixpoint-loop iterations pass between two cancellation
@@ -83,11 +92,15 @@ let create () =
     poll = None;
     poll_countdown = poll_period;
     hook = None;
+    running = None;
+    timed = false;
   }
 
 let set_poll s f = s.poll <- f
 let poll_of s = s.poll
 let set_hook s f = s.hook <- f
+let set_timed s b = s.timed <- b
+let timed s = s.timed
 
 let var_count s = s.next_vid
 let propagator_count s = s.n_props
@@ -126,6 +139,7 @@ let value v =
 let schedule s p =
   if (not p.queued) && not p.entailed then begin
     p.queued <- true;
+    p.wakes <- p.wakes + 1;
     Queue.add p s.queues.(p.prio)
   end
 
@@ -143,6 +157,9 @@ let commit s v d' =
   if Dom.is_empty d' then raise (Fail (v.vname ^ ": empty domain"));
   let old = v.vdom in
   if not (Dom.equal d' old) then begin
+    (match s.running with
+    | Some p -> p.prunes <- p.prunes + 1
+    | None -> ());
     s.trail <- Dom_change (v, old) :: s.trail;
     v.vdom <- d';
     let bounds = Dom.min d' <> Dom.min old || Dom.max d' <> Dom.max old in
@@ -173,7 +190,8 @@ let post ?name ?(priority = prio_arith) ?(event = On_change) s ~watches exec =
     else priority
   in
   let p =
-    { pid; pname; prio = priority; exec; queued = false; entailed = false; runs = 0 }
+    { pid; pname; prio = priority; exec; queued = false; entailed = false;
+      runs = 0; wakes = 0; prunes = 0; time_s = 0. }
   in
   s.props <- p :: s.props;
   List.iter
@@ -196,19 +214,30 @@ let entail s p =
     s.trail <- Entailment p :: s.trail
   end
 
+let queue_depth_gauge s =
+  Obs.counter ~cat:"store" "queue-depth"
+    (List.concat
+       [
+         Array.to_list
+           (Array.mapi
+              (fun i q -> (Printf.sprintf "p%d" i, Obs.I (Queue.length q)))
+              s.queues);
+         [ ("steps", Obs.I s.steps); ("depth", Obs.I s.depth) ];
+       ])
+
 let propagate s =
   let rec drain () =
     (* Cancellation poll: runs while the pending propagator is still
        queued, so an abandoned sweep loses no wake-ups — a later
-       [propagate] resumes exactly where this one stopped. *)
-    (match s.poll with
-    | Some f ->
-      s.poll_countdown <- s.poll_countdown - 1;
-      if s.poll_countdown <= 0 then begin
-        s.poll_countdown <- poll_period;
-        f ()
-      end
-    | None -> ());
+       [propagate] resumes exactly where this one stopped.  The same
+       countdown paces the queue-depth gauge when a trace sink is
+       attached. *)
+    s.poll_countdown <- s.poll_countdown - 1;
+    if s.poll_countdown <= 0 then begin
+      s.poll_countdown <- poll_period;
+      if Obs.enabled () then queue_depth_gauge s;
+      match s.poll with Some f -> f () | None -> ()
+    end;
     (* lowest-priority-index bucket first; restart the scan after every
        execution because cheap propagators may have been re-scheduled *)
     let rec find i =
@@ -224,7 +253,23 @@ let propagate s =
         (match s.hook with Some h -> h s p.pname | None -> ());
         s.steps <- s.steps + 1;
         p.runs <- p.runs + 1;
-        p.exec s
+        s.running <- Some p;
+        (if s.timed then begin
+           let t0 = Unix.gettimeofday () in
+           match p.exec s with
+           | () -> p.time_s <- p.time_s +. Unix.gettimeofday () -. t0
+           | exception e ->
+             p.time_s <- p.time_s +. Unix.gettimeofday () -. t0;
+             s.running <- None;
+             raise e
+         end
+         else
+           match p.exec s with
+           | () -> ()
+           | exception e ->
+             s.running <- None;
+             raise e);
+        s.running <- None
       end;
       drain ()
   in
@@ -246,6 +291,53 @@ let stats s =
   List.sort
     (fun (_, a) (_, b) -> compare b a)
     (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+type profile = {
+  pr_name : string;
+  pr_count : int;
+  pr_runs : int;
+  pr_wakes : int;
+  pr_prunes : int;
+  pr_time_ms : float;
+}
+
+(* Aggregate the per-propagator instrumentation by propagator class
+   (the [~name] given at [post] time), hottest first. *)
+let profile s =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let acc =
+        match Hashtbl.find_opt tbl p.pname with
+        | Some a -> a
+        | None ->
+          { pr_name = p.pname; pr_count = 0; pr_runs = 0; pr_wakes = 0;
+            pr_prunes = 0; pr_time_ms = 0. }
+      in
+      Hashtbl.replace tbl p.pname
+        {
+          acc with
+          pr_count = acc.pr_count + 1;
+          pr_runs = acc.pr_runs + p.runs;
+          pr_wakes = acc.pr_wakes + p.wakes;
+          pr_prunes = acc.pr_prunes + p.prunes;
+          pr_time_ms = acc.pr_time_ms +. (p.time_s *. 1000.);
+        })
+    s.props;
+  List.sort
+    (fun a b ->
+      match compare b.pr_time_ms a.pr_time_ms with
+      | 0 -> compare b.pr_runs a.pr_runs
+      | c -> c)
+    (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+
+let emit_profile ?(tid = 0) s =
+  if Obs.enabled () then
+    List.iter
+      (fun p ->
+        Obs.profile_row ~tid ~name:p.pr_name ~runs:p.pr_runs ~wakes:p.pr_wakes
+          ~prunes:p.pr_prunes ~time_ms:p.pr_time_ms ())
+      (profile s)
 
 let push_level s =
   s.trail <- Mark :: s.trail;

@@ -177,3 +177,33 @@ val propagation_steps : t -> int
 val stats : t -> (string * int) list
 (** Cumulative execution counts aggregated by propagator name, most
     executed first. *)
+
+(** {1 Profiling}
+
+    Wake, run and prune counters are always maintained (plain int
+    increments, no observable cost); execution {e timing} is opt-in via
+    {!set_timed} because clocking every propagator execution is not
+    free.  The search/portfolio layers turn timing on automatically
+    when an {!Obs} sink is attached. *)
+
+type profile = {
+  pr_name : string;     (** propagator class (the [?name] given to [post]) *)
+  pr_count : int;       (** propagator instances of this class *)
+  pr_runs : int;        (** executions *)
+  pr_wakes : int;       (** queue insertions (false->queued transitions) *)
+  pr_prunes : int;      (** domain changes committed while executing *)
+  pr_time_ms : float;   (** cumulative execution time; 0 unless timed *)
+}
+
+val profile : t -> profile list
+(** Per-class profile, most cumulative time (then most runs) first. *)
+
+val set_timed : t -> bool -> unit
+(** Enable/disable per-execution timing (default off). *)
+
+val timed : t -> bool
+
+val emit_profile : ?tid:int -> t -> unit
+(** Emit one {!Obs.profile_row} per propagator class (no-op when no
+    sink is attached).  [tid] tags the rows with a portfolio worker
+    id. *)

@@ -1,0 +1,682 @@
+(* Unified tracing & metrics layer.
+
+   Zero external dependencies (stdlib + unix).  The rest of the stack
+   emits structured events through this module; pluggable sinks turn
+   them into a JSONL event log, a Chrome trace_event file (loadable in
+   about://tracing or https://ui.perfetto.dev), or an in-memory
+   aggregate (per-propagator profiles, span statistics, counters).
+
+   Performance contract: with no sink attached, {!enabled} is a single
+   atomic load and every helper returns before allocating anything.
+   Hot paths (the solver's propagation loop) must guard their own
+   argument construction with [if Obs.enabled () then ...] — the
+   helpers' laziness only covers what happens inside this module.
+
+   Concurrency: events may arrive from several OCaml 5 domains (the
+   portfolio's workers).  One global mutex serializes sink dispatch;
+   sinks therefore need no locking of their own.  Events carry a [tid]
+   (worker id / machine unit) so per-thread tracks survive the
+   serialization. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type ph =
+  | Begin
+  | End
+  | Instant
+  | Counter
+  | Complete of float  (* duration in microseconds *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  tid : int;
+  ph : ph;
+  args : (string * value) list;
+}
+
+type sink = { on_event : event -> unit; on_close : unit -> unit }
+
+let make_sink ?(close = fun () -> ()) f = { on_event = f; on_close = close }
+
+(* ------------------------------------------------------------------ *)
+(* Global sink registry                                                *)
+
+type handle = int
+
+let mutex = Mutex.create ()
+let sinks : (handle * sink) list ref = ref []
+let next_handle = ref 0
+let live = Atomic.make false
+let epoch = ref 0.
+
+let enabled () = Atomic.get live
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let attach sink =
+  Mutex.lock mutex;
+  if !sinks = [] then epoch := Unix.gettimeofday ();
+  let h = !next_handle in
+  next_handle := h + 1;
+  sinks := (h, sink) :: !sinks;
+  Atomic.set live true;
+  Mutex.unlock mutex;
+  h
+
+let detach h =
+  Mutex.lock mutex;
+  let closing = List.assoc_opt h !sinks in
+  sinks := List.filter (fun (h', _) -> h' <> h) !sinks;
+  if !sinks = [] then Atomic.set live false;
+  Mutex.unlock mutex;
+  (* run the sink's close outside the lock: it may do I/O *)
+  match closing with Some s -> s.on_close () | None -> ()
+
+let with_sink sink f =
+  let h = attach sink in
+  Fun.protect ~finally:(fun () -> detach h) f
+
+let emit ev =
+  Mutex.lock mutex;
+  List.iter (fun (_, s) -> s.on_event ev) !sinks;
+  Mutex.unlock mutex
+
+(* ------------------------------------------------------------------ *)
+(* Emission helpers (no-ops, allocation-free, when no sink is attached) *)
+
+let span_begin ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if Atomic.get live then
+    emit { name; cat; ts_us = now_us (); tid; ph = Begin; args }
+
+let span_end ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if Atomic.get live then
+    emit { name; cat; ts_us = now_us (); tid; ph = End; args }
+
+let span ?cat ?tid ?args name f =
+  if Atomic.get live then begin
+    span_begin ?cat ?tid name;
+    match f () with
+    | x ->
+      span_end ?cat ?tid ?args name;
+      x
+    | exception e ->
+      span_end ?cat ?tid name;
+      raise e
+  end
+  else f ()
+
+let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if Atomic.get live then
+    emit { name; cat; ts_us = now_us (); tid; ph = Instant; args }
+
+let counter ?(cat = "") ?(tid = 0) ?ts_us name args =
+  if Atomic.get live then
+    let ts_us = match ts_us with Some t -> t | None -> now_us () in
+    emit { name; cat; ts_us; tid; ph = Counter; args }
+
+let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
+  if Atomic.get live then
+    emit { name; cat; ts_us; tid; ph = Complete dur_us; args }
+
+(* Per-propagator profile rows: a dedicated shape so the aggregator can
+   merge them across portfolio workers without string conventions
+   leaking into call sites. *)
+let cat_propagator = "propagator"
+
+let profile_row ?(tid = 0) ~name ~runs ~wakes ~prunes ~time_ms () =
+  if Atomic.get live then
+    emit
+      {
+        name;
+        cat = cat_propagator;
+        ts_us = now_us ();
+        tid;
+        ph = Instant;
+        args =
+          [ ("runs", I runs); ("wakes", I wakes); ("prunes", I prunes);
+            ("time_ms", F time_ms) ];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON: serialization for the sinks, parsing for validation   *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let float_str f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else if Float.is_finite f then Printf.sprintf "%.6g" f
+    else "0"
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Num f -> float_str f
+    | Str s -> "\"" ^ escape s ^ "\""
+    | Arr vs -> "[" ^ String.concat ", " (List.map to_string vs) ^ "]"
+    | Obj fields ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_string v) fields)
+      ^ "}"
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser, sufficient for the files this module
+     writes (and for smoke-testing arbitrary trace files). *)
+  let parse (s : string) : (t, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else error ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then error "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then error "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'; advance ()
+           | '\\' -> Buffer.add_char b '\\'; advance ()
+           | '/' -> Buffer.add_char b '/'; advance ()
+           | 'b' -> Buffer.add_char b '\b'; advance ()
+           | 'f' -> Buffer.add_char b '\012'; advance ()
+           | 'n' -> Buffer.add_char b '\n'; advance ()
+           | 'r' -> Buffer.add_char b '\r'; advance ()
+           | 't' -> Buffer.add_char b '\t'; advance ()
+           | 'u' ->
+             advance ();
+             if !pos + 4 > n then error "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with _ -> error "bad \\u escape"
+             in
+             (* encode the BMP codepoint as UTF-8 *)
+             if code < 0x80 then Buffer.add_char b (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      let sub = String.sub s start (!pos - start) in
+      match float_of_string_opt sub with
+      | Some f -> Num f
+      | None -> error ("bad number " ^ sub)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> error "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> error "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then error "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let parse_file path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> parse contents
+    | exception Sys_error msg -> Error msg
+end
+
+let value_json = function
+  | I i -> string_of_int i
+  | F f -> Json.float_str f
+  | S s -> "\"" ^ Json.escape s ^ "\""
+  | B b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> "\"" ^ Json.escape k ^ "\":" ^ value_json v) args)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event sink                                             *)
+
+module Chrome = struct
+  (* Events go on two Perfetto "processes": pid 1 is the solver stack
+     (wall-clock timestamps), pid 2 the simulated machine (cycle
+     timestamps) — the scales must not share a track. *)
+  let pid_of_cat = function "machine" -> 2 | _ -> 1
+
+  let event_json ev =
+    let ph, extra =
+      match ev.ph with
+      | Begin -> ("B", "")
+      | End -> ("E", "")
+      | Instant -> ("i", ",\"s\":\"t\"")
+      | Counter -> ("C", "")
+      | Complete dur -> ("X", Printf.sprintf ",\"dur\":%s" (Json.float_str dur))
+    in
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d%s,\"args\":%s}"
+      (Json.escape ev.name)
+      (Json.escape (if ev.cat = "" then "default" else ev.cat))
+      ph
+      (Json.float_str ev.ts_us)
+      (pid_of_cat ev.cat) ev.tid extra (args_json ev.args)
+
+  let metadata =
+    [
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"solver\"}}";
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"eit-machine (1us = 1 cycle)\"}}";
+    ]
+
+  let sink ~path =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun m ->
+        Buffer.add_string buf m;
+        Buffer.add_string buf ",\n")
+      metadata;
+    let first = ref true in
+    let on_event ev =
+      if !first then first := false else Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json ev)
+    in
+    let close () =
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "{\"traceEvents\":[\n";
+          Out_channel.output_string oc (Buffer.contents buf);
+          Out_channel.output_string oc
+            "\n],\"displayTimeUnit\":\"ms\"}\n")
+    in
+    make_sink ~close on_event
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink: one event object per line, streamed                     *)
+
+module Jsonl = struct
+  let ph_str = function
+    | Begin -> "B"
+    | End -> "E"
+    | Instant -> "i"
+    | Counter -> "C"
+    | Complete _ -> "X"
+
+  let sink ~path =
+    let oc = Out_channel.open_bin path in
+    let on_event ev =
+      let dur =
+        match ev.ph with
+        | Complete d -> Printf.sprintf ",\"dur\":%s" (Json.float_str d)
+        | _ -> ""
+      in
+      Out_channel.output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"tid\":%d%s,\"args\":%s}\n"
+           (Json.escape ev.name) (Json.escape ev.cat) (ph_str ev.ph)
+           (Json.float_str ev.ts_us) ev.tid dur (args_json ev.args))
+    in
+    make_sink ~close:(fun () -> Out_channel.close oc) on_event
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace validation: shared by `eitc trace-check` and the test suite   *)
+
+module Check = struct
+  (* A trace is structurally valid when every event is an object with a
+     string name and phase, Begin/End pairs nest LIFO per (pid, tid)
+     with non-decreasing timestamps, and no span is left open. *)
+  let trace_json (j : Json.t) : (int, string) result =
+    let events =
+      match j with
+      | Json.Arr evs -> Ok evs
+      | Json.Obj _ -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.Arr evs) -> Ok evs
+        | Some _ -> Error "\"traceEvents\" is not an array"
+        | None -> Error "missing \"traceEvents\"")
+      | _ -> Error "trace is neither an object nor an array"
+    in
+    match events with
+    | Error _ as e -> e
+    | Ok events -> (
+      let stacks : (float * float, (string * float) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let check_event i ev =
+        let str k =
+          match Json.member k ev with
+          | Some (Json.Str s) -> Ok s
+          | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+        in
+        let num ?default k =
+          match (Json.member k ev, default) with
+          | Some (Json.Num f), _ -> Ok f
+          | None, Some d -> Ok d
+          | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+        in
+        let ( let* ) = Result.bind in
+        let* name = str "name" in
+        let* ph = str "ph" in
+        if ph = "M" then Ok () (* metadata carries no timestamp *)
+        else
+          let* ts = num "ts" in
+          let* pid = num ~default:0. "pid" in
+          let* tid = num ~default:0. "tid" in
+          let key = (pid, tid) in
+          let stack = Option.value ~default:[] (Hashtbl.find_opt stacks key) in
+          match ph with
+          | "B" ->
+            Hashtbl.replace stacks key ((name, ts) :: stack);
+            Ok ()
+          | "E" -> (
+            match stack with
+            | [] ->
+              Error
+                (Printf.sprintf "event %d: end of %S with no open span" i name)
+            | (open_name, open_ts) :: rest ->
+              if open_name <> name then
+                Error
+                  (Printf.sprintf
+                     "event %d: end of %S while %S is open (misnested)" i name
+                     open_name)
+              else if ts < open_ts then
+                Error
+                  (Printf.sprintf "event %d: span %S ends before it begins" i
+                     name)
+              else begin
+                Hashtbl.replace stacks key rest;
+                Ok ()
+              end)
+          | "X" -> (
+            match Json.member "dur" ev with
+            | Some (Json.Num d) when d >= 0. -> Ok ()
+            | _ ->
+              Error
+                (Printf.sprintf "event %d: complete event without dur" i))
+          | "i" | "C" -> Ok ()
+          | other -> Error (Printf.sprintf "event %d: unknown ph %S" i other)
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | (Json.Obj _ as ev) :: rest -> (
+          match check_event i ev with Ok () -> go (i + 1) rest | e -> e)
+        | _ -> Error (Printf.sprintf "event %d: not an object" i)
+      in
+      match go 0 events with
+      | Error _ as e -> e
+      | Ok () ->
+        let unclosed =
+          Hashtbl.fold
+            (fun _ stack acc -> acc + List.length stack)
+            stacks 0
+        in
+        if unclosed > 0 then
+          Error (Printf.sprintf "%d span(s) left open" unclosed)
+        else Ok (List.length events))
+
+  let trace_file path =
+    match Json.parse_file path with
+    | Error e -> Error e
+    | Ok j -> trace_json j
+end
+
+(* ------------------------------------------------------------------ *)
+(* In-memory aggregator                                                *)
+
+module Agg = struct
+  type span_stat = { s_count : int; s_total_us : float }
+
+  type prow = {
+    p_runs : int;
+    p_wakes : int;
+    p_prunes : int;
+    p_time_ms : float;
+    p_workers : int;
+  }
+
+  type t = {
+    counts : (string, int) Hashtbl.t;           (* instants by name *)
+    gauges : (string, float * float) Hashtbl.t; (* counter key -> last, max *)
+    span_stats : (string, span_stat) Hashtbl.t;
+    open_spans : (int * string, float list) Hashtbl.t; (* (tid,name) -> start stack *)
+    prof : (string, prow) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      counts = Hashtbl.create 32;
+      gauges = Hashtbl.create 32;
+      span_stats = Hashtbl.create 32;
+      open_spans = Hashtbl.create 32;
+      prof = Hashtbl.create 32;
+    }
+
+  let int_arg args k =
+    match List.assoc_opt k args with
+    | Some (I i) -> i
+    | Some (F f) -> int_of_float f
+    | _ -> 0
+
+  let float_arg args k =
+    match List.assoc_opt k args with
+    | Some (F f) -> f
+    | Some (I i) -> float_of_int i
+    | _ -> 0.
+
+  let on_event t ev =
+    match ev.ph with
+    | Instant when ev.cat = cat_propagator ->
+      let row =
+        {
+          p_runs = int_arg ev.args "runs";
+          p_wakes = int_arg ev.args "wakes";
+          p_prunes = int_arg ev.args "prunes";
+          p_time_ms = float_arg ev.args "time_ms";
+          p_workers = 1;
+        }
+      in
+      let merged =
+        match Hashtbl.find_opt t.prof ev.name with
+        | None -> row
+        | Some r ->
+          {
+            p_runs = r.p_runs + row.p_runs;
+            p_wakes = r.p_wakes + row.p_wakes;
+            p_prunes = r.p_prunes + row.p_prunes;
+            p_time_ms = r.p_time_ms +. row.p_time_ms;
+            p_workers = r.p_workers + 1;
+          }
+      in
+      Hashtbl.replace t.prof ev.name merged
+    | Instant ->
+      Hashtbl.replace t.counts ev.name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts ev.name))
+    | Counter ->
+      List.iter
+        (fun (k, v) ->
+          let f =
+            match v with I i -> float_of_int i | F f -> f | _ -> 0.
+          in
+          let key = if k = "value" then ev.name else ev.name ^ "." ^ k in
+          let _, mx =
+            Option.value ~default:(f, f) (Hashtbl.find_opt t.gauges key)
+          in
+          Hashtbl.replace t.gauges key (f, Float.max mx f))
+        ev.args
+    | Begin ->
+      let key = (ev.tid, ev.name) in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt t.open_spans key) in
+      Hashtbl.replace t.open_spans key (ev.ts_us :: stack)
+    | End -> (
+      let key = (ev.tid, ev.name) in
+      match Hashtbl.find_opt t.open_spans key with
+      | Some (t0 :: rest) ->
+        Hashtbl.replace t.open_spans key rest;
+        let st =
+          Option.value
+            ~default:{ s_count = 0; s_total_us = 0. }
+            (Hashtbl.find_opt t.span_stats ev.name)
+        in
+        Hashtbl.replace t.span_stats ev.name
+          { s_count = st.s_count + 1; s_total_us = st.s_total_us +. (ev.ts_us -. t0) }
+      | _ -> () (* unmatched end: drop *))
+    | Complete dur ->
+      let st =
+        Option.value
+          ~default:{ s_count = 0; s_total_us = 0. }
+          (Hashtbl.find_opt t.span_stats ev.name)
+      in
+      Hashtbl.replace t.span_stats ev.name
+        { s_count = st.s_count + 1; s_total_us = st.s_total_us +. dur }
+
+  let sink t = make_sink (on_event t)
+
+  let sorted_fold tbl cmp =
+    List.sort cmp (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+  let counts t = sorted_fold t.counts (fun (_, a) (_, b) -> compare b a)
+
+  let gauges t =
+    sorted_fold t.gauges (fun (a, _) (b, _) -> compare (a : string) b)
+
+  let spans t =
+    sorted_fold t.span_stats (fun (_, a) (_, b) ->
+        compare b.s_total_us a.s_total_us)
+
+  let profiles t =
+    sorted_fold t.prof (fun (_, a) (_, b) ->
+        match compare b.p_time_ms a.p_time_ms with
+        | 0 -> compare b.p_runs a.p_runs
+        | c -> c)
+end

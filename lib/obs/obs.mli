@@ -1,0 +1,170 @@
+(** Unified tracing & metrics layer (zero external dependencies).
+
+    The solver, scheduler and simulator emit structured {!event}s;
+    pluggable sinks ({!Chrome}, {!Jsonl}, {!Agg}) consume them.  With no
+    sink attached every helper is a near-free branch: {!enabled} is one
+    atomic load and nothing is allocated (see [test/t_obs.ml], which
+    asserts zero minor-heap allocation on the disabled path).
+
+    Events may be emitted concurrently from several OCaml 5 domains
+    (portfolio workers); dispatch is serialized by a global mutex, and
+    the [tid] field keeps per-worker tracks apart.
+
+    Hot call sites must guard argument construction themselves:
+
+    {[
+      if Obs.enabled () then
+        Obs.instant ~cat:"search" ~tid ~args:[ ("var", Obs.S name) ] "branch"
+    ]} *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type ph =
+  | Begin      (** span opening (Chrome ["B"]) *)
+  | End        (** span closing (Chrome ["E"]) *)
+  | Instant    (** point event (Chrome ["i"]) *)
+  | Counter    (** gauge sample; args are the series (Chrome ["C"]) *)
+  | Complete of float  (** self-contained span with duration in us (Chrome ["X"]) *)
+
+type event = {
+  name : string;
+  cat : string;   (** category: "sched", "search", "store", "machine", ... *)
+  ts_us : float;  (** microseconds since the trace epoch (first attach) *)
+  tid : int;      (** worker id / machine unit track *)
+  ph : ph;
+  args : (string * value) list;
+}
+
+type sink
+
+val make_sink : ?close:(unit -> unit) -> (event -> unit) -> sink
+(** A custom sink; [close] runs when the sink is detached. *)
+
+(** {1 Sink registry} *)
+
+type handle
+
+val attach : sink -> handle
+(** Register a sink.  The first attach (re)sets the trace epoch. *)
+
+val detach : handle -> unit
+(** Unregister and close.  Unknown handles are ignored. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [attach], run, [detach] (exception-safe). *)
+
+val enabled : unit -> bool
+(** Whether at least one sink is attached — the hot-path guard. *)
+
+val now_us : unit -> float
+(** Microseconds since the trace epoch. *)
+
+(** {1 Emission} *)
+
+val emit : event -> unit
+(** Dispatch to every attached sink (under the global mutex).  Callers
+    normally use the helpers below, which skip construction when no
+    sink is attached. *)
+
+val span_begin : ?cat:string -> ?tid:int -> ?args:(string * value) list -> string -> unit
+val span_end : ?cat:string -> ?tid:int -> ?args:(string * value) list -> string -> unit
+
+val span :
+  ?cat:string -> ?tid:int -> ?args:(string * value) list ->
+  string -> (unit -> 'a) -> 'a
+(** Wrap a computation in a Begin/End pair; the span is closed (without
+    [args]) even when the computation raises. *)
+
+val instant : ?cat:string -> ?tid:int -> ?args:(string * value) list -> string -> unit
+
+val counter : ?cat:string -> ?tid:int -> ?ts_us:float -> string -> (string * value) list -> unit
+(** Gauge sample; [ts_us] overrides the wall clock (the simulator uses
+    cycle numbers as timestamps). *)
+
+val complete :
+  ?cat:string -> ?tid:int -> ?args:(string * value) list ->
+  ts_us:float -> dur_us:float -> string -> unit
+
+val profile_row :
+  ?tid:int -> name:string -> runs:int -> wakes:int -> prunes:int ->
+  time_ms:float -> unit -> unit
+(** One per-propagator profile row (cat ["propagator"]); {!Agg} merges
+    rows with the same name across workers. *)
+
+val cat_propagator : string
+
+(** {1 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val parse_file : string -> (t, string) result
+  val member : string -> t -> t option
+  val to_string : t -> string
+  val escape : string -> string
+  val float_str : float -> string
+end
+
+module Check : sig
+  val trace_json : Json.t -> (int, string) result
+  (** Structural validation of a Chrome trace: every event an object
+      with string [name]/[ph], Begin/End pairs LIFO-nested per
+      [(pid, tid)] with non-decreasing timestamps, no span left open,
+      complete events carrying a non-negative [dur].  Returns the event
+      count. *)
+
+  val trace_file : string -> (int, string) result
+end
+
+(** {1 Sinks} *)
+
+module Chrome : sig
+  val sink : path:string -> sink
+  (** Buffers events; on detach writes a [{"traceEvents": [...]}] file
+      loadable in [about://tracing] / Perfetto.  Solver events live on
+      pid 1 (wall-clock us), machine events on pid 2 (1 us = 1 cycle). *)
+end
+
+module Jsonl : sig
+  val sink : path:string -> sink
+  (** Streams one JSON object per line. *)
+end
+
+module Agg : sig
+  (** In-memory aggregation: instants counted by name, counter series
+      (last and max), span statistics, merged propagator profiles. *)
+
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+
+  type span_stat = { s_count : int; s_total_us : float }
+
+  type prow = {
+    p_runs : int;
+    p_wakes : int;
+    p_prunes : int;
+    p_time_ms : float;
+    p_workers : int;  (** number of per-worker rows merged in *)
+  }
+
+  val counts : t -> (string * int) list
+  (** Instant tallies, most frequent first. *)
+
+  val gauges : t -> (string * (float * float)) list
+  (** Counter series: key -> (last, max), sorted by key. *)
+
+  val spans : t -> (string * span_stat) list
+  (** Span statistics, largest total first. *)
+
+  val profiles : t -> (string * prow) list
+  (** Per-propagator profiles, most time (then most runs) first. *)
+end

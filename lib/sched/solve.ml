@@ -69,17 +69,24 @@ let portfolio_strategies ?deadline ~memory g arch n =
     templates
 
 (* The CP attempt, repackaged so nothing escapes: status + optional
-   incumbent + stats + worker crashes. *)
+   incumbent + stats + worker crashes.  The phases of the solve — model
+   build, CP search, fallback, validation — are each wrapped in an
+   [Obs] span (cat "sched"), so `--trace` shows where the wall-clock
+   went. *)
 let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
   if parallel >= 2 then
     let r =
-      Fd.Portfolio.minimize_result ~budget ~deadline ?chaos
-        (portfolio_strategies ~deadline ~memory g arch parallel)
+      Obs.span ~cat:"sched" "cp-search" (fun () ->
+          Fd.Portfolio.minimize_result ~budget ~deadline ?chaos
+            (portfolio_strategies ~deadline ~memory g arch parallel))
     in
     (r.Fd.Portfolio.r_status, r.Fd.Portfolio.incumbent, r.Fd.Portfolio.r_stats,
      r.Fd.Portfolio.crashes)
   else
-    match Model.build ~deadline ~memory g arch with
+    match
+      Obs.span ~cat:"sched" "model-build" (fun () ->
+          Model.build ~deadline ~memory g arch)
+    with
     | exception Fd.Store.Fail _ ->
       (Infeasible, None, Fd.Search.zero_stats ~optimal:true, [])
     | exception Fd.Store.Interrupted _ ->
@@ -94,10 +101,12 @@ let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
       | Some c -> Fd.Chaos.instrument c ~worker:0 m.Model.store
       | None -> ());
       let a =
-        Fd.Search.minimize_anytime ~budget ~deadline m.Model.store
-          (Model.phases m) ~objective:m.Model.makespan
-          ~on_solution:(fun () -> Model.extract m)
+        Obs.span ~cat:"sched" "cp-search" (fun () ->
+            Fd.Search.minimize_anytime ~budget ~deadline m.Model.store
+              (Model.phases m) ~objective:m.Model.makespan
+              ~on_solution:(fun () -> Model.extract m))
       in
+      Fd.Store.emit_profile m.Model.store;
       let crashes =
         match a.Fd.Search.crash with
         | Some reason -> [ { Fd.Portfolio.worker = 0; reason } ]
@@ -116,7 +125,9 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g
   in
   let check sch ~memory =
-    if validate then Validate.schedule ~memory sch else Ok ()
+    if validate then
+      Obs.span ~cat:"sched" "validate" (fun () -> Validate.schedule ~memory sch)
+    else Ok ()
   in
   (* Degradation ladder: a CP incumbent that passes the independent
      validator wins; otherwise the heuristic fallback is tried (also
@@ -140,7 +151,9 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
       match cp_checked with Some (_, Error r) -> Some r | _ -> None
     in
     let fb =
-      if fallback then Heuristic.run ~arch g else Error "fallback disabled"
+      if fallback then
+        Obs.span ~cat:"sched" "fallback" (fun () -> Heuristic.run ~arch g)
+      else Error "fallback disabled"
     in
     match fb with
     | Ok sch -> (

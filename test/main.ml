@@ -31,4 +31,6 @@ let () =
       ("integration", T_integration.suite);
       ("more", T_more.suite);
       ("robust", T_robust.suite);
+      ("obs", T_obs.suite);
+      ("dsl.stats", T_stats.suite);
     ]

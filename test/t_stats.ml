@@ -1,0 +1,111 @@
+(* Eit_dsl.Stats.of_ir: hand-built graphs with known shapes, the
+   category breakdown, architecture sensitivity of the critical path,
+   and the merged-kernel ground truths the paper tables rest on. *)
+
+open Eit_dsl
+
+let check_shape name ~v ~e ~v_data (s : Stats.t) =
+  Alcotest.(check int) (name ^ " |V|") v s.Stats.v;
+  Alcotest.(check int) (name ^ " |E|") e s.Stats.e;
+  Alcotest.(check int) (name ^ " #v_data") v_data s.Stats.v_data
+
+(* The by_category list must partition the node set. *)
+let check_partition name g (s : Stats.t) =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 s.Stats.by_category in
+  Alcotest.(check int) (name ^ " categories partition V") (Ir.size g) total;
+  List.iter
+    (fun (c, n) ->
+      Alcotest.(check int)
+        (name ^ " count " ^ Ir.category_name c)
+        (Ir.count g c) n)
+    s.Stats.by_category
+
+let op_latency_sum ?(arch = Eit.Arch.default) g =
+  List.fold_left
+    (fun acc i -> acc + Eit.Arch.latency arch (Ir.opcode g i))
+    0 (Ir.op_nodes g)
+
+let test_chain () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.vector_input_f ctx [ 5.; 6.; 7.; 8. ] in
+  let c = Dsl.v_conj ctx a in
+  let _d = Dsl.v_dotp ctx c b in
+  let g = Dsl.graph ctx in
+  let s = Stats.of_ir g in
+  (* each op contributes an op node, a result data node and the edges
+     into/out of the op: 2 inputs + 2 ops + 2 results *)
+  check_shape "chain" ~v:6 ~e:5 ~v_data:3 s;
+  check_partition "chain" g s;
+  (* a pure chain's critical path is the sum of its op latencies *)
+  Alcotest.(check int) "chain |Cr.P|" (op_latency_sum g) s.Stats.crp
+
+let test_diamond () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let c1 = Dsl.v_conj ctx a in
+  let c2 = Dsl.v_neg ctx a in
+  let _d = Dsl.v_add ctx c1 c2 in
+  let g = Dsl.graph ctx in
+  let s = Stats.of_ir g in
+  check_shape "diamond" ~v:7 ~e:7 ~v_data:4 s;
+  (* both branches are single vector ops, so |Cr.P| is one branch plus
+     the join — two vector latencies, strictly less than the three-op
+     total *)
+  Alcotest.(check int) "diamond |Cr.P|"
+    (2 * Eit.Arch.default.Eit.Arch.vector_latency)
+    s.Stats.crp
+
+let test_arch_sensitivity () =
+  let ctx = Dsl.create () in
+  let a = Dsl.vector_input_f ctx [ 1.; 2.; 3.; 4. ] in
+  let b = Dsl.v_conj ctx a in
+  let c = Dsl.v_neg ctx b in
+  let _d = Dsl.v_abs ctx c in
+  let g = Dsl.graph ctx in
+  let deep =
+    { Eit.Arch.default with Eit.Arch.vector_latency =
+        (2 * Eit.Arch.default.Eit.Arch.vector_latency) }
+  in
+  let s0 = Stats.of_ir g and s1 = Stats.of_ir ~arch:deep g in
+  (* structure is arch-independent, the critical path is not *)
+  Alcotest.(check int) "same |V|" s0.Stats.v s1.Stats.v;
+  Alcotest.(check int) "same |E|" s0.Stats.e s1.Stats.e;
+  Alcotest.(check int) "same #v_data" s0.Stats.v_data s1.Stats.v_data;
+  Alcotest.(check int) "deeper pipeline" (op_latency_sum ~arch:deep g)
+    s1.Stats.crp;
+  Alcotest.(check bool) "crp grew" true (s1.Stats.crp > s0.Stats.crp)
+
+let test_empty () =
+  let g = Dsl.graph (Dsl.create ()) in
+  let s = Stats.of_ir g in
+  check_shape "empty" ~v:0 ~e:0 ~v_data:0 s;
+  Alcotest.(check int) "empty |Cr.P|" 0 s.Stats.crp
+
+(* The merged kernels: the shapes every table in BENCH/EXPERIMENTS
+   quotes.  A change here silently shifts all downstream numbers. *)
+let test_kernel_ground_truths () =
+  let merged g = (Merge.run g).Merge.graph in
+  List.iter
+    (fun (name, g, v, e, crp, v_data) ->
+      let s = Stats.of_ir (merged g) in
+      check_shape name ~v ~e ~v_data s;
+      Alcotest.(check int) (name ^ " |Cr.P|") crp s.Stats.crp;
+      check_partition name (merged g) s)
+    [
+      ("QRD", Apps.Qrd.graph (Apps.Qrd.build ()), 133, 190, 168, 32);
+      ( "QRD-sorted",
+        Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ()),
+        139, 203, 168, 35 );
+      ("ARF", Apps.Arf.graph (Apps.Arf.build ()), 82, 84, 56, 38);
+      ("MATMUL", Apps.Matmul.graph (Apps.Matmul.build ()), 44, 68, 8, 8);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "chain shape" `Quick test_chain;
+    Alcotest.test_case "diamond shape" `Quick test_diamond;
+    Alcotest.test_case "arch sensitivity" `Quick test_arch_sensitivity;
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    Alcotest.test_case "kernel ground truths" `Quick test_kernel_ground_truths;
+  ]
