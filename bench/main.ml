@@ -683,46 +683,74 @@ let profile ?(path = "BENCH_solver.json") () =
     (List.length profiles) path (List.length runs)
 
 (* ------------------------------------------------------------------ *)
-(* perfjson: machine-readable solver metrics for regression tracking   *)
+(* perfjson / compare: machine-readable solver metrics for regression
+   tracking.  Both run the same in-memory suite; `perfjson` writes it
+   to BENCH_solver.json, `compare` diffs it against the committed file
+   and gates CI on deterministic-counter regressions. *)
 
-let perfjson ?(path = "BENCH_solver.json") () =
-  header (Printf.sprintf "Solver performance metrics -> %s" path);
-  let budget = Fd.Search.time_budget 30_000. in
-  let entry ~kernel ~mode ~slots ?(arch = Vecsched.Arch.default) ~g o =
-    let st = o.Sched.Solve.stats in
-    let makespan =
-      match o.Sched.Solve.schedule with
-      | Some sch -> string_of_int sch.Sched.Schedule.makespan
-      | None -> "null"
-    in
-    let fb =
-      match fallback_makespan ~arch g with
-      | Some m -> string_of_int m
-      | None -> "null"
-    in
-    Printf.sprintf
-      "    { \"kernel\": %S, \"mode\": %S, \"slots\": %d, \"status\": %S,\n\
-      \      \"engine\": %S, \"makespan\": %s, \"fallback_makespan\": %s,\n\
-      \      \"nodes\": %d, \"failures\": %d,\n\
-      \      \"propagations\": %d, \"time_ms\": %.1f, \"optimal\": %b }"
-      kernel mode slots
-      (Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status)
-      (Format.asprintf "%a" Sched.Solve.pp_engine o.Sched.Solve.engine)
-      makespan fb st.Fd.Search.nodes st.Fd.Search.failures
-      st.Fd.Search.propagations st.Fd.Search.time_ms st.Fd.Search.optimal
-  in
-  let kernels = [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ] in
+type run_row = {
+  r_kernel : string;
+  r_mode : string;
+  r_slots : int;
+  r_status : string;
+  r_engine : string;
+  r_makespan : int option;
+  r_fallback : int option;
+  r_nodes : int;
+  r_failures : int;
+  r_propagations : int;
+  r_time_ms : float;
+  r_optimal : bool;
+}
+
+let row_key r = (r.r_kernel, r.r_mode, r.r_slots)
+
+let run_row ~kernel ~mode ~slots ?(arch = Vecsched.Arch.default) ~g o =
+  let st = o.Sched.Solve.stats in
+  {
+    r_kernel = kernel;
+    r_mode = mode;
+    r_slots = slots;
+    r_status = Format.asprintf "%a" Sched.Solve.pp_status o.Sched.Solve.status;
+    r_engine = Format.asprintf "%a" Sched.Solve.pp_engine o.Sched.Solve.engine;
+    r_makespan =
+      Option.map
+        (fun sch -> sch.Sched.Schedule.makespan)
+        o.Sched.Solve.schedule;
+    r_fallback = fallback_makespan ~arch g;
+    r_nodes = st.Fd.Search.nodes;
+    r_failures = st.Fd.Search.failures;
+    r_propagations = st.Fd.Search.propagations;
+    r_time_ms = st.Fd.Search.time_ms;
+    r_optimal = st.Fd.Search.optimal;
+  }
+
+(* The regression suite.  With a trace sink attached (bench --trace),
+   every run gets its own named track ("QRD/sequential/64") so a whole
+   sweep lands in one Perfetto-loadable file. *)
+let suite_rows ?(budget = Fd.Search.time_budget 30_000.) () =
   let rows = ref [] in
   (* One row per (kernel, mode, slots): the Table-1 sweep and the
      per-kernel loop both produce (QRD, sequential, 64), which used to
      land in the file twice — the lazy run wins, the later duplicate is
      skipped. *)
   let seen = Hashtbl.create 16 in
+  let idx = ref 0 in
   let add ~kernel ~mode ~slots mk_row =
     let key = (kernel, mode, slots) in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      rows := mk_row () :: !rows
+      let row =
+        if Obs.enabled () then begin
+          let tid = 100 + !idx in
+          incr idx;
+          let label = Printf.sprintf "%s/%s/%d" kernel mode slots in
+          Obs.thread_name ~cat:"bench" ~tid label;
+          Obs.span ~cat:"bench" ~tid label mk_row
+        end
+        else mk_row ()
+      in
+      rows := row :: !rows
     end
   in
   (* Table 1 sweep: the sequential engine across memory pressures. *)
@@ -731,34 +759,171 @@ let perfjson ?(path = "BENCH_solver.json") () =
       let arch = Vecsched.Arch.with_slots Vecsched.Arch.default slots in
       let g = qrd () in
       add ~kernel:"QRD" ~mode:"sequential" ~slots (fun () ->
-          entry ~kernel:"QRD" ~mode:"sequential" ~slots ~arch ~g
+          run_row ~kernel:"QRD" ~mode:"sequential" ~slots ~arch ~g
             (Sched.Solve.run ~arch ~budget g)))
     [ 64; 32; 16; 10; 9 ];
   (* Every kernel, sequential vs 4-worker portfolio, default arch. *)
   List.iter
     (fun (kernel, g) ->
       add ~kernel ~mode:"sequential" ~slots:64 (fun () ->
-          entry ~kernel ~mode:"sequential" ~slots:64 ~g (Sched.Solve.run ~budget g));
+          run_row ~kernel ~mode:"sequential" ~slots:64 ~g
+            (Sched.Solve.run ~budget g));
       add ~kernel ~mode:"portfolio-4" ~slots:64 (fun () ->
-          entry ~kernel ~mode:"portfolio-4" ~slots:64 ~g
+          run_row ~kernel ~mode:"portfolio-4" ~slots:64 ~g
             (Sched.Solve.run ~budget ~parallel:4 g));
       (* the degraded path, measured: what a 0 ms deadline delivers *)
       add ~kernel ~mode:"fallback" ~slots:64 (fun () ->
-          entry ~kernel ~mode:"fallback" ~slots:64 ~g
+          run_row ~kernel ~mode:"fallback" ~slots:64 ~g
             (Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) g)))
-    kernels;
+    [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ];
+  List.rev !rows
+
+let row_json r =
+  let opt = function Some m -> string_of_int m | None -> "null" in
+  Printf.sprintf
+    "    { \"kernel\": %S, \"mode\": %S, \"slots\": %d, \"status\": %S,\n\
+    \      \"engine\": %S, \"makespan\": %s, \"fallback_makespan\": %s,\n\
+    \      \"nodes\": %d, \"failures\": %d,\n\
+    \      \"propagations\": %d, \"time_ms\": %.1f, \"optimal\": %b }"
+    r.r_kernel r.r_mode r.r_slots r.r_status r.r_engine (opt r.r_makespan)
+    (opt r.r_fallback) r.r_nodes r.r_failures r.r_propagations r.r_time_ms
+    r.r_optimal
+
+let perfjson ?(path = "BENCH_solver.json") () =
+  header (Printf.sprintf "Solver performance metrics -> %s" path);
+  let rows = suite_rows () in
   (* The hot-spot table rides along in the same file (separate,
      instrumented runs -- see profile_rows). *)
-  let profiles = profile_rows kernels in
+  let profiles =
+    profile_rows [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+  in
   let oc = open_out path in
   output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
-  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc (String.concat ",\n" (List.map row_json rows));
   output_string oc "\n  ],\n  \"propagator_profiles\": ";
   output_string oc (Obs.Json.to_string (profile_json profiles));
   output_string oc "\n}\n";
   close_out oc;
   Format.printf "wrote %d runs and %d kernel profiles to %s@."
-    (List.length !rows) (List.length profiles) path
+    (List.length rows) (List.length profiles) path
+
+let parse_baseline path : (run_row list, string) result =
+  match Obs.Json.parse_file path with
+  | Error e -> Error e
+  | Ok j -> (
+    match Obs.Json.member "runs" j with
+    | Some (Obs.Json.Arr rs) ->
+      Ok
+        (List.filter_map
+           (fun r ->
+             let str k =
+               match Obs.Json.member k r with
+               | Some (Obs.Json.Str s) -> Some s
+               | _ -> None
+             in
+             let num k =
+               match Obs.Json.member k r with
+               | Some (Obs.Json.Num f) -> Some f
+               | _ -> None
+             in
+             let int ?(default = 0) k =
+               match num k with Some f -> int_of_float f | None -> default
+             in
+             match (str "kernel", str "mode", num "slots") with
+             | Some kernel, Some mode, Some slots ->
+               Some
+                 {
+                   r_kernel = kernel;
+                   r_mode = mode;
+                   r_slots = int_of_float slots;
+                   r_status = Option.value ~default:"" (str "status");
+                   r_engine = Option.value ~default:"" (str "engine");
+                   r_makespan = Option.map int_of_float (num "makespan");
+                   r_fallback =
+                     Option.map int_of_float (num "fallback_makespan");
+                   r_nodes = int "nodes";
+                   r_failures = int "failures";
+                   r_propagations = int "propagations";
+                   r_time_ms = Option.value ~default:0. (num "time_ms");
+                   r_optimal =
+                     (match Obs.Json.member "optimal" r with
+                     | Some (Obs.Json.Bool b) -> b
+                     | _ -> false);
+                 }
+             | _ -> None)
+           rs)
+    | _ -> Error "missing \"runs\" array")
+
+(* Only rows whose counters are reproducible can gate: portfolio rows
+   race OCaml 5 domains (nodes/propagations vary run to run) and
+   timeout rows stop on wall-clock, so both are advisory-only.  Time is
+   always advisory — it's noisy in CI. *)
+let gate_threshold = 25.
+
+let compare_run ?(against = "BENCH_solver.json") () =
+  header
+    (Printf.sprintf
+       "Regression compare vs %s (gate: propagations/nodes +%.0f%% on \
+        deterministic rows)"
+       against gate_threshold);
+  match parse_baseline against with
+  | Error e ->
+    Format.printf "cannot load baseline %s: %s@." against e;
+    1
+  | Ok base ->
+    let fresh = suite_rows () in
+    let pct b a =
+      if b = 0 then if a = 0 then 0. else infinity
+      else 100. *. float_of_int (a - b) /. float_of_int b
+    in
+    let regressions = ref [] in
+    Format.printf "%-8s %-12s %6s | %10s %10s %7s | %8s %8s %7s | %8s %8s@."
+      "kernel" "mode" "slots" "props(b)" "props(a)" "d%" "nodes(b)"
+      "nodes(a)" "d%" "ms(b)" "ms(a)";
+    List.iter
+      (fun b ->
+        match List.find_opt (fun f -> row_key f = row_key b) fresh with
+        | None ->
+          Format.printf "%-8s %-12s %6d | row vanished from the suite@."
+            b.r_kernel b.r_mode b.r_slots
+        | Some f ->
+          let deterministic =
+            (not (String.length b.r_mode >= 9
+                  && String.sub b.r_mode 0 9 = "portfolio"))
+            && b.r_optimal && f.r_optimal
+          in
+          let dp = pct b.r_propagations f.r_propagations in
+          let dn = pct b.r_nodes f.r_nodes in
+          let flag metric d =
+            if deterministic && d > gate_threshold then
+              regressions :=
+                Printf.sprintf "%s/%s/%d %s +%.1f%%" b.r_kernel b.r_mode
+                  b.r_slots metric d
+                :: !regressions
+          in
+          flag "propagations" dp;
+          flag "nodes" dn;
+          Format.printf
+            "%-8s %-12s %6d | %10d %10d %+6.1f%% | %8d %8d %+6.1f%% | %8.1f \
+             %8.1f%s@."
+            b.r_kernel b.r_mode b.r_slots b.r_propagations f.r_propagations dp
+            b.r_nodes f.r_nodes dn b.r_time_ms f.r_time_ms
+            (if deterministic then "" else "  (advisory)"))
+      base;
+    List.iter
+      (fun f ->
+        if not (List.exists (fun b -> row_key b = row_key f) base) then
+          Format.printf "%-8s %-12s %6d | new row (not in baseline)@."
+            f.r_kernel f.r_mode f.r_slots)
+      fresh;
+    (match !regressions with
+    | [] ->
+      Format.printf "@.no solver-counter regressions vs %s@." against;
+      0
+    | rs ->
+      List.iter (fun r -> Format.printf "@.REGRESSION %s" r) (List.rev rs);
+      Format.printf "@.";
+      1)
 
 (* ------------------------------------------------------------------ *)
 
@@ -774,32 +939,69 @@ let all () =
   utilization ();
   dynamic ()
 
+(* `--trace FILE` (any experiment: the whole sweep lands in one
+   Perfetto-loadable trace, one named track per suite run) and
+   `--against PATH` (for `compare`) are extracted before dispatch. *)
+let extract_opt name args =
+  let rec go = function
+    | [] -> (None, [])
+    | k :: v :: rest when k = name ->
+      let found, kept = go rest in
+      ((if found = None then Some v else found), kept)
+    | x :: rest ->
+      let found, kept = go rest in
+      (found, x :: kept)
+  in
+  go args
+
 let () =
-  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
-  | None -> all ()
-  | Some "all" -> all ()
-  | Some "graphs" -> graphs ()
-  | Some "table1" -> table1 ()
-  | Some "table2" -> table2 ()
-  | Some "table3" -> table3 ()
-  | Some "table3-quick" -> table3 ~budget_excl:10_000. ~budget_incl:20_000. ()
-  | Some "fig3" -> fig3 ()
-  | Some "fig45" -> fig45 ()
-  | Some "fig6" -> fig6 ()
-  | Some "fig8" -> fig8 ()
-  | Some "ablations" -> ablations ()
-  | Some "utilization" -> utilization ()
-  | Some "dynamic" -> dynamic ()
-  | Some "archsweep" -> archsweep ()
-  | Some "expressiveness" -> expressiveness ()
-  | Some "bechamel" -> bechamel ()
-  | Some "perfjson" -> perfjson ()
-  | Some "profile" -> profile ()
-  | Some "robustness" -> robustness ()
-  | Some other ->
-    Format.eprintf
-      "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 fig6 \
-       fig8 utilization dynamic ablations archsweep bechamel perfjson profile \
-       robustness)@."
-      other;
-    exit 2
+  let trace, args = extract_opt "--trace" (List.tl (Array.to_list Sys.argv)) in
+  let against, args = extract_opt "--against" args in
+  let dispatch () =
+    match args with
+    | [] | [ "all" ] -> all (); 0
+    | [ "graphs" ] -> graphs (); 0
+    | [ "table1" ] -> table1 (); 0
+    | [ "table2" ] -> table2 (); 0
+    | [ "table3" ] -> table3 (); 0
+    | [ "table3-quick" ] ->
+      table3 ~budget_excl:10_000. ~budget_incl:20_000. ();
+      0
+    | [ "fig3" ] -> fig3 (); 0
+    | [ "fig45" ] -> fig45 (); 0
+    | [ "fig6" ] -> fig6 (); 0
+    | [ "fig8" ] -> fig8 (); 0
+    | [ "ablations" ] -> ablations (); 0
+    | [ "utilization" ] -> utilization (); 0
+    | [ "dynamic" ] -> dynamic (); 0
+    | [ "archsweep" ] -> archsweep (); 0
+    | [ "expressiveness" ] -> expressiveness (); 0
+    | [ "bechamel" ] -> bechamel (); 0
+    | [ "perfjson" ] -> perfjson (); 0
+    | [ "profile" ] -> profile (); 0
+    | [ "robustness" ] -> robustness (); 0
+    | [ "compare" ] -> compare_run ?against ()
+    | other ->
+      Format.eprintf
+        "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 \
+         fig6 fig8 utilization dynamic ablations archsweep bechamel perfjson \
+         profile compare robustness; options: --trace FILE, --against PATH)@."
+        (String.concat " " other);
+      exit 2
+  in
+  let code =
+    match trace with
+    | None -> dispatch ()
+    | Some path ->
+      let code =
+        Obs.with_sink
+          (Obs.Chrome.sink
+             ~other_data:
+               [ ("bench", Obs.S (String.concat " " ("bench" :: args))) ]
+             ~path ())
+          dispatch
+      in
+      Format.printf "wrote trace %s@." path;
+      code
+  in
+  exit code

@@ -128,8 +128,12 @@ let print_metrics agg =
 (* Attach the requested sinks around [f], detach afterwards (flushing
    the trace file) and only then print the metrics tables, so they land
    after the run's own output. *)
-let with_obs ~trace ~metrics f =
-  let chrome = Option.map (fun path -> Obs.attach (Obs.Chrome.sink ~path)) trace in
+let with_obs ?(other_data = []) ~trace ~metrics f =
+  let chrome =
+    Option.map
+      (fun path -> Obs.attach (Obs.Chrome.sink ~other_data ~path ()))
+      trace
+  in
   let agg =
     if metrics then begin
       let a = Obs.Agg.create () in
@@ -208,12 +212,25 @@ let deadline_of = function
   | None -> Fd.Deadline.none
   | Some ms -> Fd.Deadline.after_ms ms
 
+(* Labels stamped into the trace's otherData so `trace-report` /
+   `trace-diff` can head their output with what was actually run. *)
+let run_labels ~name ~arch ~parallel =
+  [
+    ("kernel", Obs.S name);
+    ( "mode",
+      Obs.S
+        (if parallel > 1 then Printf.sprintf "portfolio-%d" parallel
+         else "sequential") );
+    ("slots", Obs.I (Eit.Arch.slots arch));
+  ]
+
 let schedule_cmd =
   let run kernel budget deadline slots preset verbose parallel trace metrics =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
     let o =
-      with_obs ~trace ~metrics (fun () ->
+      with_obs ~other_data:(run_labels ~name ~arch ~parallel) ~trace ~metrics
+        (fun () ->
           Vecsched.schedule ~budget_ms:budget ~deadline:(deadline_of deadline)
             ~arch ~parallel c)
     in
@@ -267,7 +284,8 @@ let simulate_cmd =
   let run kernel budget slots preset print_trace trace metrics =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
-    with_obs ~trace ~metrics (fun () ->
+    with_obs ~other_data:(run_labels ~name ~arch ~parallel:0) ~trace ~metrics
+      (fun () ->
         let o = Vecsched.schedule ~budget_ms:budget ~arch c in
         match report_outcome name arch o with
         | Some sch, _ -> (
@@ -429,7 +447,7 @@ let asm_cmd =
     Term.(const run $ kernel_arg $ budget_arg $ out_arg)
 
 let run_asm_cmd =
-  let run path trace =
+  let run path print_trace trace metrics =
     match Eit.Asm.load path with
     | Error e ->
       Format.printf "parse error: %s@." e;
@@ -439,36 +457,45 @@ let run_asm_cmd =
       | Error e ->
         Format.printf "invalid program: %s@." e;
         1
-      | Ok () -> (
-        match
-          Eit.Machine.run
-            ~trace:(fun ev ->
-              if trace then Format.printf "%a@." Eit.Machine.pp_trace_event ev)
-            p
-        with
-        | result ->
-          Format.printf "completed at cycle %d, %d reconfigurations@."
-            result.Eit.Machine.cycles result.Eit.Machine.reconfigurations;
-          List.iter
-            (fun (node, v) ->
-              Format.printf "  n%d = %s@." node (Eit.Value.to_string v))
-            (Eit.Machine.output_values result p);
-          0
-        | exception Eit.Machine.Sim_error e ->
-          Format.printf "simulation error: %a@." Eit.Machine.pp_error e;
-          1))
+      | Ok () ->
+        with_obs
+          ~other_data:[ ("kernel", Obs.S path); ("mode", Obs.S "run-asm") ]
+          ~trace ~metrics
+          (fun () ->
+            match
+              Eit.Machine.run
+                ~trace:(fun ev ->
+                  if print_trace then
+                    Format.printf "%a@." Eit.Machine.pp_trace_event ev)
+                p
+            with
+            | result ->
+              Format.printf "completed at cycle %d, %d reconfigurations@."
+                result.Eit.Machine.cycles result.Eit.Machine.reconfigurations;
+              List.iter
+                (fun (node, v) ->
+                  Format.printf "  n%d = %s@." node (Eit.Value.to_string v))
+                (Eit.Machine.output_values result p);
+              0
+            | exception Eit.Machine.Sim_error e ->
+              Format.printf "simulation error: %a@." Eit.Machine.pp_error e;
+              1))
   in
   let path_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Assembly file to run.")
   in
-  let trace_arg =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace.")
+  (* `--trace` used to be this text flag; it now means `--trace FILE`
+     everywhere (Chrome JSON), and the text trace is `--print-trace`,
+     matching `simulate`. *)
+  let print_trace_arg =
+    Arg.(value & flag & info [ "print-trace" ]
+         ~doc:"Print the cycle-by-cycle execution trace as text.")
   in
   Cmd.v
     (Cmd.info "run-asm"
        ~doc:"Assemble, validate and simulate a hand-written program")
-    Term.(const run $ path_arg $ trace_arg)
+    Term.(const run $ path_arg $ print_trace_arg $ trace_file_arg $ metrics_arg)
 
 let trace_check_cmd =
   let run path =
@@ -492,7 +519,7 @@ let trace_check_cmd =
     Term.(const run $ path_arg)
 
 let import_cmd =
-  let run path sched budget =
+  let run path sched budget trace metrics =
     match Vecsched.Xml.load_file path with
     | Error e ->
       (* positioned, no backtrace: the parser is total *)
@@ -500,11 +527,14 @@ let import_cmd =
       1
     | Ok g ->
       Format.printf "%s: %a@." path Vecsched.Stats.pp (Vecsched.Stats.of_ir g);
-      if sched then begin
-        let c = Vecsched.compile g in
-        let o = Vecsched.schedule ~budget_ms:budget c in
-        snd (report_outcome path Eit.Arch.default o)
-      end
+      if sched then
+        with_obs
+          ~other_data:(run_labels ~name:path ~arch:Eit.Arch.default ~parallel:0)
+          ~trace ~metrics
+          (fun () ->
+            let c = Vecsched.compile g in
+            let o = Vecsched.schedule ~budget_ms:budget c in
+            snd (report_outcome path Eit.Arch.default o))
       else 0
   in
   let path_arg =
@@ -518,7 +548,99 @@ let import_cmd =
   Cmd.v
     (Cmd.info "import"
        ~doc:"Parse an exported XML graph (reporting positioned errors)")
-    Term.(const run $ path_arg $ sched_arg $ budget_arg)
+    Term.(const run $ path_arg $ sched_arg $ budget_arg $ trace_file_arg
+          $ metrics_arg)
+
+let trace_report_cmd =
+  let run path flame utilization =
+    match Obs.Analyze.of_file path with
+    | Error e ->
+      Format.printf "%s: %s@." path e;
+      1
+    | Ok s ->
+      Obs.Analyze.pp_report ~utilization Format.std_formatter s;
+      (match flame with
+      | Some out ->
+        Obs.Analyze.write_folded out s;
+        Format.printf "@.wrote %s (flamegraph.pl / speedscope input)@." out
+      | None -> ());
+      0
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Chrome trace_event JSON file (from --trace) to analyze.")
+  in
+  let flame_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flame" ] ~docv:"OUT"
+             ~doc:
+               "Also write the span forest as collapsed stacks (one \
+                $(i,a;b;c value) line per stack; feed to flamegraph.pl or \
+                speedscope).")
+  in
+  let utilization_arg =
+    Arg.(value & flag
+         & info [ "utilization" ]
+             ~doc:
+               "Include machine utilization tables derived from the pid-2 \
+                cycle timeline: lane busy %, per-functional-unit busy \
+                cycles, bank-port pressure histograms, peak simultaneous \
+                vector accesses.")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Analyze a trace: span-tree table with inclusive/exclusive times, \
+          critical path, propagator profiles, optional flame-graph export \
+          and machine utilization")
+    Term.(const run $ path_arg $ flame_arg $ utilization_arg)
+
+let trace_diff_cmd =
+  let run before after threshold =
+    match (Obs.Analyze.of_file before, Obs.Analyze.of_file after) with
+    | Error e, _ ->
+      Format.printf "%s: %s@." before e;
+      1
+    | _, Error e ->
+      Format.printf "%s: %s@." after e;
+      1
+    | Ok b, Ok a -> (
+      let d = Obs.Analyze.diff b a in
+      Obs.Analyze.pp_diff Format.std_formatter d;
+      match Obs.Analyze.regressions ~threshold d with
+      | [] ->
+        Format.printf "@.no watched-metric regressions (threshold %.0f%%)@."
+          threshold;
+        0
+      | rs ->
+        List.iter (fun r -> Format.printf "@.REGRESSION %s" r) rs;
+        Format.printf "@.";
+        1)
+  in
+  let before_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE"
+         ~doc:"Baseline trace file.")
+  in
+  let after_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER"
+         ~doc:"Candidate trace file.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 10.
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:
+               "Fail (exit 1) when a watched metric — total or \
+                per-propagator run counts, search branch/fail tallies — \
+                grows by more than $(docv) percent.  Wall-clock time is \
+                reported but never gates.")
+  in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:
+         "Structurally diff two traces (spans matched by name and track, \
+          propagator profiles, event tallies) and gate on watched-metric \
+          regressions")
+    Term.(const run $ before_arg $ after_arg $ threshold_arg)
 
 let export_cmd =
   let run kernel fmt path merged =
@@ -553,4 +675,4 @@ let () =
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
             code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd;
-            trace_check_cmd ]))
+            trace_check_cmd; trace_report_cmd; trace_diff_cmd ]))

@@ -53,5 +53,34 @@ if ! "$EITC" trace-check "$trace"; then
   rm -f "$trace"
   exit 1
 fi
-rm -f "$trace"
 echo "check.sh: trace smoke OK (qrd traced, makespan 168, trace validates)"
+
+# Trace analytics smoke: the report must parse its own trace, the
+# folded flame output must be non-empty, a trace diffed against itself
+# must be regression-free (exit 0), and a doctored copy with inflated
+# propagator run counts must trip the gate (exit 1).
+folded=$(mktemp /tmp/eitc-flame.XXXXXX.folded)
+if ! "$EITC" trace-report "$trace" --utilization --flame "$folded" > /dev/null; then
+  echo "check.sh: trace-report failed on the traced qrd run" >&2
+  rm -f "$trace" "$folded"
+  exit 1
+fi
+if ! [ -s "$folded" ]; then
+  echo "check.sh: trace-report --flame wrote an empty folded file" >&2
+  rm -f "$trace" "$folded"
+  exit 1
+fi
+if ! "$EITC" trace-diff "$trace" "$trace" --threshold 1 > /dev/null; then
+  echo "check.sh: self trace-diff reported a regression" >&2
+  rm -f "$trace" "$folded"
+  exit 1
+fi
+doctored=$(mktemp /tmp/eitc-doctored.XXXXXX.json)
+sed 's/"runs":[0-9]*/"runs":9999999/g' "$trace" > "$doctored"
+if "$EITC" trace-diff "$trace" "$doctored" --threshold 10 > /dev/null; then
+  echo "check.sh: doctored trace-diff did not fail" >&2
+  rm -f "$trace" "$folded" "$doctored"
+  exit 1
+fi
+rm -f "$trace" "$folded" "$doctored"
+echo "check.sh: trace analytics OK (report + flame, self-diff clean, doctored diff gated)"

@@ -83,6 +83,11 @@ let run_worker incumbent budget deadline chaos widx strat =
       wstats = Search.zero_stats ~optimal:false;
     }
   | task ->
+    (* Name this worker's trace track up front ("worker-N" instead of a
+       bare tid in Perfetto and in Analyze's reports). *)
+    if Obs.enabled () then
+      Obs.thread_name ~cat:"search" ~tid:widx
+        (Printf.sprintf "worker-%d" widx);
     (match chaos with
     | Some c -> Chaos.instrument c ~worker:widx task.store
     | None -> ());

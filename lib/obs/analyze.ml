@@ -1,0 +1,797 @@
+(* Trace analytics: the read side of the observability layer.
+
+   [Obs] and its sinks *emit* Chrome trace_event files; this module
+   turns them back into decisions.  From a parsed trace it rebuilds the
+   span forest per (pid, tid) track, computes inclusive/exclusive
+   times, folds the forest into collapsed-stack lines (the
+   FlameGraph/speedscope format), extracts the critical path through
+   the scheduler's phase spans, derives machine utilization from the
+   pid-2 cycle timeline, and structurally diffs two traces — the last
+   of which backs the `eitc trace-diff` CI regression gate.
+
+   Everything operates on [Obs_json.t] (exposed as [Obs.Json.t]), so a
+   trace written by any tool that speaks the Chrome format can be
+   analyzed, not only our own sink's output. *)
+
+module Json = Obs_json
+
+(* ------------------------------------------------------------------ *)
+(* Data model                                                          *)
+
+type node = {
+  n_name : string;
+  n_cat : string;
+  n_ts : float;    (* start, us (pid 1) / cycles (pid 2) *)
+  n_incl : float;  (* inclusive duration *)
+  n_excl : float;  (* exclusive = inclusive - sum of children *)
+  n_children : node list;  (* in emission order *)
+}
+
+type track = {
+  tr_pid : int;
+  tr_tid : int;
+  tr_label : string;  (* "solver/main", "eit-machine/vector-core", ... *)
+  tr_roots : node list;
+}
+
+type profile = {
+  a_runs : int;
+  a_wakes : int;
+  a_prunes : int;
+  a_time_ms : float;
+}
+
+type machine = {
+  mc_cycles : int;           (* timeline horizon (cycles observed) *)
+  mc_busy_lane_cycles : int; (* sum over cycles of busy lanes *)
+  mc_peak_lanes : int;
+  mc_avg_lanes : float;
+  mc_lane_util : float;      (* busy-lane-cycles / (cycles * peak), % *)
+  mc_unit_busy : (string * int) list;  (* functional unit -> busy cycles *)
+  mc_read_hist : (int * int) list;     (* reads per cycle -> #cycles *)
+  mc_write_hist : (int * int) list;
+  mc_peak_reads : int;
+  mc_peak_accesses : int;    (* max reads+writes in any one cycle *)
+}
+
+type summary = {
+  sm_other : (string * Json.t) list;   (* otherData: kernel, slots, ... *)
+  sm_tracks : track list;              (* sorted by (pid, tid) *)
+  sm_span_stats : ((string * string) * (int * float)) list;
+      (* (track label, span name) -> count, total inclusive us *)
+  sm_profiles : (string * profile) list;  (* propagator rows, merged *)
+  sm_counts : (string * int) list;        (* instant tallies *)
+  sm_machine : machine option;
+  sm_events : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing helpers                                                     *)
+
+let str_mem k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let num_mem k j =
+  match Json.member k j with Some (Json.Num f) -> Some f | _ -> None
+
+let int_mem k j = Option.map int_of_float (num_mem k j)
+
+let arg_num ev k =
+  match Json.member "args" ev with
+  | Some args -> num_mem k args
+  | None -> None
+
+let label_of other =
+  let field k =
+    match List.assoc_opt k other with
+    | Some (Json.Str s) -> Some (Printf.sprintf "%s=%s" k s)
+    | Some (Json.Num f) -> Some (Printf.sprintf "%s=%s" k (Json.float_str f))
+    | _ -> None
+  in
+  String.concat " " (List.filter_map field [ "kernel"; "mode"; "slots"; "bench" ])
+
+(* ------------------------------------------------------------------ *)
+(* Span-forest reconstruction                                          *)
+
+(* An open span: children collect reversed until the matching End. *)
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_ts : float;
+  mutable f_children : node list;
+}
+
+let close_frame f ~end_ts =
+  let children = List.rev f.f_children in
+  let incl = Float.max 0. (end_ts -. f.f_ts) in
+  let child_sum = List.fold_left (fun a c -> a +. c.n_incl) 0. children in
+  {
+    n_name = f.f_name;
+    n_cat = f.f_cat;
+    n_ts = f.f_ts;
+    n_incl = incl;
+    n_excl = Float.max 0. (incl -. child_sum);
+    n_children = children;
+  }
+
+let of_json (j : Json.t) : (summary, string) result =
+  let events =
+    match j with
+    | Json.Arr evs -> Ok evs
+    | Json.Obj _ -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.Arr evs) -> Ok evs
+      | Some _ -> Error "\"traceEvents\" is not an array"
+      | None -> Error "missing \"traceEvents\"")
+    | _ -> Error "trace is neither an object nor an array"
+  in
+  match events with
+  | Error e -> Error e
+  | Ok events ->
+    let other =
+      match Json.member "otherData" j with
+      | Some (Json.Obj fields) -> fields
+      | _ -> []
+    in
+    (* per-track state *)
+    let stacks : (int * int, frame list) Hashtbl.t = Hashtbl.create 8 in
+    let roots : (int * int, node list) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 8 in
+    let procs : (int, string) Hashtbl.t = Hashtbl.create 4 in
+    let threads : (int * int, string) Hashtbl.t = Hashtbl.create 8 in
+    let counts : (string, int) Hashtbl.t = Hashtbl.create 32 in
+    let profiles : (string, profile) Hashtbl.t = Hashtbl.create 16 in
+    (* machine timeline series, keyed by cycle *)
+    let lanes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let reads : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let writes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let n_events = ref 0 in
+    let push_root key n =
+      Hashtbl.replace roots key
+        (n :: Option.value ~default:[] (Hashtbl.find_opt roots key))
+    in
+    let attach key n =
+      match Hashtbl.find_opt stacks key with
+      | Some (f :: _) -> f.f_children <- n :: f.f_children
+      | _ -> push_root key n
+    in
+    let step ev =
+      incr n_events;
+      let name = Option.value ~default:"" (str_mem "name" ev) in
+      let ph = Option.value ~default:"" (str_mem "ph" ev) in
+      let cat = Option.value ~default:"" (str_mem "cat" ev) in
+      let pid =
+        match int_mem "pid" ev with
+        | Some p -> p
+        | None -> if cat = "machine" then 2 else 1
+      in
+      let tid = Option.value ~default:0 (int_mem "tid" ev) in
+      let key = (pid, tid) in
+      if ph = "M" then begin
+        match (name, Option.bind (Json.member "args" ev) (str_mem "name")) with
+        | "process_name", Some label -> Hashtbl.replace procs pid label
+        | "thread_name", Some label -> Hashtbl.replace threads key label
+        | _ -> ()
+      end
+      else begin
+        let ts = Option.value ~default:0. (num_mem "ts" ev) in
+        Hashtbl.replace last_ts key
+          (Float.max ts
+             (Option.value ~default:ts (Hashtbl.find_opt last_ts key)));
+        match ph with
+        | "B" ->
+          Hashtbl.replace stacks key
+            ({ f_name = name; f_cat = cat; f_ts = ts; f_children = [] }
+            :: Option.value ~default:[] (Hashtbl.find_opt stacks key))
+        | "E" -> (
+          match Hashtbl.find_opt stacks key with
+          | Some (f :: rest) ->
+            Hashtbl.replace stacks key rest;
+            attach key (close_frame f ~end_ts:ts)
+          | _ -> () (* unmatched end: ignore, the checker flags these *))
+        | "X" ->
+          let dur = Option.value ~default:0. (num_mem "dur" ev) in
+          Hashtbl.replace last_ts key
+            (Float.max (ts +. dur)
+               (Option.value ~default:ts (Hashtbl.find_opt last_ts key)));
+          attach key
+            {
+              n_name = name;
+              n_cat = cat;
+              n_ts = ts;
+              n_incl = dur;
+              n_excl = dur;
+              n_children = [];
+            }
+        | "i" ->
+          if cat = "propagator" then begin
+            let g k = int_of_float (Option.value ~default:0. (arg_num ev k)) in
+            let row =
+              {
+                a_runs = g "runs";
+                a_wakes = g "wakes";
+                a_prunes = g "prunes";
+                a_time_ms = Option.value ~default:0. (arg_num ev "time_ms");
+              }
+            in
+            let merged =
+              match Hashtbl.find_opt profiles name with
+              | None -> row
+              | Some p ->
+                {
+                  a_runs = p.a_runs + row.a_runs;
+                  a_wakes = p.a_wakes + row.a_wakes;
+                  a_prunes = p.a_prunes + row.a_prunes;
+                  a_time_ms = p.a_time_ms +. row.a_time_ms;
+                }
+            in
+            Hashtbl.replace profiles name merged
+          end
+          else
+            Hashtbl.replace counts name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+        | "C" ->
+          if pid = 2 then begin
+            let cycle = int_of_float ts in
+            let put tbl k =
+              match arg_num ev k with
+              | Some v -> Hashtbl.replace tbl cycle (int_of_float v)
+              | None -> ()
+            in
+            match name with
+            | "lanes" -> put lanes "busy"
+            | "bank-ports" ->
+              put reads "reads";
+              put writes "writes"
+            | _ -> ()
+          end
+        | _ -> ()
+      end
+    in
+    List.iter
+      (fun ev -> match ev with Json.Obj _ -> step ev | _ -> ())
+      events;
+    (* close anything left open at the track's last timestamp *)
+    Hashtbl.iter
+      (fun key stack ->
+        let ts = Option.value ~default:0. (Hashtbl.find_opt last_ts key) in
+        List.iter
+          (fun f ->
+            (* innermost first: each close attaches to the next frame out,
+               which is still on the list we're iterating *)
+            Hashtbl.replace stacks key
+              (List.tl (Hashtbl.find stacks key));
+            attach key (close_frame f ~end_ts:ts))
+          stack)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stacks []
+      |> List.filter (fun (_, v) -> v <> [])
+      |> List.to_seq |> Hashtbl.of_seq);
+    let label_for (pid, tid) =
+      let proc =
+        match Hashtbl.find_opt procs pid with
+        | Some p -> (
+          (* "eit-machine (1us = 1 cycle)" -> "eit-machine" *)
+          match String.index_opt p ' ' with
+          | Some i -> String.sub p 0 i
+          | None -> p)
+        | None -> Printf.sprintf "pid%d" pid
+      in
+      let thr =
+        match Hashtbl.find_opt threads (pid, tid) with
+        | Some t -> t
+        | None -> Printf.sprintf "tid%d" tid
+      in
+      proc ^ "/" ^ thr
+    in
+    let track_keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) roots []
+      |> List.sort_uniq compare
+    in
+    let tracks =
+      List.map
+        (fun key ->
+          let pid, tid = key in
+          {
+            tr_pid = pid;
+            tr_tid = tid;
+            tr_label = label_for key;
+            tr_roots = List.rev (Option.value ~default:[] (Hashtbl.find_opt roots key));
+          })
+        track_keys
+    in
+    (* span statistics per (track label, name), all nesting depths *)
+    let span_stats : (string * string, int * float) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun tr ->
+        let rec walk n =
+          let k = (tr.tr_label, n.n_name) in
+          let c, t =
+            Option.value ~default:(0, 0.) (Hashtbl.find_opt span_stats k)
+          in
+          Hashtbl.replace span_stats k (c + 1, t +. n.n_incl);
+          List.iter walk n.n_children
+        in
+        List.iter walk tr.tr_roots)
+      tracks;
+    let machine =
+      let series tbl = Hashtbl.fold (fun c v acc -> (c, v) :: acc) tbl [] in
+      let lane_s = series lanes and read_s = series reads
+      and write_s = series writes in
+      let unit_intervals =
+        List.concat_map
+          (fun tr ->
+            if tr.tr_pid <> 2 then []
+            else
+              List.map
+                (fun n -> (tr.tr_label, n.n_ts, n.n_incl))
+                tr.tr_roots)
+          tracks
+      in
+      if lane_s = [] && read_s = [] && unit_intervals = [] then None
+      else begin
+        let horizon =
+          List.fold_left
+            (fun acc (c, _) -> max acc c)
+            (List.fold_left
+               (fun acc (_, ts, d) -> max acc (int_of_float (ts +. d) - 1))
+               (-1) unit_intervals)
+            (lane_s @ read_s @ write_s)
+        in
+        let cycles = horizon + 1 in
+        let busy = List.fold_left (fun a (_, v) -> a + v) 0 lane_s in
+        let peak = List.fold_left (fun a (_, v) -> max a v) 0 lane_s in
+        let hist s =
+          let h = Hashtbl.create 8 in
+          List.iter
+            (fun (_, v) ->
+              Hashtbl.replace h v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt h v)))
+            s;
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+        in
+        (* busy cycles per functional unit: union of issue intervals *)
+        let unit_busy =
+          let by_unit = Hashtbl.create 4 in
+          List.iter
+            (fun (u, ts, d) ->
+              Hashtbl.replace by_unit u
+                ((ts, ts +. Float.max 1. d)
+                :: Option.value ~default:[] (Hashtbl.find_opt by_unit u)))
+            unit_intervals;
+          Hashtbl.fold
+            (fun u ivs acc ->
+              let sorted = List.sort compare ivs in
+              let covered, last_end =
+                List.fold_left
+                  (fun (cov, last) (s, e) ->
+                    if e <= last then (cov, last)
+                    else (cov +. (e -. Float.max s last), Float.max last e))
+                  (0., neg_infinity) sorted
+              in
+              ignore last_end;
+              (u, int_of_float covered) :: acc)
+            by_unit []
+          |> List.sort compare
+        in
+        let reads_per_cycle = List.map snd read_s in
+        let peak_reads = List.fold_left max 0 reads_per_cycle in
+        let peak_accesses =
+          List.fold_left
+            (fun acc (c, r) ->
+              let w =
+                Option.value ~default:0 (List.assoc_opt c write_s)
+              in
+              max acc (r + w))
+            (List.fold_left (fun a (_, w) -> max a w) 0 write_s)
+            read_s
+        in
+        Some
+          {
+            mc_cycles = cycles;
+            mc_busy_lane_cycles = busy;
+            mc_peak_lanes = peak;
+            mc_avg_lanes =
+              (if cycles = 0 then 0. else float_of_int busy /. float_of_int cycles);
+            mc_lane_util =
+              (if cycles = 0 || peak = 0 then 0.
+               else
+                 100. *. float_of_int busy
+                 /. (float_of_int cycles *. float_of_int peak));
+            mc_unit_busy = unit_busy;
+            mc_read_hist = hist read_s;
+            mc_write_hist = hist write_s;
+            mc_peak_reads = peak_reads;
+            mc_peak_accesses = peak_accesses;
+          }
+      end
+    in
+    let sorted_assoc tbl cmp =
+      List.sort cmp (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    in
+    Ok
+      {
+        sm_other = other;
+        sm_tracks = tracks;
+        sm_span_stats =
+          sorted_assoc span_stats (fun ((_, _), (_, a)) ((_, _), (_, b)) ->
+              compare b a);
+        sm_profiles =
+          sorted_assoc profiles (fun (_, a) (_, b) ->
+              match compare b.a_time_ms a.a_time_ms with
+              | 0 -> compare b.a_runs a.a_runs
+              | c -> c);
+        sm_counts = sorted_assoc counts (fun (_, a) (_, b) -> compare b a);
+        sm_machine = machine;
+        sm_events = !n_events;
+      }
+
+let of_file path =
+  match Json.parse_file path with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let label s = label_of s.sm_other
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks (FlameGraph / speedscope collapsed format)            *)
+
+let sanitize_frame name =
+  String.map (function ';' -> ',' | c -> c) (if name = "" then "?" else name)
+
+let folded s =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let add key v =
+    if not (Hashtbl.mem tbl key) then order := key :: !order;
+    Hashtbl.replace tbl key
+      (v +. Option.value ~default:0. (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun tr ->
+      let rec walk prefix n =
+        let stack = prefix ^ ";" ^ sanitize_frame n.n_name in
+        add stack n.n_excl;
+        List.iter (walk stack) n.n_children
+      in
+      List.iter (walk (sanitize_frame tr.tr_label)) tr.tr_roots)
+    s.sm_tracks;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+
+let write_folded path s =
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter
+        (fun (stack, self_us) ->
+          let v = max 0 (int_of_float (Float.round self_us)) in
+          Out_channel.output_string oc
+            (Printf.sprintf "%s %d\n" stack v))
+        (folded s))
+
+(* ------------------------------------------------------------------ *)
+(* Critical path through the scheduler's phase spans                   *)
+
+let critical_path s =
+  match
+    List.find_opt (fun tr -> tr.tr_pid = 1 && tr.tr_tid = 0) s.sm_tracks
+  with
+  | None -> []
+  | Some tr ->
+    let sched_roots =
+      match List.filter (fun n -> n.n_cat = "sched") tr.tr_roots with
+      | [] -> tr.tr_roots
+      | r -> r
+    in
+    let heaviest =
+      List.fold_left
+        (fun best n ->
+          match best with
+          | Some b when b.n_incl >= n.n_incl -> best
+          | _ -> Some n)
+        None
+    in
+    let rec down acc n =
+      let acc = n :: acc in
+      match heaviest n.n_children with
+      | None -> List.rev acc
+      | Some c -> down acc c
+    in
+    (match heaviest sched_roots with None -> [] | Some r -> down [] r)
+
+(* The heaviest sched-phase root: its inclusive time is the number the
+   report table leads with (and what tests compare against Agg). *)
+let root_inclusive s =
+  match critical_path s with [] -> None | n :: _ -> Some n.n_incl
+
+(* ------------------------------------------------------------------ *)
+(* Trace diff                                                          *)
+
+type span_delta = {
+  sd_key : string * string;  (* track label, span name *)
+  sd_count_b : int;
+  sd_count_a : int;
+  sd_total_b : float;  (* us *)
+  sd_total_a : float;
+}
+
+type profile_delta = {
+  pd_name : string;
+  pd_before : profile option;
+  pd_after : profile option;
+}
+
+type count_delta = { cd_name : string; cd_before : int; cd_after : int }
+
+type diff = {
+  df_label_b : string;
+  df_label_a : string;
+  df_spans : span_delta list;   (* matched by (track, name) *)
+  df_new : (string * string) list;   (* in after only *)
+  df_gone : (string * string) list;  (* in before only *)
+  df_profiles : profile_delta list;
+  df_counts : count_delta list;
+}
+
+let diff before after =
+  let matched =
+    List.filter_map
+      (fun (k, (cb, tb)) ->
+        match List.assoc_opt k after.sm_span_stats with
+        | Some (ca, ta) ->
+          Some
+            {
+              sd_key = k;
+              sd_count_b = cb;
+              sd_count_a = ca;
+              sd_total_b = tb;
+              sd_total_a = ta;
+            }
+        | None -> None)
+      before.sm_span_stats
+  in
+  let only l r =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k r then None else Some k)
+      l
+  in
+  let prof_names =
+    List.sort_uniq compare
+      (List.map fst before.sm_profiles @ List.map fst after.sm_profiles)
+  in
+  let count_names =
+    List.sort_uniq compare
+      (List.map fst before.sm_counts @ List.map fst after.sm_counts)
+  in
+  {
+    df_label_b = label before;
+    df_label_a = label after;
+    df_spans = matched;
+    df_new = only after.sm_span_stats before.sm_span_stats;
+    df_gone = only before.sm_span_stats after.sm_span_stats;
+    df_profiles =
+      List.map
+        (fun n ->
+          {
+            pd_name = n;
+            pd_before = List.assoc_opt n before.sm_profiles;
+            pd_after = List.assoc_opt n after.sm_profiles;
+          })
+        prof_names;
+    df_counts =
+      List.map
+        (fun n ->
+          {
+            cd_name = n;
+            cd_before = Option.value ~default:0 (List.assoc_opt n before.sm_counts);
+            cd_after = Option.value ~default:0 (List.assoc_opt n after.sm_counts);
+          })
+        count_names;
+  }
+
+(* The regression gate.  Watched metrics are the *deterministic* work
+   counters — propagator runs (total and per class) and search
+   branch/fail tallies.  Wall-clock time is advisory only: it is noisy
+   in CI, so it is printed but never gates. *)
+let regressions ?(threshold = 10.) d =
+  let out = ref [] in
+  let flag name before after =
+    if before > 0 && float_of_int after > float_of_int before *. (1. +. (threshold /. 100.))
+    then
+      out :=
+        Printf.sprintf "%s: %d -> %d (+%.1f%% > %.0f%%)" name before after
+          (100. *. (float_of_int (after - before) /. float_of_int before))
+          threshold
+        :: !out
+  in
+  let runs side =
+    List.fold_left
+      (fun acc p ->
+        match p with Some p -> acc + p.a_runs | None -> acc)
+      0 side
+  in
+  let before_total = runs (List.map (fun p -> p.pd_before) d.df_profiles) in
+  let after_total = runs (List.map (fun p -> p.pd_after) d.df_profiles) in
+  flag "propagations/total" before_total after_total;
+  List.iter
+    (fun p ->
+      match (p.pd_before, p.pd_after) with
+      | Some b, Some a -> flag ("propagations/" ^ p.pd_name) b.a_runs a.a_runs
+      | _ -> ())
+    d.df_profiles;
+  List.iter
+    (fun c ->
+      if c.cd_name = "branch" || c.cd_name = "fail" then
+        flag ("events/" ^ c.cd_name) c.cd_before c.cd_after)
+    d.df_counts;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Report printing                                                     *)
+
+let pp_tree ppf tr =
+  Format.fprintf ppf "track %s (pid %d, tid %d)@." tr.tr_label tr.tr_pid
+    tr.tr_tid;
+  Format.fprintf ppf "  %-36s %8s %12s %12s@." "span" "count" "incl (ms)"
+    "excl (ms)";
+  (* siblings with the same name are aggregated per level, so 160
+     machine issues of the same opcode print as one row *)
+  let rec level depth nodes =
+    let seen = Hashtbl.create 8 in
+    let groups =
+      List.filter_map
+        (fun n ->
+          if Hashtbl.mem seen n.n_name then None
+          else begin
+            Hashtbl.add seen n.n_name ();
+            Some
+              (n.n_name, List.filter (fun m -> m.n_name = n.n_name) nodes)
+          end)
+        nodes
+    in
+    List.iter
+      (fun (name, ns) ->
+        let incl = List.fold_left (fun a n -> a +. n.n_incl) 0. ns in
+        let excl = List.fold_left (fun a n -> a +. n.n_excl) 0. ns in
+        let indent = String.make (2 * depth) ' ' in
+        Format.fprintf ppf "  %-36s %8d %12.2f %12.2f@."
+          (indent ^ name) (List.length ns) (incl /. 1000.) (excl /. 1000.);
+        level (depth + 1) (List.concat_map (fun n -> n.n_children) ns))
+      groups
+  in
+  level 0 tr.tr_roots
+
+let pp_critical_path ppf s =
+  match critical_path s with
+  | [] -> ()
+  | path ->
+    Format.fprintf ppf "@.critical path (heaviest child chain):@.";
+    List.iteri
+      (fun i n ->
+        Format.fprintf ppf "  %s%-30s %10.2f ms (self %.2f)@."
+          (String.make (2 * i) ' ')
+          n.n_name (n.n_incl /. 1000.) (n.n_excl /. 1000.))
+      path
+
+let pp_profiles ppf = function
+  | [] -> ()
+  | ps ->
+    Format.fprintf ppf "@.%-22s %10s %10s %10s %12s@." "propagator" "runs"
+      "wakes" "prunes" "time (ms)";
+    List.iter
+      (fun (n, p) ->
+        Format.fprintf ppf "%-22s %10d %10d %10d %12.2f@." n p.a_runs
+          p.a_wakes p.a_prunes p.a_time_ms)
+      ps
+
+let pp_utilization ppf m =
+  Format.fprintf ppf "@.machine utilization (%d cycles)@." m.mc_cycles;
+  Format.fprintf ppf "  vector lanes: avg %.2f busy, peak %d, utilization %.1f%%@."
+    m.mc_avg_lanes m.mc_peak_lanes m.mc_lane_util;
+  List.iter
+    (fun (u, busy) ->
+      Format.fprintf ppf "  %-28s busy %d/%d cycles (%.1f%%)@." u busy
+        m.mc_cycles
+        (if m.mc_cycles = 0 then 0.
+         else 100. *. float_of_int busy /. float_of_int m.mc_cycles))
+    m.mc_unit_busy;
+  let hist title h peak =
+    Format.fprintf ppf "  %s (peak %d):@." title peak;
+    List.iter
+      (fun (v, cnt) ->
+        if v > 0 then Format.fprintf ppf "    %2d/cycle x %d cycles@." v cnt)
+      h
+  in
+  hist "bank-port reads histogram" m.mc_read_hist m.mc_peak_reads;
+  hist "bank-port writes histogram" m.mc_write_hist
+    (List.fold_left (fun a (v, _) -> max a v) 0 m.mc_write_hist);
+  Format.fprintf ppf "  peak simultaneous vector accesses: %d@."
+    m.mc_peak_accesses
+
+let pp_report ?(utilization = false) ppf s =
+  (match label s with
+  | "" -> ()
+  | l -> Format.fprintf ppf "labels: %s@." l);
+  Format.fprintf ppf "%d events, %d tracks@." s.sm_events
+    (List.length s.sm_tracks);
+  List.iter
+    (fun tr -> if tr.tr_roots <> [] then pp_tree ppf tr)
+    s.sm_tracks;
+  pp_critical_path ppf s;
+  pp_profiles ppf s.sm_profiles;
+  (match s.sm_counts with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "@.%-24s %8s@." "event" "count";
+    List.iter (fun (n, c) -> Format.fprintf ppf "%-24s %8d@." n c) cs);
+  if utilization then
+    match s.sm_machine with
+    | Some m -> pp_utilization ppf m
+    | None ->
+      Format.fprintf ppf
+        "@.no machine timeline in this trace (simulate with --trace)@."
+
+let pct b a =
+  if b = 0. then if a = 0. then 0. else infinity
+  else 100. *. ((a -. b) /. b)
+
+let pp_diff ppf d =
+  Format.fprintf ppf "before: %s@.after:  %s@."
+    (if d.df_label_b = "" then "(unlabelled)" else d.df_label_b)
+    (if d.df_label_a = "" then "(unlabelled)" else d.df_label_a);
+  (match
+     List.filter
+       (fun p -> p.pd_before <> None || p.pd_after <> None)
+       d.df_profiles
+   with
+  | [] -> ()
+  | ps ->
+    Format.fprintf ppf "@.%-22s %12s %12s %9s %12s %12s@." "propagator"
+      "runs (b)" "runs (a)" "delta%" "time_ms (b)" "time_ms (a)";
+    List.iter
+      (fun p ->
+        let rb = match p.pd_before with Some p -> p.a_runs | None -> 0 in
+        let ra = match p.pd_after with Some p -> p.a_runs | None -> 0 in
+        let tb = match p.pd_before with Some p -> p.a_time_ms | None -> 0. in
+        let ta = match p.pd_after with Some p -> p.a_time_ms | None -> 0. in
+        Format.fprintf ppf "%-22s %12d %12d %+8.1f%% %12.2f %12.2f@."
+          p.pd_name rb ra
+          (pct (float_of_int rb) (float_of_int ra))
+          tb ta)
+      ps);
+  (match List.filter (fun c -> c.cd_before <> c.cd_after) d.df_counts with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "@.%-24s %10s %10s %9s@." "event" "before" "after"
+      "delta%";
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "%-24s %10d %10d %+8.1f%%@." c.cd_name c.cd_before
+          c.cd_after
+          (pct (float_of_int c.cd_before) (float_of_int c.cd_after)))
+      cs);
+  let changed =
+    List.filter
+      (fun sd ->
+        sd.sd_count_b <> sd.sd_count_a
+        || Float.abs (sd.sd_total_a -. sd.sd_total_b) >= 1.)
+      d.df_spans
+  in
+  (match changed with
+  | [] -> ()
+  | sds ->
+    Format.fprintf ppf "@.%-44s %7s %7s %12s %12s@." "span (track/name)"
+      "cnt (b)" "cnt (a)" "ms (b)" "ms (a)";
+    List.iter
+      (fun sd ->
+        let lbl, name = sd.sd_key in
+        Format.fprintf ppf "%-44s %7d %7d %12.2f %12.2f@."
+          (lbl ^ "/" ^ name) sd.sd_count_b sd.sd_count_a
+          (sd.sd_total_b /. 1000.) (sd.sd_total_a /. 1000.))
+      sds);
+  let names side = List.map (fun (l, n) -> l ^ "/" ^ n) side in
+  (match d.df_new with
+  | [] -> ()
+  | l -> Format.fprintf ppf "@.new spans: %s@." (String.concat ", " (names l)));
+  match d.df_gone with
+  | [] -> ()
+  | l -> Format.fprintf ppf "vanished spans: %s@." (String.concat ", " (names l))

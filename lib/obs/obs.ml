@@ -26,6 +26,7 @@ type ph =
   | Instant
   | Counter
   | Complete of float  (* duration in microseconds *)
+  | Meta  (* track metadata (Chrome "M"): thread/process names *)
 
 type event = {
   name : string;
@@ -120,6 +121,22 @@ let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
   if Atomic.get live then
     emit { name; cat; ts_us; tid; ph = Complete dur_us; args }
 
+(* Track naming: a [thread_name] metadata event labels the (pid, tid)
+   track it is emitted on.  The Chrome sink turns it into a ph:"M"
+   record so Perfetto shows "worker-2" instead of a bare tid; [Analyze]
+   reads it back to label reports. *)
+let thread_name ?(cat = "") ?(tid = 0) label =
+  if Atomic.get live then
+    emit
+      {
+        name = "thread_name";
+        cat;
+        ts_us = 0.;
+        tid;
+        ph = Meta;
+        args = [ ("name", S label) ];
+      }
+
 (* Per-propagator profile rows: a dedicated shape so the aggregator can
    merge them across portfolio workers without string conventions
    leaking into call sites. *)
@@ -140,220 +157,10 @@ let profile_row ?(tid = 0) ~name ~runs ~wakes ~prunes ~time_ms () =
       }
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON: serialization for the sinks, parsing for validation   *)
+(* JSON lives in its own unit (Obs_json) so the read side ([Analyze])
+   can share it without a cycle through this module. *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let b = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  let float_str f =
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.0f" f
-    else if Float.is_finite f then Printf.sprintf "%.6g" f
-    else "0"
-
-  let member k = function
-    | Obj fields -> List.assoc_opt k fields
-    | _ -> None
-
-  let rec to_string = function
-    | Null -> "null"
-    | Bool b -> if b then "true" else "false"
-    | Num f -> float_str f
-    | Str s -> "\"" ^ escape s ^ "\""
-    | Arr vs -> "[" ^ String.concat ", " (List.map to_string vs) ^ "]"
-    | Obj fields ->
-      "{"
-      ^ String.concat ", "
-          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_string v) fields)
-      ^ "}"
-
-  exception Parse_error of string
-
-  (* Recursive-descent parser, sufficient for the files this module
-     writes (and for smoke-testing arbitrary trace files). *)
-  let parse (s : string) : (t, string) result =
-    let n = String.length s in
-    let pos = ref 0 in
-    let error msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> error (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub s !pos l = word then begin
-        pos := !pos + l;
-        v
-      end
-      else error ("expected " ^ word)
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then error "unterminated string";
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-          advance ();
-          (if !pos >= n then error "unterminated escape";
-           match s.[!pos] with
-           | '"' -> Buffer.add_char b '"'; advance ()
-           | '\\' -> Buffer.add_char b '\\'; advance ()
-           | '/' -> Buffer.add_char b '/'; advance ()
-           | 'b' -> Buffer.add_char b '\b'; advance ()
-           | 'f' -> Buffer.add_char b '\012'; advance ()
-           | 'n' -> Buffer.add_char b '\n'; advance ()
-           | 'r' -> Buffer.add_char b '\r'; advance ()
-           | 't' -> Buffer.add_char b '\t'; advance ()
-           | 'u' ->
-             advance ();
-             if !pos + 4 > n then error "truncated \\u escape";
-             let hex = String.sub s !pos 4 in
-             pos := !pos + 4;
-             let code =
-               try int_of_string ("0x" ^ hex)
-               with _ -> error "bad \\u escape"
-             in
-             (* encode the BMP codepoint as UTF-8 *)
-             if code < 0x80 then Buffer.add_char b (Char.chr code)
-             else if code < 0x800 then begin
-               Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-             end
-             else begin
-               Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-               Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-               Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-             end
-           | c -> error (Printf.sprintf "bad escape '\\%c'" c));
-          go ()
-        | c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      let num_char = function
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && num_char s.[!pos] do
-        advance ()
-      done;
-      let sub = String.sub s start (!pos - start) in
-      match float_of_string_opt sub with
-      | Some f -> Num f
-      | None -> error ("bad number " ^ sub)
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | None -> error "unexpected end of input"
-      | Some '"' -> Str (parse_string ())
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec fields acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              List.rev ((k, v) :: acc)
-            | _ -> error "expected ',' or '}'"
-          in
-          Obj (fields [])
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              elems (v :: acc)
-            | Some ']' ->
-              advance ();
-              List.rev (v :: acc)
-            | _ -> error "expected ',' or ']'"
-          in
-          Arr (elems [])
-        end
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> parse_number ()
-    in
-    match
-      let v = parse_value () in
-      skip_ws ();
-      if !pos <> n then error "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Parse_error msg -> Error msg
-
-  let parse_file path =
-    match In_channel.with_open_bin path In_channel.input_all with
-    | contents -> parse contents
-    | exception Sys_error msg -> Error msg
-end
+module Json = Obs_json
 
 let value_json = function
   | I i -> string_of_int i
@@ -376,30 +183,50 @@ module Chrome = struct
      timestamps) — the scales must not share a track. *)
   let pid_of_cat = function "machine" -> 2 | _ -> 1
 
-  let event_json ev =
-    let ph, extra =
-      match ev.ph with
-      | Begin -> ("B", "")
-      | End -> ("E", "")
-      | Instant -> ("i", ",\"s\":\"t\"")
-      | Counter -> ("C", "")
-      | Complete dur -> ("X", Printf.sprintf ",\"dur\":%s" (Json.float_str dur))
-    in
+  (* Metadata records (ph "M") carry no timestamp. *)
+  let meta_json ~pid ~tid name args =
     Printf.sprintf
-      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d%s,\"args\":%s}"
-      (Json.escape ev.name)
-      (Json.escape (if ev.cat = "" then "default" else ev.cat))
-      ph
-      (Json.float_str ev.ts_us)
-      (pid_of_cat ev.cat) ev.tid extra (args_json ev.args)
+      "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":%s}"
+      (Json.escape name) pid tid (args_json args)
 
+  let event_json ev =
+    match ev.ph with
+    | Meta -> meta_json ~pid:(pid_of_cat ev.cat) ~tid:ev.tid ev.name ev.args
+    | _ ->
+      let ph, extra =
+        match ev.ph with
+        | Begin -> ("B", "")
+        | End -> ("E", "")
+        | Instant -> ("i", ",\"s\":\"t\"")
+        | Counter -> ("C", "")
+        | Complete dur -> ("X", Printf.sprintf ",\"dur\":%s" (Json.float_str dur))
+        | Meta -> assert false
+      in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d%s,\"args\":%s}"
+        (Json.escape ev.name)
+        (Json.escape (if ev.cat = "" then "default" else ev.cat))
+        ph
+        (Json.float_str ev.ts_us)
+        (pid_of_cat ev.cat) ev.tid extra (args_json ev.args)
+
+  (* Track names Perfetto shows instead of bare pid/tid numbers: the
+     solver's main thread on pid 1 and the machine's functional units on
+     pid 2 are static; portfolio workers announce themselves with
+     {!thread_name} when they start. *)
   let metadata =
     [
-      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"solver\"}}";
-      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"eit-machine (1us = 1 cycle)\"}}";
+      meta_json ~pid:1 ~tid:0 "process_name" [ ("name", S "solver") ];
+      meta_json ~pid:2 ~tid:0 "process_name"
+        [ ("name", S "eit-machine (1us = 1 cycle)") ];
+      meta_json ~pid:1 ~tid:0 "thread_name" [ ("name", S "main") ];
+      meta_json ~pid:2 ~tid:0 "thread_name" [ ("name", S "vector-core") ];
+      meta_json ~pid:2 ~tid:1 "thread_name" [ ("name", S "scalar-accel") ];
+      meta_json ~pid:2 ~tid:2 "thread_name" [ ("name", S "index-merge") ];
     ]
 
-  let sink ~path =
+  let sink ?(other_data = []) ~path () =
+    let started = Unix.gettimeofday () in
     let buf = Buffer.create 4096 in
     List.iter
       (fun m ->
@@ -415,8 +242,13 @@ module Chrome = struct
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc "{\"traceEvents\":[\n";
           Out_channel.output_string oc (Buffer.contents buf);
+          Out_channel.output_string oc "\n],\"displayTimeUnit\":\"ms\"";
+          (* [Analyze] and `trace-diff` read these labels back to head
+             their reports; the wall-clock start anchors the us-epoch. *)
           Out_channel.output_string oc
-            "\n],\"displayTimeUnit\":\"ms\"}\n")
+            (Printf.sprintf ",\"otherData\":%s"
+               (args_json (other_data @ [ ("started_unix", F started) ])));
+          Out_channel.output_string oc "}\n")
     in
     make_sink ~close on_event
 end
@@ -431,6 +263,7 @@ module Jsonl = struct
     | Instant -> "i"
     | Counter -> "C"
     | Complete _ -> "X"
+    | Meta -> "M"
 
   let sink ~path =
     let oc = Out_channel.open_bin path in
@@ -659,6 +492,7 @@ module Agg = struct
       in
       Hashtbl.replace t.span_stats ev.name
         { s_count = st.s_count + 1; s_total_us = st.s_total_us +. dur }
+    | Meta -> ()
 
   let sink t = make_sink (on_event t)
 
@@ -680,3 +514,10 @@ module Agg = struct
         | 0 -> compare b.p_runs a.p_runs
         | c -> c)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Trace analytics: span forests, flame graphs, utilization, diffing.
+   Lives in its own unit; re-exported here so users write
+   [Obs.Analyze.of_file]. *)
+
+module Analyze = Analyze

@@ -25,6 +25,7 @@ type ph =
   | Instant    (** point event (Chrome ["i"]) *)
   | Counter    (** gauge sample; args are the series (Chrome ["C"]) *)
   | Complete of float  (** self-contained span with duration in us (Chrome ["X"]) *)
+  | Meta       (** track metadata — thread/process names (Chrome ["M"]) *)
 
 type event = {
   name : string;
@@ -85,6 +86,12 @@ val complete :
   ?cat:string -> ?tid:int -> ?args:(string * value) list ->
   ts_us:float -> dur_us:float -> string -> unit
 
+val thread_name : ?cat:string -> ?tid:int -> string -> unit
+(** Label the (pid, tid) track this is emitted on (pid derives from
+    [cat] as usual).  The Chrome sink writes a ph:["M"] metadata record
+    so Perfetto shows e.g. "worker-2"; {!Analyze} reads it back to
+    label reports. *)
+
 val profile_row :
   ?tid:int -> name:string -> runs:int -> wakes:int -> prunes:int ->
   time_ms:float -> unit -> unit
@@ -126,10 +133,15 @@ end
 (** {1 Sinks} *)
 
 module Chrome : sig
-  val sink : path:string -> sink
+  val sink : ?other_data:(string * value) list -> path:string -> unit -> sink
   (** Buffers events; on detach writes a [{"traceEvents": [...]}] file
       loadable in [about://tracing] / Perfetto.  Solver events live on
-      pid 1 (wall-clock us), machine events on pid 2 (1 us = 1 cycle). *)
+      pid 1 (wall-clock us), machine events on pid 2 (1 us = 1 cycle).
+      Process/thread-name metadata for the static tracks is emitted up
+      front; [other_data] fields (kernel, slots, mode, ...) land in the
+      file's top-level ["otherData"] object together with the
+      wall-clock start, and {!Analyze} reads them back to label
+      reports. *)
 end
 
 module Jsonl : sig
@@ -167,4 +179,133 @@ module Agg : sig
 
   val profiles : t -> (string * prow) list
   (** Per-propagator profiles, most time (then most runs) first. *)
+end
+
+(** {1 Trace analytics}
+
+    The read side: rebuild the span forest from a Chrome trace,
+    compute inclusive/exclusive times, fold it into FlameGraph
+    collapsed-stack lines, extract the critical path, derive machine
+    utilization from the pid-2 cycle timeline, and structurally diff
+    two traces (the engine behind [eitc trace-report] /
+    [eitc trace-diff]). *)
+
+module Analyze : sig
+  type node = {
+    n_name : string;
+    n_cat : string;
+    n_ts : float;    (** start: us on pid 1, cycles on pid 2 *)
+    n_incl : float;  (** inclusive duration *)
+    n_excl : float;  (** exclusive = inclusive − Σ children, clamped ≥ 0 *)
+    n_children : node list;  (** in emission order *)
+  }
+
+  type track = {
+    tr_pid : int;
+    tr_tid : int;
+    tr_label : string;  (** from process/thread-name metadata, e.g. "solver/main" *)
+    tr_roots : node list;
+  }
+
+  type profile = {
+    a_runs : int;
+    a_wakes : int;
+    a_prunes : int;
+    a_time_ms : float;
+  }
+
+  type machine = {
+    mc_cycles : int;            (** timeline horizon in cycles *)
+    mc_busy_lane_cycles : int;  (** Σ over cycles of busy lanes *)
+    mc_peak_lanes : int;
+    mc_avg_lanes : float;
+    mc_lane_util : float;       (** busy-lane-cycles / (cycles × peak), % *)
+    mc_unit_busy : (string * int) list;  (** functional unit → busy cycles *)
+    mc_read_hist : (int * int) list;     (** reads/cycle → #cycles *)
+    mc_write_hist : (int * int) list;
+    mc_peak_reads : int;
+    mc_peak_accesses : int;     (** max reads+writes in any one cycle *)
+  }
+
+  type summary = {
+    sm_other : (string * Json.t) list;  (** the trace's [otherData] labels *)
+    sm_tracks : track list;             (** sorted by (pid, tid) *)
+    sm_span_stats : ((string * string) * (int * float)) list;
+        (** (track label, span name) → (count, total inclusive us),
+            all nesting depths, largest total first *)
+    sm_profiles : (string * profile) list;  (** propagator rows, merged *)
+    sm_counts : (string * int) list;        (** instant tallies *)
+    sm_machine : machine option;  (** [None] when the trace has no pid-2 timeline *)
+    sm_events : int;
+  }
+
+  val of_json : Json.t -> (summary, string) result
+  (** Lenient where {!Check.trace_json} is strict: unmatched ends are
+      dropped and spans still open at the end of the trace are closed
+      at their track's last timestamp. *)
+
+  val of_file : string -> (summary, string) result
+
+  val label : summary -> string
+  (** "kernel=qrd mode=sequential slots=64" from [otherData]; [""] when
+      the trace carries no labels. *)
+
+  val folded : summary -> (string * float) list
+  (** Collapsed stacks: ["track;span;child" → exclusive us], merged
+      over identical stacks, first-seen order.  Semicolons inside frame
+      names are replaced by commas. *)
+
+  val write_folded : string -> summary -> unit
+  (** One ["a;b;c <int>"] line per stack — flamegraph.pl / speedscope
+      input.  Values are rounded exclusive us, clamped ≥ 0. *)
+
+  val critical_path : summary -> node list
+  (** Heaviest-child chain from the largest sched-phase root on the
+      solver's main track (pid 1, tid 0); [[]] if that track is absent. *)
+
+  val root_inclusive : summary -> float option
+  (** Inclusive time of the critical path's root, us. *)
+
+  (** {2 Trace diff} *)
+
+  type span_delta = {
+    sd_key : string * string;  (** (track label, span name) *)
+    sd_count_b : int;
+    sd_count_a : int;
+    sd_total_b : float;  (** us *)
+    sd_total_a : float;
+  }
+
+  type profile_delta = {
+    pd_name : string;
+    pd_before : profile option;
+    pd_after : profile option;
+  }
+
+  type count_delta = { cd_name : string; cd_before : int; cd_after : int }
+
+  type diff = {
+    df_label_b : string;
+    df_label_a : string;
+    df_spans : span_delta list;        (** matched by (track, name) *)
+    df_new : (string * string) list;   (** spans present only in [after] *)
+    df_gone : (string * string) list;  (** spans present only in [before] *)
+    df_profiles : profile_delta list;  (** union of propagator names *)
+    df_counts : count_delta list;      (** union of instant names *)
+  }
+
+  val diff : summary -> summary -> diff
+
+  val regressions : ?threshold:float -> diff -> string list
+  (** Watched-metric regressions past [threshold] percent (default 10):
+      total and per-propagator run counts, and the search [branch] /
+      [fail] tallies — the deterministic work counters.  Wall-clock
+      time never gates (noisy in CI).  A trace diffed against itself
+      yields [[]]. *)
+
+  (** {2 Printing} *)
+
+  val pp_report : ?utilization:bool -> Format.formatter -> summary -> unit
+  val pp_utilization : Format.formatter -> machine -> unit
+  val pp_diff : Format.formatter -> diff -> unit
 end

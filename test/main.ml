@@ -32,5 +32,6 @@ let () =
       ("more", T_more.suite);
       ("robust", T_robust.suite);
       ("obs", T_obs.suite);
+      ("obs.analyze", T_analyze.suite);
       ("dsl.stats", T_stats.suite);
     ]

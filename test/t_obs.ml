@@ -35,7 +35,7 @@ let test_json_rejects () =
 let solve_with_trace path kernel =
   let g = (Eit_dsl.Merge.run kernel).Eit_dsl.Merge.graph in
   Obs.with_sink
-    (Obs.Chrome.sink ~path)
+    (Obs.Chrome.sink ~other_data:[ ("kernel", Obs.S "test") ] ~path ())
     (fun () -> Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) g)
 
 let test_trace_wellformed () =
