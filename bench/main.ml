@@ -606,19 +606,22 @@ let profile_rows ?(budget = Fd.Search.time_budget 10_000.) kernels =
   List.map
     (fun (kernel, g) ->
       let agg = Obs.Agg.create () in
+      let optimal = ref false in
       Obs.with_sink (Obs.Agg.sink agg) (fun () ->
-          ignore (Sched.Solve.run ~budget g));
-      (kernel, Obs.Agg.profiles agg))
+          let o = Sched.Solve.run ~budget g in
+          optimal := o.Sched.Solve.stats.Fd.Search.optimal);
+      (kernel, !optimal, Obs.Agg.profiles agg))
     kernels
 
 let profile_json profiles =
   let open Obs.Json in
   Arr
     (List.map
-       (fun (kernel, rows) ->
+       (fun (kernel, optimal, rows) ->
          Obj
            [
              ("kernel", Str kernel);
+             ("optimal", Bool optimal);
              ( "rows",
                Arr
                  (List.map
@@ -629,6 +632,7 @@ let profile_json profiles =
                           ("runs", Num (float_of_int p.Obs.Agg.p_runs));
                           ("wakes", Num (float_of_int p.Obs.Agg.p_wakes));
                           ("prunes", Num (float_of_int p.Obs.Agg.p_prunes));
+                          ("entails", Num (float_of_int p.Obs.Agg.p_entails));
                           ("time_ms", Num p.Obs.Agg.p_time_ms);
                         ])
                     rows) );
@@ -637,13 +641,14 @@ let profile_json profiles =
 
 let print_profile_table profiles =
   List.iter
-    (fun (kernel, rows) ->
-      Format.printf "@.%s@.%-22s %8s %8s %8s %12s@." kernel "propagator" "runs"
-        "wakes" "prunes" "time (ms)";
+    (fun (kernel, _, rows) ->
+      Format.printf "@.%s@.%-22s %8s %8s %8s %8s %12s@." kernel "propagator"
+        "runs" "wakes" "prunes" "entails" "time (ms)";
       List.iter
         (fun (name, p) ->
-          Format.printf "%-22s %8d %8d %8d %12.2f@." name p.Obs.Agg.p_runs
-            p.Obs.Agg.p_wakes p.Obs.Agg.p_prunes p.Obs.Agg.p_time_ms)
+          Format.printf "%-22s %8d %8d %8d %8d %12.2f@." name p.Obs.Agg.p_runs
+            p.Obs.Agg.p_wakes p.Obs.Agg.p_prunes p.Obs.Agg.p_entails
+            p.Obs.Agg.p_time_ms)
         rows)
     profiles
 
@@ -854,6 +859,47 @@ let parse_baseline path : (run_row list, string) result =
            rs)
     | _ -> Error "missing \"runs\" array")
 
+(* Per-kernel propagator run counts from the baseline's
+   propagator_profiles section: (kernel, optimal, (name, runs) list).
+   Baselines written before the "optimal" field existed were all
+   proved-optimal sequential runs, so a missing field defaults to
+   [true]. *)
+let parse_profile_baseline path :
+    ((string * bool * (string * int) list) list, string) result =
+  match Obs.Json.parse_file path with
+  | Error e -> Error e
+  | Ok j -> (
+    match Obs.Json.member "propagator_profiles" j with
+    | Some (Obs.Json.Arr ks) ->
+      Ok
+        (List.filter_map
+           (fun k ->
+             match Obs.Json.member "kernel" k with
+             | Some (Obs.Json.Str kernel) ->
+               let optimal =
+                 match Obs.Json.member "optimal" k with
+                 | Some (Obs.Json.Bool b) -> b
+                 | _ -> true
+               in
+               let rows =
+                 match Obs.Json.member "rows" k with
+                 | Some (Obs.Json.Arr rs) ->
+                   List.filter_map
+                     (fun r ->
+                       match
+                         (Obs.Json.member "name" r, Obs.Json.member "runs" r)
+                       with
+                       | Some (Obs.Json.Str n), Some (Obs.Json.Num f) ->
+                         Some (n, int_of_float f)
+                       | _ -> None)
+                     rs
+                 | _ -> []
+               in
+               Some (kernel, optimal, rows)
+             | _ -> None)
+           ks)
+    | _ -> Error "missing \"propagator_profiles\"")
+
 (* Only rows whose counters are reproducible can gate: portfolio rows
    race OCaml 5 domains (nodes/propagations vary run to run) and
    timeout rows stop on wall-clock, so both are advisory-only.  Time is
@@ -863,8 +909,8 @@ let gate_threshold = 25.
 let compare_run ?(against = "BENCH_solver.json") () =
   header
     (Printf.sprintf
-       "Regression compare vs %s (gate: propagations/nodes +%.0f%% on \
-        deterministic rows)"
+       "Regression compare vs %s (gate: propagations/nodes and \
+        per-propagator runs +%.0f%% on deterministic rows)"
        against gate_threshold);
   match parse_baseline against with
   | Error e ->
@@ -916,6 +962,47 @@ let compare_run ?(against = "BENCH_solver.json") () =
           Format.printf "%-8s %-12s %6d | new row (not in baseline)@."
             f.r_kernel f.r_mode f.r_slots)
       fresh;
+    (* Per-propagator run counts: a retired propagator silently coming
+       back to life (lost entailment, wake-event widening) shows up
+       here long before it costs enough wall-clock to trip the row
+       gate.  Sequential profile runs are deterministic whenever both
+       sides proved optimality, so the same threshold gates them. *)
+    (match parse_profile_baseline against with
+    | Error e -> Format.printf "@.(no propagator-runs baseline: %s)@." e
+    | Ok prof_base ->
+      let prof_fresh =
+        profile_rows [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
+      in
+      Format.printf "@.%-8s %-22s %10s %10s %8s@." "kernel" "propagator"
+        "runs(b)" "runs(a)" "d%";
+      List.iter
+        (fun (kernel, b_opt, b_rows) ->
+          match
+            List.find_opt (fun (k, _, _) -> k = kernel) prof_fresh
+          with
+          | None ->
+            Format.printf "%-8s | kernel vanished from the profile suite@."
+              kernel
+          | Some (_, f_opt, f_rows) ->
+            let deterministic = b_opt && f_opt in
+            List.iter
+              (fun (name, b_runs) ->
+                let f_runs =
+                  match List.find_opt (fun (n, _) -> n = name) f_rows with
+                  | Some (_, p) -> p.Obs.Agg.p_runs
+                  | None -> 0
+                in
+                let d = pct b_runs f_runs in
+                if deterministic && d > gate_threshold then
+                  regressions :=
+                    Printf.sprintf "%s propagator %s runs +%.1f%%" kernel
+                      name d
+                    :: !regressions;
+                Format.printf "%-8s %-22s %10d %10d %+7.1f%%%s@." kernel name
+                  b_runs f_runs d
+                  (if deterministic then "" else "  (advisory)"))
+              b_rows)
+        prof_base);
     (match !regressions with
     | [] ->
       Format.printf "@.no solver-counter regressions vs %s@." against;

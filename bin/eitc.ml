@@ -117,12 +117,12 @@ let print_metrics agg =
   match profiles agg with
   | [] -> ()
   | ps ->
-    Format.printf "@.%-22s %8s %8s %8s %12s %8s@." "propagator" "runs" "wakes"
-      "prunes" "time (ms)" "workers";
+    Format.printf "@.%-22s %8s %8s %8s %8s %12s %8s@." "propagator" "runs"
+      "wakes" "prunes" "entails" "time (ms)" "workers";
     List.iter
       (fun (n, p) ->
-        Format.printf "%-22s %8d %8d %8d %12.2f %8d@." n p.p_runs p.p_wakes
-          p.p_prunes p.p_time_ms p.p_workers)
+        Format.printf "%-22s %8d %8d %8d %8d %12.2f %8d@." n p.p_runs p.p_wakes
+          p.p_prunes p.p_entails p.p_time_ms p.p_workers)
       ps
 
 (* Attach the requested sinks around [f], detach afterwards (flushing
@@ -189,12 +189,13 @@ let report_outcome name arch o =
   (match o.Sched.Solve.schedule with
   | Some sch ->
     Format.printf
-      "%s: %a, makespan=%d cc, %d/%d slots used, %d nodes, %d fails, %.0f ms@."
+      "%s: %a, makespan=%d cc, %d/%d slots used, %d nodes, %d fails, %d \
+       props, %.0f ms@."
       name Sched.Solve.pp_status o.Sched.Solve.status
       sch.Sched.Schedule.makespan
       (Sched.Schedule.slots_used sch)
       (Eit.Arch.slots arch) o.stats.Fd.Search.nodes o.stats.Fd.Search.failures
-      o.stats.Fd.Search.time_ms
+      o.stats.Fd.Search.propagations o.stats.Fd.Search.time_ms
   | None ->
     Format.printf "%s: %a after %.0f ms@." name Sched.Solve.pp_status
       o.Sched.Solve.status o.stats.Fd.Search.time_ms);

@@ -84,3 +84,25 @@ if "$EITC" trace-diff "$trace" "$doctored" --threshold 10 > /dev/null; then
 fi
 rm -f "$trace" "$folded" "$doctored"
 echo "check.sh: trace analytics OK (report + flame, self-diff clean, doctored diff gated)"
+
+# Propagation-budget smoke: the profile-guided engine (entailment +
+# staged watch sets + incremental propagators) holds MATMUL's
+# sequential solve around 440k propagator runs; the pre-entailment
+# engine needed ~1.26M.  A breach of this ceiling means a wake-gating
+# or entailment path quietly stopped working.
+out=$("$EITC" schedule matmul) || {
+  echo "check.sh: matmul schedule failed" >&2
+  echo "$out" >&2
+  exit 1
+}
+props=$(printf '%s\n' "$out" | sed -n 's/.* \([0-9][0-9]*\) props.*/\1/p')
+if [ -z "$props" ]; then
+  echo "check.sh: matmul report line lacks a props count" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if [ "$props" -gt 600000 ]; then
+  echo "check.sh: matmul used $props propagations (budget 600000)" >&2
+  exit 1
+fi
+echo "check.sh: propagation budget OK (matmul $props props <= 600000)"

@@ -4,7 +4,8 @@ let leq_offset s x c y =
   let prop st =
     (* x + c <= y *)
     remove_below st y (vmin x + c);
-    remove_above st x (vmax y - c)
+    remove_above st x (vmax y - c);
+    if vmax x + c <= vmin y then entail_now st
   in
   ignore (post_now s ~name:"leq_offset" ~event:On_bounds ~watches:[ x; y ] prop);
   propagate s
@@ -15,7 +16,10 @@ let lt s x y = leq_offset s x 1 y
 let eq_offset s x c y =
   let prop st =
     update st y (Dom.shift c (dom x));
-    update st x (Dom.shift (-c) (dom y))
+    update st x (Dom.shift (-c) (dom y));
+    (* both domains are now equal (mod the shift), so one fixed side
+       fixes the other: the equality can never prune again *)
+    if is_fixed x then entail_now st
   in
   ignore (post_now s ~name:"eq_offset" ~watches:[ x; y ] prop);
   propagate s
@@ -24,8 +28,17 @@ let eq s x y = eq_offset s x 0 y
 
 let neq_offset s x c y =
   let prop st =
-    if is_fixed x then remove_value st y (value x + c)
-    else if is_fixed y then remove_value st x (value y - c)
+    if is_fixed x then begin
+      remove_value st y (value x + c);
+      entail_now st
+    end
+    else if is_fixed y then begin
+      remove_value st x (value y - c);
+      entail_now st
+    end
+    else if vmax x + c < vmin y || vmin x + c > vmax y then
+      (* bounds already force the disequality *)
+      entail_now st
   in
   ignore (post_now s ~name:"neq_offset" ~event:On_fix ~watches:[ x; y ] prop);
   propagate s
@@ -40,26 +53,98 @@ let plus s x y z =
     remove_below st x (vmin z - vmax y);
     remove_above st x (vmax z - vmin y);
     remove_below st y (vmin z - vmax x);
-    remove_above st y (vmax z - vmin x)
+    remove_above st y (vmax z - vmin x);
+    (* the value check is not redundant: with aliased arguments (e.g.
+       z = x + z) the bounds reads above can be stale mid-run, leaving
+       all three fixed at values that still violate the equation — the
+       next self-wake then fails, so we must keep watching *)
+    if is_fixed x && is_fixed y && is_fixed z && value z = value x + value y
+    then entail_now st
   in
   ignore (post_now s ~name:"plus" ~event:On_bounds ~watches:[ x; y; z ] prop);
   propagate s
 
+(* m = max(xs), incremental.  Two of the four filtering rules only fire
+   when a particular bound moved, and both skips are validated by the
+   store's backtrack generation (within one search node domains only
+   narrow, so a cached bound that did not move certifies the whole
+   cached quantity):
+
+   - ub(m) <= max_i ub(x_i) is re-derived only when the ub of the
+     cached argmax (the "support") dropped — no other ub can have risen
+     above it, so while the support's ub is unchanged the cached max
+     and the cap installed from it both still stand;
+   - the caps ub(x_i) <= ub(m) are re-applied only when ub(m) dropped
+     since the previous run — otherwise each x_i is already below the
+     installed cap.
+
+   The lb rules stay O(n) per run: they are two int scans with no
+   allocation, and their inputs (the lbs) have no single support. *)
 let max_of s xs m =
   if xs = [] then invalid_arg "Arith.max_of: empty list";
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  let sup = ref 0 in          (* index of the argmax-ub support *)
+  let c_gen = ref (-1) in     (* generation the caches were built at *)
+  let c_ub = ref max_int in   (* max_i ub(x_i) at the last rescan *)
+  let c_mhi = ref max_int in  (* ub(m) after the previous run *)
   let prop st =
-    let ub = List.fold_left (fun acc x -> Stdlib.max acc (vmax x)) min_int xs in
-    let lb = List.fold_left (fun acc x -> Stdlib.max acc (vmin x)) min_int xs in
-    remove_above st m ub;
-    remove_below st m lb;
-    List.iter (fun x -> remove_above st x (vmax m)) xs;
-    (* If only one variable can realize the maximum, it must. *)
-    let candidates = List.filter (fun x -> vmax x >= vmin m) xs in
-    match candidates with
-    | [ x ] -> remove_below st x (vmin m)
-    | _ -> ()
+    let gen = generation st in
+    let fresh = gen <> !c_gen in
+    c_gen := gen;
+    (* rule 1: ub(m) <= max_i ub(x_i), support-watched *)
+    if fresh || vmax xs.(!sup) < !c_ub then begin
+      let best = ref 0 and ub = ref min_int in
+      for i = 0 to n - 1 do
+        let hi = vmax xs.(i) in
+        if hi > !ub then begin
+          ub := hi;
+          best := i
+        end
+      done;
+      sup := !best;
+      c_ub := !ub;
+      remove_above st m !ub
+    end;
+    (* rule 2: lb(m) >= max_i lb(x_i) *)
+    let lb = ref min_int in
+    for i = 0 to n - 1 do
+      let lo = vmin xs.(i) in
+      if lo > !lb then lb := lo
+    done;
+    remove_below st m !lb;
+    (* rule 3: every x_i <= ub(m), re-applied only when ub(m) dropped *)
+    let mhi = vmax m in
+    if fresh || mhi < !c_mhi then
+      for i = 0 to n - 1 do
+        if vmax xs.(i) > mhi then remove_above st xs.(i) mhi
+      done;
+    c_mhi := mhi;
+    (* rule 4: if only one variable can realize the maximum, it must *)
+    let mlo = vmin m in
+    let ncand = ref 0 and cand = ref (-1) in
+    for i = 0 to n - 1 do
+      if vmax xs.(i) >= mlo then begin
+        incr ncand;
+        cand := i
+      end
+    done;
+    if !ncand = 1 then remove_below st xs.(!cand) mlo;
+    (* entailed once the maximum is decided: m is fixed, every x_i is
+       capped at its value (rule 3 invariant) and some x_i is pinned
+       there *)
+    if is_fixed m then begin
+      let v = vmin m in
+      let ok = ref false in
+      for i = 0 to n - 1 do
+        if vmin xs.(i) >= v then ok := true
+      done;
+      if !ok then entail_now st
+    end
   in
-  ignore (post_now s ~name:"max_of" ~event:On_bounds ~watches:(m :: xs) prop);
+  ignore
+    (post_now s ~name:"max_of" ~event:On_bounds ~watches:(m :: Array.to_list xs)
+       prop);
   propagate s
 
 let min_of s xs m =
@@ -80,7 +165,10 @@ let min_of s xs m =
 
 let mul_const s c x y =
   if c = 0 then begin
-    let prop st = assign st y 0 in
+    let prop st =
+      assign st y 0;
+      entail_now st
+    in
     ignore (post_now s ~name:"mul_const0" ~watches:[ y ] prop)
   end
   else begin
@@ -93,7 +181,10 @@ let mul_const s c x y =
           (if c > 0 then dom y else Dom.neg (dom y))
       in
       let dx = Dom.map_monotone (fun v -> v / abs c) dx in
-      update st x dx
+      update st x dx;
+      (* y = c*x with c <> 0 is a bijection, so one fixed side fixes the
+         other in the updates above *)
+      if is_fixed x then entail_now st
     in
     ignore (post_now s ~name:"mul_const" ~watches:[ x; y ] prop)
   end;
@@ -113,7 +204,8 @@ let div_const s x c q =
       Dom.of_intervals
         (List.map (fun (lo, hi) -> (lo * c, (hi * c) + c - 1)) (Dom.intervals dq))
     in
-    update st x dx
+    update st x dx;
+    if is_fixed x then entail_now st
   in
   ignore (post_now s ~name:"div_const" ~watches:[ x; q ] prop);
   propagate s
@@ -126,7 +218,8 @@ let mod_const s x c r =
     update st r dr;
     let drr = dom r in
     let dx = Dom.filter (fun v -> Dom.mem (v mod c) drr) (dom x) in
-    update st x dx
+    update st x dx;
+    if is_fixed x then entail_now st
   in
   ignore (post_now s ~name:"mod_const" ~watches:[ x; r ] prop);
   propagate s
@@ -140,8 +233,9 @@ let linear_bounds terms =
 
 let linear_leq s terms k =
   let prop st =
-    let lo, _ = linear_bounds terms in
+    let lo, hi = linear_bounds terms in
     if lo > k then raise (Fail "linear_leq");
+    if hi <= k then entail_now st;
     List.iter
       (fun (c, x) ->
         if c > 0 then begin

@@ -22,7 +22,35 @@ val guarded_implies_eq :
     [a = b ==> (p = q ==> l = m)].
 
     Entailed as soon as dom([a]) and dom([b]) become disjoint; active
-    (behaving like {!implies_eq}) once [a] and [b] are fixed and equal. *)
+    (behaving like {!implies_eq}) once [a] and [b] are fixed and equal.
+
+    Staged: until the guard is decided the propagator watches only
+    [(a, b)] with [On_fix] — it is not on the watcher lists of [p], [q],
+    [l], [m] at all, so narrowings of those variables cost nothing while
+    no prune of this constraint can apply. *)
+
+val guarded_implies_eq_all :
+  t -> guard:(var * var) -> ((var * var) * (var * var)) list -> unit
+(** [guarded_implies_eq_all s ~guard pairs] posts
+    [a = b ==> (p = q ==> l = m)] for every [((p, q), (l, m))] in
+    [pairs], batched into a single staged propagator.  Equivalent in
+    filtering to one {!guarded_implies_eq} per element, but a guard fix
+    wakes one propagator instead of [List.length pairs] copies.
+    Entailed when the guard is refuted or every implication in the
+    batch is decided. *)
+
+val guarded_implies_eq_hub :
+  t -> var -> (var * ((var * var) * (var * var)) list) list -> unit
+(** [guarded_implies_eq_hub s a partners] posts, for every
+    [(b, pairs)] in [partners] and every [((p, q), (l, m))] in [pairs],
+    the constraint [a = b ==> (p = q ==> l = m)] — all carried by a
+    {e single} propagator watching only [(On_fix, a)].  A fix of [a]
+    wakes one hub regardless of the partner count; pair [(a, b)] is
+    also rechecked when [b] fixes, provided the caller posts hubs
+    {e symmetrically} (a hub for [b] listing [a] as a partner), which
+    is required for completeness.  Active pairs (guard fixed-equal)
+    widen the watch set to their page/line variables, trailed via
+    {!Store.resubscribe}. *)
 
 val same_guard_neq :
   t -> guard:(var * var) -> var -> var -> unit

@@ -1,100 +1,70 @@
 open Store
 
+(* Feasibility check on a concrete assignment: a sweep over start/end
+   events instead of a scan of every time point, O(n log n) in the task
+   count and independent of the horizon.  At equal times the release
+   events (negative deltas) sort first, so a task ending at [t] frees
+   its capacity before one starting at [t] claims it — the same
+   closed-open [s, s+d) semantics the per-time-point loop had. *)
 let check ~starts ~durations ~resources ~limit =
   let n = Array.length starts in
   if n = 0 then true
   else begin
-    let horizon =
-      Array.to_list (Array.init n (fun i -> starts.(i) + durations.(i)))
-      |> List.fold_left Stdlib.max 0
-    in
-    let lo =
-      Array.to_list starts |> List.fold_left Stdlib.min max_int
-    in
-    let ok = ref true in
-    for t = lo to horizon - 1 do
-      let used = ref 0 in
-      for i = 0 to n - 1 do
-        if starts.(i) <= t && t < starts.(i) + durations.(i) then
-          used := !used + resources.(i)
-      done;
-      if !used > limit then ok := false
+    let events = ref [] in
+    for i = 0 to n - 1 do
+      if durations.(i) > 0 && resources.(i) <> 0 then
+        events :=
+          (starts.(i), resources.(i))
+          :: (starts.(i) + durations.(i), -resources.(i))
+          :: !events
     done;
+    let events =
+      List.sort
+        (fun (ta, da) (tb, db) ->
+          if ta <> tb then compare ta tb else compare da db)
+        !events
+    in
+    let ok = ref true and used = ref 0 in
+    List.iter
+      (fun (_, d) ->
+        used := !used + d;
+        if !used > limit then ok := false)
+      events;
     !ok
   end
 
-(* Variable durations: time-table filtering where task [i]'s compulsory
-   part is [lst_i, est_i + dmin_i) and, once the profile is built, both
-   the start and the duration of every task are pruned against it. *)
-let post_var s ~starts ~durations ~resources ~limit =
-  let n = Array.length starts in
-  if Array.length durations <> n || Array.length resources <> n then
-    invalid_arg "Cumulative.post_var: length mismatch";
-  Array.iteri
-    (fun i r ->
-      if r < 0 then invalid_arg "Cumulative.post_var: negative resource";
-      if r > limit && vmin durations.(i) > 0 then
-        invalid_arg "Cumulative.post_var: task exceeds resource limit")
-    resources;
-  if n > 0 then begin
-    let prop st =
-      let t0 =
-        Array.fold_left (fun acc v -> Stdlib.min acc (vmin v)) max_int starts
-      in
-      let t1 =
-        Array.to_list (Array.mapi (fun i v -> vmax v + vmax durations.(i)) starts)
-        |> List.fold_left Stdlib.max 0
-      in
-      let width = t1 - t0 in
-      if width > 0 then begin
-        let profile = Array.make width 0 in
-        let comp_lo = Array.make n 0 and comp_hi = Array.make n 0 in
-        for i = 0 to n - 1 do
-          let c_lo = vmax starts.(i)
-          and c_hi = vmin starts.(i) + vmin durations.(i) in
-          comp_lo.(i) <- c_lo;
-          comp_hi.(i) <- c_hi;
-          if c_lo < c_hi && resources.(i) > 0 then
-            for t = c_lo to c_hi - 1 do
-              profile.(t - t0) <- profile.(t - t0) + resources.(i)
-            done
-        done;
-        Array.iter
-          (fun u -> if u > limit then raise (Fail "cumulative: overload"))
-          profile;
-        for i = 0 to n - 1 do
-          let r = resources.(i) in
-          if r > 0 && vmin durations.(i) > 0 then begin
-            let own t = if comp_lo.(i) <= t && t < comp_hi.(i) then r else 0 in
-            let fits v d =
-              let rec go t =
-                t >= v + d || (profile.(t - t0) - own t + r <= limit && go (t + 1))
-              in
-              go v
-            in
-            (* prune starts against the minimal duration *)
-            if not (is_fixed starts.(i)) then
-              update st starts.(i)
-                (Dom.filter (fun v -> fits v (vmin durations.(i))) (dom starts.(i)));
-            (* prune the duration against the earliest possible start *)
-            let dmax_ok =
-              let v = vmin starts.(i) in
-              let rec widest d =
-                if d >= vmax durations.(i) then d
-                else if fits v (d + 1) then widest (d + 1)
-                else d
-              in
-              widest (vmin durations.(i))
-            in
-            if is_fixed starts.(i) then remove_above st durations.(i) dmax_ok
-          end
-        done
-      end
-    in
-    let watches = Array.to_list starts @ Array.to_list durations in
-    ignore (post_now s ~name:"cumulative_var" ~priority:prio_arith ~event:On_bounds ~watches prop);
-    propagate s
-  end
+(* ------------------------------------------------------------------
+   Incremental timetable filtering.
+
+   The classic timetable propagator rebuilds the compulsory-part
+   profile (sum over tasks of r_i on [lst_i, est_i + d_i)) from scratch
+   on every wake and then re-filters every task.  Both are wasted work
+   on most wakes: within one search node domains only narrow, so
+   compulsory parts only ever *grow*, and most wakes change the part of
+   at most one task.
+
+   The state kept across wakes:
+   - [gen] — the store's backtrack generation the caches were built at.
+     After a backtrack (generation mismatch) domains may have widened,
+     so everything is rebuilt from scratch (and the profile array is
+     re-sized to the current horizon window).  Within a node the caches
+     stay exact.
+   - [profile] over the rebuild window, plus each task's cached
+     compulsory part [c_lo, c_hi).  On a wake, only the ranges where a
+     part grew (old part ⊆ new part, by monotonicity) are added to the
+     profile and overload-checked: the rest of the profile was proved
+     ≤ limit at the end of the previous run.
+   - each task's last-seen start domain ([c_dom], compared by physical
+     equality — [Dom.t] values are immutable and replaced on change).
+     A task is re-filtered only if its own domain changed or a range
+     some *other* task's part grew over intersects its window
+     [vmin s_i, vmax s_i + d_i); otherwise its previous filtering is
+     still the fixpoint (the residual profile under its window is
+     unchanged), and the run skips it entirely.
+
+   A failed run leaves the caches consistent (they are updated in
+   lockstep with the profile additions), and the search backtracks on
+   failure, which bumps the generation and forces the rebuild anyway. *)
 
 let post s ~starts ~durations ~resources ~limit =
   let n = Array.length starts in
@@ -109,54 +79,277 @@ let post s ~starts ~durations ~resources ~limit =
     resources;
   if n = 0 then ()
   else begin
-    let prop st =
-      (* Profile over [t0, t1): compulsory parts only. *)
-      let t0 =
+    let gen = ref (-1) in
+    let t0 = ref 0 in
+    let profile = ref [||] in
+    let c_lo = Array.make n 0 and c_hi = Array.make n 0 in
+    let c_dom : Dom.t option array = Array.make n None in
+    let add_part i lo hi =
+      let p = !profile and base = !t0 in
+      for t = lo to hi - 1 do
+        p.(t - base) <- p.(t - base) + resources.(i)
+      done
+    in
+    let check_overload lo hi =
+      let p = !profile and base = !t0 in
+      for t = lo to hi - 1 do
+        if p.(t - base) > limit then raise (Fail "cumulative: overload")
+      done
+    in
+    (* Filter task [i] against the profile minus its own compulsory
+       part: a start value v is infeasible if some t in [v, v+d) has
+       residual profile + r_i > limit. *)
+    let prune st i =
+      let d = durations.(i) and r = resources.(i) in
+      if d > 0 && r > 0 && not (is_fixed starts.(i)) then begin
+        let p = !profile and base = !t0 in
+        let lo_i = c_lo.(i) and hi_i = c_hi.(i) in
+        let own t = if lo_i <= t && t < hi_i then r else 0 in
+        let feasible v =
+          let rec go t =
+            t >= v + d || (p.(t - base) - own t + r <= limit && go (t + 1))
+          in
+          go v
+        in
+        update st starts.(i) (Dom.filter feasible (dom starts.(i)))
+      end;
+      c_dom.(i) <- Some (dom starts.(i))
+    in
+    let rebuild st =
+      let lo =
         Array.fold_left (fun acc v -> Stdlib.min acc (vmin v)) max_int starts
       in
-      let t1 =
+      let hi =
         Array.to_list (Array.mapi (fun i v -> vmax v + durations.(i)) starts)
         |> List.fold_left Stdlib.max 0
       in
-      let width = t1 - t0 in
-      if width > 0 then begin
-        let profile = Array.make width 0 in
-        let comp_lo = Array.make n 0 and comp_hi = Array.make n 0 in
-        for i = 0 to n - 1 do
-          let est = vmin starts.(i) and lst = vmax starts.(i) in
-          let c_lo = lst and c_hi = est + durations.(i) in
-          comp_lo.(i) <- c_lo;
-          comp_hi.(i) <- c_hi;
-          if c_lo < c_hi && resources.(i) > 0 then
-            for t = c_lo to c_hi - 1 do
-              profile.(t - t0) <- profile.(t - t0) + resources.(i)
-            done
-        done;
-        (* Overload check. *)
-        Array.iter (fun u -> if u > limit then raise (Fail "cumulative: overload")) profile;
-        (* Prune each task against the profile minus its own compulsory
-           part.  A start value v is infeasible if some t in [v, v+d)
-           has residual profile + r_i > limit. *)
-        for i = 0 to n - 1 do
-          let d = durations.(i) and r = resources.(i) in
-          if d > 0 && r > 0 && not (is_fixed starts.(i)) then begin
-            let own t =
-              if comp_lo.(i) <= t && t < comp_hi.(i) then r else 0
-            in
-            let feasible v =
-              let rec go t =
-                t >= v + d
-                || (profile.(t - t0) - own t + r <= limit && go (t + 1))
-              in
-              go v
-            in
-            let pruned = Dom.filter feasible (dom starts.(i)) in
-            update st starts.(i) pruned
-          end
-        done
+      let width = hi - lo in
+      t0 := lo;
+      profile := if width > 0 then Array.make width 0 else [||];
+      for i = 0 to n - 1 do
+        c_lo.(i) <- vmax starts.(i);
+        c_hi.(i) <- vmin starts.(i) + durations.(i);
+        c_dom.(i) <- None;
+        if c_lo.(i) < c_hi.(i) && resources.(i) > 0 then
+          add_part i c_lo.(i) c_hi.(i)
+      done;
+      if width > 0 then check_overload lo hi;
+      for i = 0 to n - 1 do
+        prune st i
+      done
+    in
+    let incremental st =
+      (* pass 1: grow the cached compulsory parts and collect the dirty
+         ranges (owner tagged, to exempt the owner from re-filtering) *)
+      let ranges = ref [] in
+      for i = 0 to n - 1 do
+        let nlo = vmax starts.(i)
+        and nhi = vmin starts.(i) + durations.(i) in
+        let olo = c_lo.(i) and ohi = c_hi.(i) in
+        if nlo <> olo || nhi <> ohi then begin
+          c_lo.(i) <- nlo;
+          c_hi.(i) <- nhi;
+          if resources.(i) > 0 && nlo < nhi then
+            if olo < ohi then begin
+              (* old part non-empty: within a node it can only extend *)
+              if nlo < olo then begin
+                add_part i nlo olo;
+                ranges := (nlo, olo, i) :: !ranges
+              end;
+              if ohi < nhi then begin
+                add_part i ohi nhi;
+                ranges := (ohi, nhi, i) :: !ranges
+              end
+            end
+            else begin
+              add_part i nlo nhi;
+              ranges := (nlo, nhi, i) :: !ranges
+            end
+        end
+      done;
+      List.iter (fun (lo, hi, _) -> check_overload lo hi) !ranges;
+      (* pass 2: re-filter only the tasks whose fixpoint may have moved *)
+      for i = 0 to n - 1 do
+        let changed =
+          (match c_dom.(i) with
+          | Some d -> d != dom starts.(i)
+          | None -> true)
+          ||
+          match !ranges with
+          | [] -> false
+          | rs ->
+            let wlo = vmin starts.(i)
+            and whi = vmax starts.(i) + durations.(i) in
+            List.exists
+              (fun (lo, hi, owner) -> owner <> i && lo < whi && hi > wlo)
+              rs
+        in
+        if changed then prune st i
+      done
+    in
+    let prop st =
+      let g = generation st in
+      if g <> !gen then begin
+        gen := g;
+        rebuild st
       end
+      else incremental st
     in
     ignore
-      (post_now s ~name:"cumulative" ~priority:prio_arith ~event:On_bounds ~watches:(Array.to_list starts) prop);
+      (post_now s ~name:"cumulative" ~priority:prio_arith ~event:On_bounds
+         ~watches:(Array.to_list starts) prop);
+    propagate s
+  end
+
+(* Variable durations: the same incremental timetable where task [i]'s
+   compulsory part is [lst_i, est_i + dmin_i), and both the start and
+   the duration of every task are pruned against the profile.  Duration
+   domains participate in the change detection exactly like start
+   domains. *)
+let post_var s ~starts ~durations ~resources ~limit =
+  let n = Array.length starts in
+  if Array.length durations <> n || Array.length resources <> n then
+    invalid_arg "Cumulative.post_var: length mismatch";
+  Array.iteri
+    (fun i r ->
+      if r < 0 then invalid_arg "Cumulative.post_var: negative resource";
+      if r > limit && vmin durations.(i) > 0 then
+        invalid_arg "Cumulative.post_var: task exceeds resource limit")
+    resources;
+  if n > 0 then begin
+    let gen = ref (-1) in
+    let t0 = ref 0 in
+    let profile = ref [||] in
+    let c_lo = Array.make n 0 and c_hi = Array.make n 0 in
+    let c_sdom : Dom.t option array = Array.make n None in
+    let c_ddom : Dom.t option array = Array.make n None in
+    let add_part i lo hi =
+      let p = !profile and base = !t0 in
+      for t = lo to hi - 1 do
+        p.(t - base) <- p.(t - base) + resources.(i)
+      done
+    in
+    let check_overload lo hi =
+      let p = !profile and base = !t0 in
+      for t = lo to hi - 1 do
+        if p.(t - base) > limit then raise (Fail "cumulative: overload")
+      done
+    in
+    let prune st i =
+      let r = resources.(i) in
+      if r > 0 && vmin durations.(i) > 0 then begin
+        let p = !profile and base = !t0 in
+        let lo_i = c_lo.(i) and hi_i = c_hi.(i) in
+        let own t = if lo_i <= t && t < hi_i then r else 0 in
+        let fits v d =
+          let rec go t =
+            t >= v + d || (p.(t - base) - own t + r <= limit && go (t + 1))
+          in
+          go v
+        in
+        (* prune starts against the minimal duration *)
+        if not (is_fixed starts.(i)) then
+          update st starts.(i)
+            (Dom.filter (fun v -> fits v (vmin durations.(i))) (dom starts.(i)));
+        (* prune the duration against the earliest possible start *)
+        let dmax_ok =
+          let v = vmin starts.(i) in
+          let rec widest d =
+            if d >= vmax durations.(i) then d
+            else if fits v (d + 1) then widest (d + 1)
+            else d
+          in
+          widest (vmin durations.(i))
+        in
+        if is_fixed starts.(i) then remove_above st durations.(i) dmax_ok
+      end;
+      c_sdom.(i) <- Some (dom starts.(i));
+      c_ddom.(i) <- Some (dom durations.(i))
+    in
+    let rebuild st =
+      let lo =
+        Array.fold_left (fun acc v -> Stdlib.min acc (vmin v)) max_int starts
+      in
+      let hi =
+        Array.to_list
+          (Array.mapi (fun i v -> vmax v + vmax durations.(i)) starts)
+        |> List.fold_left Stdlib.max 0
+      in
+      let width = hi - lo in
+      t0 := lo;
+      profile := if width > 0 then Array.make width 0 else [||];
+      for i = 0 to n - 1 do
+        c_lo.(i) <- vmax starts.(i);
+        c_hi.(i) <- vmin starts.(i) + vmin durations.(i);
+        c_sdom.(i) <- None;
+        c_ddom.(i) <- None;
+        if c_lo.(i) < c_hi.(i) && resources.(i) > 0 then
+          add_part i c_lo.(i) c_hi.(i)
+      done;
+      if width > 0 then check_overload lo hi;
+      for i = 0 to n - 1 do
+        prune st i
+      done
+    in
+    let incremental st =
+      let ranges = ref [] in
+      for i = 0 to n - 1 do
+        let nlo = vmax starts.(i)
+        and nhi = vmin starts.(i) + vmin durations.(i) in
+        let olo = c_lo.(i) and ohi = c_hi.(i) in
+        if nlo <> olo || nhi <> ohi then begin
+          c_lo.(i) <- nlo;
+          c_hi.(i) <- nhi;
+          if resources.(i) > 0 && nlo < nhi then
+            if olo < ohi then begin
+              if nlo < olo then begin
+                add_part i nlo olo;
+                ranges := (nlo, olo, i) :: !ranges
+              end;
+              if ohi < nhi then begin
+                add_part i ohi nhi;
+                ranges := (ohi, nhi, i) :: !ranges
+              end
+            end
+            else begin
+              add_part i nlo nhi;
+              ranges := (nlo, nhi, i) :: !ranges
+            end
+        end
+      done;
+      List.iter (fun (lo, hi, _) -> check_overload lo hi) !ranges;
+      for i = 0 to n - 1 do
+        let changed =
+          (match c_sdom.(i) with
+          | Some d -> d != dom starts.(i)
+          | None -> true)
+          || (match c_ddom.(i) with
+             | Some d -> d != dom durations.(i)
+             | None -> true)
+          ||
+          match !ranges with
+          | [] -> false
+          | rs ->
+            let wlo = vmin starts.(i)
+            and whi = vmax starts.(i) + vmax durations.(i) in
+            List.exists
+              (fun (lo, hi, owner) -> owner <> i && lo < whi && hi > wlo)
+              rs
+        in
+        if changed then prune st i
+      done
+    in
+    let prop st =
+      let g = generation st in
+      if g <> !gen then begin
+        gen := g;
+        rebuild st
+      end
+      else incremental st
+    in
+    let watches = Array.to_list starts @ Array.to_list durations in
+    ignore
+      (post_now s ~name:"cumulative_var" ~priority:prio_arith ~event:On_bounds
+         ~watches prop);
     propagate s
   end

@@ -37,7 +37,10 @@ let of_slot s ~banks ~page_size slot =
       && Dom.mem (line_of_slot ~banks k) (dom line)
       && Dom.mem (page_of_slot ~banks ~page_size k) (dom page)
     in
-    update st slot (Dom.filter keep (dom slot))
+    update st slot (Dom.filter keep (dom slot));
+    (* a fixed slot fixes every coordinate (the slot -> coordinate maps
+       are functions), and the channeling can never prune again *)
+    if is_fixed slot then entail_now st
   in
   ignore (post_now s ~name:"slot_geometry" ~priority:prio_channel ~watches:[ slot; bank; line; page ] prop);
   propagate s;

@@ -7,18 +7,27 @@ let is_false b = is_fixed b && value b = 0
 
 let leq_iff s x y b =
   let prop st =
-    (* relation -> boolean *)
-    if vmax x <= vmin y then update st b (Dom.singleton 1)
-    else if vmin x > vmax y then update st b (Dom.singleton 0);
+    (* relation -> boolean.  Once the relation is decided by bounds it
+       stays decided (bounds only tighten), so both branches entail. *)
+    if vmax x <= vmin y then begin
+      update st b (Dom.singleton 1);
+      entail_now st
+    end
+    else if vmin x > vmax y then begin
+      update st b (Dom.singleton 0);
+      entail_now st
+    end
     (* boolean -> relation *)
-    if is_true b then begin
+    else if is_true b then begin
       remove_above st x (vmax y);
-      remove_below st y (vmin x)
+      remove_below st y (vmin x);
+      if vmax x <= vmin y then entail_now st
     end
     else if is_false b then begin
       (* x > y *)
       remove_below st x (vmin y + 1);
-      remove_above st y (vmax x - 1)
+      remove_above st y (vmax x - 1);
+      if vmin x > vmax y then entail_now st
     end
   in
   ignore (post_now s ~name:"leq_iff" ~event:On_bounds ~watches:[ x; y; b ] prop);
@@ -26,18 +35,30 @@ let leq_iff s x y b =
 
 let eq_iff s x y b =
   let prop st =
-    if is_fixed x && is_fixed y then
-      update st b (Dom.singleton (if value x = value y then 1 else 0))
-    else if Dom.is_empty (Dom.inter (dom x) (dom y)) then
+    if is_fixed x && is_fixed y then begin
+      update st b (Dom.singleton (if value x = value y then 1 else 0));
+      entail_now st
+    end
+    else if Dom.is_empty (Dom.inter (dom x) (dom y)) then begin
       update st b (Dom.singleton 0);
-    if is_true b then begin
+      entail_now st
+    end
+    else if is_true b then begin
       let joint = Dom.inter (dom x) (dom y) in
       update st x joint;
-      update st y joint
+      update st y joint;
+      if Dom.is_singleton joint then entail_now st
     end
     else if is_false b then begin
-      if is_fixed x then remove_value st y (value x)
-      else if is_fixed y then remove_value st x (value y)
+      (* the removal below makes the domains disjoint: entailed *)
+      if is_fixed x then begin
+        remove_value st y (value x);
+        entail_now st
+      end
+      else if is_fixed y then begin
+        remove_value st x (value y);
+        entail_now st
+      end
     end
   in
   ignore (post_now s ~name:"eq_iff" ~watches:[ x; y; b ] prop);
@@ -45,23 +66,47 @@ let eq_iff s x y b =
 
 let eq_const_iff s x k b =
   let prop st =
-    if not (Dom.mem k (dom x)) then update st b (Dom.singleton 0)
-    else if is_fixed x then update st b (Dom.singleton 1);
-    if is_true b then update st x (Dom.singleton k)
-    else if is_false b then remove_value st x k
+    if not (Dom.mem k (dom x)) then begin
+      update st b (Dom.singleton 0);
+      entail_now st
+    end
+    else if is_fixed x then begin
+      (* fixed and k is in the domain: x = k *)
+      update st b (Dom.singleton 1);
+      entail_now st
+    end
+    else if is_true b then begin
+      update st x (Dom.singleton k);
+      entail_now st
+    end
+    else if is_false b then begin
+      remove_value st x k;
+      entail_now st
+    end
   in
   ignore (post_now s ~name:"eq_const_iff" ~watches:[ x; b ] prop);
   propagate s
 
 let conj s bs b =
   let prop st =
-    if List.exists is_false bs then update st b (Dom.singleton 0)
-    else if List.for_all is_true bs then update st b (Dom.singleton 1);
-    if is_true b then List.iter (fun x -> update st x (Dom.singleton 1)) bs
+    if List.exists is_false bs then begin
+      update st b (Dom.singleton 0);
+      entail_now st
+    end
+    else if List.for_all is_true bs then begin
+      update st b (Dom.singleton 1);
+      entail_now st
+    end
+    else if is_true b then begin
+      List.iter (fun x -> update st x (Dom.singleton 1)) bs;
+      entail_now st
+    end
     else if is_false b then begin
       (* if all but one are true, the last must be false *)
       match List.filter (fun x -> not (is_true x)) bs with
-      | [ last ] -> update st last (Dom.singleton 0)
+      | [ last ] ->
+        update st last (Dom.singleton 0);
+        entail_now st
       | _ -> ()
     end
   in
@@ -70,12 +115,23 @@ let conj s bs b =
 
 let disj s bs b =
   let prop st =
-    if List.exists is_true bs then update st b (Dom.singleton 1)
-    else if List.for_all is_false bs then update st b (Dom.singleton 0);
-    if is_false b then List.iter (fun x -> update st x (Dom.singleton 0)) bs
+    if List.exists is_true bs then begin
+      update st b (Dom.singleton 1);
+      entail_now st
+    end
+    else if List.for_all is_false bs then begin
+      update st b (Dom.singleton 0);
+      entail_now st
+    end
+    else if is_false b then begin
+      List.iter (fun x -> update st x (Dom.singleton 0)) bs;
+      entail_now st
+    end
     else if is_true b then begin
       match List.filter (fun x -> not (is_false x)) bs with
-      | [ last ] -> update st last (Dom.singleton 1)
+      | [ last ] ->
+        update st last (Dom.singleton 1);
+        entail_now st
       | _ -> ()
     end
   in

@@ -22,17 +22,25 @@ and propagator = {
   pname : string;
   prio : int;
   exec : t -> unit;
+  mutable psubs : (event * var) list;
+      (* watcher-list subscriptions, kept so entailment can detach the
+         propagator and [pop_level] can re-attach it; mutable so a
+         propagator can rewrite its watch set as it changes phase
+         (see [resubscribe]) *)
   mutable queued : bool;
   mutable entailed : bool;
   mutable runs : int;
   mutable wakes : int;   (* false->true queued transitions *)
   mutable prunes : int;  (* domain commits made while executing *)
+  mutable entails : int; (* entailment reports (≤1 per live subtree) *)
   mutable time_s : float;  (* cumulative execution time, only when timed *)
 }
 
 and trail_entry =
   | Dom_change of var * Dom.t
   | Entailment of propagator
+  | Resubscription of propagator * (event * var) list
+      (* previous watch set, restored on backtrack *)
   | Mark
 
 and t = {
@@ -59,6 +67,13 @@ and t = {
   mutable timed : bool;
       (* clock every execution into [time_s]; off by default — reading
          the clock (and boxing the float) is not free on the hot path *)
+  mutable generation : int;
+      (* bumped by every [pop_level]: equality certifies "no backtrack
+         happened in between", which incremental propagators use to
+         validate caches built from monotonically narrowing domains *)
+  mutable entail_on : bool;
+      (* when false, [entail] is a no-op; lets tests compare fixpoints
+         with and without entailment-removal *)
 }
 
 (* How many fixpoint-loop iterations pass between two cancellation
@@ -94,6 +109,8 @@ let create () =
     hook = None;
     running = None;
     timed = false;
+    generation = 0;
+    entail_on = true;
   }
 
 let set_poll s f = s.poll <- f
@@ -101,6 +118,8 @@ let poll_of s = s.poll
 let set_hook s f = s.hook <- f
 let set_timed s b = s.timed <- b
 let timed s = s.timed
+let generation s = s.generation
+let set_entail s b = s.entail_on <- b
 
 let var_count s = s.next_vid
 let propagator_count s = s.n_props
@@ -179,7 +198,20 @@ let remove_below s v b =
 let remove_above s v b =
   if b < Dom.max v.vdom then commit s v (Dom.remove_above b v.vdom)
 
-let post ?name ?(priority = prio_arith) ?(event = On_change) s ~watches exec =
+let attach p (event, v) =
+  match event with
+  | On_change -> v.w_change <- p :: v.w_change
+  | On_bounds -> v.w_bounds <- p :: v.w_bounds
+  | On_fix -> v.w_fix <- p :: v.w_fix
+
+let detach p (event, v) =
+  let rm l = List.filter (fun q -> q != p) l in
+  match event with
+  | On_change -> v.w_change <- rm v.w_change
+  | On_bounds -> v.w_bounds <- rm v.w_bounds
+  | On_fix -> v.w_fix <- rm v.w_fix
+
+let post_on ?name ?(priority = prio_arith) s ~watches exec =
   let pid = s.next_pid in
   s.next_pid <- pid + 1;
   s.n_props <- s.n_props + 1;
@@ -190,17 +222,22 @@ let post ?name ?(priority = prio_arith) ?(event = On_change) s ~watches exec =
     else priority
   in
   let p =
-    { pid; pname; prio = priority; exec; queued = false; entailed = false;
-      runs = 0; wakes = 0; prunes = 0; time_s = 0. }
+    { pid; pname; prio = priority; exec; psubs = watches; queued = false;
+      entailed = false; runs = 0; wakes = 0; prunes = 0; entails = 0;
+      time_s = 0. }
   in
   s.props <- p :: s.props;
-  List.iter
-    (fun v ->
-      match event with
-      | On_change -> v.w_change <- p :: v.w_change
-      | On_bounds -> v.w_bounds <- p :: v.w_bounds
-      | On_fix -> v.w_fix <- p :: v.w_fix)
-    watches;
+  List.iter (attach p) watches;
+  p
+
+let post ?name ?priority ?(event = On_change) s ~watches exec =
+  post_on ?name ?priority s
+    ~watches:(List.map (fun v -> (event, v)) watches)
+    exec
+
+let post_now_on ?name ?priority s ~watches exec =
+  let p = post_on ?name ?priority s ~watches exec in
+  schedule s p;
   p
 
 let post_now ?name ?priority ?event s ~watches exec =
@@ -208,11 +245,41 @@ let post_now ?name ?priority ?event s ~watches exec =
   schedule s p;
   p
 
+(* Entailment removes the propagator from every watcher list it is
+   subscribed to, so it costs nothing on subsequent wakes of those
+   variables.  The removal is trailed: backtracking past this point
+   re-attaches the propagator (and clears the flag), so it resumes
+   firing in the wider state where its constraint may prune again. *)
 let entail s p =
-  if not p.entailed then begin
+  if s.entail_on && not p.entailed then begin
     p.entailed <- true;
+    p.entails <- p.entails + 1;
+    List.iter (detach p) p.psubs;
     s.trail <- Entailment p :: s.trail
   end
+
+let entail_now s =
+  match s.running with Some p -> entail s p | None -> ()
+
+(* Phase change: replace the propagator's watch set.  A staged
+   propagator starts out watching a small trigger set (say, a guard
+   pair) and widens to its full watch set only once the trigger fires,
+   keeping it off the watcher lists of high-traffic variables until its
+   prunes can actually apply.  The rewrite is trailed so backtracking
+   past the phase change restores the trigger set.  Physical equality
+   of [watches] with the current set makes the call a no-op, so a
+   propagator may re-assert its phase on every run with a closure-
+   allocated list and pay nothing when already in that phase. *)
+let resubscribe s p watches =
+  if watches != p.psubs && not p.entailed then begin
+    List.iter (detach p) p.psubs;
+    s.trail <- Resubscription (p, p.psubs) :: s.trail;
+    p.psubs <- watches;
+    List.iter (attach p) watches
+  end
+
+let resubscribe_now s watches =
+  match s.running with Some p -> resubscribe s p watches | None -> ()
 
 let queue_depth_gauge s =
   Obs.counter ~cat:"store" "queue-depth"
@@ -298,6 +365,7 @@ type profile = {
   pr_runs : int;
   pr_wakes : int;
   pr_prunes : int;
+  pr_entails : int;
   pr_time_ms : float;
 }
 
@@ -312,7 +380,7 @@ let profile s =
         | Some a -> a
         | None ->
           { pr_name = p.pname; pr_count = 0; pr_runs = 0; pr_wakes = 0;
-            pr_prunes = 0; pr_time_ms = 0. }
+            pr_prunes = 0; pr_entails = 0; pr_time_ms = 0. }
       in
       Hashtbl.replace tbl p.pname
         {
@@ -321,6 +389,7 @@ let profile s =
           pr_runs = acc.pr_runs + p.runs;
           pr_wakes = acc.pr_wakes + p.wakes;
           pr_prunes = acc.pr_prunes + p.prunes;
+          pr_entails = acc.pr_entails + p.entails;
           pr_time_ms = acc.pr_time_ms +. (p.time_s *. 1000.);
         })
     s.props;
@@ -336,7 +405,7 @@ let emit_profile ?(tid = 0) s =
     List.iter
       (fun p ->
         Obs.profile_row ~tid ~name:p.pr_name ~runs:p.pr_runs ~wakes:p.pr_wakes
-          ~prunes:p.pr_prunes ~time_ms:p.pr_time_ms ())
+          ~prunes:p.pr_prunes ~entails:p.pr_entails ~time_ms:p.pr_time_ms ())
       (profile s)
 
 let push_level s =
@@ -362,9 +431,18 @@ let pop_level s =
       unwind rest
     | Entailment p :: rest ->
       p.entailed <- false;
+      List.iter (attach p) p.psubs;
+      unwind rest
+    | Resubscription (p, old) :: rest ->
+      (* entailment below this entry has already been unwound (trail
+         order), so the propagator is attached under its current set *)
+      List.iter (detach p) p.psubs;
+      p.psubs <- old;
+      List.iter (attach p) old;
       unwind rest
   in
-  unwind s.trail
+  unwind s.trail;
+  s.generation <- s.generation + 1
 
 let level s = s.depth
 

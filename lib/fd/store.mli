@@ -122,12 +122,69 @@ val post_now :
     first run to establish initial consistency.
     @raise Fail on inconsistency. *)
 
+val post_on :
+  ?name:string ->
+  ?priority:int ->
+  t ->
+  watches:(event * var) list ->
+  (t -> unit) ->
+  propagator
+(** Like {!post} but with a per-variable wake event, so e.g. a guard
+    variable can subscribe with {!On_fix} while the consequent variables
+    subscribe with {!On_change}. *)
+
+val post_now_on :
+  ?name:string ->
+  ?priority:int ->
+  t ->
+  watches:(event * var) list ->
+  (t -> unit) ->
+  propagator
+(** {!post_on} + an immediate first run, like {!post_now}. *)
+
 val schedule : t -> propagator -> unit
 (** Put a propagator in the queue (idempotent while queued). *)
 
 val entail : t -> propagator -> unit
-(** Mark the propagator as entailed: it will not be scheduled again in
-    this subtree.  Undone by {!pop_level}. *)
+(** Mark the propagator as entailed {e and detach it from every watcher
+    list}: it is neither woken nor scheduled again in this subtree and
+    costs nothing on subsequent domain changes of its variables.  The
+    detachment is trailed — {!pop_level} past the entailment point
+    re-attaches the propagator and clears the flag.  Only sound when the
+    constraint is satisfied by {e every} remaining assignment of its
+    variables (it can never prune nor fail again in this subtree). *)
+
+val entail_now : t -> unit
+(** [entail_now s] entails the propagator currently being executed by
+    {!propagate} (no-op outside a propagator execution).  The common way
+    for a propagator body to report its own entailment. *)
+
+val resubscribe : t -> propagator -> (event * var) list -> unit
+(** [resubscribe s p watches] replaces [p]'s watch set: it is detached
+    from its current subscriptions and attached under [watches].  The
+    rewrite is trailed — {!pop_level} past it restores the previous
+    set.  A staged propagator uses this to watch only a small trigger
+    set (e.g. a guard pair) and widen to its full set once the trigger
+    fires, staying off the watcher lists of high-traffic variables
+    while its prunes cannot apply.  Physical equality of [watches] with
+    the current set is a no-op, so the propagator may re-assert its
+    phase with a closure-allocated list on every run.  No-op on an
+    entailed propagator. *)
+
+val resubscribe_now : t -> (event * var) list -> unit
+(** {!resubscribe} applied to the propagator currently being executed
+    (no-op outside a propagator execution). *)
+
+val set_entail : t -> bool -> unit
+(** Disable ([false]) or re-enable ([true]) entailment: when disabled,
+    {!entail} and {!entail_now} are no-ops.  Tests use this to check
+    that the fixpoint with entailment-removal equals the one without. *)
+
+val generation : t -> int
+(** Backtrack generation: bumped by every {!pop_level}.  Two equal
+    readings certify that no backtrack happened in between, i.e. all
+    domains have only narrowed — the validity condition for caches kept
+    by incremental propagators (Cumulative's timetable, max's support). *)
 
 val propagate : t -> unit
 (** Run the priority queues to fixpoint, cheapest bucket first.
@@ -192,6 +249,7 @@ type profile = {
   pr_runs : int;        (** executions *)
   pr_wakes : int;       (** queue insertions (false->queued transitions) *)
   pr_prunes : int;      (** domain changes committed while executing *)
+  pr_entails : int;     (** entailment reports (watcher-list removals) *)
   pr_time_ms : float;   (** cumulative execution time; 0 unless timed *)
 }
 

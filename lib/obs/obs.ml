@@ -142,7 +142,8 @@ let thread_name ?(cat = "") ?(tid = 0) label =
    leaking into call sites. *)
 let cat_propagator = "propagator"
 
-let profile_row ?(tid = 0) ~name ~runs ~wakes ~prunes ~time_ms () =
+let profile_row ?(tid = 0) ?(entails = 0) ~name ~runs ~wakes ~prunes ~time_ms
+    () =
   if Atomic.get live then
     emit
       {
@@ -153,7 +154,7 @@ let profile_row ?(tid = 0) ~name ~runs ~wakes ~prunes ~time_ms () =
         ph = Instant;
         args =
           [ ("runs", I runs); ("wakes", I wakes); ("prunes", I prunes);
-            ("time_ms", F time_ms) ];
+            ("entails", I entails); ("time_ms", F time_ms) ];
       }
 
 (* ------------------------------------------------------------------ *)
@@ -394,6 +395,7 @@ module Agg = struct
     p_runs : int;
     p_wakes : int;
     p_prunes : int;
+    p_entails : int;
     p_time_ms : float;
     p_workers : int;
   }
@@ -435,6 +437,7 @@ module Agg = struct
           p_runs = int_arg ev.args "runs";
           p_wakes = int_arg ev.args "wakes";
           p_prunes = int_arg ev.args "prunes";
+          p_entails = int_arg ev.args "entails";
           p_time_ms = float_arg ev.args "time_ms";
           p_workers = 1;
         }
@@ -447,6 +450,7 @@ module Agg = struct
             p_runs = r.p_runs + row.p_runs;
             p_wakes = r.p_wakes + row.p_wakes;
             p_prunes = r.p_prunes + row.p_prunes;
+            p_entails = r.p_entails + row.p_entails;
             p_time_ms = r.p_time_ms +. row.p_time_ms;
             p_workers = r.p_workers + 1;
           }

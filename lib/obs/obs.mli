@@ -93,10 +93,11 @@ val thread_name : ?cat:string -> ?tid:int -> string -> unit
     label reports. *)
 
 val profile_row :
-  ?tid:int -> name:string -> runs:int -> wakes:int -> prunes:int ->
-  time_ms:float -> unit -> unit
+  ?tid:int -> ?entails:int -> name:string -> runs:int -> wakes:int ->
+  prunes:int -> time_ms:float -> unit -> unit
 (** One per-propagator profile row (cat ["propagator"]); {!Agg} merges
-    rows with the same name across workers. *)
+    rows with the same name across workers.  [entails] counts entailment
+    reports (default 0). *)
 
 val cat_propagator : string
 
@@ -164,6 +165,7 @@ module Agg : sig
     p_runs : int;
     p_wakes : int;
     p_prunes : int;
+    p_entails : int;
     p_time_ms : float;
     p_workers : int;  (** number of per-worker rows merged in *)
   }

@@ -149,34 +149,48 @@ let build ?horizon ?(deadline = Fd.Deadline.none) ?(memory = true) g arch =
     (* eq. 8 (generalized): reads of two ops that may issue in the same
        cycle.  Pairs whose start times are forced apart (different
        configurations, eq. 3) are skipped up front. *)
-    let rec read_pairs = function
-      | [] -> ()
-      | i :: rest ->
-        List.iter
-          (fun j ->
-            let skip =
-              Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core
-              && Eit.Opcode.resource (Ir.opcode g j) = Eit.Opcode.Vector_core
-              && not (Eit.Opcode.config_equal (Ir.opcode g i) (Ir.opcode g j))
-            in
-            if not skip then
-              List.iter
-                (fun d ->
-                  List.iter
-                    (fun e ->
-                      if d <> e then begin
-                        let cd = coords d and ce = coords e in
-                        Fd.Cond.guarded_implies_eq s
-                          ~guard:(start.(i), start.(j))
-                          (cd.Fd.Geometry.page, ce.Fd.Geometry.page)
-                          (cd.Fd.Geometry.line, ce.Fd.Geometry.line)
-                      end)
-                    (vector_reads g j))
-                (vector_reads g i))
-          rest;
-        read_pairs rest
+    (* One hub per reader op, watching only its own start; partners are
+       posted symmetrically so pair (i, j) is rechecked at both guard
+       fixes (see {!Fd.Cond.guarded_implies_eq_hub}). *)
+    let read_pairs_between i j =
+      List.concat_map
+        (fun d ->
+          List.filter_map
+            (fun e ->
+              if d <> e then begin
+                let cd = coords d and ce = coords e in
+                Some
+                  ( (cd.Fd.Geometry.page, ce.Fd.Geometry.page),
+                    (cd.Fd.Geometry.line, ce.Fd.Geometry.line) )
+              end
+              else None)
+            (vector_reads g j))
+        (vector_reads g i)
     in
-    read_pairs readers;
+    List.iter
+      (fun i ->
+        let partners =
+          List.filter_map
+            (fun j ->
+              let skip =
+                j = i
+                || Eit.Opcode.resource (Ir.opcode g i) = Eit.Opcode.Vector_core
+                   && Eit.Opcode.resource (Ir.opcode g j)
+                      = Eit.Opcode.Vector_core
+                   && not
+                        (Eit.Opcode.config_equal (Ir.opcode g i)
+                           (Ir.opcode g j))
+              in
+              if skip then None
+              else
+                match read_pairs_between i j with
+                | [] -> None
+                | pairs -> Some (start.(j), pairs))
+            readers
+        in
+        if partners <> [] then
+          Fd.Cond.guarded_implies_eq_hub s start.(i) partners)
+      readers;
     (* eq. 9 (generalized): results written in the same cycle.  Data
        start variables are exactly the write times, so the guard is on
        the data nodes themselves — this also covers write collisions
@@ -185,20 +199,26 @@ let build ?horizon ?(deadline = Fd.Deadline.none) ?(memory = true) g arch =
     let produced =
       List.filter (fun d -> Ir.producer g d <> None) vdata
     in
-    let rec write_pairs = function
-      | [] -> ()
-      | d :: rest ->
-        List.iter
-          (fun e ->
-            let cd = coords d and ce = coords e in
-            Fd.Cond.guarded_implies_eq s
-              ~guard:(start.(d), start.(e))
-              (cd.Fd.Geometry.page, ce.Fd.Geometry.page)
-              (cd.Fd.Geometry.line, ce.Fd.Geometry.line))
-          rest;
-        write_pairs rest
-    in
-    write_pairs produced;
+    List.iter
+      (fun d ->
+        let cd = coords d in
+        let partners =
+          List.filter_map
+            (fun e ->
+              if e = d then None
+              else
+                let ce = coords e in
+                Some
+                  ( start.(e),
+                    [
+                      ( (cd.Fd.Geometry.page, ce.Fd.Geometry.page),
+                        (cd.Fd.Geometry.line, ce.Fd.Geometry.line) );
+                    ] ))
+            produced
+        in
+        if partners <> [] then
+          Fd.Cond.guarded_implies_eq_hub s start.(d) partners)
+      produced;
     (* Port width limits (implied in §1.1: two matrices read, one
        written per cycle).  Conservative: simultaneous reads of the same
        slot by different ops count once in hardware but twice here. *)

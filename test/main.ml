@@ -3,6 +3,7 @@ let () =
     [
       ("fd.dom", T_dom.suite);
       ("fd.store", T_store.suite);
+      ("fd.entail", T_entail.suite);
       ("fd.arith", T_arith.suite);
       ("fd.cumulative", T_cumulative.suite);
       ("fd.diff2", T_diff2.suite);
