@@ -16,10 +16,29 @@ let qrd () = merged (Apps.Qrd.graph (Apps.Qrd.build ()))
 let qrd_sorted () = merged (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ()))
 let arf () = merged (Apps.Arf.graph (Apps.Arf.build ()))
 let matmul () = merged (Apps.Matmul.graph (Apps.Matmul.build ()))
+let fir () = merged (Apps.Fir.graph (Apps.Fir.build ()))
 
 let line = String.make 78 '-'
 
 let header title = Format.printf "@.%s@.%s@.%s@." line title line
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5))
+
+let set_member name v = function
+  | Obs.Json.Obj kvs ->
+    Obs.Json.Obj (List.filter (fun (k, _) -> k <> name) kvs @ [ (name, v) ])
+  | _ -> Obs.Json.Obj [ (name, v) ]
+
+(* The "service" section `load` writes into BENCH_solver.json; the
+   solver-row writers (`perfjson`, `profile`) carry it through so the
+   two generators never clobber each other. *)
+let existing_service path =
+  match Obs.Json.parse_file path with
+  | Ok j -> Obs.Json.member "service" j
+  | Error _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Graph properties (§4.2 text + Table 3 column 2)                     *)
@@ -674,11 +693,15 @@ let profile ?(path = "BENCH_solver.json") () =
   in
   let doc =
     Obs.Json.Obj
-      [
-        ("suite", Obs.Json.Str suite);
-        ("runs", Obs.Json.Arr runs);
-        ("propagator_profiles", profile_json profiles);
-      ]
+      ([
+         ("suite", Obs.Json.Str suite);
+         ("runs", Obs.Json.Arr runs);
+         ("propagator_profiles", profile_json profiles);
+       ]
+      @
+      match existing_service path with
+      | Some s -> [ ("service", s) ]
+      | None -> [])
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -686,6 +709,124 @@ let profile ?(path = "BENCH_solver.json") () =
   close_out oc;
   Format.printf "@.wrote %d kernel profiles to %s (%d runs kept)@."
     (List.length profiles) path (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* Service load generator: a replayable, seeded open-loop driver for
+   the batch scheduling service (lib/serve).  Open-loop means arrivals
+   follow the seeded exponential process regardless of completions, so
+   an overloaded service sheds (visible in the shed rate) instead of
+   silently slowing the generator down.  Results land in
+   BENCH_solver.json under a "service" key, alongside (never
+   replacing) the solver regression rows. *)
+
+let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
+    ?(queue = 64) ?(seed = 42) ?(chaos = false) () =
+  header
+    (Printf.sprintf
+       "Service load: %d open-loop requests (mix qrd/arf/matmul/xml-import), \
+        pool=%d queue=%d seed=%d chaos=%b"
+       requests pool queue seed chaos);
+  let chaos_t =
+    if chaos then
+      Some
+        (Fd.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05 ~delay_ms:1. ~seed ())
+    else None
+  in
+  let config =
+    {
+      Serve.Service.default_config with
+      pool;
+      queue;
+      default_budget_ms = 40.;
+      grace_ms = 300.;
+      watchdog_tick_ms = 10.;
+      seed;
+      chaos = chaos_t;
+    }
+  in
+  let svc = Serve.Service.create ~config () in
+  let fir_xml = Vecsched.Xml.to_string (fir ()) in
+  let rng = Random.State.make [| seed; 0x10ad |] in
+  let t0 = Unix.gettimeofday () in
+  let tickets =
+    List.init requests (fun i ->
+        (* exponential inter-arrival, ~5 ms mean: about 2x the pool's
+           service rate at the 40 ms budget, so shedding is exercised *)
+        Unix.sleepf (-.0.005 *. log (1. -. Random.State.float rng 1.));
+        let id = Printf.sprintf "r%03d" i in
+        let workload =
+          match i mod 4 with
+          | 0 -> Serve.Service.Kernel "qrd"
+          | 1 -> Serve.Service.Kernel "arf"
+          | 2 -> Serve.Service.Kernel "matmul"
+          | _ -> Serve.Service.Xml_text fir_xml
+        in
+        Serve.Service.submit svc
+          (Serve.Service.request ~id ~budget_ms:40. ~deadline_ms:2_000. workload))
+  in
+  let responses = List.map Serve.Service.await tickets in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let h = Serve.Service.health svc in
+  Serve.Service.shutdown svc;
+  let lat =
+    Array.of_list (List.map (fun r -> r.Serve.Service.total_ms) responses)
+  in
+  Array.sort compare lat;
+  let statuses =
+    List.sort_uniq compare (List.map Serve.Service.status_string responses)
+  in
+  let count s =
+    List.length
+      (List.filter (fun r -> Serve.Service.status_string r = s) responses)
+  in
+  let throughput = float_of_int requests /. (wall_ms /. 1000.) in
+  Format.printf "%-24s %10.1f req/s@." "throughput" throughput;
+  Format.printf "%-24s %10.1f / %.1f / %.1f ms@." "latency p50/p95/p99"
+    (percentile lat 50.) (percentile lat 95.) (percentile lat 99.);
+  List.iter (fun s -> Format.printf "%-24s %10d@." s (count s)) statuses;
+  Format.printf "%-24s %10d@." "retries" h.Serve.Service.retries;
+  Format.printf "%-24s %10d@." "fallback rescues" h.Serve.Service.fallbacks;
+  Format.printf "%-24s %10d@." "workers revived" h.Serve.Service.revived;
+  let service_json =
+    let num i = Obs.Json.Num (float_of_int i) in
+    Obs.Json.Obj
+      [
+        ("requests", num requests);
+        ("pool", num pool);
+        ("queue", num queue);
+        ("seed", num seed);
+        ("chaos", Obs.Json.Bool chaos);
+        ("wall_ms", Obs.Json.Num wall_ms);
+        ("throughput_rps", Obs.Json.Num throughput);
+        ("p50_ms", Obs.Json.Num (percentile lat 50.));
+        ("p95_ms", Obs.Json.Num (percentile lat 95.));
+        ("p99_ms", Obs.Json.Num (percentile lat 99.));
+        ( "statuses",
+          Obs.Json.Obj (List.map (fun s -> (s, num (count s))) statuses) );
+        ("shed", num h.Serve.Service.shed);
+        ("expired", num h.Serve.Service.expired);
+        ("wedged", num h.Serve.Service.wedged);
+        ("retries", num h.Serve.Service.retries);
+        ("fallbacks", num h.Serve.Service.fallbacks);
+        ("revived", num h.Serve.Service.revived);
+      ]
+  in
+  let doc =
+    match Obs.Json.parse_file path with
+    | Ok j -> set_member "service" service_json j
+    | Error _ ->
+      Obs.Json.Obj
+        [
+          ("suite", Obs.Json.Str "vecsched-solver");
+          ("runs", Obs.Json.Arr []);
+          ("service", service_json);
+        ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "@.merged \"service\" section into %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* perfjson / compare: machine-readable solver metrics for regression
@@ -802,11 +943,18 @@ let perfjson ?(path = "BENCH_solver.json") () =
   let profiles =
     profile_rows [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
   in
+  (* keep a "service" section written by `load`, if one exists *)
+  let service = existing_service path in
   let oc = open_out path in
   output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
   output_string oc (String.concat ",\n" (List.map row_json rows));
   output_string oc "\n  ],\n  \"propagator_profiles\": ";
   output_string oc (Obs.Json.to_string (profile_json profiles));
+  (match service with
+  | Some s ->
+    output_string oc ",\n  \"service\": ";
+    output_string oc (Obs.Json.to_string s)
+  | None -> ());
   output_string oc "\n}\n";
   close_out oc;
   Format.printf "wrote %d runs and %d kernel profiles to %s@."
@@ -1044,6 +1192,14 @@ let extract_opt name args =
 let () =
   let trace, args = extract_opt "--trace" (List.tl (Array.to_list Sys.argv)) in
   let against, args = extract_opt "--against" args in
+  let requests, args = extract_opt "--requests" args in
+  let pool, args = extract_opt "--pool" args in
+  let lqueue, args = extract_opt "--queue" args in
+  let seed, args = extract_opt "--seed" args in
+  let lpath, args = extract_opt "--path" args in
+  let chaos = List.mem "--chaos" args in
+  let args = List.filter (fun a -> a <> "--chaos") args in
+  let iopt = Option.map int_of_string in
   let dispatch () =
     match args with
     | [] | [ "all" ] -> all (); 0
@@ -1067,12 +1223,17 @@ let () =
     | [ "perfjson" ] -> perfjson (); 0
     | [ "profile" ] -> profile (); 0
     | [ "robustness" ] -> robustness (); 0
+    | [ "load" ] ->
+      load ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
+        ?queue:(iopt lqueue) ?seed:(iopt seed) ~chaos ();
+      0
     | [ "compare" ] -> compare_run ?against ()
     | other ->
       Format.eprintf
         "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 \
          fig6 fig8 utilization dynamic ablations archsweep bechamel perfjson \
-         profile compare robustness; options: --trace FILE, --against PATH)@."
+         profile compare robustness load; options: --trace FILE, --against \
+         PATH, --path FILE, --requests/--pool/--queue/--seed N, --chaos)@."
         (String.concat " " other);
       exit 2
   in

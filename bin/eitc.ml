@@ -643,6 +643,102 @@ let trace_diff_cmd =
           regressions")
     Term.(const run $ before_arg $ after_arg $ threshold_arg)
 
+(* `eitc serve` — the long-lived batch scheduling front end: one JSON
+   request per stdin line, one JSON response per stdout line (see
+   docs/SERVICE.md for the schema and the per-response exit-code
+   contract).  Responses are written in completion order by whichever
+   pool domain finishes, hence the stdout mutex.  The process itself
+   exits 0 on clean EOF: per-request failures are data, not process
+   failures. *)
+let serve_cmd =
+  let run pool queue budget grace retries backoff seed trace metrics =
+    with_obs ~other_data:[ ("mode", Obs.S "serve") ] ~trace ~metrics (fun () ->
+        let config =
+          {
+            Serve.Service.default_config with
+            pool;
+            queue;
+            default_budget_ms = budget;
+            grace_ms = grace;
+            max_retries = retries;
+            backoff_base_ms = backoff;
+            seed;
+          }
+        in
+        let svc = Serve.Service.create ~config () in
+        let out_m = Mutex.create () in
+        let print line =
+          Mutex.lock out_m;
+          print_string line;
+          print_newline ();
+          flush stdout;
+          Mutex.unlock out_m
+        in
+        let rec loop n =
+          match input_line stdin with
+          | exception End_of_file -> ()
+          | line ->
+            (if String.trim line <> "" then
+               let default_id = Printf.sprintf "line-%d" n in
+               match Serve.Wire.request_of_line ~default_id line with
+               | Error msg -> print (Serve.Wire.error_line ~id:default_id msg)
+               | Ok req ->
+                 ignore
+                   (Serve.Service.submit svc req ~on_complete:(fun r ->
+                        print (Serve.Wire.response_line r))));
+            loop (n + 1)
+        in
+        loop 1;
+        Serve.Service.shutdown svc;
+        0)
+  in
+  let pool_arg =
+    Arg.(value & opt int 4
+         & info [ "pool" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"M"
+             ~doc:
+               "Admission queue capacity; further requests are shed with \
+                status $(b,rejected_overload) instead of queueing unboundedly.")
+  in
+  let sbudget_arg =
+    Arg.(value & opt float 10_000.
+         & info [ "budget" ] ~docv:"MS"
+             ~doc:"Default per-attempt solver budget for requests that carry \
+                   none.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 2_000.
+         & info [ "grace" ] ~docv:"MS"
+             ~doc:
+               "Watchdog grace window: a worker whose request makes no solver \
+                progress for this long is declared wedged, its request \
+                answered, and its slot revived.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 1
+         & info [ "retries" ] ~docv:"K"
+             ~doc:"Default retry allowance for crashed attempts.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 25.
+         & info [ "backoff" ] ~docv:"MS"
+             ~doc:"First retry backoff step (doubles per retry, jittered).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"S" ~doc:"Backoff-jitter RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch scheduling service: line-delimited JSON requests on \
+          stdin, one JSON response per request on stdout")
+    Term.(const run $ pool_arg $ queue_arg $ sbudget_arg $ grace_arg
+          $ retries_arg $ backoff_arg $ seed_arg $ trace_file_arg $ metrics_arg)
+
 let export_cmd =
   let run kernel fmt path merged =
     let c, _ = compile kernel in
@@ -676,4 +772,4 @@ let () =
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
             code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd;
-            trace_check_cmd; trace_report_cmd; trace_diff_cmd ]))
+            serve_cmd; trace_check_cmd; trace_report_cmd; trace_diff_cmd ]))

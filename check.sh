@@ -106,3 +106,38 @@ if [ "$props" -gt 600000 ]; then
   exit 1
 fi
 echo "check.sh: propagation budget OK (matmul $props props <= 600000)"
+
+# Service smoke: three line-delimited JSON requests — two solvable
+# kernels and one malformed XML payload — through `eitc serve`.  The
+# daemon must answer every line exactly once, report the known optima,
+# turn the bad payload into a typed per-request error (never a daemon
+# exit), and quit cleanly on EOF.
+serve_out=$(printf '%s\n' \
+  '{"id":"a","kernel":"qrd"}' \
+  '{"id":"b","kernel":"fir"}' \
+  '{"id":"c","xml":"<graph><bogus"}' \
+  | "$EITC" serve --pool 2 --queue 8) || {
+  echo "check.sh: eitc serve exited non-zero" >&2
+  echo "$serve_out" >&2
+  exit 1
+}
+lines=$(printf '%s\n' "$serve_out" | grep -c '"id"')
+if [ "$lines" -ne 3 ]; then
+  echo "check.sh: serve answered $lines lines, expected 3" >&2
+  echo "$serve_out" >&2
+  exit 1
+fi
+for want in \
+  '"id": "a", "status": "optimal"' \
+  '"id": "b", "status": "optimal"' \
+  '"id": "c", "status": "error"'; do
+  case "$serve_out" in
+  *"$want"*) ;;
+  *)
+    echo "check.sh: serve output lacks [$want]" >&2
+    echo "$serve_out" >&2
+    exit 1
+    ;;
+  esac
+done
+echo "check.sh: serve smoke OK (2 solved + 1 typed error, clean EOF shutdown)"

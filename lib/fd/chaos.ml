@@ -10,12 +10,21 @@ type t = {
   spurious_prob : float;
   kill_workers : int list;
   kill_after : int;
+  wedge_workers : int list;
+  wedge_after : int;
+  wedge_max_ms : float;
+  fail_solves : int list;
+  escape : unit -> bool;
+  (* shared across {!with_escape} copies: *)
+  solves : int Atomic.t;     (* instrumentation (= solve attempt) counter *)
   lock : Mutex.t;
-  mutable log : fault list;  (* newest first *)
+  log : fault list ref;      (* newest first *)
 }
 
 let create ?(crash_prob = 0.) ?(delay_prob = 0.) ?(delay_ms = 0.2)
-    ?(spurious_prob = 0.) ?(kill_workers = []) ?(kill_after = 50) ~seed () =
+    ?(spurious_prob = 0.) ?(kill_workers = []) ?(kill_after = 50)
+    ?(wedge_workers = []) ?(wedge_after = 25) ?(wedge_max_ms = 10_000.)
+    ?(fail_solves = []) ~seed () =
   {
     seed;
     crash_prob;
@@ -24,18 +33,30 @@ let create ?(crash_prob = 0.) ?(delay_prob = 0.) ?(delay_ms = 0.2)
     spurious_prob;
     kill_workers;
     kill_after;
+    wedge_workers;
+    wedge_after;
+    wedge_max_ms;
+    fail_solves;
+    escape = (fun () -> false);
+    solves = Atomic.make 0;
     lock = Mutex.create ();
-    log = [];
+    log = ref [];
   }
+
+(* A shallow copy with a different wedge-escape predicate.  The fault
+   log, the lock and the solve counter are shared, so a supervisor can
+   hand each request its own escape (typically "this request's
+   cancellation switch tripped") while keeping one fault history. *)
+let with_escape t escape = { t with escape }
 
 let record t worker what =
   Mutex.lock t.lock;
-  t.log <- { worker; what } :: t.log;
+  t.log := { worker; what } :: !(t.log);
   Mutex.unlock t.lock
 
 let faults t =
   Mutex.lock t.lock;
-  let l = List.rev t.log in
+  let l = List.rev !(t.log) in
   Mutex.unlock t.lock;
   l
 
@@ -50,14 +71,48 @@ let instrument t ~worker store =
   let rng = Random.State.make [| t.seed; worker; 0x5eed |] in
   let execs = ref 0 in
   let kill = List.mem worker t.kill_workers in
+  let wedge = List.mem worker t.wedge_workers in
+  (* Nth-solve poison: the Nth instrumented store (counted across every
+     instrumentation site of this chaos instance) raises on its first
+     propagator execution — the reproducible "this attempt dies at
+     birth" fault the retry machinery needs. *)
+  let solve_no = 1 + Atomic.fetch_and_add t.solves 1 in
+  let poisoned = List.mem solve_no t.fail_solves in
   Store.set_hook store
     (Some
        (fun s pname ->
          incr execs;
+         if poisoned && !execs = 1 then begin
+           record t worker
+             (Printf.sprintf "solve %d poisoned before %s" solve_no pname);
+           raise (Injected (Printf.sprintf "solve %d poisoned" solve_no))
+         end;
          if kill && !execs >= t.kill_after then begin
            record t worker
              (Printf.sprintf "killed before execution %d of %s" !execs pname);
            raise (Injected (Printf.sprintf "worker %d killed" worker))
+         end;
+         if wedge && !execs = t.wedge_after then begin
+           (* The wedge: spin inside this propagator execution without
+              reaching any cooperative poll site, exactly what a buggy
+              propagator stuck in a loop looks like from outside.  The
+              spin watches the escape predicate (never the deadline —
+              that would stamp the progress heartbeat and hide the
+              wedge) and a hard time ceiling, so a wedge can always be
+              released by a watchdog and can never hang a test run
+              forever. *)
+           record t worker
+             (Printf.sprintf "wedged in %s (execution %d)" pname !execs);
+           let t0 = Unix.gettimeofday () in
+           let elapsed_ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+           while not (t.escape ()) && elapsed_ms () < t.wedge_max_ms do
+             sleep_ms 1.
+           done;
+           record t worker
+             (Printf.sprintf "wedge in %s released after %.0f ms (%s)" pname
+                (elapsed_ms ())
+                (if t.escape () then "escape" else "ceiling"));
+           raise (Injected (Printf.sprintf "worker %d wedged" worker))
          end;
          let r = Random.State.float rng 1.0 in
          if r < t.crash_prob then begin

@@ -1,8 +1,8 @@
 (** Fault injection for the solver — a seeded chaos harness.
 
     Chaos instruments a store's propagation engine (via
-    {!Store.set_hook}) to inject three fault classes under a seeded
-    RNG, reproducibly:
+    {!Store.set_hook}) to inject faults under a seeded RNG,
+    reproducibly:
 
     - {b crashes}: a propagator execution raises {!Injected} instead of
       running — the non-[Fail] exception a buggy propagator or a dying
@@ -12,10 +12,22 @@
     - {b spurious wakes}: every propagator is re-scheduled for no
       reason, checking that fixpoints are insensitive to over-waking.
 
-    On top of the probabilistic faults, [kill_workers] deterministically
-    kills named portfolio workers after a fixed number of propagator
-    executions — the reproducible "worker dies mid-search" scenario the
-    recovery tests need.
+    On top of the probabilistic faults, three deterministic fault kinds
+    exercise the supervision machinery:
+
+    - [kill_workers] kills named workers after a fixed number of
+      propagator executions — the reproducible "worker dies mid-search"
+      scenario;
+    - [wedge_workers] wedges named workers: the propagator {e spins}
+      inside one execution, reaching no cooperative poll site, until
+      the configured escape predicate fires (see {!with_escape}; a
+      serving layer points it at the request's cancellation switch) or
+      the [wedge_max_ms] ceiling elapses — then unwinds with
+      {!Injected}.  This is the fault a progress watchdog exists for;
+    - [fail_solves] poisons the Nth instrumented solve ({!instrument}
+      call, counted across the instance): it raises on its first
+      propagator execution, the "attempt dies at birth" fault that
+      retry-with-backoff must survive.
 
     A single [t] may instrument several stores concurrently (the
     portfolio instruments one per worker domain); the fault log is
@@ -43,18 +55,34 @@ val create :
   ?spurious_prob:float ->
   ?kill_workers:int list ->
   ?kill_after:int ->
+  ?wedge_workers:int list ->
+  ?wedge_after:int ->
+  ?wedge_max_ms:float ->
+  ?fail_solves:int list ->
   seed:int ->
   unit ->
   t
 (** Per-propagator-execution fault probabilities (all default [0.]);
     [delay_ms] (default [0.2]) is the length of one injected delay;
     [kill_workers] (default none) are killed after [kill_after]
-    (default [50]) propagator executions. *)
+    (default [50]) propagator executions; [wedge_workers] (default
+    none) wedge at execution [wedge_after] (default [25]) and spin for
+    at most [wedge_max_ms] (default [10_000.]); [fail_solves] (default
+    none) are 1-based solve-attempt indices that raise immediately. *)
+
+val with_escape : t -> (unit -> bool) -> t
+(** A shallow copy whose wedge loops poll the given escape predicate
+    (default: never).  The fault log, lock and solve counter are shared
+    with the original, so per-request escapes still produce one global
+    fault history.  The predicate runs on the wedged domain and must
+    not itself poll a switched {!Deadline.t} (that would stamp the
+    heartbeat the watchdog is watching); use {!Deadline.cancelled}. *)
 
 val instrument : t -> worker:int -> Store.t -> unit
 (** Install the fault-injection hook on a store.  Faults drawn for this
     store are logged under [worker] and derived from an RNG seeded by
-    [(seed, worker)]. *)
+    [(seed, worker)].  Each call counts as one solve attempt for
+    [fail_solves]. *)
 
 val faults : t -> fault list
 (** Every fault injected so far, oldest first.  Thread-safe. *)

@@ -56,7 +56,7 @@ type 'a worker_result = {
   wstats : Search.stats;
 }
 
-let run_worker incumbent budget deadline chaos widx strat =
+let run_worker incumbent budget deadline chaos chaos_base widx strat =
   let bound_get () =
     let b = Atomic.get incumbent in
     if b = max_int then None else Some b
@@ -89,7 +89,7 @@ let run_worker incumbent budget deadline chaos widx strat =
       Obs.thread_name ~cat:"search" ~tid:widx
         (Printf.sprintf "worker-%d" widx);
     (match chaos with
-    | Some c -> Chaos.instrument c ~worker:widx task.store
+    | Some c -> Chaos.instrument c ~worker:(chaos_base + widx) task.store
     | None -> ());
     let last = ref None in
     let on_solution () =
@@ -143,7 +143,8 @@ let run_worker incumbent budget deadline chaos widx strat =
           wstats = Search.zero_stats ~optimal:false;
         })
 
-let minimize_result ?budget ?deadline ?chaos ?workers strategies =
+let minimize_result ?budget ?deadline ?chaos ?(chaos_base = 0) ?workers
+    strategies =
   let strategies =
     match workers with
     | Some n when n >= 1 && n < List.length strategies ->
@@ -155,7 +156,7 @@ let minimize_result ?budget ?deadline ?chaos ?workers strategies =
   let incumbent = Atomic.make max_int in
   let spawn_and_join () =
     match strategies with
-    | [ only ] -> [ run_worker incumbent budget deadline chaos 0 only ]
+    | [ only ] -> [ run_worker incumbent budget deadline chaos chaos_base 0 only ]
     | _ ->
       let domains =
         List.mapi
@@ -163,7 +164,7 @@ let minimize_result ?budget ?deadline ?chaos ?workers strategies =
             Domain.spawn (fun () ->
                 (* Nothing may escape the worker function: Domain.join
                    re-raises, which would crash the whole portfolio. *)
-                try run_worker incumbent budget deadline chaos i strat
+                try run_worker incumbent budget deadline chaos chaos_base i strat
                 with e ->
                   {
                     outcome = None;

@@ -46,6 +46,7 @@ val minimize_result :
   ?budget:Search.budget ->
   ?deadline:Deadline.t ->
   ?chaos:Chaos.t ->
+  ?chaos_base:int ->
   ?workers:int ->
   'a strategy list ->
   'a result
@@ -61,7 +62,10 @@ val minimize_result :
     - [Infeasible]: proven — requires that {e no} worker crashed;
     - [Crashed]: every worker crashed before finding a solution.
 
-    [chaos] instruments every worker's store for fault injection.
+    [chaos] instruments every worker's store for fault injection;
+    worker [i]'s instrumentation site is [chaos_base + i] (default
+    base 0), so a caller serving many requests through one chaos
+    instance can give each request a disjoint fault-target range.
     @raise Invalid_argument on an empty strategy list. *)
 
 val minimize :

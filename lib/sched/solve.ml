@@ -73,18 +73,18 @@ let portfolio_strategies ?deadline ~memory g arch n =
    build, CP search, fallback, validation — are each wrapped in an
    [Obs] span (cat "sched"), so `--trace` shows where the wall-clock
    went. *)
-let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
+let run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g =
   if parallel >= 2 then
     let r =
-      Obs.span ~cat:"sched" "cp-search" (fun () ->
-          Fd.Portfolio.minimize_result ~budget ~deadline ?chaos
+      Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
+          Fd.Portfolio.minimize_result ~budget ~deadline ?chaos ~chaos_base
             (portfolio_strategies ~deadline ~memory g arch parallel))
     in
     (r.Fd.Portfolio.r_status, r.Fd.Portfolio.incumbent, r.Fd.Portfolio.r_stats,
      r.Fd.Portfolio.crashes)
   else
     match
-      Obs.span ~cat:"sched" "model-build" (fun () ->
+      Obs.span ~cat:"sched" ~tid "model-build" (fun () ->
           Model.build ~deadline ~memory g arch)
     with
     | exception Fd.Store.Fail _ ->
@@ -98,15 +98,15 @@ let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
         [ { Fd.Portfolio.worker = 0; reason = Printexc.to_string e } ] )
     | m ->
       (match chaos with
-      | Some c -> Fd.Chaos.instrument c ~worker:0 m.Model.store
+      | Some c -> Fd.Chaos.instrument c ~worker:chaos_base m.Model.store
       | None -> ());
       let a =
-        Obs.span ~cat:"sched" "cp-search" (fun () ->
-            Fd.Search.minimize_anytime ~budget ~deadline m.Model.store
+        Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
+            Fd.Search.minimize_anytime ~budget ~deadline ~tid m.Model.store
               (Model.phases m) ~objective:m.Model.makespan
               ~on_solution:(fun () -> Model.extract m))
       in
-      Fd.Store.emit_profile m.Model.store;
+      Fd.Store.emit_profile ~tid m.Model.store;
       let crashes =
         match a.Fd.Search.crash with
         | Some reason -> [ { Fd.Portfolio.worker = 0; reason } ]
@@ -116,17 +116,27 @@ let run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g =
 
 let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     ?(memory = true) ?(arch = Eit.Arch.default) ?(validate = true)
-    ?(parallel = 0) ?chaos ?(fallback = true) g =
+    ?(parallel = 0) ?chaos ?(chaos_base = 0) ?(fallback = true) ?(tid = 0) g =
   let deadline =
     Fd.Deadline.earliest deadline
       (Fd.Deadline.of_time_budget budget.Fd.Search.max_time_ms)
   in
   let cp_status, cp_incumbent, stats, crashes =
-    run_cp ~budget ~deadline ~chaos ~memory ~arch ~parallel g
+    (* A deadline already in the past and a zero time budget are the
+       same request — "no search time at all" — and must behave the
+       same: go straight to the degradation ladder without touching the
+       engine (previously the past-deadline case still entered model
+       build only to be interrupted mid-root-propagation, while budget 0
+       short-circuited differently; a request that expired while queued
+       must not burn solver time). *)
+    if Fd.Deadline.expired deadline then
+      (Feasible_timeout, None, Fd.Search.zero_stats ~optimal:false, [])
+    else run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g
   in
   let check sch ~memory =
     if validate then
-      Obs.span ~cat:"sched" "validate" (fun () -> Validate.schedule ~memory sch)
+      Obs.span ~cat:"sched" ~tid "validate" (fun () ->
+          Validate.schedule ~memory sch)
     else Ok ()
   in
   (* Degradation ladder: a CP incumbent that passes the independent
@@ -152,7 +162,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     in
     let fb =
       if fallback then
-        Obs.span ~cat:"sched" "fallback" (fun () -> Heuristic.run ~arch g)
+        Obs.span ~cat:"sched" ~tid "fallback" (fun () -> Heuristic.run ~arch g)
       else Error "fallback disabled"
     in
     match fb with

@@ -50,17 +50,22 @@ val run :
   ?validate:bool ->
   ?parallel:int ->
   ?chaos:Fd.Chaos.t ->
+  ?chaos_base:int ->
   ?fallback:bool ->
+  ?tid:int ->
   Ir.t ->
   outcome
 (** Defaults: 10-second time budget, no extra deadline, memory
     allocation on, {!Eit.Arch.default}, validation on, [parallel = 0]
-    (sequential), no fault injection, fallback on.
+    (sequential), no fault injection, fallback on, trace [tid] 0.
 
     The effective deadline is the earlier of [deadline] and the
     budget's time component; it is observed inside propagation sweeps
     (including root propagation), so the engine cannot overshoot it by
-    one long fixpoint.
+    one long fixpoint.  An effective deadline that is {e already}
+    expired (equivalently, a zero time budget) goes straight to the
+    degradation ladder without entering model build or search — the
+    two spellings of "no search time" behave identically.
 
     [parallel >= 2] runs a cooperative portfolio of that many
     diversified search strategies on OCaml domains (see
@@ -69,7 +74,15 @@ val run :
     recorded in [crashes].
 
     [chaos] instruments every store (sequential or portfolio) for fault
-    injection — see {!Fd.Chaos}.
+    injection — see {!Fd.Chaos}.  [chaos_base] offsets the
+    instrumentation site ids (sequential solve = [chaos_base],
+    portfolio worker [i] = [chaos_base + i]) so a serving layer can
+    give every request attempt a disjoint fault-target range.
+
+    [tid] is the Obs track the sched-phase spans (and a sequential
+    search's events) are emitted on; a pool running several solves
+    concurrently gives each worker its own [tid] so spans still nest
+    per track.  (Portfolio workers keep their own 0-based tids.)
 
     [fallback = false] disables the heuristic rescue (for measuring the
     CP engine alone); a no-incumbent timeout then reports

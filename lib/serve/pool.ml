@@ -1,0 +1,133 @@
+type 'a worker = {
+  w_slot : int;
+  w_gen : int;
+  w_cell : 'a option Atomic.t;
+  w_finished : bool Atomic.t;
+  mutable w_dom : unit Domain.t option;
+  mutable w_joined : bool;
+}
+
+type 'a t = {
+  size : int;
+  body : slot:int -> alive:(unit -> bool) -> cell:'a option Atomic.t -> unit;
+  gens : int Atomic.t array; (* current generation per slot *)
+  mutable current : 'a worker array;
+  mutable zombies : 'a worker list;
+  n_revived : int Atomic.t;
+  m : Mutex.t;
+}
+
+(* The worker wrapper: isolation means a crashing body never takes the
+   pool down — it just marks the worker finished (and dead, if it was
+   still the current generation). *)
+let spawn t slot gen =
+  let w =
+    {
+      w_slot = slot;
+      w_gen = gen;
+      w_cell = Atomic.make None;
+      w_finished = Atomic.make false;
+      w_dom = None;
+      w_joined = false;
+    }
+  in
+  let alive () = Atomic.get t.gens.(slot) = gen in
+  let dom =
+    Domain.spawn (fun () ->
+        (try t.body ~slot ~alive ~cell:w.w_cell with _ -> ());
+        Atomic.set w.w_finished true)
+  in
+  w.w_dom <- Some dom;
+  w
+
+let create ~size body =
+  if size < 1 then invalid_arg "Serve.Pool.create: size < 1";
+  let t =
+    {
+      size;
+      body;
+      gens = Array.init size (fun _ -> Atomic.make 0);
+      current = [||];
+      zombies = [];
+      n_revived = Atomic.make 0;
+      m = Mutex.create ();
+    }
+  in
+  t.current <- Array.init size (fun slot -> spawn t slot 0);
+  t
+
+let size t = t.size
+
+let cells t =
+  Mutex.lock t.m;
+  let cs = Array.map (fun w -> w.w_cell) t.current in
+  Mutex.unlock t.m;
+  cs
+
+let revive t slot =
+  if slot < 0 || slot >= t.size then invalid_arg "Serve.Pool.revive: bad slot";
+  Mutex.lock t.m;
+  let old = t.current.(slot) in
+  let gen = old.w_gen + 1 in
+  (* Flipping the generation is what tells the old worker to exit at
+     its next safe point; it happens before the replacement spawns so
+     the two never both believe they own the slot. *)
+  Atomic.set t.gens.(slot) gen;
+  t.zombies <- old :: t.zombies;
+  t.current.(slot) <- spawn t slot gen;
+  Atomic.incr t.n_revived;
+  Mutex.unlock t.m
+
+let alive_count t =
+  Mutex.lock t.m;
+  let n =
+    Array.fold_left
+      (fun acc w -> if Atomic.get w.w_finished then acc else acc + 1)
+      0 t.current
+  in
+  Mutex.unlock t.m;
+  n
+
+let revived t = Atomic.get t.n_revived
+
+let zombie_count t =
+  Mutex.lock t.m;
+  (* only zombies still awaiting their join count as outstanding *)
+  let n = List.length (List.filter (fun w -> not w.w_joined) t.zombies) in
+  Mutex.unlock t.m;
+  n
+
+(* Join loop: pick an unjoined worker under the lock, join it outside
+   (Domain.join blocks), repeat until none are left.  Revivals during
+   the loop add unjoined workers, which the next iteration picks up. *)
+let join t =
+  let rec loop () =
+    Mutex.lock t.m;
+    let next =
+      Array.fold_left
+        (fun acc w -> match acc with Some _ -> acc | None -> if w.w_joined then None else Some w)
+        None t.current
+    in
+    (match next with Some w -> w.w_joined <- true | None -> ());
+    Mutex.unlock t.m;
+    match next with
+    | Some w ->
+      (match w.w_dom with Some d -> Domain.join d | None -> ());
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let join_zombies t =
+  let rec loop () =
+    Mutex.lock t.m;
+    let next = List.find_opt (fun w -> not w.w_joined) t.zombies in
+    (match next with Some w -> w.w_joined <- true | None -> ());
+    Mutex.unlock t.m;
+    match next with
+    | Some w ->
+      (match w.w_dom with Some d -> Domain.join d | None -> ());
+      loop ()
+    | None -> ()
+  in
+  loop ()

@@ -1,0 +1,58 @@
+(** A fixed-size pool of OCaml 5 worker domains with crash isolation
+    and revival.
+
+    Each of the [size] slots runs one worker domain executing the
+    supplied body.  The body is handed:
+
+    - [slot]: its slot index (stable across revivals);
+    - [alive]: whether this worker is still the slot's current
+      generation — a revived-over worker must exit at the next safe
+      point (it cannot be killed);
+    - [cell]: a published work cell a supervisor can read to see what
+      the worker is doing right now (the service stores its in-flight
+      job here, so the watchdog can find wedged requests).
+
+    {!revive} supersedes a slot's worker: the generation counter bumps
+    (flipping the old worker's [alive] to false), a fresh domain is
+    spawned into the slot, and the old domain becomes a {e zombie} —
+    unjoinable until it reaches a cancellation point on its own.
+    Zombies are joined at {!join_zombies} (shutdown), bounded in
+    practice by the faults' own escape hatches. *)
+
+type 'a t
+
+val create :
+  size:int ->
+  (slot:int -> alive:(unit -> bool) -> cell:'a option Atomic.t -> unit) ->
+  'a t
+(** Spawn [size] worker domains.  A body that raises (or returns) ends
+    that worker; the exception is swallowed — isolation is the point —
+    and the slot shows up as dead in {!alive_count} until revived.
+    @raise Invalid_argument when [size < 1]. *)
+
+val size : 'a t -> int
+
+val cells : 'a t -> 'a option Atomic.t array
+(** Snapshot of the current generation's work cells, indexed by slot. *)
+
+val revive : 'a t -> int -> unit
+(** Supersede [slot]'s worker with a fresh domain.  The old worker's
+    [alive] turns false immediately; it is kept as a zombie until
+    {!join_zombies}. *)
+
+val alive_count : 'a t -> int
+(** Current-generation workers whose body has not finished. *)
+
+val revived : 'a t -> int
+(** Total revivals performed. *)
+
+val zombie_count : 'a t -> int
+(** Superseded workers not yet joined. *)
+
+val join : 'a t -> unit
+(** Join every current-generation worker (including ones revived while
+    joining).  Call after the work source is closed. *)
+
+val join_zombies : 'a t -> unit
+(** Join every superseded worker.  Blocks until each one reaches its
+    escape hatch; call last, at shutdown. *)

@@ -1,0 +1,636 @@
+module Vecsched = Vecsched_core.Vecsched
+
+type workload = Kernel of string | Xml_text of string | Xml_file of string
+
+type request = {
+  id : string;
+  workload : workload;
+  slots : int option;
+  preset : string option;
+  budget_ms : float option;
+  deadline_ms : float option;
+  parallel : int;
+  retries : int option;
+}
+
+let request ?slots ?preset ?budget_ms ?deadline_ms ?(parallel = 0) ?retries ~id
+    workload =
+  { id; workload; slots; preset; budget_ms; deadline_ms; parallel; retries }
+
+type solved = {
+  st : Sched.Solve.status;
+  eng : Sched.Solve.engine;
+  makespan : int option;
+  nodes : int;
+  failures : int;
+  propagations : int;
+  solve_ms : float;
+  crashes : int;
+}
+
+type reply =
+  | Solved of solved
+  | Overloaded
+  | Expired
+  | Wedged of string
+  | Invalid of string
+
+type response = {
+  r_id : string;
+  reply : reply;
+  attempts : int;
+  wait_ms : float;
+  total_ms : float;
+  worker : int;
+}
+
+type config = {
+  pool : int;
+  queue : int;
+  default_budget_ms : float;
+  grace_ms : float;
+  watchdog_tick_ms : float;
+  max_retries : int;
+  backoff_base_ms : float;
+  seed : int;
+  chaos : Fd.Chaos.t option;
+}
+
+let default_config =
+  {
+    pool = 4;
+    queue = 64;
+    default_budget_ms = 10_000.;
+    grace_ms = 2_000.;
+    watchdog_tick_ms = 25.;
+    max_retries = 1;
+    backoff_base_ms = 25.;
+    seed = 0;
+    chaos = None;
+  }
+
+(* One-shot response cell.  [fulfil] is idempotent and returns whether
+   this call won — the worker and the watchdog can race to answer the
+   same request (a "wedged" verdict vs. a slow-but-live solve) and
+   exactly one of them delivers. *)
+type ticket = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable tr : response option;
+  mutable cb : (response -> unit) option;
+}
+
+let fulfil tk resp =
+  Mutex.lock tk.tm;
+  let won = tk.tr = None in
+  let cb = if won then tk.cb else None in
+  if won then begin
+    tk.tr <- Some resp;
+    tk.cb <- None;
+    Condition.broadcast tk.tc
+  end;
+  Mutex.unlock tk.tm;
+  (* The callback runs outside the ticket lock: it may take other
+     locks (the CLI's stdout mutex, a test's aggregation lock). *)
+  (match cb with Some f -> ( try f resp with _ -> ()) | None -> ());
+  won
+
+let await tk =
+  Mutex.lock tk.tm;
+  while tk.tr = None do
+    Condition.wait tk.tc tk.tm
+  done;
+  let r = Option.get tk.tr in
+  Mutex.unlock tk.tm;
+  r
+
+let peek tk =
+  Mutex.lock tk.tm;
+  let r = tk.tr in
+  Mutex.unlock tk.tm;
+  r
+
+type job = {
+  jr : request;
+  seq : int; (* admission index: keys the chaos site ids and jitter *)
+  dl : Fd.Deadline.t; (* absolute end-to-end deadline, switch attached *)
+  sw : Fd.Deadline.switch;
+  t_admit : float;
+  tk : ticket;
+}
+
+type health = {
+  alive : int;
+  queue_depth : int;
+  revived : int;
+  zombies : int;
+  submitted : int;
+  completed : int;
+  shed : int;
+  expired : int;
+  wedged : int;
+  retries : int;
+  fallbacks : int;
+  invalid : int;
+}
+
+type counters = {
+  c_submitted : int Atomic.t;
+  c_completed : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_expired : int Atomic.t;
+  c_wedged : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_fallbacks : int Atomic.t;
+  c_invalid : int Atomic.t;
+}
+
+(* What a worker (and the watchdog) needs: built before the pool so the
+   body closures never reach through the not-yet-constructed handle. *)
+type ctx = {
+  cfg : config;
+  kernels : (string * Eit_dsl.Ir.t) list;
+  cnt : counters;
+  q : job Queue.t;
+}
+
+type t = {
+  ctx : ctx;
+  pool : job Pool.t;
+  seq : int Atomic.t;
+  wd_stop : bool Atomic.t;
+  wd : unit Domain.t;
+  shut_m : Mutex.t;
+  mutable shut : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Workload resolution: every way a request can be malformed — unknown
+   kernel or preset, XML that does not parse — becomes a typed
+   per-request [Invalid], never an escaping exception. *)
+
+let kernel_names =
+  [ "matmul"; "qrd"; "qrd-sorted"; "arf"; "fir"; "corr"; "detect" ]
+
+(* Compiled (merged) graphs for every built-in kernel, built eagerly at
+   [create]: worker domains must never race a lazy cell. *)
+let compile_kernels () =
+  let merged g = (Vecsched.compile g).Vecsched.ir in
+  [
+    ("matmul", merged (Apps.Matmul.graph (Apps.Matmul.build ())));
+    ("qrd", merged (Apps.Qrd.graph (Apps.Qrd.build ())));
+    ("qrd-sorted", merged (Apps.Qrd.graph (Apps.Qrd.build ~sorted:true ())));
+    ("arf", merged (Apps.Arf.graph (Apps.Arf.build ())));
+    ("fir", merged (Apps.Fir.graph (Apps.Fir.build ())));
+    ("corr", merged (Apps.Corr.graph (Apps.Corr.build ())));
+    ("detect", merged (Apps.Detect.graph (Apps.Detect.build ())));
+  ]
+
+let resolve_arch req =
+  let preset =
+    match req.preset with
+    | None -> Ok Eit.Arch.default
+    | Some n -> (
+      match List.assoc_opt n Eit.Arch.presets with
+      | Some a -> Ok a
+      | None ->
+        Error
+          (Printf.sprintf "unknown arch preset %S (known: %s)" n
+             (String.concat ", " (List.map fst Eit.Arch.presets))))
+  in
+  match (preset, req.slots) with
+  | (Error _ as e), _ -> e
+  | Ok a, None -> Ok a
+  | Ok a, Some n ->
+    if n < 1 then Error (Printf.sprintf "slots must be >= 1 (got %d)" n)
+    else Ok (Eit.Arch.with_slots a n)
+
+let resolve_graph kernels = function
+  | Kernel k -> (
+    match List.assoc_opt k kernels with
+    | Some g -> Ok g
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %S (known: %s)" k
+           (String.concat ", " kernel_names)))
+  | Xml_text s -> (
+    match Vecsched.Xml.parse s with
+    | Ok g -> (
+      try Ok (Vecsched.compile g).Vecsched.ir
+      with e -> Error (Printexc.to_string e))
+    | Error e -> Error (Format.asprintf "xml: %a" Vecsched.Xml.pp_error e))
+  | Xml_file path -> (
+    match Vecsched.Xml.load_file path with
+    | Ok g -> (
+      try Ok (Vecsched.compile g).Vecsched.ir
+      with e -> Error (Printexc.to_string e))
+    | Error e -> Error (Format.asprintf "%s: %a" path Vecsched.Xml.pp_error e)
+    | exception Sys_error m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+let ms_since t0 = (now () -. t0) *. 1000.
+
+let obs_instant name id =
+  if Obs.enabled () then
+    Obs.instant ~cat:"serve" ~args:[ ("request_id", Obs.S id) ] name
+
+(* Deliver [resp]; true iff this call won the ticket. *)
+let complete cnt tk resp =
+  let won = fulfil tk resp in
+  if won then Atomic.incr cnt.c_completed;
+  won
+
+(* Backoff before retry producing attempt [k+1]: base * 2^(k-1) plus up
+   to one base of jitter — deterministic, keyed on (seed, seq), so
+   replays reproduce the exact pause schedule. *)
+let backoff_ms cfg rng k =
+  let base = cfg.backoff_base_ms in
+  (base *. float_of_int (1 lsl (k - 1))) +. Random.State.float rng base
+
+(* Sleep in short slices, stamping the heartbeat each slice so the
+   watchdog never mistakes a deliberate backoff for a wedge, and
+   checking the switch so a cancelled request stops waiting. *)
+let backoff_sleep sw ms =
+  let t0 = now () in
+  while ms_since t0 < ms && not (Fd.Deadline.cancelled sw) do
+    Unix.sleepf 0.005;
+    Fd.Deadline.beat sw
+  done
+
+let solved_of_outcome ~solve_ms (o : Sched.Solve.outcome) =
+  {
+    st = o.Sched.Solve.status;
+    eng = o.Sched.Solve.engine;
+    makespan =
+      Option.map (fun s -> s.Sched.Schedule.makespan) o.Sched.Solve.schedule;
+    nodes = o.Sched.Solve.stats.Fd.Search.nodes;
+    failures = o.Sched.Solve.stats.Fd.Search.failures;
+    propagations = o.Sched.Solve.stats.Fd.Search.propagations;
+    solve_ms;
+    crashes = List.length o.Sched.Solve.crashes;
+  }
+
+(* Execute one job on pool slot [slot].  Attempts run the CP engine
+   with the degradation ladder disabled, so a chaos-crashed attempt is
+   visible as [Crashed] and retryable; only once the attempts are spent
+   (or the deadline forbids another backoff) does the heuristic rescue
+   run — as a zero-budget solve, which [Sched.Solve.run]
+   short-circuits straight to the fallback without touching the
+   engine. *)
+let execute ctx ~slot job =
+  let cfg = ctx.cfg in
+  let tid = 1000 + slot in
+  let wait_ms = ms_since job.t_admit in
+  let finish ~attempts reply =
+    ignore
+      (complete ctx.cnt job.tk
+         {
+           r_id = job.jr.id;
+           reply;
+           attempts;
+           wait_ms;
+           total_ms = ms_since job.t_admit;
+           worker = slot;
+         })
+  in
+  Fd.Deadline.beat job.sw;
+  if Fd.Deadline.expired job.dl then begin
+    Atomic.incr ctx.cnt.c_expired;
+    obs_instant "serve.expire" job.jr.id;
+    finish ~attempts:0 Expired
+  end
+  else
+    match (resolve_graph ctx.kernels job.jr.workload, resolve_arch job.jr) with
+    | Error msg, _ | _, Error msg ->
+      Atomic.incr ctx.cnt.c_invalid;
+      finish ~attempts:0 (Invalid msg)
+    | Ok g, Ok arch ->
+      Obs.span ~cat:"serve" ~tid
+        ~args:[ ("request_id", Obs.S job.jr.id) ]
+        ("request:" ^ job.jr.id)
+        (fun () ->
+          let t0 = now () in
+          let budget_ms =
+            Option.value job.jr.budget_ms ~default:cfg.default_budget_ms
+          in
+          let max_attempts =
+            1 + max 0 (Option.value job.jr.retries ~default:cfg.max_retries)
+          in
+          let rng = Random.State.make [| cfg.seed; job.seq; 0xbac0ff |] in
+          let chaos =
+            Option.map
+              (fun c ->
+                Fd.Chaos.with_escape c (fun () ->
+                    Fd.Deadline.cancelled job.sw))
+              cfg.chaos
+          in
+          let attempt k =
+            Sched.Solve.run
+              ~budget:(Fd.Search.time_budget budget_ms)
+              ~deadline:job.dl ?chaos
+              ~chaos_base:((job.seq * 8) + k)
+              ~parallel:job.jr.parallel ~fallback:false ~tid ~arch g
+          in
+          let rec go k o =
+            match o.Sched.Solve.status with
+            | Sched.Solve.Crashed
+              when k < max_attempts && not (Fd.Deadline.cancelled job.sw) ->
+              let pause = backoff_ms cfg rng k in
+              let fits =
+                match Fd.Deadline.remaining_ms job.dl with
+                | None -> true
+                | Some r -> r > pause +. 10.
+              in
+              if not fits then (o, k)
+              else begin
+                Atomic.incr ctx.cnt.c_retries;
+                obs_instant "serve.retry" job.jr.id;
+                backoff_sleep job.sw pause;
+                if Fd.Deadline.cancelled job.sw then (o, k)
+                else
+                  (* carry the crash history of spent attempts forward,
+                     so a rescued request still reports how it got
+                     there *)
+                  let o' = attempt (k + 1) in
+                  go (k + 1)
+                    {
+                      o' with
+                      Sched.Solve.crashes =
+                        o.Sched.Solve.crashes @ o'.Sched.Solve.crashes;
+                    }
+              end
+            | _ -> (o, k)
+          in
+          let o, attempts = go 1 (attempt 1) in
+          let o =
+            if
+              o.Sched.Solve.schedule = None
+              && o.Sched.Solve.status <> Sched.Solve.Infeasible
+              && not (Fd.Deadline.cancelled job.sw)
+            then begin
+              let r =
+                Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) ~tid ~arch g
+              in
+              (* The rescue contributes status / engine / schedule; the
+                 search stats and crash history stay those of the real
+                 attempts — the rescue did no search. *)
+              {
+                r with
+                Sched.Solve.stats = o.Sched.Solve.stats;
+                crashes = o.Sched.Solve.crashes @ r.Sched.Solve.crashes;
+              }
+            end
+            else o
+          in
+          if
+            o.Sched.Solve.engine = Sched.Solve.Fallback
+            && o.Sched.Solve.schedule <> None
+          then Atomic.incr ctx.cnt.c_fallbacks;
+          finish ~attempts
+            (Solved (solved_of_outcome ~solve_ms:(ms_since t0) o)))
+
+let worker_body ctx ~slot ~alive ~cell =
+  if Obs.enabled () then
+    Obs.thread_name ~cat:"serve" ~tid:(1000 + slot)
+      (Printf.sprintf "pool-worker-%d" slot);
+  let rec loop () =
+    match Queue.pop ctx.q with
+    | None -> ()
+    | Some job ->
+      Atomic.set cell (Some job);
+      (try execute ctx ~slot job
+       with _ ->
+         (* Isolation of last resort: whatever escaped, the request is
+            still answered (as a crash) and the worker keeps serving. *)
+         ignore
+           (complete ctx.cnt job.tk
+              {
+                r_id = job.jr.id;
+                reply =
+                  Solved
+                    {
+                      st = Sched.Solve.Crashed;
+                      eng = Sched.Solve.Cp;
+                      makespan = None;
+                      nodes = 0;
+                      failures = 0;
+                      propagations = 0;
+                      solve_ms = 0.;
+                      crashes = 1;
+                    };
+                attempts = 1;
+                wait_ms = ms_since job.t_admit;
+                total_ms = ms_since job.t_admit;
+                worker = slot;
+              }));
+      Atomic.set cell None;
+      if alive () then loop ()
+  in
+  loop ()
+
+(* The supervisor loop: expire requests still queued past their
+   deadline (no worker burnt), declare no-poll-progress workers wedged
+   — cancel their switch, answer the request, revive the slot — and
+   sample the queue depth for the trace. *)
+let watchdog ctx pool stop =
+  while not (Atomic.get stop) do
+    Unix.sleepf (ctx.cfg.watchdog_tick_ms /. 1000.);
+    let dead = Queue.drain_if ctx.q (fun j -> Fd.Deadline.expired j.dl) in
+    List.iter
+      (fun j ->
+        Atomic.incr ctx.cnt.c_expired;
+        obs_instant "serve.expire" j.jr.id;
+        ignore
+          (complete ctx.cnt j.tk
+             {
+               r_id = j.jr.id;
+               reply = Expired;
+               attempts = 0;
+               wait_ms = ms_since j.t_admit;
+               total_ms = ms_since j.t_admit;
+               worker = -1;
+             }))
+      dead;
+    Array.iteri
+      (fun slot cell ->
+        match Atomic.get cell with
+        | Some j
+          when (not (Fd.Deadline.cancelled j.sw))
+               && Fd.Deadline.idle_ms j.sw > ctx.cfg.grace_ms ->
+          Fd.Deadline.cancel ~reason:"watchdog" j.sw;
+          obs_instant "serve.wedge" j.jr.id;
+          let resp =
+            {
+              r_id = j.jr.id;
+              reply =
+                Wedged
+                  (Printf.sprintf
+                     "worker %d: no solver progress within %.0f ms" slot
+                     ctx.cfg.grace_ms);
+              attempts = 1;
+              wait_ms = ms_since j.t_admit;
+              total_ms = ms_since j.t_admit;
+              worker = slot;
+            }
+          in
+          (* Revive only if this verdict won the ticket: losing the race
+             means the worker just finished on its own — it is not
+             wedged, and it will pick the next job up normally. *)
+          if complete ctx.cnt j.tk resp then begin
+            Atomic.incr ctx.cnt.c_wedged;
+            Pool.revive pool slot
+          end
+        | _ -> ())
+      (Pool.cells pool);
+    if Obs.enabled () then
+      Obs.counter ~cat:"serve" "serve.queue"
+        [ ("depth", Obs.I (Queue.length ctx.q)) ]
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) () =
+  let cnt =
+    {
+      c_submitted = Atomic.make 0;
+      c_completed = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_expired = Atomic.make 0;
+      c_wedged = Atomic.make 0;
+      c_retries = Atomic.make 0;
+      c_fallbacks = Atomic.make 0;
+      c_invalid = Atomic.make 0;
+    }
+  in
+  let ctx =
+    {
+      cfg = config;
+      kernels = compile_kernels ();
+      cnt;
+      q = Queue.create ~capacity:config.queue;
+    }
+  in
+  let pool = Pool.create ~size:config.pool (worker_body ctx) in
+  let wd_stop = Atomic.make false in
+  let wd = Domain.spawn (fun () -> watchdog ctx pool wd_stop) in
+  {
+    ctx;
+    pool;
+    seq = Atomic.make 0;
+    wd_stop;
+    wd;
+    shut_m = Mutex.create ();
+    shut = false;
+  }
+
+let submit ?on_complete t req =
+  Atomic.incr t.ctx.cnt.c_submitted;
+  let tk =
+    { tm = Mutex.create (); tc = Condition.create (); tr = None; cb = on_complete }
+  in
+  let sw = Fd.Deadline.switch () in
+  let dl =
+    Fd.Deadline.with_switch
+      (match req.deadline_ms with
+      | Some ms -> Fd.Deadline.after_ms ms
+      | None -> Fd.Deadline.none)
+      sw
+  in
+  let job =
+    {
+      jr = req;
+      seq = Atomic.fetch_and_add t.seq 1;
+      dl;
+      sw;
+      t_admit = now ();
+      tk;
+    }
+  in
+  obs_instant "serve.admit" req.id;
+  (match Queue.push t.ctx.q job with
+  | `Ok -> ()
+  | `Full | `Closed ->
+    Atomic.incr t.ctx.cnt.c_shed;
+    obs_instant "serve.shed" req.id;
+    ignore
+      (complete t.ctx.cnt tk
+         {
+           r_id = req.id;
+           reply = Overloaded;
+           attempts = 0;
+           wait_ms = 0.;
+           total_ms = ms_since job.t_admit;
+           worker = -1;
+         }));
+  tk
+
+let health t =
+  {
+    alive = Pool.alive_count t.pool;
+    queue_depth = Queue.length t.ctx.q;
+    revived = Pool.revived t.pool;
+    zombies = Pool.zombie_count t.pool;
+    submitted = Atomic.get t.ctx.cnt.c_submitted;
+    completed = Atomic.get t.ctx.cnt.c_completed;
+    shed = Atomic.get t.ctx.cnt.c_shed;
+    expired = Atomic.get t.ctx.cnt.c_expired;
+    wedged = Atomic.get t.ctx.cnt.c_wedged;
+    retries = Atomic.get t.ctx.cnt.c_retries;
+    fallbacks = Atomic.get t.ctx.cnt.c_fallbacks;
+    invalid = Atomic.get t.ctx.cnt.c_invalid;
+  }
+
+let shutdown t =
+  Mutex.lock t.shut_m;
+  let first = not t.shut in
+  t.shut <- true;
+  Mutex.unlock t.shut_m;
+  if first then begin
+    Queue.close t.ctx.q;
+    (* Workers drain what is already queued; the watchdog stays alive
+       until they are done so a wedge during the drain is still
+       caught and its request still answered. *)
+    Pool.join t.pool;
+    Atomic.set t.wd_stop true;
+    Domain.join t.wd;
+    Pool.join_zombies t.pool
+  end
+
+let status_string r =
+  match r.reply with
+  | Solved { st = Sched.Solve.Optimal; _ } -> "optimal"
+  | Solved { st = Sched.Solve.Feasible_timeout; _ } -> "feasible_timeout"
+  | Solved { st = Sched.Solve.Infeasible; _ } -> "infeasible"
+  | Solved { st = Sched.Solve.Crashed; _ } -> "crashed"
+  | Overloaded -> "rejected_overload"
+  | Expired -> "expired"
+  | Wedged _ -> "wedged"
+  | Invalid _ -> "error"
+
+let exit_code r =
+  match r.reply with
+  | Solved s -> (
+    match (s.st, s.eng, s.makespan) with
+    | Sched.Solve.Optimal, _, _ -> 0
+    | Sched.Solve.Feasible_timeout, Sched.Solve.Cp, Some _ -> 0
+    | Sched.Solve.Feasible_timeout, Sched.Solve.Fallback, Some _ -> 2
+    | Sched.Solve.Infeasible, _, _ -> 3
+    | _ -> 4)
+  | Overloaded -> 5
+  | Expired -> 6
+  | Wedged _ -> 4
+  | Invalid _ -> 7
+
+let pp_reply ppf = function
+  | Solved s ->
+    Format.fprintf ppf "solved(%a/%a%t)" Sched.Solve.pp_status s.st
+      Sched.Solve.pp_engine s.eng (fun ppf ->
+        match s.makespan with
+        | Some m -> Format.fprintf ppf ", makespan=%d" m
+        | None -> ())
+  | Overloaded -> Format.pp_print_string ppf "rejected_overload"
+  | Expired -> Format.pp_print_string ppf "expired"
+  | Wedged m -> Format.fprintf ppf "wedged: %s" m
+  | Invalid m -> Format.fprintf ppf "invalid: %s" m

@@ -1,0 +1,163 @@
+(** The batch scheduling service: a long-lived, resilient front end to
+    the solver stack.
+
+    Requests (a named built-in kernel or an imported XML graph, plus
+    per-request architecture / budget / deadline options) are admitted
+    through a bounded queue ({!Serve.Queue} — overload is shed as a
+    typed {!Overloaded} reply, never queued unboundedly), executed on a
+    fixed pool of worker domains ({!Serve.Pool}) that reuse
+    {!Sched.Solve} / {!Fd.Portfolio}, and answered with a typed
+    {!response}.  The contract: {e every} submitted request gets
+    exactly one response, in bounded time, and no request can take the
+    service (or another request) down.
+
+    Resilience machinery, per request:
+
+    - an absolute deadline covering queue wait {e and} solving; a
+      request that expires while still queued is failed fast by the
+      watchdog without occupying a worker;
+    - a cancellation switch ({!Fd.Deadline.switch}) threaded into the
+      solver's cooperative polls, doubling as a progress heartbeat;
+    - retry with jittered exponential backoff for [Crashed] attempts
+      (bounded by the attempt budget {e and} the remaining deadline);
+    - a final heuristic-fallback rescue when no attempt produced a
+      schedule (unless the instance is proven infeasible);
+    - a watchdog domain that declares a worker {e wedged} when its
+      in-flight request makes no poll progress within the grace window,
+      answers the request ({!Wedged}), and revives the slot with a
+      fresh domain (the wedged one is quarantined as a zombie until it
+      escapes on its own).
+
+    Observability: admissions, sheds, expiries, retries and wedges are
+    emitted as [Obs] instants (cat ["serve"]) tagged with the request
+    id; each execution is wrapped in a [request:<id>] span on the
+    worker's own track (tid [1000 + slot]). *)
+
+type workload =
+  | Kernel of string    (** a built-in kernel, e.g. ["qrd"] *)
+  | Xml_text of string  (** an exported XML graph, inline *)
+  | Xml_file of string  (** an exported XML graph, by path *)
+
+type request = {
+  id : string;
+  workload : workload;
+  slots : int option;        (** restrict memory slots *)
+  preset : string option;    (** architecture preset name *)
+  budget_ms : float option;  (** per-attempt solver budget *)
+  deadline_ms : float option;
+      (** end-to-end deadline, measured from submission — queue wait
+          counts against it *)
+  parallel : int;            (** portfolio width; 0/1 = sequential *)
+  retries : int option;      (** max retries for crashed attempts *)
+}
+
+val request :
+  ?slots:int ->
+  ?preset:string ->
+  ?budget_ms:float ->
+  ?deadline_ms:float ->
+  ?parallel:int ->
+  ?retries:int ->
+  id:string ->
+  workload ->
+  request
+
+type solved = {
+  st : Sched.Solve.status;
+  eng : Sched.Solve.engine;
+  makespan : int option;
+  nodes : int;
+  failures : int;
+  propagations : int;
+  solve_ms : float;   (** wall time spent solving (all attempts) *)
+  crashes : int;      (** isolated worker crashes across attempts *)
+}
+
+type reply =
+  | Solved of solved
+  | Overloaded        (** shed at admission: queue full or closed *)
+  | Expired           (** deadline passed while still queued *)
+  | Wedged of string  (** watchdog: no solver progress within grace *)
+  | Invalid of string (** malformed request: XML parse error, unknown
+                          kernel / preset — the request's fault,
+                          reported per-request, never fatal *)
+
+type response = {
+  r_id : string;
+  reply : reply;
+  attempts : int;   (** solve attempts executed (0 when never run) *)
+  wait_ms : float;  (** admission -> pickup (or terminal verdict) *)
+  total_ms : float; (** admission -> response *)
+  worker : int;     (** pool slot that ran it; [-1] when none did *)
+}
+
+type config = {
+  pool : int;               (** worker domains (default 4) *)
+  queue : int;              (** admission queue capacity (default 64) *)
+  default_budget_ms : float;(** per-attempt budget when the request
+                                carries none (default 10s) *)
+  grace_ms : float;         (** watchdog: max ms without poll progress
+                                before a worker counts as wedged
+                                (default 2s) *)
+  watchdog_tick_ms : float; (** watchdog scan period (default 25ms) *)
+  max_retries : int;        (** default retry allowance (default 1) *)
+  backoff_base_ms : float;  (** first backoff step (default 25ms);
+                                doubles per retry, plus jitter *)
+  seed : int;               (** jitter RNG seed (deterministic per
+                                request sequence number) *)
+  chaos : Fd.Chaos.t option;(** fault injection for every attempt *)
+}
+
+val default_config : config
+
+type t
+type ticket
+
+val create : ?config:config -> unit -> t
+(** Compiles every built-in kernel up front and spawns the pool and
+    the watchdog. *)
+
+val submit : ?on_complete:(response -> unit) -> t -> request -> ticket
+(** Never blocks.  Overload answers the ticket immediately with
+    {!Overloaded}.  [on_complete] fires exactly once, on whichever
+    domain resolves the request. *)
+
+val await : ticket -> response
+(** Block until the response is available. *)
+
+val peek : ticket -> response option
+
+type health = {
+  alive : int;       (** live current-generation workers *)
+  queue_depth : int;
+  revived : int;     (** worker revivals performed *)
+  zombies : int;     (** superseded workers not yet joined *)
+  submitted : int;
+  completed : int;   (** responses delivered (all kinds) *)
+  shed : int;
+  expired : int;
+  wedged : int;
+  retries : int;     (** retry attempts performed *)
+  fallbacks : int;   (** responses rescued by the heuristic fallback *)
+  invalid : int;
+}
+
+val health : t -> health
+
+val shutdown : t -> unit
+(** Graceful: close admission, drain queued requests, join workers
+    (the watchdog keeps running until they are done, so a wedge during
+    drain is still caught), then the watchdog and any zombies.
+    Idempotent. *)
+
+val status_string : response -> string
+(** ["optimal"], ["feasible_timeout"], ["infeasible"], ["crashed"],
+    ["rejected_overload"], ["expired"], ["wedged"] or ["error"]. *)
+
+val exit_code : response -> int
+(** Per-response exit-code contract, extending {!Sched.Solve.exit_code}:
+    [0] optimal / CP-feasible, [2] fallback schedule, [3] infeasible,
+    [4] crashed or wedged, [5] shed on overload, [6] expired in queue,
+    [7] invalid request. *)
+
+val pp_reply : Format.formatter -> reply -> unit

@@ -1,0 +1,118 @@
+module J = Obs.Json
+
+let ( let* ) = Result.bind
+
+let get_str name j =
+  match J.member name j with
+  | None | Some J.Null -> Ok None
+  | Some (J.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+
+let get_num name j =
+  match J.member name j with
+  | None | Some J.Null -> Ok None
+  | Some (J.Num f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "%S must be a number" name)
+
+let request_of_json ?default_id j =
+  match j with
+  | J.Obj _ ->
+    let* id = get_str "id" j in
+    let* kernel = get_str "kernel" j in
+    let* xml = get_str "xml" j in
+    let* xml_file = get_str "xml_file" j in
+    let* workload =
+      match (kernel, xml, xml_file) with
+      | Some k, None, None -> Ok (Service.Kernel k)
+      | None, Some x, None -> Ok (Service.Xml_text x)
+      | None, None, Some p -> Ok (Service.Xml_file p)
+      | None, None, None ->
+        Error "missing workload: provide one of \"kernel\", \"xml\", \"xml_file\""
+      | _ -> Error "exactly one of \"kernel\", \"xml\", \"xml_file\" allowed"
+    in
+    let* slots = get_num "slots" j in
+    let* preset = get_str "arch" j in
+    let* budget_ms = get_num "budget_ms" j in
+    let* deadline_ms = get_num "deadline_ms" j in
+    let* parallel = get_num "parallel" j in
+    let* retries = get_num "retries" j in
+    let id =
+      match (id, default_id) with
+      | Some i, _ -> i
+      | None, Some d -> d
+      | None, None -> "?"
+    in
+    Ok
+      {
+        Service.id;
+        workload;
+        slots = Option.map int_of_float slots;
+        preset;
+        budget_ms;
+        deadline_ms;
+        parallel = (match parallel with Some p -> int_of_float p | None -> 0);
+        retries = Option.map int_of_float retries;
+      }
+  | _ -> Error "request must be a JSON object"
+
+let request_of_line ?default_id line =
+  match J.parse line with
+  | Error e -> Error ("json: " ^ e)
+  | Ok j -> request_of_json ?default_id j
+
+let num i = J.Num (float_of_int i)
+let ms x = J.Num (Float.round (x *. 1000.) /. 1000.)
+
+let response_json (r : Service.response) =
+  let head =
+    [
+      ("id", J.Str r.Service.r_id);
+      ("status", J.Str (Service.status_string r));
+      ("code", num (Service.exit_code r));
+    ]
+  in
+  let body =
+    match r.Service.reply with
+    | Service.Solved s ->
+      [
+        ( "engine",
+          J.Str
+            (match s.Service.eng with
+            | Sched.Solve.Cp -> "cp"
+            | Sched.Solve.Fallback -> "fallback") );
+      ]
+      @ (match s.Service.makespan with
+        | Some m -> [ ("makespan", num m) ]
+        | None -> [])
+      @ [
+          ("nodes", num s.Service.nodes);
+          ("failures", num s.Service.failures);
+          ("propagations", num s.Service.propagations);
+          ("crashes", num s.Service.crashes);
+          ("solve_ms", ms s.Service.solve_ms);
+        ]
+    | Service.Wedged m | Service.Invalid m -> [ ("error", J.Str m) ]
+    | Service.Overloaded | Service.Expired -> []
+  in
+  let tail =
+    [
+      ("attempts", num r.Service.attempts);
+      ("retries", num (max 0 (r.Service.attempts - 1)));
+      ("wait_ms", ms r.Service.wait_ms);
+      ("total_ms", ms r.Service.total_ms);
+      ("worker", num r.Service.worker);
+    ]
+  in
+  J.Obj (head @ body @ tail)
+
+let response_line r = J.to_string (response_json r)
+
+let error_line ~id msg =
+  J.to_string
+    (J.Obj
+       [
+         ("id", J.Str id);
+         ("status", J.Str "error");
+         ("code", num 7);
+         ("error", J.Str msg);
+       ])

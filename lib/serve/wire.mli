@@ -1,0 +1,33 @@
+(** Line-delimited JSON wire format for [eitc serve].
+
+    One request object per input line, one response object per output
+    line, always in admission order of completion (not submission).
+
+    Request fields: ["id"] (string; defaults to the line number),
+    exactly one workload key — ["kernel"] (built-in name), ["xml"]
+    (inline exported graph) or ["xml_file"] (path) — and optional
+    ["slots"], ["arch"] (preset name), ["budget_ms"], ["deadline_ms"],
+    ["parallel"], ["retries"].
+
+    Response fields: ["id"], ["status"] (see
+    {!Service.status_string}), ["code"] (see {!Service.exit_code});
+    for solved requests ["engine"], ["makespan"] (when a schedule
+    exists), ["nodes"], ["failures"], ["propagations"], ["crashes"],
+    ["solve_ms"]; for wedged / invalid ones ["error"]; always
+    ["attempts"], ["retries"], ["wait_ms"], ["total_ms"], ["worker"].
+
+    A line that fails to parse is answered with {!error_line} — the
+    daemon never exits on bad input. *)
+
+val request_of_json :
+  ?default_id:string -> Obs.Json.t -> (Service.request, string) result
+
+val request_of_line :
+  ?default_id:string -> string -> (Service.request, string) result
+
+val response_json : Service.response -> Obs.Json.t
+val response_line : Service.response -> string
+
+val error_line : id:string -> string -> string
+(** A synthetic ["error"]/code-7 response for input that never became
+    a request (unparseable JSON, missing workload). *)

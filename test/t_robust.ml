@@ -211,6 +211,35 @@ let test_deadline_observed () =
     (o.Sched.Solve.engine = Sched.Solve.Fallback
     && o.Sched.Solve.schedule <> None)
 
+let test_past_deadline_equals_zero_budget () =
+  (* an already-expired deadline takes the same fast path as a zero
+     budget: no search is started at all (zero nodes, zero
+     propagations), only the heuristic fallback runs *)
+  let g = merged (Apps.Qrd.graph (Apps.Qrd.build ())) in
+  let t0 = Unix.gettimeofday () in
+  let by_budget = solve ~budget:0. g in
+  let by_deadline =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.)
+      ~deadline:(Fd.Deadline.after_ms (-50.)) g
+  in
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Alcotest.(check bool) "both fast" true (dt_ms < 2_000.);
+  List.iter
+    (fun (name, o) ->
+      Alcotest.(check bool) (name ^ " status") true
+        (o.Sched.Solve.status = Sched.Solve.Feasible_timeout);
+      Alcotest.(check bool) (name ^ " engine") true
+        (o.Sched.Solve.engine = Sched.Solve.Fallback);
+      Alcotest.(check int) (name ^ " nodes") 0 o.Sched.Solve.stats.Fd.Search.nodes;
+      Alcotest.(check int)
+        (name ^ " propagations")
+        0 o.Sched.Solve.stats.Fd.Search.propagations;
+      Alcotest.(check bool) (name ^ " schedule") true
+        (match o.Sched.Solve.schedule with
+        | Some sch -> Sched.Schedule.is_valid sch
+        | None -> false))
+    [ ("budget-0", by_budget); ("past-deadline", by_deadline) ]
+
 let test_tiny_budget_inside_propagation () =
   (* the budget is enforced inside the fixpoint loop: a 5 ms budget on
      QRD must not overshoot by a long propagation sweep *)
@@ -381,6 +410,8 @@ let suite =
     Alcotest.test_case "budget 0 falls back on all kernels" `Quick
       test_budget_zero_falls_back;
     Alcotest.test_case "deadline observed" `Quick test_deadline_observed;
+    Alcotest.test_case "past deadline = zero budget fast path" `Quick
+      test_past_deadline_equals_zero_budget;
     Alcotest.test_case "tiny budget: no propagation overshoot" `Quick
       test_tiny_budget_inside_propagation;
     Alcotest.test_case "chaos: sequential crash rescued" `Quick

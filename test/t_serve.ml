@@ -1,0 +1,579 @@
+(* The batch scheduling service (lib/serve): admission control and
+   shedding, end-to-end deadlines (queue wait included), retry with
+   backoff, wedge detection + worker revival, per-request isolation of
+   malformed input, wire formats, obs tagging, determinism of served
+   solves, and a mixed chaos soak. *)
+
+module S = Serve.Service
+module W = Serve.Wire
+module V = Vecsched_core.Vecsched
+
+let qrd_ir () = (V.compile (Apps.Qrd.graph (Apps.Qrd.build ()))).V.ir
+
+(* Never let a broken service hang the test runner: poll with a hard
+   cap instead of blocking on [await]. *)
+let await_or_fail ?(ms = 30_000.) tk =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match S.peek tk with
+    | Some r -> r
+    | None ->
+      if (Unix.gettimeofday () -. t0) *. 1000. > ms then
+        Alcotest.failf "no response within %.0f ms" ms
+      else begin
+        Unix.sleepf 0.005;
+        go ()
+      end
+  in
+  go ()
+
+let with_service config f =
+  let svc = S.create ~config () in
+  Fun.protect ~finally:(fun () -> S.shutdown svc) (fun () -> f svc)
+
+let base_config =
+  {
+    S.default_config with
+    S.pool = 2;
+    grace_ms = 1_000.;
+    watchdog_tick_ms = 5.;
+    backoff_base_ms = 5.;
+  }
+
+(* --------------------------- happy path ----------------------------- *)
+
+let test_solves_kernels () =
+  with_service base_config (fun svc ->
+      let q = S.submit svc (S.request ~id:"q" ~budget_ms:10_000. (S.Kernel "qrd")) in
+      let a = S.submit svc (S.request ~id:"a" ~budget_ms:10_000. (S.Kernel "arf")) in
+      let rq = await_or_fail q and ra = await_or_fail a in
+      (match rq.S.reply with
+      | S.Solved s ->
+        Alcotest.(check (option int)) "qrd makespan" (Some 168) s.S.makespan;
+        Alcotest.(check bool) "qrd optimal" true (s.S.st = Sched.Solve.Optimal)
+      | r -> Alcotest.failf "qrd: unexpected reply %a" S.pp_reply r);
+      (match ra.S.reply with
+      | S.Solved s ->
+        Alcotest.(check (option int)) "arf makespan" (Some 56) s.S.makespan
+      | r -> Alcotest.failf "arf: unexpected reply %a" S.pp_reply r);
+      Alcotest.(check string) "status" "optimal" (S.status_string rq);
+      Alcotest.(check int) "exit code" 0 (S.exit_code rq);
+      Alcotest.(check int) "attempts" 1 rq.S.attempts;
+      Alcotest.(check bool) "ran on a worker" true (rq.S.worker >= 0);
+      let h = S.health svc in
+      Alcotest.(check int) "completed" 2 h.S.completed;
+      Alcotest.(check int) "alive" 2 h.S.alive;
+      Alcotest.(check int) "nothing shed/expired/wedged" 0
+        (h.S.shed + h.S.expired + h.S.wedged))
+
+(* Served solves must be reproducible and identical to a direct
+   [Sched.Solve.run]: same node / propagation counts, every time. *)
+let test_determinism_vs_direct () =
+  let direct =
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) ~fallback:false
+      (qrd_ir ())
+  in
+  Alcotest.(check bool) "direct optimal" true
+    (direct.Sched.Solve.status = Sched.Solve.Optimal);
+  with_service { base_config with S.pool = 1 } (fun svc ->
+      let solve () =
+        match
+          (await_or_fail
+             (S.submit svc (S.request ~id:"d" ~budget_ms:10_000. (S.Kernel "qrd"))))
+            .S.reply
+        with
+        | S.Solved s -> s
+        | r -> Alcotest.failf "unexpected reply %a" S.pp_reply r
+      in
+      let s1 = solve () and s2 = solve () in
+      Alcotest.(check int) "nodes repeat" s1.S.nodes s2.S.nodes;
+      Alcotest.(check int) "propagations repeat" s1.S.propagations
+        s2.S.propagations;
+      Alcotest.(check int) "nodes = direct" direct.Sched.Solve.stats.Fd.Search.nodes
+        s1.S.nodes;
+      Alcotest.(check int) "propagations = direct"
+        direct.Sched.Solve.stats.Fd.Search.propagations s1.S.propagations;
+      Alcotest.(check (option int)) "makespan = direct"
+        (Option.map
+           (fun sch -> sch.Sched.Schedule.makespan)
+           direct.Sched.Solve.schedule)
+        s1.S.makespan)
+
+(* ---------------------- malformed input isolation -------------------- *)
+
+let test_invalid_requests_answered_not_fatal () =
+  with_service base_config (fun svc ->
+      let bad =
+        [
+          S.request ~id:"k" (S.Kernel "no-such-kernel");
+          S.request ~id:"x" (S.Xml_text "<graph><bogus");
+          S.request ~id:"p" ~preset:"no-such-arch" (S.Kernel "qrd");
+          S.request ~id:"f" (S.Xml_file "/no/such/file.xml");
+        ]
+      in
+      let replies = List.map (fun r -> await_or_fail (S.submit svc r)) bad in
+      List.iter
+        (fun r ->
+          (match r.S.reply with
+          | S.Invalid msg ->
+            Alcotest.(check bool) "non-empty error" true (String.length msg > 0)
+          | other -> Alcotest.failf "%s: expected invalid, got %a" r.S.r_id S.pp_reply other);
+          Alcotest.(check string) "status" "error" (S.status_string r);
+          Alcotest.(check int) "code" 7 (S.exit_code r))
+        replies;
+      (* the XML parse error is positioned *)
+      (match (List.nth replies 1).S.reply with
+      | S.Invalid msg ->
+        Alcotest.(check bool) ("positioned: " ^ msg) true
+          (String.length msg >= 9 && String.sub msg 0 9 = "xml: line")
+      | _ -> assert false);
+      (* ...and the service is still fully operational afterwards *)
+      let ok =
+        await_or_fail
+          (S.submit svc (S.request ~id:"ok" ~budget_ms:10_000. (S.Kernel "matmul")))
+      in
+      (match ok.S.reply with
+      | S.Solved s ->
+        Alcotest.(check (option int)) "matmul makespan" (Some 11) s.S.makespan
+      | r -> Alcotest.failf "after invalids: %a" S.pp_reply r);
+      let h = S.health svc in
+      Alcotest.(check int) "invalid counted" 4 h.S.invalid;
+      Alcotest.(check int) "alive" 2 h.S.alive)
+
+(* -------------------------- admission control ------------------------ *)
+
+let test_overload_sheds () =
+  with_service
+    { base_config with S.pool = 1; queue = 1 }
+    (fun svc ->
+      (* 8 back-to-back matmuls at a 200 ms budget on a 1-worker/1-slot
+         service: at most one runs and one waits, so most are shed
+         immediately with a typed verdict. *)
+      let tks =
+        List.init 8 (fun i ->
+            S.submit svc
+              (S.request
+                 ~id:(Printf.sprintf "o%d" i)
+                 ~budget_ms:200. (S.Kernel "matmul")))
+      in
+      let rs = List.map (fun tk -> await_or_fail tk) tks in
+      let shed =
+        List.length (List.filter (fun r -> r.S.reply = S.Overloaded) rs)
+      in
+      Alcotest.(check bool) (Printf.sprintf "most shed (got %d)" shed) true
+        (shed >= 5);
+      List.iter
+        (fun r ->
+          if r.S.reply = S.Overloaded then begin
+            Alcotest.(check string) "status" "rejected_overload"
+              (S.status_string r);
+            Alcotest.(check int) "code" 5 (S.exit_code r);
+            Alcotest.(check int) "no worker" (-1) r.S.worker
+          end)
+        rs;
+      let h = S.health svc in
+      Alcotest.(check int) "shed counter" shed h.S.shed;
+      Alcotest.(check int) "every request answered" 8 h.S.completed)
+
+(* A request whose deadline passes while it is still queued fails fast
+   via the watchdog, without ever occupying a worker. *)
+let test_deadline_expires_in_queue () =
+  with_service
+    { base_config with S.pool = 1 }
+    (fun svc ->
+      (* blocker: matmul spends its full 600 ms proving optimality *)
+      let blocker =
+        S.submit svc (S.request ~id:"blk" ~budget_ms:600. (S.Kernel "matmul"))
+      in
+      let doomed =
+        S.submit svc
+          (S.request ~id:"doom" ~budget_ms:10_000. ~deadline_ms:60.
+             (S.Kernel "qrd"))
+      in
+      let rd = await_or_fail doomed in
+      Alcotest.(check bool) "expired" true (rd.S.reply = S.Expired);
+      Alcotest.(check int) "never ran" (-1) rd.S.worker;
+      Alcotest.(check int) "no attempts" 0 rd.S.attempts;
+      Alcotest.(check int) "code" 6 (S.exit_code rd);
+      Alcotest.(check bool) "failed fast, did not wait for the blocker" true
+        (rd.S.total_ms < 500.);
+      let rb = await_or_fail blocker in
+      (match rb.S.reply with
+      | S.Solved s ->
+        Alcotest.(check (option int)) "blocker makespan" (Some 11) s.S.makespan
+      | r -> Alcotest.failf "blocker: %a" S.pp_reply r);
+      Alcotest.(check int) "expired counter" 1 (S.health svc).S.expired)
+
+(* ------------------------------ retries ------------------------------ *)
+
+(* fail_solves poisons the Nth instrumented attempt; on a 1-worker
+   service attempt numbering is deterministic, so [1] kills exactly the
+   first attempt and the retry must succeed with identical results. *)
+let test_retry_rescues_poisoned_attempt () =
+  let chaos = Fd.Chaos.create ~fail_solves:[ 1 ] ~seed:11 () in
+  with_service
+    { base_config with S.pool = 1; max_retries = 2; chaos = Some chaos }
+    (fun svc ->
+      let r =
+        await_or_fail
+          (S.submit svc (S.request ~id:"r" ~budget_ms:10_000. (S.Kernel "qrd")))
+      in
+      (match r.S.reply with
+      | S.Solved s ->
+        Alcotest.(check bool) "optimal after retry" true
+          (s.S.st = Sched.Solve.Optimal);
+        Alcotest.(check (option int)) "makespan" (Some 168) s.S.makespan;
+        Alcotest.(check bool) "crash recorded" true (s.S.crashes >= 1)
+      | other -> Alcotest.failf "unexpected %a" S.pp_reply other);
+      Alcotest.(check int) "attempts" 2 r.S.attempts;
+      Alcotest.(check int) "retry counter" 1 (S.health svc).S.retries;
+      Alcotest.(check bool) "fault logged" true
+        (List.exists (fun f -> f.Fd.Chaos.worker = 1) (Fd.Chaos.faults chaos)))
+
+(* When the remaining deadline cannot fund the backoff pause, the retry
+   is skipped and the degradation ladder answers instead. *)
+let test_retry_bounded_by_deadline () =
+  let chaos = Fd.Chaos.create ~fail_solves:[ 1; 2; 3; 4 ] ~seed:11 () in
+  with_service
+    {
+      base_config with
+      S.pool = 1;
+      max_retries = 3;
+      backoff_base_ms = 400.;
+      chaos = Some chaos;
+    }
+    (fun svc ->
+      let r =
+        await_or_fail
+          (S.submit svc
+             (S.request ~id:"b" ~budget_ms:2_000. ~deadline_ms:300.
+                (S.Kernel "qrd")))
+      in
+      Alcotest.(check int) "single attempt (no time to back off)" 1 r.S.attempts;
+      Alcotest.(check int) "no retries" 0 (S.health svc).S.retries;
+      match r.S.reply with
+      | S.Solved s ->
+        (* the zero-budget rescue delivered the heuristic schedule *)
+        Alcotest.(check bool) "fallback engine" true
+          (s.S.eng = Sched.Solve.Fallback);
+        Alcotest.(check bool) "has schedule" true (s.S.makespan <> None)
+      | other -> Alcotest.failf "unexpected %a" S.pp_reply other)
+
+(* --------------------------- wedge + revival ------------------------- *)
+
+(* Wedge the first request's first attempt (chaos site 0*8+1 = 1): the
+   watchdog must answer the request, revive the slot, and the next
+   request must be served normally by the fresh worker. *)
+let test_wedge_detected_and_worker_revived () =
+  let chaos =
+    Fd.Chaos.create ~wedge_workers:[ 1 ] ~wedge_after:5 ~wedge_max_ms:20_000.
+      ~seed:3 ()
+  in
+  with_service
+    {
+      base_config with
+      S.pool = 1;
+      grace_ms = 100.;
+      watchdog_tick_ms = 10.;
+      chaos = Some chaos;
+    }
+    (fun svc ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        await_or_fail
+          (S.submit svc (S.request ~id:"w" ~budget_ms:10_000. (S.Kernel "qrd")))
+      in
+      let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      (match r.S.reply with
+      | S.Wedged msg ->
+        Alcotest.(check bool) ("names the worker: " ^ msg) true
+          (String.length msg > 0)
+      | other -> Alcotest.failf "expected wedged, got %a" S.pp_reply other);
+      Alcotest.(check int) "code" 4 (S.exit_code r);
+      Alcotest.(check bool) "verdict in ~grace, not wedge_max" true
+        (dt_ms < 5_000.);
+      let next =
+        await_or_fail
+          (S.submit svc (S.request ~id:"n" ~budget_ms:10_000. (S.Kernel "arf")))
+      in
+      (match next.S.reply with
+      | S.Solved s ->
+        Alcotest.(check (option int)) "revived worker serves" (Some 56)
+          s.S.makespan
+      | other -> Alcotest.failf "after revival: %a" S.pp_reply other);
+      let h = S.health svc in
+      Alcotest.(check int) "wedged counter" 1 h.S.wedged;
+      Alcotest.(check int) "revived counter" 1 h.S.revived;
+      Alcotest.(check int) "pool back to size" 1 h.S.alive)
+
+(* The chaos wedge itself is bounded: with no supervisor at all, the
+   wedge_max_ms ceiling unwinds it deterministically. *)
+let test_wedge_ceiling_without_watchdog () =
+  let g = qrd_ir () in
+  let run () =
+    let chaos =
+      Fd.Chaos.create ~wedge_workers:[ 0 ] ~wedge_after:5 ~wedge_max_ms:100.
+        ~seed:3 ()
+    in
+    Sched.Solve.run ~budget:(Fd.Search.time_budget 10_000.) ~chaos
+      ~fallback:false g
+  in
+  let t0 = Unix.gettimeofday () in
+  let a = run () in
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Alcotest.(check bool) "crashed" true (a.Sched.Solve.status = Sched.Solve.Crashed);
+  Alcotest.(check bool) "took ~wedge_max_ms" true (dt_ms < 5_000.);
+  let b = run () in
+  Alcotest.(check bool) "deterministic status" true
+    (b.Sched.Solve.status = Sched.Solve.Crashed);
+  Alcotest.(check int) "deterministic node count"
+    a.Sched.Solve.stats.Fd.Search.nodes b.Sched.Solve.stats.Fd.Search.nodes
+
+(* ------------------------------- obs --------------------------------- *)
+
+let test_trace_tagged_with_request_ids () =
+  let path = Filename.temp_file "serve" ".trace.json" in
+  let h = Obs.attach (Obs.Chrome.sink ~path ()) in
+  with_service { base_config with S.pool = 1 } (fun svc ->
+      List.iter
+        (fun id ->
+          ignore
+            (await_or_fail
+               (S.submit svc (S.request ~id ~budget_ms:10_000. (S.Kernel "arf")))))
+        [ "alpha"; "beta" ]);
+  Obs.detach h;
+  (match Obs.Check.trace_file path with
+  | Ok n -> Alcotest.(check bool) "events present" true (n > 0)
+  | Error e -> Alcotest.failf "trace invalid: %s" e);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and bl = String.length body in
+        let rec go i = i + nl <= bl && (String.sub body i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("trace contains " ^ needle) true found)
+    [ "request:alpha"; "request:beta"; "pool-worker-0"; "serve.admit" ]
+
+(* ------------------------------- wire -------------------------------- *)
+
+let test_wire_requests () =
+  (match
+     W.request_of_line
+       {|{"id":"x","kernel":"qrd","slots":16,"arch":"eit","budget_ms":50,"deadline_ms":2000,"parallel":2,"retries":3}|}
+   with
+  | Ok r ->
+    Alcotest.(check string) "id" "x" r.S.id;
+    Alcotest.(check bool) "workload" true (r.S.workload = S.Kernel "qrd");
+    Alcotest.(check (option int)) "slots" (Some 16) r.S.slots;
+    Alcotest.(check (option string)) "arch" (Some "eit") r.S.preset;
+    Alcotest.(check int) "parallel" 2 r.S.parallel;
+    Alcotest.(check (option int)) "retries" (Some 3) r.S.retries
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match W.request_of_line ~default_id:"line-7" {|{"xml":"<graph/>"}|} with
+  | Ok r -> Alcotest.(check string) "default id" "line-7" r.S.id
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* exactly one workload key *)
+  (match W.request_of_line {|{"id":"y","kernel":"qrd","xml":"<graph/>"}|} with
+  | Ok _ -> Alcotest.fail "two workloads accepted"
+  | Error _ -> ());
+  (match W.request_of_line {|{"id":"z"}|} with
+  | Ok _ -> Alcotest.fail "no workload accepted"
+  | Error _ -> ());
+  (match W.request_of_line "{not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error e -> Alcotest.(check bool) "json error" true (String.length e > 0));
+  let el = W.error_line ~id:"line-3" "boom" in
+  (match Obs.Json.parse el with
+  | Ok j ->
+    Alcotest.(check bool) "error line has code 7" true
+      (Obs.Json.member "code" j = Some (Obs.Json.Num 7.))
+  | Error e -> Alcotest.failf "error_line not json: %s" e)
+
+let test_wire_response_roundtrip () =
+  let resp =
+    {
+      S.r_id = "r1";
+      reply =
+        S.Solved
+          {
+            S.st = Sched.Solve.Optimal;
+            eng = Sched.Solve.Cp;
+            makespan = Some 168;
+            nodes = 94;
+            failures = 95;
+            propagations = 6649;
+            solve_ms = 12.5;
+            crashes = 0;
+          };
+      attempts = 2;
+      wait_ms = 1.5;
+      total_ms = 14.0;
+      worker = 3;
+    }
+  in
+  match Obs.Json.parse (W.response_line resp) with
+  | Error e -> Alcotest.failf "response not json: %s" e
+  | Ok j ->
+    let str k =
+      match Obs.Json.member k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+    in
+    let num k =
+      match Obs.Json.member k j with Some (Obs.Json.Num f) -> Some f | _ -> None
+    in
+    Alcotest.(check (option string)) "id" (Some "r1") (str "id");
+    Alcotest.(check (option string)) "status" (Some "optimal") (str "status");
+    Alcotest.(check (option string)) "engine" (Some "cp") (str "engine");
+    Alcotest.(check bool) "code 0" true (num "code" = Some 0.);
+    Alcotest.(check bool) "makespan" true (num "makespan" = Some 168.);
+    Alcotest.(check bool) "retries = attempts-1" true (num "retries" = Some 1.);
+    Alcotest.(check bool) "worker" true (num "worker" = Some 3.)
+
+(* ----------------------------- chaos soak ---------------------------- *)
+
+(* The headline guarantee, under fire: ~210 mixed requests (including
+   malformed ones) against a 4-worker service with probabilistic
+   crashes and delays, two deterministic wedges and two poisoned
+   attempts.  Every request gets exactly one typed response, nothing
+   hangs, and the pool ends healthy. *)
+let i_mod5 id = int_of_string (String.sub id 1 3) mod 5
+
+let test_chaos_soak () =
+  let n = 210 in
+  let chaos =
+    (* wedge_after:1 wedges those sites on their very first propagator
+       execution, ahead of any probabilistic crash draw — the two
+       wedges fire no matter how the random crashes land *)
+    Fd.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05 ~delay_ms:1.
+      ~wedge_workers:[ (10 * 8) + 1; (100 * 8) + 1 ] (* seq 10 and 100 *)
+      ~wedge_after:1 ~wedge_max_ms:20_000. ~fail_solves:[ 3; 7 ] ~seed:42 ()
+  in
+  let config =
+    {
+      S.pool = 4;
+      queue = 256;
+      default_budget_ms = 20.;
+      grace_ms = 200.;
+      watchdog_tick_ms = 10.;
+      max_retries = 1;
+      backoff_base_ms = 5.;
+      seed = 42;
+      chaos = Some chaos;
+    }
+  in
+  let fir_xml =
+    V.Xml.to_string (V.compile (Apps.Fir.graph (Apps.Fir.build ()))).V.ir
+  in
+  with_service config (fun svc ->
+      (* submit strictly in order: the wedge sites name specific
+         sequence numbers, so request i must get seq i *)
+      let tks =
+        List.rev
+          (List.fold_left
+             (fun acc i ->
+               let id = Printf.sprintf "s%03d" i in
+               let req =
+                 match i mod 5 with
+                 (* the two wedge targets get a roomy budget so their
+                    first attempt reliably reaches the solver (and so
+                    the wedge site) even under full pool contention *)
+                 | _ when i = 10 || i = 100 ->
+                   S.request ~id ~budget_ms:10_000. ~deadline_ms:10_000.
+                     (S.Kernel "qrd")
+                 | 0 -> S.request ~id ~deadline_ms:10_000. (S.Kernel "qrd")
+                 | 1 -> S.request ~id ~deadline_ms:10_000. (S.Kernel "arf")
+                 | 2 -> S.request ~id ~deadline_ms:10_000. (S.Kernel "matmul")
+                 | 3 -> S.request ~id ~deadline_ms:10_000. (S.Xml_text fir_xml)
+                 | _ -> S.request ~id (S.Kernel "no-such-kernel")
+               in
+               (id, S.submit svc req) :: acc)
+             []
+             (List.init n Fun.id))
+      in
+      let seen = Hashtbl.create n in
+      List.iter
+        (fun (id, tk) ->
+          let r = await_or_fail ~ms:60_000. tk in
+          Alcotest.(check string) "response id matches" id r.S.r_id;
+          Alcotest.(check bool) ("duplicate response for " ^ id) false
+            (Hashtbl.mem seen id);
+          Hashtbl.add seen id ();
+          (* every reply is a typed verdict with a defined status/code *)
+          let st = S.status_string r in
+          Alcotest.(check bool) ("known status " ^ st) true
+            (List.mem st
+               [ "optimal"; "feasible_timeout"; "infeasible"; "crashed";
+                 "rejected_overload"; "expired"; "wedged"; "error" ]);
+          if i_mod5 id = 4 then
+            Alcotest.(check string) ("invalid -> error: " ^ id) "error" st)
+        tks;
+      let h = S.health svc in
+      Alcotest.(check int) "all answered exactly once" n h.S.completed;
+      Alcotest.(check int) "queue drained" 0 h.S.queue_depth;
+      Alcotest.(check int) "pool fully alive" 4 h.S.alive;
+      Alcotest.(check int) "invalids counted" (n / 5) h.S.invalid;
+      let all_faults = Fd.Chaos.faults chaos in
+      let wedge_faults =
+        List.filter
+          (fun f ->
+            String.length f.Fd.Chaos.what >= 5
+            && String.sub f.Fd.Chaos.what 0 5 = "wedge")
+          all_faults
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "both wedges caught and revived (wedged=%d revived=%d sites=[%s])"
+           h.S.wedged h.S.revived
+           (String.concat ";"
+              (List.map
+                 (fun f -> string_of_int f.Fd.Chaos.worker)
+                 wedge_faults)))
+        true
+        (h.S.wedged >= 2 && h.S.revived = h.S.wedged);
+      Alcotest.(check bool)
+        (Printf.sprintf "faults were actually injected (%d)"
+           (List.length (Fd.Chaos.faults chaos)))
+        true
+        (List.length (Fd.Chaos.faults chaos) > 0))
+
+(* after shutdown, submission is answered (shed), never hung *)
+let test_submit_after_shutdown () =
+  let svc = S.create ~config:{ base_config with S.pool = 1 } () in
+  S.shutdown svc;
+  let r = await_or_fail (S.submit svc (S.request ~id:"late" (S.Kernel "qrd"))) in
+  Alcotest.(check bool) "shed" true (r.S.reply = S.Overloaded);
+  (* idempotent *)
+  S.shutdown svc
+
+let suite =
+  [
+    Alcotest.test_case "solves kernels end to end" `Quick test_solves_kernels;
+    Alcotest.test_case "deterministic, identical to direct solve" `Quick
+      test_determinism_vs_direct;
+    Alcotest.test_case "invalid requests answered, never fatal" `Quick
+      test_invalid_requests_answered_not_fatal;
+    Alcotest.test_case "overload sheds with typed verdict" `Quick
+      test_overload_sheds;
+    Alcotest.test_case "deadline expires in queue -> fast fail" `Quick
+      test_deadline_expires_in_queue;
+    Alcotest.test_case "retry rescues poisoned attempt" `Quick
+      test_retry_rescues_poisoned_attempt;
+    Alcotest.test_case "retry bounded by remaining deadline" `Quick
+      test_retry_bounded_by_deadline;
+    Alcotest.test_case "wedge detected, worker revived" `Quick
+      test_wedge_detected_and_worker_revived;
+    Alcotest.test_case "wedge ceiling bounds the spin" `Quick
+      test_wedge_ceiling_without_watchdog;
+    Alcotest.test_case "trace tagged with request ids" `Quick
+      test_trace_tagged_with_request_ids;
+    Alcotest.test_case "wire: request parsing" `Quick test_wire_requests;
+    Alcotest.test_case "wire: response json" `Quick test_wire_response_roundtrip;
+    Alcotest.test_case "chaos soak: 210 mixed requests" `Slow test_chaos_soak;
+    Alcotest.test_case "submit after shutdown is shed" `Quick
+      test_submit_after_shutdown;
+  ]
