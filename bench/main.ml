@@ -32,13 +32,15 @@ let set_member name v = function
     Obs.Json.Obj (List.filter (fun (k, _) -> k <> name) kvs @ [ (name, v) ])
   | _ -> Obs.Json.Obj [ (name, v) ]
 
-(* The "service" section `load` writes into BENCH_solver.json; the
-   solver-row writers (`perfjson`, `profile`) carry it through so the
-   two generators never clobber each other. *)
-let existing_service path =
+(* Sections owned by other generators ("service" from `load`, "cache"
+   from `cache`) are carried through verbatim by the solver-row writers
+   (`perfjson`, `profile`) so no generator clobbers another, and
+   `compare` ignores them entirely.  The shared list lives in
+   {!Vecsched_core.Bench_sections} and is pinned by a unit test. *)
+let existing_sections path =
   match Obs.Json.parse_file path with
-  | Ok j -> Obs.Json.member "service" j
-  | Error _ -> None
+  | Ok j -> Vecsched_core.Bench_sections.keep j
+  | Error _ -> []
 
 (* ------------------------------------------------------------------ *)
 (* Graph properties (§4.2 text + Table 3 column 2)                     *)
@@ -698,10 +700,7 @@ let profile ?(path = "BENCH_solver.json") () =
          ("runs", Obs.Json.Arr runs);
          ("propagator_profiles", profile_json profiles);
        ]
-      @
-      match existing_service path with
-      | Some s -> [ ("service", s) ]
-      | None -> [])
+      @ existing_sections path)
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
@@ -829,6 +828,138 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
   Format.printf "@.merged \"service\" section into %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Solution-cache benchmark: hit rate under a repeat-heavy request mix
+   through a cache-enabled service, then warm-vs-cold re-solve
+   speedups per kernel.  Results land in BENCH_solver.json under a
+   "cache" key, which every other writer passes through
+   (Vecsched_core.Bench_sections). *)
+
+let cache_bench ?(path = "BENCH_solver.json") ?(requests = 120) ?(pool = 2)
+    ?(seed = 42) () =
+  header
+    (Printf.sprintf
+       "Solution cache: %d repeat-heavy requests (mix qrd/arf/matmul, \
+        pool=%d, 64-entry cache), then warm-vs-cold re-solves"
+       requests pool);
+  let config =
+    {
+      Serve.Service.default_config with
+      pool;
+      queue = max 64 requests;
+      default_budget_ms = 10_000.;
+      grace_ms = 300.;
+      watchdog_tick_ms = 10.;
+      seed;
+      cache_capacity = 64;
+    }
+  in
+  let svc = Serve.Service.create ~config () in
+  let mix = [| "qrd"; "arf"; "qrd"; "matmul"; "qrd"; "arf" |] in
+  let t0 = Unix.gettimeofday () in
+  let tickets =
+    List.init requests (fun i ->
+        let id = Printf.sprintf "c%03d" i in
+        Serve.Service.submit svc
+          (Serve.Service.request ~id ~budget_ms:10_000. ~deadline_ms:120_000.
+             (Serve.Service.Kernel mix.(i mod Array.length mix))))
+  in
+  let responses = List.map Serve.Service.await tickets in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let h = Serve.Service.health svc in
+  Serve.Service.shutdown svc;
+  let cached_responses =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.Serve.Service.reply with
+           | Serve.Service.Solved s -> s.Serve.Service.cached
+           | _ -> false)
+         responses)
+  in
+  let lookups = h.Serve.Service.cache_hits + h.Serve.Service.cache_misses in
+  let hit_rate =
+    if lookups = 0 then 0.
+    else float_of_int h.Serve.Service.cache_hits /. float_of_int lookups
+  in
+  Format.printf "%-24s %10d@." "requests" requests;
+  Format.printf "%-24s %10d / %d@." "cache hits/misses"
+    h.Serve.Service.cache_hits h.Serve.Service.cache_misses;
+  Format.printf "%-24s %10.2f@." "hit rate" hit_rate;
+  Format.printf "%-24s %10d@." "cached responses" cached_responses;
+  Format.printf "%-24s %10.1f ms@." "wall" wall_ms;
+  (* warm-vs-cold: seed each kernel's re-solve with its own optimum,
+     the best case a shape hint can supply *)
+  Format.printf "@.%-8s %9s %9s %8s | %9s %9s@." "kernel" "cold(ms)"
+    "warm(ms)" "speedup" "nodes(c)" "nodes(w)";
+  let warm_rows =
+    List.filter_map
+      (fun (name, g) ->
+        let budget = Fd.Search.time_budget 60_000. in
+        let cold = Sched.Solve.run ~budget g in
+        match (cold.Sched.Solve.status, cold.Sched.Solve.schedule) with
+        | Sched.Solve.Optimal, Some sch ->
+          let warm =
+            Sched.Solve.run ~budget
+              ~warm_bound:sch.Sched.Schedule.makespan g
+          in
+          let cms = cold.Sched.Solve.stats.Fd.Search.time_ms
+          and wms = warm.Sched.Solve.stats.Fd.Search.time_ms in
+          let speedup = if wms > 0. then cms /. wms else 0. in
+          Format.printf "%-8s %9.1f %9.1f %7.2fx | %9d %9d@." name cms wms
+            speedup cold.Sched.Solve.stats.Fd.Search.nodes
+            warm.Sched.Solve.stats.Fd.Search.nodes;
+          Some
+            (Obs.Json.Obj
+               [
+                 ("kernel", Obs.Json.Str name);
+                 ("cold_ms", Obs.Json.Num cms);
+                 ("warm_ms", Obs.Json.Num wms);
+                 ("speedup", Obs.Json.Num speedup);
+                 ( "cold_nodes",
+                   Obs.Json.Num
+                     (float_of_int cold.Sched.Solve.stats.Fd.Search.nodes) );
+                 ( "warm_nodes",
+                   Obs.Json.Num
+                     (float_of_int warm.Sched.Solve.stats.Fd.Search.nodes) );
+               ])
+        | _ ->
+          Format.printf "%-8s did not reach optimal; skipped@." name;
+          None)
+      [ ("qrd", qrd ()); ("arf", arf ()); ("matmul", matmul ()) ]
+  in
+  let cache_json =
+    let num i = Obs.Json.Num (float_of_int i) in
+    Obs.Json.Obj
+      [
+        ("requests", num requests);
+        ("pool", num pool);
+        ("hits", num h.Serve.Service.cache_hits);
+        ("misses", num h.Serve.Service.cache_misses);
+        ("evictions", num h.Serve.Service.cache_evictions);
+        ("hit_rate", Obs.Json.Num hit_rate);
+        ("cached_responses", num cached_responses);
+        ("wall_ms", Obs.Json.Num wall_ms);
+        ("warm", Obs.Json.Arr warm_rows);
+      ]
+  in
+  let doc =
+    match Obs.Json.parse_file path with
+    | Ok j -> set_member "cache" cache_json j
+    | Error _ ->
+      Obs.Json.Obj
+        [
+          ("suite", Obs.Json.Str "vecsched-solver");
+          ("runs", Obs.Json.Arr []);
+          ("cache", cache_json);
+        ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "@.merged \"cache\" section into %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* perfjson / compare: machine-readable solver metrics for regression
    tracking.  Both run the same in-memory suite; `perfjson` writes it
    to BENCH_solver.json, `compare` diffs it against the committed file
@@ -943,18 +1074,18 @@ let perfjson ?(path = "BENCH_solver.json") () =
   let profiles =
     profile_rows [ ("QRD", qrd ()); ("ARF", arf ()); ("MATMUL", matmul ()) ]
   in
-  (* keep a "service" section written by `load`, if one exists *)
-  let service = existing_service path in
+  (* keep sections written by other generators (`load`, `cache`) *)
+  let sections = existing_sections path in
   let oc = open_out path in
   output_string oc "{\n  \"suite\": \"vecsched-solver\",\n  \"runs\": [\n";
   output_string oc (String.concat ",\n" (List.map row_json rows));
   output_string oc "\n  ],\n  \"propagator_profiles\": ";
   output_string oc (Obs.Json.to_string (profile_json profiles));
-  (match service with
-  | Some s ->
-    output_string oc ",\n  \"service\": ";
-    output_string oc (Obs.Json.to_string s)
-  | None -> ());
+  List.iter
+    (fun (name, sec) ->
+      output_string oc (Printf.sprintf ",\n  %S: " name);
+      output_string oc (Obs.Json.to_string sec))
+    sections;
   output_string oc "\n}\n";
   close_out oc;
   Format.printf "wrote %d runs and %d kernel profiles to %s@."
@@ -1227,13 +1358,18 @@ let () =
       load ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
         ?queue:(iopt lqueue) ?seed:(iopt seed) ~chaos ();
       0
+    | [ "cache" ] ->
+      cache_bench ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
+        ?seed:(iopt seed) ();
+      0
     | [ "compare" ] -> compare_run ?against ()
     | other ->
       Format.eprintf
         "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 \
          fig6 fig8 utilization dynamic ablations archsweep bechamel perfjson \
-         profile compare robustness load; options: --trace FILE, --against \
-         PATH, --path FILE, --requests/--pool/--queue/--seed N, --chaos)@."
+         profile compare robustness load cache; options: --trace FILE, \
+         --against PATH, --path FILE, --requests/--pool/--queue/--seed N, \
+         --chaos)@."
         (String.concat " " other);
       exit 2
   in

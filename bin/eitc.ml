@@ -226,15 +226,40 @@ let run_labels ~name ~arch ~parallel =
   ]
 
 let schedule_cmd =
-  let run kernel budget deadline slots preset verbose parallel trace metrics =
+  let run kernel budget deadline slots preset verbose parallel trace metrics
+      cache_n warm cache_file =
     let c, name = compile kernel in
     let arch = arch_of preset slots in
+    (* --cache-file without --cache still enables a (default-sized)
+       cache: the file is the point of carrying one across runs. *)
+    let cache =
+      if cache_n > 0 || cache_file <> None then begin
+        let capacity = if cache_n > 0 then cache_n else 16 in
+        match cache_file with
+        | Some path when Sys.file_exists path -> (
+          match Cache.load ~capacity path with
+          | Ok cc -> Some cc
+          | Error msg ->
+            Format.eprintf "warning: ignoring cache file %s: %s@." path msg;
+            Some (Cache.create ~capacity))
+        | _ -> Some (Cache.create ~capacity)
+      end
+      else None
+    in
     let o =
       with_obs ~other_data:(run_labels ~name ~arch ~parallel) ~trace ~metrics
         (fun () ->
           Vecsched.schedule ~budget_ms:budget ~deadline:(deadline_of deadline)
-            ~arch ~parallel c)
+            ~arch ~parallel ?cache ~warm c)
     in
+    (match cache with
+    | Some cc ->
+      let s = Cache.stats cc in
+      Format.printf "cache: %s (hits=%d misses=%d evictions=%d entries=%d)@."
+        (if o.Sched.Solve.from_cache then "hit" else "miss")
+        s.Cache.hits s.Cache.misses s.Cache.evictions (Cache.length cc);
+      Option.iter (fun path -> Cache.save cc path) cache_file
+    | None -> ());
     match report_outcome name arch o with
     | Some sch, code ->
       if verbose then begin
@@ -255,10 +280,38 @@ let schedule_cmd =
                "Run a cooperative portfolio of $(docv) diversified search \
                 strategies on separate cores (0 or 1 = sequential).")
   in
+  let cache_arg =
+    Arg.(value
+         & opt int 0
+         & info [ "cache" ] ~docv:"N"
+             ~doc:
+               "Consult an $(docv)-entry LRU solution cache keyed on the \
+                canonical problem form; an identical request replays the \
+                validated cached schedule with zero search work.  Pair with \
+                $(b,--cache-file) to persist it across invocations.")
+  in
+  let warm_arg =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:
+               "Warm-start: seed the solve with the best validated makespan \
+                previously recorded for this graph shape (requires \
+                $(b,--cache)/$(b,--cache-file)); a stale seed falls back to \
+                a cold solve, never to a wrong answer.")
+  in
+  let cache_file_arg =
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-file" ] ~docv:"PATH"
+             ~doc:
+               "Load the solution cache from $(docv) before solving (if it \
+                exists) and save it back afterwards.")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a kernel with memory allocation")
     Term.(const run $ kernel_arg $ budget_arg $ deadline_arg $ slots_arg
-          $ preset_arg $ verbose $ parallel $ trace_file_arg $ metrics_arg)
+          $ preset_arg $ verbose $ parallel $ trace_file_arg $ metrics_arg
+          $ cache_arg $ warm_arg $ cache_file_arg)
 
 let heuristic_cmd =
   let run kernel slots preset =
@@ -651,7 +704,8 @@ let trace_diff_cmd =
    exits 0 on clean EOF: per-request failures are data, not process
    failures. *)
 let serve_cmd =
-  let run pool queue budget grace retries backoff seed trace metrics =
+  let run pool queue budget grace retries backoff seed cache warm trace
+      metrics =
     with_obs ~other_data:[ ("mode", Obs.S "serve") ] ~trace ~metrics (fun () ->
         let config =
           {
@@ -663,6 +717,8 @@ let serve_cmd =
             max_retries = retries;
             backoff_base_ms = backoff;
             seed;
+            cache_capacity = cache;
+            warm_start = warm;
           }
         in
         let svc = Serve.Service.create ~config () in
@@ -731,13 +787,29 @@ let serve_cmd =
     Arg.(value & opt int 0
          & info [ "seed" ] ~docv:"S" ~doc:"Backoff-jitter RNG seed.")
   in
+  let cache_arg =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"N"
+             ~doc:
+               "Share an $(docv)-entry LRU solution cache across requests; \
+                repeated identical requests are answered from it (marked \
+                $(b,cached) in the response).  0 disables caching.")
+  in
+  let warm_arg =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:
+               "Warm-start sequential solves from the best validated \
+                makespan previously seen for the same graph shape.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the batch scheduling service: line-delimited JSON requests on \
           stdin, one JSON response per request on stdout")
     Term.(const run $ pool_arg $ queue_arg $ sbudget_arg $ grace_arg
-          $ retries_arg $ backoff_arg $ seed_arg $ trace_file_arg $ metrics_arg)
+          $ retries_arg $ backoff_arg $ seed_arg $ cache_arg $ warm_arg
+          $ trace_file_arg $ metrics_arg)
 
 let export_cmd =
   let run kernel fmt path merged =

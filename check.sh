@@ -141,3 +141,57 @@ for want in \
   esac
 done
 echo "check.sh: serve smoke OK (2 solved + 1 typed error, clean EOF shutdown)"
+
+# Solution-cache smoke: two identical `eitc schedule --cache` runs
+# through a persisted cache file.  The second run must be answered from
+# the cache — reported as a hit, with zero search work — and still
+# print the known optimum.
+cachef=$(mktemp /tmp/eitc-cache.XXXXXX.json)
+rm -f "$cachef"
+out=$("$EITC" schedule qrd --cache 16 --cache-file "$cachef") || {
+  echo "check.sh: cached qrd schedule (cold) failed" >&2
+  echo "$out" >&2
+  rm -f "$cachef"
+  exit 1
+}
+case "$out" in
+*"cache: miss"*) ;;
+*)
+  echo "check.sh: first cached run did not report a miss" >&2
+  echo "$out" >&2
+  rm -f "$cachef"
+  exit 1
+  ;;
+esac
+out=$("$EITC" schedule qrd --cache 16 --cache-file "$cachef") || {
+  echo "check.sh: cached qrd schedule (hit) failed" >&2
+  echo "$out" >&2
+  rm -f "$cachef"
+  exit 1
+}
+rm -f "$cachef"
+case "$out" in
+*"cache: hit"*) ;;
+*)
+  echo "check.sh: second identical run did not hit the cache" >&2
+  echo "$out" >&2
+  exit 1
+  ;;
+esac
+case "$out" in
+*"makespan=168"*) ;;
+*)
+  echo "check.sh: cached replay did not report makespan=168" >&2
+  echo "$out" >&2
+  exit 1
+  ;;
+esac
+case "$out" in
+*" 0 nodes, 0 fails, 0 props"*) ;;
+*)
+  echo "check.sh: cached replay still did search work" >&2
+  echo "$out" >&2
+  exit 1
+  ;;
+esac
+echo "check.sh: cache smoke OK (hit on second run, 0 props, makespan 168)"

@@ -1,0 +1,70 @@
+(** A bounded LRU solution cache for solve outcomes, shared across
+    requests (and across worker domains: every operation takes one
+    internal mutex).
+
+    Payloads live in {e canonical index space} (see {!Key.canon}): a
+    hit from a graph that is isomorphic — but not identical — to the
+    one that populated the entry is replayed through the requesting
+    graph's own canonical permutation by {!Sched.Solve.run}.
+
+    Only results that are deadline-independent facts about the problem
+    are ever stored: proven-optimal validated schedules and genuine
+    infeasibility proofs.  Timeouts, crashes and fallback schedules
+    never populate the cache (the poisoned-entry property tested in
+    [test/t_cache.ml] and [test/t_serve.ml]). *)
+
+module Key = Key
+
+type payload =
+  | Schedule of {
+      start : int array;        (** canonical index -> start cycle *)
+      slot : (int * int) list;  (** canonical index -> memory slot *)
+      makespan : int;
+    }  (** a proven-optimal, validated schedule *)
+  | Infeasible  (** a proof that no schedule exists *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; stores : int }
+
+val create : capacity:int -> t
+(** [capacity <= 0] disables storage: every lookup misses, nothing is
+    retained. *)
+
+val capacity : t -> int
+
+val find : t -> Key.t -> payload option
+(** Bumps the entry to most-recently-used; counts a hit or a miss and
+    emits a [cache.hit]/[cache.miss] instant plus the [cache.hit-rate]
+    counter when an {!Obs} sink is attached. *)
+
+val store : t -> Key.t -> payload -> unit
+(** Insert (or refresh) at most-recently-used; evicts the
+    least-recently-used entry beyond [capacity] (counted, and emitted
+    as a [cache.evict] instant). *)
+
+val remove : t -> Key.t -> unit
+(** Drop an entry — used when a cached schedule fails re-validation on
+    hit (a corrupt persisted file, a changed validator). *)
+
+val length : t -> int
+val stats : t -> stats
+
+(** {1 Warm-start hints}
+
+    A side index from {!Key.shape_digest} to the best validated
+    makespan seen for that shape — the "previous incumbent" that seeds
+    a warm re-solve of an edited graph.  Hints are advisory: a stale or
+    too-tight hint costs a cold re-run, never soundness. *)
+
+val note_hint : t -> shape:string -> int -> unit
+val hint : t -> shape:string -> int option
+
+(** {1 Persistence}
+
+    A printable JSON snapshot, so a CLI invocation can carry its cache
+    across processes ([eitc schedule --cache-file]).  Entries are
+    written most-recent-first and reloaded preserving recency. *)
+
+val save : t -> string -> unit
+val load : capacity:int -> string -> (t, string) result

@@ -1,0 +1,20 @@
+(* The solver benchmark report (BENCH_solver.json) is owned by `bench
+   perfjson`, which rewrites the whole file from a fresh in-memory run
+   — but other subcommands (`bench load`, `bench cache`) attach their
+   own sections to the same file.  Every rewrite must carry those
+   foreign sections over verbatim, and `bench compare` must ignore
+   them; both sides consult this one list so they can never drift
+   apart (pinned by test/t_bench_sections.ml). *)
+
+let passthrough = [ "service"; "cache" ]
+
+let is_passthrough name = List.mem name passthrough
+
+module J = Obs.Json
+
+(* The members of an existing report that a rewrite must preserve, in
+   [passthrough] order. *)
+let keep json =
+  List.filter_map
+    (fun name -> Option.map (fun v -> (name, v)) (J.member name json))
+    passthrough

@@ -21,6 +21,7 @@ type outcome = {
   stats : Fd.Search.stats;
   crashes : Fd.Portfolio.worker_crash list;
   validation : (unit, Validate.report) result;
+  from_cache : bool;
 }
 
 (* The portfolio's strategy templates, in fixed order.  Strategy 0 is
@@ -73,7 +74,17 @@ let portfolio_strategies ?deadline ~memory g arch n =
    build, CP search, fallback, validation — are each wrapped in an
    [Obs] span (cat "sched"), so `--trace` shows where the wall-clock
    went. *)
-let run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g =
+(* [ext_bound] is the warm-start seed: an upper bound on the optimum
+   taken from a previous solve.  It enters the search as an external
+   incumbent of [ext_bound + 1], which lets the engine keep solutions
+   with makespan <= ext_bound while pruning everything above — so a
+   proof of optimality under the seed is a genuine global proof.  An
+   [Unsat] under the seed only means "nothing at or below the seed"
+   and must NOT surface as [Infeasible]; [run] re-solves cold in that
+   case.  The portfolio path ignores the seed (its workers already
+   share an incumbent, and its trajectories are nondeterministic). *)
+let run_cp ?ext_bound ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
+    ~parallel ~tid g =
   if parallel >= 2 then
     let r =
       Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
@@ -100,10 +111,13 @@ let run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g =
       (match chaos with
       | Some c -> Fd.Chaos.instrument c ~worker:chaos_base m.Model.store
       | None -> ());
+      let bound_get =
+        Option.map (fun b () -> Some (b + 1)) ext_bound
+      in
       let a =
         Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
-            Fd.Search.minimize_anytime ~budget ~deadline ~tid m.Model.store
-              (Model.phases m) ~objective:m.Model.makespan
+            Fd.Search.minimize_anytime ~budget ~deadline ?bound_get ~tid
+              m.Model.store (Model.phases m) ~objective:m.Model.makespan
               ~on_solution:(fun () -> Model.extract m))
       in
       Fd.Store.emit_profile ~tid m.Model.store;
@@ -114,12 +128,123 @@ let run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g =
       in
       (a.Fd.Search.a_status, a.Fd.Search.incumbent, a.Fd.Search.a_stats, crashes)
 
+let add_stats (a : Fd.Search.stats) (b : Fd.Search.stats) =
+  {
+    Fd.Search.nodes = a.Fd.Search.nodes + b.Fd.Search.nodes;
+    failures = a.Fd.Search.failures + b.Fd.Search.failures;
+    solutions = a.Fd.Search.solutions + b.Fd.Search.solutions;
+    propagations = a.Fd.Search.propagations + b.Fd.Search.propagations;
+    time_ms = a.Fd.Search.time_ms +. b.Fd.Search.time_ms;
+    optimal = b.Fd.Search.optimal;
+  }
+
+(* Rebuild a cached schedule onto the requesting graph: the payload
+   lives in canonical index space, so an isomorphic request maps it
+   through its own canonical permutation.  Every hit is re-validated
+   from scratch before anyone sees it; anything that fails — a corrupt
+   persisted entry, a mismatched size — is reported as [None] and the
+   caller drops the entry and solves cold.  The slot list is rebuilt in
+   descending node-id order, matching what [Model.extract] produces, so
+   a hit is byte-identical to the cold solve it replays. *)
+let replay_hit ~memory ~arch ~tid g (canon : Cache.Key.canon) payload =
+  match payload with
+  | Cache.Infeasible -> Some (Infeasible, None)
+  | Cache.Schedule { start; slot; makespan } -> (
+    let rebuilt =
+      try
+        let n = Eit_dsl.Ir.size g in
+        if
+          Array.length start <> n
+          || Array.length canon.Cache.Key.to_canon <> n
+        then None
+        else
+          let start =
+            Array.init n (fun id -> start.(canon.Cache.Key.to_canon.(id)))
+          in
+          let slot =
+            List.map (fun (ci, s) -> (canon.Cache.Key.of_canon.(ci), s)) slot
+            |> List.sort (fun (a, _) (b, _) -> compare b a)
+          in
+          Some { Schedule.ir = g; arch; start; slot; makespan }
+      with _ -> None
+    in
+    match rebuilt with
+    | None -> None
+    | Some sch -> (
+      match
+        Obs.span ~cat:"sched" ~tid "cache-validate" (fun () ->
+            Validate.schedule ~memory sch)
+      with
+      | Ok () -> Some (Optimal, Some sch)
+      | Error _ | (exception _) -> None))
+
 let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     ?(memory = true) ?(arch = Eit.Arch.default) ?(validate = true)
-    ?(parallel = 0) ?chaos ?(chaos_base = 0) ?(fallback = true) ?(tid = 0) g =
+    ?(parallel = 0) ?chaos ?(chaos_base = 0) ?(fallback = true) ?(tid = 0)
+    ?cache ?(warm = false) ?warm_bound g =
   let deadline =
     Fd.Deadline.earliest deadline
       (Fd.Deadline.of_time_budget budget.Fd.Search.max_time_ms)
+  in
+  (* Fault injection makes a run's result a fact about the injected
+     faults, not the problem — chaos runs neither consult nor populate
+     the cache, and never warm-start. *)
+  let canon_key =
+    match cache with
+    | Some _ when chaos = None ->
+      let canon =
+        Obs.span ~cat:"sched" ~tid "cache-key" (fun () ->
+            Cache.Key.canonicalize g)
+      in
+      let opts =
+        {
+          Cache.Key.memory;
+          parallel;
+          max_nodes = budget.Fd.Search.max_nodes;
+          max_time_ms = budget.Fd.Search.max_time_ms;
+          validate;
+        }
+      in
+      Some (canon, Cache.Key.make canon arch opts)
+    | _ -> None
+  in
+  let hit =
+    match (cache, canon_key) with
+    | Some c, Some (canon, key) -> (
+      match Cache.find c key with
+      | None -> None
+      | Some payload -> (
+        match replay_hit ~memory ~arch ~tid g canon payload with
+        | Some (status, schedule) ->
+          Some
+            {
+              status;
+              engine = Cp;
+              schedule;
+              stats = Fd.Search.zero_stats ~optimal:true;
+              crashes = [];
+              validation = Ok ();
+              from_cache = true;
+            }
+        | None ->
+          Cache.remove c key;
+          None))
+    | _ -> None
+  in
+  match hit with
+  | Some o -> o
+  | None ->
+  let warm_seed =
+    if parallel >= 2 || chaos <> None then None
+    else
+      match warm_bound with
+      | Some b -> Some b
+      | None -> (
+        if not warm then None
+        else
+          match cache with
+          | Some c -> Cache.hint c ~shape:(Cache.Key.shape_digest g)
+          | None -> None)
   in
   let cp_status, cp_incumbent, stats, crashes =
     (* A deadline already in the past and a zero time budget are the
@@ -131,7 +256,33 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
        must not burn solver time). *)
     if Fd.Deadline.expired deadline then
       (Feasible_timeout, None, Fd.Search.zero_stats ~optimal:false, [])
-    else run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel ~tid g
+    else
+      match warm_seed with
+      | None ->
+        run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel
+          ~tid g
+      | Some b ->
+        (* Warm-start soundness: [Infeasible] under a warm seed only
+           proves "no schedule at or below the seed" — the seed may
+           simply sit below the true optimum.  Re-solve cold (stats
+           accumulate), so a warm run can never claim infeasibility,
+           or miss the optimum, because of a stale hint. *)
+        let st, inc, s1, cr1 =
+          run_cp ~ext_bound:b ~budget ~deadline ~chaos ~chaos_base ~memory
+            ~arch ~parallel ~tid g
+        in
+        if st = Infeasible then begin
+          if Obs.enabled () then
+            Obs.instant ~cat:"sched" ~tid
+              ~args:[ ("seed", Obs.I b) ]
+              "warm-seed-rejected";
+          let st2, inc2, s2, cr2 =
+            run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
+              ~parallel ~tid g
+          in
+          (st2, inc2, add_stats s1 s2, cr1 @ cr2)
+        end
+        else (st, inc, s1, cr1)
   in
   let check sch ~memory =
     if validate then
@@ -147,52 +298,102 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     | Some sch -> Some (sch, check sch ~memory)
     | None -> None
   in
-  match (cp_status, cp_checked) with
-  | Infeasible, _ ->
-    { status = Infeasible; engine = Cp; schedule = None; stats; crashes;
-      validation = Ok () }
-  | _, Some (sch, Ok ()) ->
-    { status = cp_status; engine = Cp; schedule = Some sch; stats; crashes;
-      validation = Ok () }
-  | _, cp_checked -> (
-    (* Either CP found nothing, or what it found fails validation (a
-       solver or chaos casualty).  Keep the bad schedule's report. *)
-    let cp_report =
-      match cp_checked with Some (_, Error r) -> Some r | _ -> None
-    in
-    let fb =
-      if fallback then
-        Obs.span ~cat:"sched" ~tid "fallback" (fun () -> Heuristic.run ~arch g)
-      else Error "fallback disabled"
-    in
-    match fb with
-    | Ok sch -> (
-      match check sch ~memory:true with
-      | Ok () ->
-        (* A fallback result is never optimal and never hides a crash:
-           the status says the degradation path was taken. *)
-        { status = Feasible_timeout; engine = Fallback; schedule = Some sch;
-          stats; crashes; validation = Ok () }
-      | Error r ->
-        { status = Crashed; engine = Fallback; schedule = None; stats;
-          crashes; validation = Error r })
-    | Error reason ->
-      let validation =
-        match cp_report with Some r -> Error r | None -> Ok ()
+  let o =
+    match (cp_status, cp_checked) with
+    | Infeasible, _ ->
+      { status = Infeasible; engine = Cp; schedule = None; stats; crashes;
+        validation = Ok (); from_cache = false }
+    | _, Some (sch, Ok ()) ->
+      { status = cp_status; engine = Cp; schedule = Some sch; stats; crashes;
+        validation = Ok (); from_cache = false }
+    | _, cp_checked -> (
+      (* Either CP found nothing, or what it found fails validation (a
+         solver or chaos casualty).  Keep the bad schedule's report. *)
+      let cp_report =
+        match cp_checked with Some (_, Error r) -> Some r | _ -> None
       in
-      let crashes =
+      let fb =
         if fallback then
-          crashes @ [ { Fd.Portfolio.worker = -1; reason = "fallback: " ^ reason } ]
-        else crashes
+          Obs.span ~cat:"sched" ~tid "fallback" (fun () -> Heuristic.run ~arch g)
+        else Error "fallback disabled"
       in
-      let status =
-        match cp_status with
-        | Crashed -> Crashed
-        | _ when cp_report <> None ->
-          Crashed (* CP produced garbage and no fallback rescued it *)
-        | _ -> Feasible_timeout (* an honest timeout, nothing crashed *)
+      match fb with
+      | Ok sch -> (
+        match check sch ~memory:true with
+        | Ok () ->
+          (* A fallback result is never optimal and never hides a crash:
+             the status says the degradation path was taken. *)
+          { status = Feasible_timeout; engine = Fallback; schedule = Some sch;
+            stats; crashes; validation = Ok (); from_cache = false }
+        | Error r ->
+          { status = Crashed; engine = Fallback; schedule = None; stats;
+            crashes; validation = Error r; from_cache = false })
+      | Error reason ->
+        let validation =
+          match cp_report with Some r -> Error r | None -> Ok ()
+        in
+        let crashes =
+          if fallback then
+            crashes @ [ { Fd.Portfolio.worker = -1; reason = "fallback: " ^ reason } ]
+          else crashes
+        in
+        let status =
+          match cp_status with
+          | Crashed -> Crashed
+          | _ when cp_report <> None ->
+            Crashed (* CP produced garbage and no fallback rescued it *)
+          | _ -> Feasible_timeout (* an honest timeout, nothing crashed *)
+        in
+        { status; engine = Cp; schedule = None; stats; crashes; validation;
+          from_cache = false })
+  in
+  (* Populate the cache only with deadline-independent facts about the
+     problem: a proven-optimal schedule that passed validation, or a
+     crash-free infeasibility proof from the CP engine.  Timeouts,
+     fallback rescues and crashed runs never enter — a poisoned entry
+     would outlive the incident that caused it. *)
+  (match (cache, canon_key) with
+  | Some c, Some (canon, key) -> (
+    match (o.status, o.engine, o.schedule) with
+    | Optimal, Cp, Some sch ->
+      let sound =
+        if validate then o.validation = Ok ()
+        else (
+          (* the run skipped validation; never cache an unchecked
+             schedule *)
+          match Validate.schedule ~memory sch with
+          | Ok () -> true
+          | Error _ | (exception _) -> false)
       in
-      { status; engine = Cp; schedule = None; stats; crashes; validation })
+      if sound then begin
+        let n = Eit_dsl.Ir.size g in
+        let start =
+          Array.init n (fun ci ->
+              sch.Schedule.start.(canon.Cache.Key.of_canon.(ci)))
+        in
+        let slot =
+          List.map
+            (fun (id, s) -> (canon.Cache.Key.to_canon.(id), s))
+            sch.Schedule.slot
+          |> List.sort compare
+        in
+        Cache.store c key
+          (Cache.Schedule { start; slot; makespan = sch.Schedule.makespan })
+      end
+    | Infeasible, Cp, None when o.crashes = [] ->
+      Cache.store c key Cache.Infeasible
+    | _ -> ())
+  | _ -> ());
+  (* Any validated schedule — optimal, timeout incumbent or fallback —
+     is a true feasible makespan, hence a sound warm seed for the next
+     solve of this shape. *)
+  (if chaos = None then
+     match (cache, o.schedule) with
+     | Some c, Some sch when o.validation = Ok () ->
+       Cache.note_hint c ~shape:(Cache.Key.shape_digest g)
+         sch.Schedule.makespan
+     | _ -> ());
+  o
 
 let exit_code o =
   match (o.status, o.schedule, o.engine) with

@@ -40,6 +40,10 @@ type outcome = {
   validation : (unit, Validate.report) result;
       (** the report of the last validation performed; [Error] only
           when an invalid schedule was produced and discarded *)
+  from_cache : bool;
+      (** the outcome was replayed from the solution cache: no search
+          ran ([stats] is all-zero) and the schedule was re-validated
+          on the way out *)
 }
 
 val run :
@@ -53,6 +57,9 @@ val run :
   ?chaos_base:int ->
   ?fallback:bool ->
   ?tid:int ->
+  ?cache:Cache.t ->
+  ?warm:bool ->
+  ?warm_bound:int ->
   Ir.t ->
   outcome
 (** Defaults: 10-second time budget, no extra deadline, memory
@@ -86,7 +93,26 @@ val run :
 
     [fallback = false] disables the heuristic rescue (for measuring the
     CP engine alone); a no-incumbent timeout then reports
-    [Feasible_timeout] with no schedule. *)
+    [Feasible_timeout] with no schedule.
+
+    [cache] consults (and populates) a shared {!Cache.t} keyed on the
+    canonical form of the problem ({!Cache.Key}): an identical request
+    — up to alpha-renaming of node ids — replays the stored schedule
+    with zero search work ([from_cache = true], all-zero [stats]),
+    after re-validating it from scratch.  Only proven-optimal validated
+    schedules and crash-free infeasibility proofs are stored; timeouts,
+    fallback rescues, crashed runs and all chaos runs never populate
+    the cache, and chaos runs do not consult it either.
+
+    [warm] seeds a sequential solve of a {e near-miss} — same node
+    multiset (shape), edited edges or arch knobs — with the best
+    validated makespan previously recorded for that shape, as an
+    external upper bound.  [warm_bound] supplies the seed explicitly
+    (and implies [warm]).  Soundness: a proof of optimality under the
+    seed is a genuine global proof, and an [Infeasible] under the seed
+    triggers an automatic cold re-solve (stats accumulate across both
+    runs) — a stale seed can cost time, never correctness.  Portfolio
+    solves ([parallel >= 2]) ignore the seed. *)
 
 val exit_code : outcome -> int
 (** The process exit code contract (also used by [eitc schedule]):

@@ -26,6 +26,7 @@ type solved = {
   propagations : int;
   solve_ms : float;
   crashes : int;
+  cached : bool;
 }
 
 type reply =
@@ -54,6 +55,8 @@ type config = {
   backoff_base_ms : float;
   seed : int;
   chaos : Fd.Chaos.t option;
+  cache_capacity : int;
+  warm_start : bool;
 }
 
 let default_config =
@@ -67,6 +70,8 @@ let default_config =
     backoff_base_ms = 25.;
     seed = 0;
     chaos = None;
+    cache_capacity = 0;
+    warm_start = false;
   }
 
 (* One-shot response cell.  [fulfil] is idempotent and returns whether
@@ -132,6 +137,9 @@ type health = {
   retries : int;
   fallbacks : int;
   invalid : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
 
 type counters = {
@@ -152,6 +160,9 @@ type ctx = {
   kernels : (string * Eit_dsl.Ir.t) list;
   cnt : counters;
   q : job Queue.t;
+  cache : Cache.t option;
+      (* one shared solution cache for the whole service (the Cache
+         module locks internally); [None] when [cache_capacity = 0] *)
 }
 
 type t = {
@@ -270,6 +281,7 @@ let solved_of_outcome ~solve_ms (o : Sched.Solve.outcome) =
     propagations = o.Sched.Solve.stats.Fd.Search.propagations;
     solve_ms;
     crashes = List.length o.Sched.Solve.crashes;
+    cached = o.Sched.Solve.from_cache;
   }
 
 (* Execute one job on pool slot [slot].  Attempts run the CP engine
@@ -331,7 +343,8 @@ let execute ctx ~slot job =
               ~budget:(Fd.Search.time_budget budget_ms)
               ~deadline:job.dl ?chaos
               ~chaos_base:((job.seq * 8) + k)
-              ~parallel:job.jr.parallel ~fallback:false ~tid ~arch g
+              ~parallel:job.jr.parallel ~fallback:false ~tid ~arch
+              ?cache:ctx.cache ~warm:cfg.warm_start g
           in
           let rec go k o =
             match o.Sched.Solve.status with
@@ -419,6 +432,7 @@ let worker_body ctx ~slot ~alive ~cell =
                       propagations = 0;
                       solve_ms = 0.;
                       crashes = 1;
+                      cached = false;
                     };
                 attempts = 1;
                 wait_ms = ms_since job.t_admit;
@@ -510,6 +524,10 @@ let create ?(config = default_config) () =
       kernels = compile_kernels ();
       cnt;
       q = Queue.create ~capacity:config.queue;
+      cache =
+        (if config.cache_capacity > 0 then
+           Some (Cache.create ~capacity:config.cache_capacity)
+         else None);
     }
   in
   let pool = Pool.create ~size:config.pool (worker_body ctx) in
@@ -567,6 +585,11 @@ let submit ?on_complete t req =
   tk
 
 let health t =
+  let cs =
+    match t.ctx.cache with
+    | Some c -> Cache.stats c
+    | None -> { Cache.hits = 0; misses = 0; evictions = 0; stores = 0 }
+  in
   {
     alive = Pool.alive_count t.pool;
     queue_depth = Queue.length t.ctx.q;
@@ -580,6 +603,9 @@ let health t =
     retries = Atomic.get t.ctx.cnt.c_retries;
     fallbacks = Atomic.get t.ctx.cnt.c_fallbacks;
     invalid = Atomic.get t.ctx.cnt.c_invalid;
+    cache_hits = cs.Cache.hits;
+    cache_misses = cs.Cache.misses;
+    cache_evictions = cs.Cache.evictions;
   }
 
 let shutdown t =

@@ -71,6 +71,8 @@ type solved = {
   propagations : int;
   solve_ms : float;   (** wall time spent solving (all attempts) *)
   crashes : int;      (** isolated worker crashes across attempts *)
+  cached : bool;      (** replayed from the service's solution cache:
+                          no search ran, stats are all-zero *)
 }
 
 type reply =
@@ -106,6 +108,14 @@ type config = {
   seed : int;               (** jitter RNG seed (deterministic per
                                 request sequence number) *)
   chaos : Fd.Chaos.t option;(** fault injection for every attempt *)
+  cache_capacity : int;     (** shared solution-cache entries; [0]
+                                (default) disables the cache entirely,
+                                keeping served solves byte-identical to
+                                direct {!Sched.Solve.run} calls *)
+  warm_start : bool;        (** seed sequential solves with the best
+                                validated makespan previously seen for
+                                the same graph shape (default off);
+                                sound — see {!Sched.Solve.run} *)
 }
 
 val default_config : config
@@ -140,6 +150,9 @@ type health = {
   retries : int;     (** retry attempts performed *)
   fallbacks : int;   (** responses rescued by the heuristic fallback *)
   invalid : int;
+  cache_hits : int;      (** solution-cache hits (0 when disabled) *)
+  cache_misses : int;
+  cache_evictions : int;
 }
 
 val health : t -> health

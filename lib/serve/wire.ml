@@ -85,6 +85,7 @@ let response_json (r : Service.response) =
         | Some m -> [ ("makespan", num m) ]
         | None -> [])
       @ [
+          ("cached", J.Bool s.Service.cached);
           ("nodes", num s.Service.nodes);
           ("failures", num s.Service.failures);
           ("propagations", num s.Service.propagations);

@@ -1,0 +1,42 @@
+(* The shared bench-section passthrough list: sections the comparison
+   gate must ignore and the report rewriters must carry over verbatim.
+   Pinned here so adding a section without updating the gate fails a
+   test instead of silently breaking `bench compare`. *)
+
+module B = Vecsched_core.Bench_sections
+module J = Obs.Json
+
+let test_passthrough_pinned () =
+  Alcotest.(check (list string))
+    "exactly the service and cache sections pass through"
+    [ "service"; "cache" ] B.passthrough
+
+let test_is_passthrough () =
+  Alcotest.(check bool) "service" true (B.is_passthrough "service");
+  Alcotest.(check bool) "cache" true (B.is_passthrough "cache");
+  Alcotest.(check bool) "runs is gated" false (B.is_passthrough "runs");
+  Alcotest.(check bool) "unknown" false (B.is_passthrough "nope")
+
+let test_keep () =
+  let doc =
+    J.Obj
+      [
+        ("runs", J.Arr []);
+        ("cache", J.Obj [ ("hit_rate", J.Num 0.5) ]);
+        ("service", J.Obj [ ("p50", J.Num 1.) ]);
+      ]
+  in
+  let kept = B.keep doc in
+  Alcotest.(check (list string)) "kept in passthrough order"
+    [ "service"; "cache" ]
+    (List.map fst kept);
+  Alcotest.(check (list string)) "nothing kept from an empty doc" []
+    (List.map fst (B.keep (J.Obj [])))
+
+let suite =
+  [
+    Alcotest.test_case "passthrough list is pinned" `Quick
+      test_passthrough_pinned;
+    Alcotest.test_case "is_passthrough" `Quick test_is_passthrough;
+    Alcotest.test_case "keep extracts passthrough sections" `Quick test_keep;
+  ]

@@ -410,6 +410,7 @@ let test_wire_response_roundtrip () =
             propagations = 6649;
             solve_ms = 12.5;
             crashes = 0;
+            cached = false;
           };
       attempts = 2;
       wait_ms = 1.5;
@@ -432,7 +433,9 @@ let test_wire_response_roundtrip () =
     Alcotest.(check bool) "code 0" true (num "code" = Some 0.);
     Alcotest.(check bool) "makespan" true (num "makespan" = Some 168.);
     Alcotest.(check bool) "retries = attempts-1" true (num "retries" = Some 1.);
-    Alcotest.(check bool) "worker" true (num "worker" = Some 3.)
+    Alcotest.(check bool) "worker" true (num "worker" = Some 3.);
+    Alcotest.(check bool) "cached flag present" true
+      (Obs.Json.member "cached" j = Some (Obs.Json.Bool false))
 
 (* ----------------------------- chaos soak ---------------------------- *)
 
@@ -451,7 +454,12 @@ let test_chaos_soak () =
        wedges fire no matter how the random crashes land *)
     Fd.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05 ~delay_ms:1.
       ~wedge_workers:[ (10 * 8) + 1; (100 * 8) + 1 ] (* seq 10 and 100 *)
-      ~wedge_after:1 ~wedge_max_ms:20_000. ~fail_solves:[ 3; 7 ] ~seed:42 ()
+      (* the poison counter is global across the pool: on a 1-core box
+         poison #7 can land on wedge target s010's *first* solver entry
+         (its minimum global solve number is 6), crashing the attempt
+         before it reaches the wedge site — so keep every poisoned
+         solve number <= 5, strictly before any wedge target can run *)
+      ~wedge_after:1 ~wedge_max_ms:20_000. ~fail_solves:[ 3; 5 ] ~seed:42 ()
   in
   let config =
     {
@@ -464,6 +472,8 @@ let test_chaos_soak () =
       backoff_base_ms = 5.;
       seed = 42;
       chaos = Some chaos;
+      cache_capacity = 0;
+      warm_start = false;
     }
   in
   let fir_xml =
@@ -541,6 +551,108 @@ let test_chaos_soak () =
         true
         (List.length (Fd.Chaos.faults chaos) > 0))
 
+(* ------------------------- cached soak ------------------------------- *)
+
+(* Repeat-heavy mix through a cache-enabled single-worker service: the
+   first occurrence of each kernel misses, every repeat is answered
+   from the cache, and the cached replies carry the exact solved
+   payload of the first solve (status, code, engine, makespan). *)
+let test_cached_soak () =
+  let n = 40 in
+  let config =
+    {
+      base_config with
+      S.pool = 1;
+      queue = 128;
+      cache_capacity = 32;
+    }
+  in
+  with_service config (fun svc ->
+      let tks =
+        List.init n (fun i ->
+            let id = Printf.sprintf "c%03d" i in
+            let kernel = if i mod 2 = 0 then "qrd" else "arf" in
+            ( i,
+              id,
+              S.submit svc
+                (S.request ~id ~budget_ms:10_000. ~deadline_ms:60_000.
+                   (S.Kernel kernel)) ))
+      in
+      let first : (string, S.solved) Hashtbl.t = Hashtbl.create 2 in
+      let seen = Hashtbl.create n in
+      List.iter
+        (fun (i, id, tk) ->
+          let r = await_or_fail ~ms:60_000. tk in
+          Alcotest.(check string) "response id" id r.S.r_id;
+          Alcotest.(check bool) ("answered once: " ^ id) false
+            (Hashtbl.mem seen id);
+          Hashtbl.add seen id ();
+          match r.S.reply with
+          | S.Solved s ->
+            let kernel = if i mod 2 = 0 then "qrd" else "arf" in
+            Alcotest.(check bool) (id ^ " optimal") true
+              (s.S.st = Sched.Solve.Optimal);
+            (match Hashtbl.find_opt first kernel with
+            | None ->
+              (* first occurrence: a genuine solve, not a replay *)
+              Alcotest.(check bool) (id ^ " first is cold") false s.S.cached;
+              Hashtbl.add first kernel s
+            | Some f ->
+              Alcotest.(check bool) (id ^ " repeat is cached") true s.S.cached;
+              (* the cached payload replays the first solve exactly *)
+              Alcotest.(check bool) (id ^ " same status") true (s.S.st = f.S.st);
+              Alcotest.(check bool) (id ^ " same engine") true
+                (s.S.eng = f.S.eng);
+              Alcotest.(check (option int)) (id ^ " same makespan")
+                f.S.makespan s.S.makespan;
+              Alcotest.(check int) (id ^ " replay does no search") 0 s.S.nodes)
+          | _ -> Alcotest.failf "%s not solved" id)
+        tks;
+      let h = S.health svc in
+      Alcotest.(check int) "all answered" n h.S.completed;
+      Alcotest.(check int) "2 misses" 2 h.S.cache_misses;
+      Alcotest.(check int) "every repeat hit" (n - 2) h.S.cache_hits;
+      Alcotest.(check int) "nothing evicted" 0 h.S.cache_evictions)
+
+(* A crashing attempt must never leave a poisoned cache entry: chaos
+   runs bypass the cache wholesale — never consulted, never populated —
+   and the retried solve still reports the true optimum. *)
+let test_crashed_attempt_never_populates_cache () =
+  let chaos = Fd.Chaos.create ~fail_solves:[ 1 ] ~seed:9 () in
+  let config =
+    {
+      base_config with
+      S.pool = 1;
+      max_retries = 1;
+      cache_capacity = 8;
+      chaos = Some chaos;
+    }
+  in
+  with_service config (fun svc ->
+      let solve id =
+        match
+          (await_or_fail
+             (S.submit svc
+                (S.request ~id ~budget_ms:10_000. ~deadline_ms:60_000.
+                   (S.Kernel "qrd"))))
+            .S.reply
+        with
+        | S.Solved s -> s
+        | _ -> Alcotest.failf "%s not solved" id
+      in
+      let a = solve "p1" in
+      let b = solve "p2" in
+      Alcotest.(check (option int)) "first retried to the optimum" (Some 168)
+        a.S.makespan;
+      Alcotest.(check (option int)) "second solved to the optimum" (Some 168)
+        b.S.makespan;
+      Alcotest.(check bool) "chaos runs never serve from cache" false
+        (a.S.cached || b.S.cached);
+      let h = S.health svc in
+      Alcotest.(check int) "cache never hit under chaos" 0 h.S.cache_hits;
+      Alcotest.(check int) "cache never consulted under chaos" 0
+        h.S.cache_misses)
+
 (* after shutdown, submission is answered (shed), never hung *)
 let test_submit_after_shutdown () =
   let svc = S.create ~config:{ base_config with S.pool = 1 } () in
@@ -574,6 +686,9 @@ let suite =
     Alcotest.test_case "wire: request parsing" `Quick test_wire_requests;
     Alcotest.test_case "wire: response json" `Quick test_wire_response_roundtrip;
     Alcotest.test_case "chaos soak: 210 mixed requests" `Slow test_chaos_soak;
+    Alcotest.test_case "cached soak: repeat-heavy mix" `Slow test_cached_soak;
+    Alcotest.test_case "crashed attempt never populates cache" `Quick
+      test_crashed_attempt_never_populates_cache;
     Alcotest.test_case "submit after shutdown is shed" `Quick
       test_submit_after_shutdown;
   ]
