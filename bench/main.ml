@@ -741,6 +741,7 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
       watchdog_tick_ms = 10.;
       seed;
       chaos = chaos_t;
+      metrics = Some (Obs.Metrics.create ());
     }
   in
   let svc = Serve.Service.create ~config () in
@@ -765,8 +766,11 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
   in
   let responses = List.map Serve.Service.await tickets in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  let h = Serve.Service.health svc in
+  (* shut down before reading health: joining the pool guarantees every
+     completion's metrics observation has landed, so the histogram
+     count below equals the response count exactly *)
   Serve.Service.shutdown svc;
+  let h = Serve.Service.health svc in
   let lat =
     Array.of_list (List.map (fun r -> r.Serve.Service.total_ms) responses)
   in
@@ -786,6 +790,36 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
   Format.printf "%-24s %10d@." "retries" h.Serve.Service.retries;
   Format.printf "%-24s %10d@." "fallback rescues" h.Serve.Service.fallbacks;
   Format.printf "%-24s %10d@." "workers revived" h.Serve.Service.revived;
+  (* Cross-check the live latency histogram against ground truth: the
+     exact p99 of the full retained sample, computed with the
+     histogram's own rank convention (the ceil(q*n)-th smallest), must
+     agree within the histogram's stated relative-error bound. *)
+  let ht = h.Serve.Service.lat_total in
+  let n = Array.length lat in
+  let exact q =
+    if n = 0 then 0.
+    else lat.(max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) - 1)
+  in
+  let bound =
+    Obs.Metrics.relative_error
+      (Obs.Metrics.histogram (Serve.Service.metrics svc) "serve.total_ms")
+  in
+  let p99_exact = exact 0.99 in
+  let p99_hist = ht.Obs.Metrics.p99 in
+  let rel =
+    if p99_exact > 0. then abs_float (p99_hist -. p99_exact) /. p99_exact
+    else abs_float (p99_hist -. p99_exact)
+  in
+  let within = rel <= bound +. 1e-9 in
+  Format.printf "%-24s %10.1f ms (exact %.1f; rel err %.5f <= %.5f: %s)@."
+    "histogram p99" p99_hist p99_exact rel bound
+    (if within then "OK" else "CROSS-CHECK FAILED");
+  if ht.Obs.Metrics.count <> n then
+    Format.printf "%-24s histogram count %d <> responses %d@." "WARNING"
+      ht.Obs.Metrics.count n;
+  Format.printf "%-24s %10.4f / %.4f@." "error / deadline-hit rate"
+    h.Serve.Service.slo.Obs.Metrics.error_rate
+    h.Serve.Service.slo.Obs.Metrics.deadline_hit_rate;
   let service_json =
     let num i = Obs.Json.Num (float_of_int i) in
     Obs.Json.Obj
@@ -810,22 +844,39 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
         ("revived", num h.Serve.Service.revived);
       ]
   in
+  let metrics_json =
+    Obs.Json.Obj
+      [
+        ("count", Obs.Json.Num (float_of_int ht.Obs.Metrics.count));
+        ("p50_hist_ms", Obs.Json.Num ht.Obs.Metrics.p50);
+        ("p99_exact_ms", Obs.Json.Num p99_exact);
+        ("p99_hist_ms", Obs.Json.Num p99_hist);
+        ("rel_err", Obs.Json.Num rel);
+        ("rel_err_bound", Obs.Json.Num bound);
+        ("within_bound", Obs.Json.Bool within);
+        ( "error_rate",
+          Obs.Json.Num h.Serve.Service.slo.Obs.Metrics.error_rate );
+        ( "deadline_hit_rate",
+          Obs.Json.Num h.Serve.Service.slo.Obs.Metrics.deadline_hit_rate );
+      ]
+  in
   let doc =
     match Obs.Json.parse_file path with
-    | Ok j -> set_member "service" service_json j
+    | Ok j -> set_member "metrics" metrics_json (set_member "service" service_json j)
     | Error _ ->
       Obs.Json.Obj
         [
           ("suite", Obs.Json.Str "vecsched-solver");
           ("runs", Obs.Json.Arr []);
           ("service", service_json);
+          ("metrics", metrics_json);
         ]
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
   output_string oc "\n";
   close_out oc;
-  Format.printf "@.merged \"service\" section into %s@." path
+  Format.printf "@.merged \"service\" + \"metrics\" sections into %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Solution-cache benchmark: hit rate under a repeat-heavy request mix
@@ -960,6 +1011,122 @@ let cache_bench ?(path = "BENCH_solver.json") ?(requests = 120) ?(pool = 2)
   Format.printf "@.merged \"cache\" section into %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+(* `bench history`: one CSV row per invocation — commit, the kernels'
+   sequential optima and deterministic propagation counts, the service
+   latency quantiles, the histogram cross-check estimate and the cache
+   hit rate, all read from BENCH_solver.json's sections — plus a
+   regenerated Markdown trend table next to it, so drift across
+   commits is visible at a glance. *)
+
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ | (exception _) -> "unknown")
+
+let history_columns =
+  [ "commit"; "qrd_makespan"; "arf_makespan"; "matmul_makespan";
+    "qrd_propagations"; "service_p50_ms"; "service_p95_ms";
+    "service_p99_ms"; "hist_p99_ms"; "cache_hit_rate" ]
+
+let history ?(path = "BENCH_solver.json") ?(csv = "bench_history.csv") () =
+  let md = Filename.remove_extension csv ^ ".md" in
+  header (Printf.sprintf "Bench history: %s -> %s + %s" path csv md);
+  match Obs.Json.parse_file path with
+  | Error e ->
+    Format.printf "cannot read %s: %s (run `bench perfjson` / `bench load` \
+                   first)@." path e;
+    1
+  | Ok j ->
+    let module J = Obs.Json in
+    let runs =
+      match J.member "runs" j with Some (J.Arr rs) -> rs | _ -> []
+    in
+    (* the deterministic anchor rows: sequential, default 64 slots *)
+    let runf kernel field =
+      List.find_opt
+        (fun r ->
+          J.member "kernel" r = Some (J.Str kernel)
+          && J.member "mode" r = Some (J.Str "sequential")
+          && J.member "slots" r = Some (J.Num 64.))
+        runs
+      |> Option.map (J.member field)
+      |> function Some (Some (J.Num f)) -> Some f | _ -> None
+    in
+    let sect name field =
+      match J.member name j with
+      | Some s -> (
+        match J.member field s with Some (J.Num f) -> Some f | _ -> None)
+      | None -> None
+    in
+    let cell = function
+      | None -> ""
+      | Some f ->
+        if Float.is_integer f then Printf.sprintf "%.0f" f
+        else Printf.sprintf "%.3f" f
+    in
+    let commit = git_commit () in
+    let row =
+      [
+        commit;
+        cell (runf "QRD" "makespan");
+        cell (runf "ARF" "makespan");
+        cell (runf "MATMUL" "makespan");
+        cell (runf "QRD" "propagations");
+        cell (sect "service" "p50_ms");
+        cell (sect "service" "p95_ms");
+        cell (sect "service" "p99_ms");
+        cell (sect "metrics" "p99_hist_ms");
+        cell (sect "cache" "hit_rate");
+      ]
+    in
+    let fresh = not (Sys.file_exists csv) in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 csv in
+    if fresh then output_string oc (String.concat "," history_columns ^ "\n");
+    output_string oc (String.concat "," row ^ "\n");
+    close_out oc;
+    (* regenerate the Markdown table from the whole CSV, latest last *)
+    let lines =
+      let ic = open_in csv in
+      let acc = ref [] in
+      (try
+         while true do
+           let l = input_line ic in
+           if String.trim l <> "" then acc := l :: !acc
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !acc
+    in
+    (match lines with
+    | hd :: rows ->
+      let cells l = String.split_on_char ',' l in
+      let moc = open_out md in
+      output_string moc "# Bench history\n\n";
+      output_string moc
+        "One row per `bench history` run; sections come from \
+         `BENCH_solver.json` (`perfjson`, `load`, `cache`).\n\n";
+      output_string moc ("| " ^ String.concat " | " (cells hd) ^ " |\n");
+      output_string moc
+        ("|" ^ String.concat "|" (List.map (fun _ -> "---") (cells hd))
+        ^ "|\n");
+      List.iter
+        (fun l -> output_string moc ("| " ^ String.concat " | " (cells l) ^ " |\n"))
+        rows;
+      close_out moc
+    | [] -> ());
+    Format.printf "%-12s %s@." "commit" commit;
+    List.iter2
+      (fun k v -> if v <> "" then Format.printf "%-20s %s@." k v)
+      (List.tl history_columns) (List.tl row);
+    Format.printf "@.appended row to %s (%d total), wrote %s@." csv
+      (List.length lines - 1) md;
+    0
+
 (* perfjson / compare: machine-readable solver metrics for regression
    tracking.  Both run the same in-memory suite; `perfjson` writes it
    to BENCH_solver.json, `compare` diffs it against the committed file
@@ -1328,6 +1495,7 @@ let () =
   let lqueue, args = extract_opt "--queue" args in
   let seed, args = extract_opt "--seed" args in
   let lpath, args = extract_opt "--path" args in
+  let csv, args = extract_opt "--csv" args in
   let chaos = List.mem "--chaos" args in
   let args = List.filter (fun a -> a <> "--chaos") args in
   let iopt = Option.map int_of_string in
@@ -1362,14 +1530,15 @@ let () =
       cache_bench ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
         ?seed:(iopt seed) ();
       0
+    | [ "history" ] -> history ?path:lpath ?csv ()
     | [ "compare" ] -> compare_run ?against ()
     | other ->
       Format.eprintf
         "unknown experiment %s (use: graphs table1 table2 table3 fig3 fig45 \
          fig6 fig8 utilization dynamic ablations archsweep bechamel perfjson \
-         profile compare robustness load cache; options: --trace FILE, \
-         --against PATH, --path FILE, --requests/--pool/--queue/--seed N, \
-         --chaos)@."
+         profile compare robustness load cache history; options: --trace \
+         FILE, --against PATH, --path FILE, --csv FILE, \
+         --requests/--pool/--queue/--seed N, --chaos)@."
         (String.concat " " other);
       exit 2
   in

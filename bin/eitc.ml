@@ -705,8 +705,11 @@ let trace_diff_cmd =
    failures. *)
 let serve_cmd =
   let run pool queue budget grace retries backoff seed cache warm trace
-      metrics =
+      metrics metrics_file stats_interval logfile trace_sample =
     with_obs ~other_data:[ ("mode", Obs.S "serve") ] ~trace ~metrics (fun () ->
+        (* One live registry feeds the service instruments, the solver
+           distributions and the exporter alike. *)
+        let reg = Obs.Metrics.create () in
         let config =
           {
             Serve.Service.default_config with
@@ -719,9 +722,19 @@ let serve_cmd =
             seed;
             cache_capacity = cache;
             warm_start = warm;
+            metrics = Some reg;
+            trace_sample;
           }
         in
         let svc = Serve.Service.create ~config () in
+        let exporter =
+          Option.map
+            (fun path ->
+              Obs.Metrics.exporter_start ~interval_ms:stats_interval
+                ~prom_path:(path ^ ".prom") ~path reg)
+            metrics_file
+        in
+        let log_oc = Option.map open_out logfile in
         let out_m = Mutex.create () in
         let print line =
           Mutex.lock out_m;
@@ -730,22 +743,40 @@ let serve_cmd =
           flush stdout;
           Mutex.unlock out_m
         in
+        let log r =
+          match log_oc with
+          | None -> ()
+          | Some oc ->
+            let line = Serve.Wire.log_line r in
+            Mutex.lock out_m;
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            Mutex.unlock out_m
+        in
         let rec loop n =
           match input_line stdin with
           | exception End_of_file -> ()
           | line ->
             (if String.trim line <> "" then
                let default_id = Printf.sprintf "line-%d" n in
-               match Serve.Wire.request_of_line ~default_id line with
+               match Serve.Wire.parse_line ~default_id line with
                | Error msg -> print (Serve.Wire.error_line ~id:default_id msg)
-               | Ok req ->
+               | Ok (Serve.Wire.Stats id) ->
+                 (* answered inline — a health probe must not queue
+                    behind solves *)
+                 print (Serve.Wire.stats_line ~id (Serve.Service.health svc))
+               | Ok (Serve.Wire.Request req) ->
                  ignore
                    (Serve.Service.submit svc req ~on_complete:(fun r ->
-                        print (Serve.Wire.response_line r))));
+                        print (Serve.Wire.response_line r);
+                        log r)));
             loop (n + 1)
         in
         loop 1;
         Serve.Service.shutdown svc;
+        Option.iter Obs.Metrics.exporter_stop exporter;
+        Option.iter close_out log_oc;
         0)
   in
   let pool_arg =
@@ -802,6 +833,38 @@ let serve_cmd =
                "Warm-start sequential solves from the best validated \
                 makespan previously seen for the same graph shape.")
   in
+  let metrics_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"FILE"
+             ~doc:
+               "Append one JSON metrics snapshot (latency quantiles, SLO \
+                rates, solver work distributions) to $(docv) every \
+                $(b,--stats-interval), and rewrite $(docv).prom in \
+                Prometheus text format on the same cadence.  Read it back \
+                with $(b,eitc metrics-report).")
+  in
+  let stats_interval_arg =
+    Arg.(value & opt float 1_000.
+         & info [ "stats-interval" ] ~docv:"MS"
+             ~doc:"Snapshot export period for $(b,--metrics-file).")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:
+               "Append one structured JSON log record per completed request \
+                (timestamp, id, status, attempts, queue-wait / solve / \
+                validate / total latency) to $(docv).")
+  in
+  let trace_sample_arg =
+    Arg.(value & opt int 0
+         & info [ "trace-sample" ] ~docv:"R"
+             ~doc:
+               "Head-sample the $(b,--trace) event stream: keep the full \
+                trace of one in $(docv) requests and suppress the rest, so \
+                tracing can stay on under production load.  0 or 1 traces \
+                every request.  Live metrics always cover all requests.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -809,7 +872,100 @@ let serve_cmd =
           stdin, one JSON response per request on stdout")
     Term.(const run $ pool_arg $ queue_arg $ sbudget_arg $ grace_arg
           $ retries_arg $ backoff_arg $ seed_arg $ cache_arg $ warm_arg
-          $ trace_file_arg $ metrics_arg)
+          $ trace_file_arg $ metrics_arg $ metrics_file_arg
+          $ stats_interval_arg $ log_arg $ trace_sample_arg)
+
+(* `eitc metrics-report` — render the latest snapshot of a
+   `--metrics-file` JSONL stream as the same kind of tables `--metrics`
+   prints, without attaching to the live process. *)
+let metrics_report_cmd =
+  let read_last_line path =
+    let ic = open_in path in
+    let last = ref None in
+    (try
+       while true do
+         let l = input_line ic in
+         if String.trim l <> "" then last := Some l
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !last
+  in
+  let run path =
+    let module J = Obs.Json in
+    match read_last_line path with
+    | exception Sys_error m ->
+      Format.eprintf "%s@." m;
+      1
+    | None ->
+      Format.eprintf "%s: no snapshot lines@." path;
+      1
+    | Some line -> (
+      match J.parse line with
+      | Error e ->
+        Format.eprintf "%s: bad snapshot: %s@." path e;
+        1
+      | Ok j ->
+        let obj name =
+          match J.member name j with Some (J.Obj kvs) -> kvs | _ -> []
+        in
+        let numf = function J.Num f -> f | _ -> 0. in
+        (match J.member "ts_unix" j with
+        | Some (J.Num t) -> Format.printf "snapshot ts_unix=%.3f@." t
+        | _ -> ());
+        (match obj "counters" with
+        | [] -> ()
+        | kvs ->
+          Format.printf "@.%-28s %12s@." "counter" "value";
+          List.iter
+            (fun (k, v) -> Format.printf "%-28s %12.0f@." k (numf v))
+            kvs);
+        (match obj "gauges" with
+        | [] -> ()
+        | kvs ->
+          Format.printf "@.%-28s %12s@." "gauge" "value";
+          List.iter
+            (fun (k, v) -> Format.printf "%-28s %12.2f@." k (numf v))
+            kvs);
+        (match obj "histograms" with
+        | [] -> ()
+        | kvs ->
+          Format.printf "@.%-24s %8s %10s %10s %10s %10s %10s@." "histogram"
+            "count" "mean" "p50" "p95" "p99" "max";
+          List.iter
+            (fun (k, v) ->
+              let f n =
+                match J.member n v with Some (J.Num x) -> x | _ -> 0.
+              in
+              Format.printf "%-24s %8.0f %10.3f %10.3f %10.3f %10.3f %10.3f@."
+                k (f "count") (f "mean") (f "p50") (f "p95") (f "p99")
+                (f "max"))
+            kvs);
+        (match obj "slo" with
+        | [] -> ()
+        | kvs ->
+          Format.printf "@.%-24s %8s %8s %12s %14s@." "slo" "window" "seen"
+            "error_rate" "deadline_hit";
+          List.iter
+            (fun (k, v) ->
+              let f n =
+                match J.member n v with Some (J.Num x) -> x | _ -> 0.
+              in
+              Format.printf "%-24s %8.0f %8.0f %12.4f %14.4f@." k (f "window")
+                (f "seen") (f "error_rate")
+                (f "deadline_hit_rate"))
+            kvs);
+        0)
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"A JSONL metrics stream written by $(b,--metrics-file).")
+  in
+  Cmd.v
+    (Cmd.info "metrics-report"
+       ~doc:"Render the latest snapshot of a metrics JSONL stream")
+    Term.(const run $ path_arg)
 
 let export_cmd =
   let run kernel fmt path merged =
@@ -844,4 +1000,5 @@ let () =
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
             code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd;
-            serve_cmd; trace_check_cmd; trace_report_cmd; trace_diff_cmd ]))
+            serve_cmd; metrics_report_cmd; trace_check_cmd; trace_report_cmd;
+            trace_diff_cmd ]))

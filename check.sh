@@ -195,3 +195,51 @@ case "$out" in
   ;;
 esac
 echo "check.sh: cache smoke OK (hit on second run, 0 props, makespan 168)"
+
+# Telemetry smoke: 8 requests plus an in-band stats probe through a
+# fully instrumented `eitc serve` — live-metrics snapshots (JSONL +
+# Prometheus), a structured request log, and 1-in-4 head-sampled
+# tracing.  The snapshot must carry quantiles, `eitc metrics-report`
+# must render it, the stats probe must be answered inline, every log
+# line must be a full response record, and the sampled trace must
+# still pass the repo's own structural checker.
+mfile=$(mktemp /tmp/eitc-metrics.XXXXXX.jsonl)
+tfile=$(mktemp /tmp/eitc-strace.XXXXXX.json)
+lfile=$(mktemp /tmp/eitc-reqlog.XXXXXX.jsonl)
+tele_out=$( { for i in 0 1 2 3 4 5 6 7; do
+    printf '{"id":"t%d","kernel":"fir"}\n' "$i"
+  done
+  printf '{"stats":true,"id":"probe"}\n'
+  } | "$EITC" serve --pool 2 --queue 16 \
+        --metrics-file "$mfile" --stats-interval 100 \
+        --trace "$tfile" --trace-sample 4 --log "$lfile") || {
+  echo "check.sh: instrumented eitc serve exited non-zero" >&2
+  echo "$tele_out" >&2
+  rm -f "$mfile" "$mfile.prom" "$tfile" "$lfile"
+  exit 1
+}
+fail_tele() {
+  echo "check.sh: $1" >&2
+  rm -f "$mfile" "$mfile.prom" "$tfile" "$lfile"
+  exit 1
+}
+case "$tele_out" in
+*'"stats"'*) ;;
+*) fail_tele "stats probe was not answered" ;;
+esac
+grep -q '"p99"' "$mfile" || fail_tele "metrics snapshot lacks quantiles"
+grep -q '"serve.total_ms"' "$mfile" || fail_tele "metrics snapshot lacks serve.total_ms"
+grep -q 'quantile=' "$mfile.prom" || fail_tele "prometheus file lacks quantile samples"
+"$EITC" metrics-report "$mfile" > /dev/null || fail_tele "metrics-report rejected the snapshot"
+"$EITC" trace-check "$tfile" || fail_tele "sampled trace failed validation"
+sampled=$(grep -o '"request:t[0-9]*"' "$tfile" | sort -u | wc -l)
+if [ "$sampled" -ne 2 ]; then
+  fail_tele "1-in-4 sampling kept $sampled of 8 request traces, expected 2"
+fi
+loglines=$(grep -c '"total_ms"' "$lfile")
+if [ "$loglines" -ne 8 ]; then
+  fail_tele "request log has $loglines response records, expected 8"
+fi
+grep -q '"ts_unix"' "$lfile" || fail_tele "request log lines lack timestamps"
+rm -f "$mfile" "$mfile.prom" "$tfile" "$lfile"
+echo "check.sh: telemetry smoke OK (snapshot + prom + report, stats probe, 2/8 sampled traces, 8 log records)"

@@ -6,7 +6,7 @@
    them; both sides consult this one list so they can never drift
    apart (pinned by test/t_bench_sections.ml). *)
 
-let passthrough = [ "service"; "cache" ]
+let passthrough = [ "service"; "cache"; "metrics" ]
 
 let is_passthrough name = List.mem name passthrough
 

@@ -52,7 +52,20 @@ let next_handle = ref 0
 let live = Atomic.make false
 let epoch = ref 0.
 
-let enabled () = Atomic.get live
+(* Head-sampled tracing: a domain can suppress its own emission (e.g.
+   the service runs an unsampled request's solve under
+   [with_suppressed]) while sinks stay attached for everyone else.
+   The flag is domain-local state, so it never races; the disabled
+   fast path ([live = false]) short-circuits before touching it, so
+   "no sink attached" still costs exactly one atomic load. *)
+let suppress_key = Domain.DLS.new_key (fun () -> false)
+
+let enabled () = Atomic.get live && not (Domain.DLS.get suppress_key)
+
+let with_suppressed f =
+  let old = Domain.DLS.get suppress_key in
+  Domain.DLS.set suppress_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppress_key old) f
 
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 
@@ -88,15 +101,15 @@ let emit ev =
 (* Emission helpers (no-ops, allocation-free, when no sink is attached) *)
 
 let span_begin ?(cat = "") ?(tid = 0) ?(args = []) name =
-  if Atomic.get live then
+  if enabled () then
     emit { name; cat; ts_us = now_us (); tid; ph = Begin; args }
 
 let span_end ?(cat = "") ?(tid = 0) ?(args = []) name =
-  if Atomic.get live then
+  if enabled () then
     emit { name; cat; ts_us = now_us (); tid; ph = End; args }
 
 let span ?cat ?tid ?args name f =
-  if Atomic.get live then begin
+  if enabled () then begin
     span_begin ?cat ?tid name;
     match f () with
     | x ->
@@ -109,16 +122,16 @@ let span ?cat ?tid ?args name f =
   else f ()
 
 let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
-  if Atomic.get live then
+  if enabled () then
     emit { name; cat; ts_us = now_us (); tid; ph = Instant; args }
 
 let counter ?(cat = "") ?(tid = 0) ?ts_us name args =
-  if Atomic.get live then
+  if enabled () then
     let ts_us = match ts_us with Some t -> t | None -> now_us () in
     emit { name; cat; ts_us; tid; ph = Counter; args }
 
 let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
-  if Atomic.get live then
+  if enabled () then
     emit { name; cat; ts_us; tid; ph = Complete dur_us; args }
 
 (* Track naming: a [thread_name] metadata event labels the (pid, tid)
@@ -126,7 +139,7 @@ let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
    record so Perfetto shows "worker-2" instead of a bare tid; [Analyze]
    reads it back to label reports. *)
 let thread_name ?(cat = "") ?(tid = 0) label =
-  if Atomic.get live then
+  if enabled () then
     emit
       {
         name = "thread_name";
@@ -144,7 +157,7 @@ let cat_propagator = "propagator"
 
 let profile_row ?(tid = 0) ?(entails = 0) ~name ~runs ~wakes ~prunes ~time_ms
     () =
-  if Atomic.get live then
+  if enabled () then
     emit
       {
         name;
@@ -525,3 +538,8 @@ end
    [Obs.Analyze.of_file]. *)
 
 module Analyze = Analyze
+
+(* Live metrics registry (counters / gauges / histograms / SLO), the
+   always-on counterpart to the sinks above; re-exported like
+   [Analyze] so users write [Obs.Metrics.histogram]. *)
+module Metrics = Metrics

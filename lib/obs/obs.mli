@@ -55,7 +55,17 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** [attach], run, [detach] (exception-safe). *)
 
 val enabled : unit -> bool
-(** Whether at least one sink is attached — the hot-path guard. *)
+(** Whether at least one sink is attached {e and} the calling domain is
+    not suppressed — the hot-path guard.  With no sink attached this is
+    a single atomic load. *)
+
+val with_suppressed : (unit -> 'a) -> 'a
+(** Run [f] with this domain's emission suppressed: every helper above
+    becomes a no-op on this domain while sinks stay attached for
+    everyone else.  Nestable and exception-safe.  This is the
+    head-sampling primitive: the service traces 1-in-N requests by
+    running the rest under suppression.  Note: domains spawned inside
+    [f] (a portfolio solve) do {e not} inherit the suppression. *)
 
 val now_us : unit -> float
 (** Microseconds since the trace epoch. *)
@@ -104,7 +114,7 @@ val cat_propagator : string
 (** {1 JSON} *)
 
 module Json : sig
-  type t =
+  type t = Obs_json.t =
     | Null
     | Bool of bool
     | Num of float
@@ -311,3 +321,13 @@ module Analyze : sig
   val pp_utilization : Format.formatter -> machine -> unit
   val pp_diff : Format.formatter -> diff -> unit
 end
+
+(** {1 Live metrics}
+
+    The always-on side: counters, gauges, quantile histograms and SLO
+    windows that stay live while the process runs, scraped via the
+    service's [stats] wire request, the periodic exporter or
+    [eitc metrics-report] — as opposed to the post-hoc event sinks
+    above.  See {!Metrics} (metrics.mli) for the full story. *)
+
+module Metrics = Metrics

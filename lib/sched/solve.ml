@@ -22,7 +22,27 @@ type outcome = {
   crashes : Fd.Portfolio.worker_crash list;
   validation : (unit, Validate.report) result;
   from_cache : bool;
+  validate_ms : float;
 }
+
+(* One observation per solve into the live-metrics registry (the
+   caller's, or the process default, which is disabled unless someone
+   turned it on) — work-per-solve distributions for the serving layer,
+   one atomic load for everyone else. *)
+let record_metrics metrics (o : outcome) =
+  let reg = match metrics with Some r -> r | None -> Obs.Metrics.default in
+  if Obs.Metrics.is_enabled reg then begin
+    let h name = Obs.Metrics.histogram reg name in
+    Obs.Metrics.observe (h "solve.nodes") (float_of_int o.stats.Fd.Search.nodes);
+    Obs.Metrics.observe (h "solve.propagations")
+      (float_of_int o.stats.Fd.Search.propagations);
+    Obs.Metrics.observe (h "solve.time_ms") o.stats.Fd.Search.time_ms;
+    Obs.Metrics.observe (h "solve.validate_ms") o.validate_ms;
+    Obs.Metrics.incr (Obs.Metrics.counter reg "solve.count");
+    if o.from_cache then
+      Obs.Metrics.incr (Obs.Metrics.counter reg "solve.cache_hits")
+  end;
+  o
 
 (* The portfolio's strategy templates, in fixed order.  Strategy 0 is
    the sequential default (paper §3.5 phases), so a portfolio run
@@ -83,8 +103,8 @@ let portfolio_strategies ?deadline ~memory g arch n =
    and must NOT surface as [Infeasible]; [run] re-solves cold in that
    case.  The portfolio path ignores the seed (its workers already
    share an incumbent, and its trajectories are nondeterministic). *)
-let run_cp ?ext_bound ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
-    ~parallel ~tid g =
+let run_cp ?ext_bound ?metrics ~budget ~deadline ~chaos ~chaos_base ~memory
+    ~arch ~parallel ~tid g =
   if parallel >= 2 then
     let r =
       Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
@@ -117,6 +137,7 @@ let run_cp ?ext_bound ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
       let a =
         Obs.span ~cat:"sched" ~tid "cp-search" (fun () ->
             Fd.Search.minimize_anytime ~budget ~deadline ?bound_get ~tid
+              ?metrics
               m.Model.store (Model.phases m) ~objective:m.Model.makespan
               ~on_solution:(fun () -> Model.extract m))
       in
@@ -146,7 +167,7 @@ let add_stats (a : Fd.Search.stats) (b : Fd.Search.stats) =
    caller drops the entry and solves cold.  The slot list is rebuilt in
    descending node-id order, matching what [Model.extract] produces, so
    a hit is byte-identical to the cold solve it replays. *)
-let replay_hit ~memory ~arch ~tid g (canon : Cache.Key.canon) payload =
+let replay_hit ~memory ~arch ~tid ~vms g (canon : Cache.Key.canon) payload =
   match payload with
   | Cache.Infeasible -> Some (Infeasible, None)
   | Cache.Schedule { start; slot; makespan } -> (
@@ -171,17 +192,25 @@ let replay_hit ~memory ~arch ~tid g (canon : Cache.Key.canon) payload =
     match rebuilt with
     | None -> None
     | Some sch -> (
+      let t0 = Obs.now_us () in
+      let fin r =
+        vms := !vms +. ((Obs.now_us () -. t0) /. 1000.);
+        r
+      in
       match
         Obs.span ~cat:"sched" ~tid "cache-validate" (fun () ->
             Validate.schedule ~memory sch)
       with
-      | Ok () -> Some (Optimal, Some sch)
-      | Error _ | (exception _) -> None))
+      | Ok () -> fin (Some (Optimal, Some sch))
+      | Error _ | (exception _) -> fin None))
 
 let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     ?(memory = true) ?(arch = Eit.Arch.default) ?(validate = true)
     ?(parallel = 0) ?chaos ?(chaos_base = 0) ?(fallback = true) ?(tid = 0)
-    ?cache ?(warm = false) ?warm_bound g =
+    ?cache ?(warm = false) ?warm_bound ?metrics g =
+  (* Wall-clock spent in the independent validator for this request
+     (normal, fallback and cache-hit validations all accumulate). *)
+  let vms = ref 0. in
   let deadline =
     Fd.Deadline.earliest deadline
       (Fd.Deadline.of_time_budget budget.Fd.Search.max_time_ms)
@@ -214,7 +243,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
       match Cache.find c key with
       | None -> None
       | Some payload -> (
-        match replay_hit ~memory ~arch ~tid g canon payload with
+        match replay_hit ~memory ~arch ~tid ~vms g canon payload with
         | Some (status, schedule) ->
           Some
             {
@@ -225,6 +254,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
               crashes = [];
               validation = Ok ();
               from_cache = true;
+              validate_ms = !vms;
             }
         | None ->
           Cache.remove c key;
@@ -232,7 +262,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     | _ -> None
   in
   match hit with
-  | Some o -> o
+  | Some o -> record_metrics metrics o
   | None ->
   let warm_seed =
     if parallel >= 2 || chaos <> None then None
@@ -259,8 +289,8 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     else
       match warm_seed with
       | None ->
-        run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch ~parallel
-          ~tid g
+        run_cp ?metrics ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
+          ~parallel ~tid g
       | Some b ->
         (* Warm-start soundness: [Infeasible] under a warm seed only
            proves "no schedule at or below the seed" — the seed may
@@ -268,8 +298,8 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
            accumulate), so a warm run can never claim infeasibility,
            or miss the optimum, because of a stale hint. *)
         let st, inc, s1, cr1 =
-          run_cp ~ext_bound:b ~budget ~deadline ~chaos ~chaos_base ~memory
-            ~arch ~parallel ~tid g
+          run_cp ~ext_bound:b ?metrics ~budget ~deadline ~chaos ~chaos_base
+            ~memory ~arch ~parallel ~tid g
         in
         if st = Infeasible then begin
           if Obs.enabled () then
@@ -277,7 +307,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
               ~args:[ ("seed", Obs.I b) ]
               "warm-seed-rejected";
           let st2, inc2, s2, cr2 =
-            run_cp ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
+            run_cp ?metrics ~budget ~deadline ~chaos ~chaos_base ~memory ~arch
               ~parallel ~tid g
           in
           (st2, inc2, add_stats s1 s2, cr1 @ cr2)
@@ -285,9 +315,15 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
         else (st, inc, s1, cr1)
   in
   let check sch ~memory =
-    if validate then
-      Obs.span ~cat:"sched" ~tid "validate" (fun () ->
-          Validate.schedule ~memory sch)
+    if validate then begin
+      let t0 = Obs.now_us () in
+      let r =
+        Obs.span ~cat:"sched" ~tid "validate" (fun () ->
+            Validate.schedule ~memory sch)
+      in
+      vms := !vms +. ((Obs.now_us () -. t0) /. 1000.);
+      r
+    end
     else Ok ()
   in
   (* Degradation ladder: a CP incumbent that passes the independent
@@ -302,10 +338,10 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
     match (cp_status, cp_checked) with
     | Infeasible, _ ->
       { status = Infeasible; engine = Cp; schedule = None; stats; crashes;
-        validation = Ok (); from_cache = false }
+        validation = Ok (); from_cache = false; validate_ms = !vms }
     | _, Some (sch, Ok ()) ->
       { status = cp_status; engine = Cp; schedule = Some sch; stats; crashes;
-        validation = Ok (); from_cache = false }
+        validation = Ok (); from_cache = false; validate_ms = !vms }
     | _, cp_checked -> (
       (* Either CP found nothing, or what it found fails validation (a
          solver or chaos casualty).  Keep the bad schedule's report. *)
@@ -324,10 +360,10 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
           (* A fallback result is never optimal and never hides a crash:
              the status says the degradation path was taken. *)
           { status = Feasible_timeout; engine = Fallback; schedule = Some sch;
-            stats; crashes; validation = Ok (); from_cache = false }
+            stats; crashes; validation = Ok (); from_cache = false; validate_ms = !vms }
         | Error r ->
           { status = Crashed; engine = Fallback; schedule = None; stats;
-            crashes; validation = Error r; from_cache = false })
+            crashes; validation = Error r; from_cache = false; validate_ms = !vms })
       | Error reason ->
         let validation =
           match cp_report with Some r -> Error r | None -> Ok ()
@@ -345,7 +381,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
           | _ -> Feasible_timeout (* an honest timeout, nothing crashed *)
         in
         { status; engine = Cp; schedule = None; stats; crashes; validation;
-          from_cache = false })
+          from_cache = false; validate_ms = !vms })
   in
   (* Populate the cache only with deadline-independent facts about the
      problem: a proven-optimal schedule that passed validation, or a
@@ -393,7 +429,7 @@ let run ?(budget = Fd.Search.time_budget 10_000.) ?(deadline = Fd.Deadline.none)
        Cache.note_hint c ~shape:(Cache.Key.shape_digest g)
          sch.Schedule.makespan
      | _ -> ());
-  o
+  record_metrics metrics o
 
 let exit_code o =
   match (o.status, o.schedule, o.engine) with

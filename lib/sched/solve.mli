@@ -44,6 +44,11 @@ type outcome = {
       (** the outcome was replayed from the solution cache: no search
           ran ([stats] is all-zero) and the schedule was re-validated
           on the way out *)
+  validate_ms : float;
+      (** total wall-clock spent in the independent validator for this
+          request — normal, fallback and cache-hit re-validations all
+          accumulate; [0.] when [validate] was off and no cache hit
+          occurred *)
 }
 
 val run :
@@ -60,6 +65,7 @@ val run :
   ?cache:Cache.t ->
   ?warm:bool ->
   ?warm_bound:int ->
+  ?metrics:Obs.Metrics.registry ->
   Ir.t ->
   outcome
 (** Defaults: 10-second time budget, no extra deadline, memory
@@ -112,7 +118,15 @@ val run :
     seed is a genuine global proof, and an [Infeasible] under the seed
     triggers an automatic cold re-solve (stats accumulate across both
     runs) — a stale seed can cost time, never correctness.  Portfolio
-    solves ([parallel >= 2]) ignore the seed. *)
+    solves ([parallel >= 2]) ignore the seed.
+
+    [metrics] receives one observation per call into the
+    [solve.nodes] / [solve.propagations] / [solve.time_ms] /
+    [solve.validate_ms] histograms and bumps [solve.count] (plus
+    [solve.cache_hits] on a replay); it is also threaded into the
+    sequential engine's own [search.*] instruments.  Defaults to
+    {!Obs.Metrics.default}, which is disabled unless the process
+    enabled it — a standalone solve then pays one atomic load. *)
 
 val exit_code : outcome -> int
 (** The process exit code contract (also used by [eitc schedule]):

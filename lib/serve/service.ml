@@ -25,6 +25,7 @@ type solved = {
   failures : int;
   propagations : int;
   solve_ms : float;
+  validate_ms : float;
   crashes : int;
   cached : bool;
 }
@@ -57,6 +58,8 @@ type config = {
   chaos : Fd.Chaos.t option;
   cache_capacity : int;
   warm_start : bool;
+  metrics : Obs.Metrics.registry option;
+  trace_sample : int;
 }
 
 let default_config =
@@ -72,6 +75,8 @@ let default_config =
     chaos = None;
     cache_capacity = 0;
     warm_start = false;
+    metrics = None;
+    trace_sample = 0;
   }
 
 (* One-shot response cell.  [fulfil] is idempotent and returns whether
@@ -122,6 +127,9 @@ type job = {
   sw : Fd.Deadline.switch;
   t_admit : float;
   tk : ticket;
+  sampled : bool;
+      (* head sampling: whether this request's trace events are kept
+         ([trace_sample <= 1] keeps everything) *)
 }
 
 type health = {
@@ -140,6 +148,10 @@ type health = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  lat_total : Obs.Metrics.hstats;
+  lat_queue : Obs.Metrics.hstats;
+  lat_solve : Obs.Metrics.hstats;
+  slo : Obs.Metrics.slo_stats;
 }
 
 type counters = {
@@ -153,6 +165,31 @@ type counters = {
   c_invalid : int Atomic.t;
 }
 
+(* Live-metrics instruments, interned once at [create] so the
+   per-request path never takes the registry lookup lock. *)
+type instruments = {
+  reg : Obs.Metrics.registry;
+  h_queue : Obs.Metrics.histogram;
+  h_solve : Obs.Metrics.histogram;
+  h_validate : Obs.Metrics.histogram;
+  h_total : Obs.Metrics.histogram;
+  h_attempts : Obs.Metrics.histogram;
+  s_slo : Obs.Metrics.slo;
+  g_depth : Obs.Metrics.gauge;
+}
+
+let make_instruments reg =
+  {
+    reg;
+    h_queue = Obs.Metrics.histogram reg "serve.queue_wait_ms";
+    h_solve = Obs.Metrics.histogram reg "serve.solve_ms";
+    h_validate = Obs.Metrics.histogram reg "serve.validate_ms";
+    h_total = Obs.Metrics.histogram reg "serve.total_ms";
+    h_attempts = Obs.Metrics.histogram reg "serve.attempts";
+    s_slo = Obs.Metrics.slo reg "serve.slo";
+    g_depth = Obs.Metrics.gauge reg "serve.queue_depth";
+  }
+
 (* What a worker (and the watchdog) needs: built before the pool so the
    body closures never reach through the not-yet-constructed handle. *)
 type ctx = {
@@ -163,6 +200,7 @@ type ctx = {
   cache : Cache.t option;
       (* one shared solution cache for the whole service (the Cache
          module locks internally); [None] when [cache_capacity = 0] *)
+  mx : instruments;
 }
 
 type t = {
@@ -247,10 +285,62 @@ let obs_instant name id =
   if Obs.enabled () then
     Obs.instant ~cat:"serve" ~args:[ ("request_id", Obs.S id) ] name
 
-(* Deliver [resp]; true iff this call won the ticket. *)
-let complete cnt tk resp =
+let status_string r =
+  match r.reply with
+  | Solved { st = Sched.Solve.Optimal; _ } -> "optimal"
+  | Solved { st = Sched.Solve.Feasible_timeout; _ } -> "feasible_timeout"
+  | Solved { st = Sched.Solve.Infeasible; _ } -> "infeasible"
+  | Solved { st = Sched.Solve.Crashed; _ } -> "crashed"
+  | Overloaded -> "rejected_overload"
+  | Expired -> "expired"
+  | Wedged _ -> "wedged"
+  | Invalid _ -> "error"
+
+let exit_code r =
+  match r.reply with
+  | Solved s -> (
+    match (s.st, s.eng, s.makespan) with
+    | Sched.Solve.Optimal, _, _ -> 0
+    | Sched.Solve.Feasible_timeout, Sched.Solve.Cp, Some _ -> 0
+    | Sched.Solve.Feasible_timeout, Sched.Solve.Fallback, Some _ -> 2
+    | Sched.Solve.Infeasible, _, _ -> 3
+    | _ -> 4)
+  | Overloaded -> 5
+  | Expired -> 6
+  | Wedged _ -> 4
+  | Invalid _ -> 7
+
+(* Deliver [resp]; true iff this call won the ticket.  The winner —
+   and only the winner — feeds the live-metrics instruments, so every
+   histogram holds exactly one observation per completed request and
+   [serve.total_ms]'s count equals [completed] in {!health}. *)
+let complete ctx ?deadline_ms tk resp =
   let won = fulfil tk resp in
-  if won then Atomic.incr cnt.c_completed;
+  if won then begin
+    Atomic.incr ctx.cnt.c_completed;
+    let m = ctx.mx in
+    Obs.Metrics.observe m.h_queue resp.wait_ms;
+    Obs.Metrics.observe m.h_total resp.total_ms;
+    Obs.Metrics.observe m.h_attempts (float_of_int resp.attempts);
+    (match resp.reply with
+    | Solved s ->
+      Obs.Metrics.observe m.h_solve s.solve_ms;
+      Obs.Metrics.observe m.h_validate s.validate_ms
+    | Overloaded | Expired | Wedged _ | Invalid _ -> ());
+    (* SLO accounting: a response is [ok] when a schedule (or an
+       infeasibility proof) was delivered — exit codes 0/2/3; it met
+       its deadline when it was ok and arrived within the request's
+       own deadline (no deadline = met by definition). *)
+    let ok = exit_code resp <= 3 in
+    let deadline_met =
+      ok
+      &&
+      match deadline_ms with None -> true | Some d -> resp.total_ms <= d
+    in
+    Obs.Metrics.slo_record m.s_slo ~ok ~deadline_met;
+    Obs.Metrics.incr
+      (Obs.Metrics.counter m.reg ("serve.status." ^ status_string resp))
+  end;
   won
 
 (* Backoff before retry producing attempt [k+1]: base * 2^(k-1) plus up
@@ -280,6 +370,7 @@ let solved_of_outcome ~solve_ms (o : Sched.Solve.outcome) =
     failures = o.Sched.Solve.stats.Fd.Search.failures;
     propagations = o.Sched.Solve.stats.Fd.Search.propagations;
     solve_ms;
+    validate_ms = o.Sched.Solve.validate_ms;
     crashes = List.length o.Sched.Solve.crashes;
     cached = o.Sched.Solve.from_cache;
   }
@@ -297,7 +388,7 @@ let execute ctx ~slot job =
   let wait_ms = ms_since job.t_admit in
   let finish ~attempts reply =
     ignore
-      (complete ctx.cnt job.tk
+      (complete ctx ?deadline_ms:job.jr.deadline_ms job.tk
          {
            r_id = job.jr.id;
            reply;
@@ -310,7 +401,7 @@ let execute ctx ~slot job =
   Fd.Deadline.beat job.sw;
   if Fd.Deadline.expired job.dl then begin
     Atomic.incr ctx.cnt.c_expired;
-    obs_instant "serve.expire" job.jr.id;
+    if job.sampled then obs_instant "serve.expire" job.jr.id;
     finish ~attempts:0 Expired
   end
   else
@@ -319,6 +410,13 @@ let execute ctx ~slot job =
       Atomic.incr ctx.cnt.c_invalid;
       finish ~attempts:0 (Invalid msg)
     | Ok g, Ok arch ->
+      (* Head sampling: an unsampled request runs with this domain's
+         trace emission suppressed (metrics still record — they are
+         aggregates, not events), so [--trace] plus [--trace-sample N]
+         keeps 1-in-N full request traces at production load.  Caveat:
+         portfolio domains spawned by the solver do not inherit the
+         suppression. *)
+      let body () =
       Obs.span ~cat:"serve" ~tid
         ~args:[ ("request_id", Obs.S job.jr.id) ]
         ("request:" ^ job.jr.id)
@@ -344,7 +442,7 @@ let execute ctx ~slot job =
               ~deadline:job.dl ?chaos
               ~chaos_base:((job.seq * 8) + k)
               ~parallel:job.jr.parallel ~fallback:false ~tid ~arch
-              ?cache:ctx.cache ~warm:cfg.warm_start g
+              ?cache:ctx.cache ~warm:cfg.warm_start ~metrics:ctx.mx.reg g
           in
           let rec go k o =
             match o.Sched.Solve.status with
@@ -384,7 +482,8 @@ let execute ctx ~slot job =
               && not (Fd.Deadline.cancelled job.sw)
             then begin
               let r =
-                Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) ~tid ~arch g
+                Sched.Solve.run ~budget:(Fd.Search.time_budget 0.) ~tid ~arch
+                  ~metrics:ctx.mx.reg g
               in
               (* The rescue contributes status / engine / schedule; the
                  search stats and crash history stay those of the real
@@ -403,6 +502,8 @@ let execute ctx ~slot job =
           then Atomic.incr ctx.cnt.c_fallbacks;
           finish ~attempts
             (Solved (solved_of_outcome ~solve_ms:(ms_since t0) o)))
+      in
+      if job.sampled then body () else Obs.with_suppressed body
 
 let worker_body ctx ~slot ~alive ~cell =
   if Obs.enabled () then
@@ -418,7 +519,7 @@ let worker_body ctx ~slot ~alive ~cell =
          (* Isolation of last resort: whatever escaped, the request is
             still answered (as a crash) and the worker keeps serving. *)
          ignore
-           (complete ctx.cnt job.tk
+           (complete ctx ?deadline_ms:job.jr.deadline_ms job.tk
               {
                 r_id = job.jr.id;
                 reply =
@@ -431,6 +532,7 @@ let worker_body ctx ~slot ~alive ~cell =
                       failures = 0;
                       propagations = 0;
                       solve_ms = 0.;
+                      validate_ms = 0.;
                       crashes = 1;
                       cached = false;
                     };
@@ -455,9 +557,9 @@ let watchdog ctx pool stop =
     List.iter
       (fun j ->
         Atomic.incr ctx.cnt.c_expired;
-        obs_instant "serve.expire" j.jr.id;
+        if j.sampled then obs_instant "serve.expire" j.jr.id;
         ignore
-          (complete ctx.cnt j.tk
+          (complete ctx ?deadline_ms:j.jr.deadline_ms j.tk
              {
                r_id = j.jr.id;
                reply = Expired;
@@ -474,7 +576,7 @@ let watchdog ctx pool stop =
           when (not (Fd.Deadline.cancelled j.sw))
                && Fd.Deadline.idle_ms j.sw > ctx.cfg.grace_ms ->
           Fd.Deadline.cancel ~reason:"watchdog" j.sw;
-          obs_instant "serve.wedge" j.jr.id;
+          if j.sampled then obs_instant "serve.wedge" j.jr.id;
           let resp =
             {
               r_id = j.jr.id;
@@ -492,12 +594,13 @@ let watchdog ctx pool stop =
           (* Revive only if this verdict won the ticket: losing the race
              means the worker just finished on its own — it is not
              wedged, and it will pick the next job up normally. *)
-          if complete ctx.cnt j.tk resp then begin
+          if complete ctx ?deadline_ms:j.jr.deadline_ms j.tk resp then begin
             Atomic.incr ctx.cnt.c_wedged;
             Pool.revive pool slot
           end
         | _ -> ())
       (Pool.cells pool);
+    Obs.Metrics.set_gauge ctx.mx.g_depth (float_of_int (Queue.length ctx.q));
     if Obs.enabled () then
       Obs.counter ~cat:"serve" "serve.queue"
         [ ("depth", Obs.I (Queue.length ctx.q)) ]
@@ -528,6 +631,15 @@ let create ?(config = default_config) () =
         (if config.cache_capacity > 0 then
            Some (Cache.create ~capacity:config.cache_capacity)
          else None);
+      mx =
+        (* the caller's registry, or a private *disabled* one: an
+           embedded service with [metrics = None] pays one atomic load
+           per record and perturbs nothing (the chaos soak's fault
+           sites depend on that); pass [Some reg] to aggregate. *)
+        make_instruments
+          (match config.metrics with
+          | Some r -> r
+          | None -> Obs.Metrics.create ~enabled:false ());
     }
   in
   let pool = Pool.create ~size:config.pool (worker_body ctx) in
@@ -556,24 +668,19 @@ let submit ?on_complete t req =
       | None -> Fd.Deadline.none)
       sw
   in
-  let job =
-    {
-      jr = req;
-      seq = Atomic.fetch_and_add t.seq 1;
-      dl;
-      sw;
-      t_admit = now ();
-      tk;
-    }
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let sampled =
+    t.ctx.cfg.trace_sample <= 1 || seq mod t.ctx.cfg.trace_sample = 0
   in
-  obs_instant "serve.admit" req.id;
+  let job = { jr = req; seq; dl; sw; t_admit = now (); tk; sampled } in
+  if sampled then obs_instant "serve.admit" req.id;
   (match Queue.push t.ctx.q job with
   | `Ok -> ()
   | `Full | `Closed ->
     Atomic.incr t.ctx.cnt.c_shed;
-    obs_instant "serve.shed" req.id;
+    if sampled then obs_instant "serve.shed" req.id;
     ignore
-      (complete t.ctx.cnt tk
+      (complete t.ctx ?deadline_ms:req.deadline_ms tk
          {
            r_id = req.id;
            reply = Overloaded;
@@ -606,7 +713,13 @@ let health t =
     cache_hits = cs.Cache.hits;
     cache_misses = cs.Cache.misses;
     cache_evictions = cs.Cache.evictions;
+    lat_total = Obs.Metrics.hstats t.ctx.mx.h_total;
+    lat_queue = Obs.Metrics.hstats t.ctx.mx.h_queue;
+    lat_solve = Obs.Metrics.hstats t.ctx.mx.h_solve;
+    slo = Obs.Metrics.slo_stats t.ctx.mx.s_slo;
   }
+
+let metrics t = t.ctx.mx.reg
 
 let shutdown t =
   Mutex.lock t.shut_m;
@@ -623,31 +736,6 @@ let shutdown t =
     Domain.join t.wd;
     Pool.join_zombies t.pool
   end
-
-let status_string r =
-  match r.reply with
-  | Solved { st = Sched.Solve.Optimal; _ } -> "optimal"
-  | Solved { st = Sched.Solve.Feasible_timeout; _ } -> "feasible_timeout"
-  | Solved { st = Sched.Solve.Infeasible; _ } -> "infeasible"
-  | Solved { st = Sched.Solve.Crashed; _ } -> "crashed"
-  | Overloaded -> "rejected_overload"
-  | Expired -> "expired"
-  | Wedged _ -> "wedged"
-  | Invalid _ -> "error"
-
-let exit_code r =
-  match r.reply with
-  | Solved s -> (
-    match (s.st, s.eng, s.makespan) with
-    | Sched.Solve.Optimal, _, _ -> 0
-    | Sched.Solve.Feasible_timeout, Sched.Solve.Cp, Some _ -> 0
-    | Sched.Solve.Feasible_timeout, Sched.Solve.Fallback, Some _ -> 2
-    | Sched.Solve.Infeasible, _, _ -> 3
-    | _ -> 4)
-  | Overloaded -> 5
-  | Expired -> 6
-  | Wedged _ -> 4
-  | Invalid _ -> 7
 
 let pp_reply ppf = function
   | Solved s ->

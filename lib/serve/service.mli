@@ -70,6 +70,8 @@ type solved = {
   failures : int;
   propagations : int;
   solve_ms : float;   (** wall time spent solving (all attempts) *)
+  validate_ms : float;(** wall time in the independent validator (final
+                          outcome, incl. cache-hit re-validation) *)
   crashes : int;      (** isolated worker crashes across attempts *)
   cached : bool;      (** replayed from the service's solution cache:
                           no search ran, stats are all-zero *)
@@ -116,6 +118,18 @@ type config = {
                                 validated makespan previously seen for
                                 the same graph shape (default off);
                                 sound — see {!Sched.Solve.run} *)
+  metrics : Obs.Metrics.registry option;
+      (** the live-metrics registry the service feeds; [None] (default)
+          creates a private {e disabled} registry — every record is one
+          atomic-load no-op, so an embedded service pays nothing and
+          {!health}'s latency/SLO aggregates read as zero.  Pass an
+          enabled registry ([Obs.Metrics.create ()]) to turn the
+          aggregates on, as [eitc serve] and [bench load] do. *)
+  trace_sample : int;
+      (** head sampling for [Obs] traces: keep the full event trace of
+          1-in-N requests (by admission sequence) and suppress the
+          rest; [<= 1] (default [0]) traces every request.  Live
+          metrics are unaffected — they aggregate all requests. *)
 }
 
 val default_config : config
@@ -153,9 +167,22 @@ type health = {
   cache_hits : int;      (** solution-cache hits (0 when disabled) *)
   cache_misses : int;
   cache_evictions : int;
+  lat_total : Obs.Metrics.hstats;
+      (** end-to-end latency distribution (admission -> response, all
+          reply kinds) — quantiles carry the histogram's relative-error
+          bound *)
+  lat_queue : Obs.Metrics.hstats;  (** admission -> pickup *)
+  lat_solve : Obs.Metrics.hstats;  (** solver wall time (solved only) *)
+  slo : Obs.Metrics.slo_stats;
+      (** rolling-window error rate and deadline hit rate *)
 }
 
 val health : t -> health
+
+val metrics : t -> Obs.Metrics.registry
+(** The registry this service feeds ([config.metrics], or the private
+    one created at {!create}) — for {!Obs.Metrics.exporter_start},
+    snapshots, or the [bench load] cross-check. *)
 
 val shutdown : t -> unit
 (** Graceful: close admission, drain queued requests, join workers

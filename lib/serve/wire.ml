@@ -60,6 +60,26 @@ let request_of_line ?default_id line =
   | Error e -> Error ("json: " ^ e)
   | Ok j -> request_of_json ?default_id j
 
+(* A control line is distinguished by ["stats": true]; everything else
+   is a solve request, so old clients keep working unchanged. *)
+type parsed = Request of Service.request | Stats of string
+
+let parse_line ?default_id line =
+  match J.parse line with
+  | Error e -> Error ("json: " ^ e)
+  | Ok j -> (
+    match J.member "stats" j with
+    | Some (J.Bool true) ->
+      let* id = get_str "id" j in
+      let id =
+        match (id, default_id) with
+        | Some i, _ -> i
+        | None, Some d -> d
+        | None, None -> "stats"
+      in
+      Ok (Stats id)
+    | _ -> Result.map (fun r -> Request r) (request_of_json ?default_id j))
+
 let num i = J.Num (float_of_int i)
 let ms x = J.Num (Float.round (x *. 1000.) /. 1000.)
 
@@ -91,6 +111,7 @@ let response_json (r : Service.response) =
           ("propagations", num s.Service.propagations);
           ("crashes", num s.Service.crashes);
           ("solve_ms", ms s.Service.solve_ms);
+          ("validate_ms", ms s.Service.validate_ms);
         ]
     | Service.Wedged m | Service.Invalid m -> [ ("error", J.Str m) ]
     | Service.Overloaded | Service.Expired -> []
@@ -107,6 +128,66 @@ let response_json (r : Service.response) =
   J.Obj (head @ body @ tail)
 
 let response_line r = J.to_string (response_json r)
+
+let hstats_json (h : Obs.Metrics.hstats) =
+  J.Obj
+    [
+      ("count", num h.Obs.Metrics.count);
+      ("mean", ms h.Obs.Metrics.mean);
+      ("min", ms h.Obs.Metrics.vmin);
+      ("max", ms h.Obs.Metrics.vmax);
+      ("p50", ms h.Obs.Metrics.p50);
+      ("p90", ms h.Obs.Metrics.p90);
+      ("p95", ms h.Obs.Metrics.p95);
+      ("p99", ms h.Obs.Metrics.p99);
+      ("p999", ms h.Obs.Metrics.p999);
+    ]
+
+let slo_json (s : Obs.Metrics.slo_stats) =
+  J.Obj
+    [
+      ("window", num s.Obs.Metrics.window);
+      ("seen", num s.Obs.Metrics.seen);
+      ("total", num s.Obs.Metrics.total);
+      ("ok", num s.Obs.Metrics.ok);
+      ("deadline_met", num s.Obs.Metrics.met);
+      ("error_rate", J.Num s.Obs.Metrics.error_rate);
+      ("deadline_hit_rate", J.Num s.Obs.Metrics.deadline_hit_rate);
+    ]
+
+let stats_json ~id (h : Service.health) =
+  J.Obj
+    [
+      ("id", J.Str id);
+      ("stats", J.Bool true);
+      ("alive", num h.Service.alive);
+      ("queue_depth", num h.Service.queue_depth);
+      ("revived", num h.Service.revived);
+      ("zombies", num h.Service.zombies);
+      ("submitted", num h.Service.submitted);
+      ("completed", num h.Service.completed);
+      ("shed", num h.Service.shed);
+      ("expired", num h.Service.expired);
+      ("wedged", num h.Service.wedged);
+      ("retries", num h.Service.retries);
+      ("fallbacks", num h.Service.fallbacks);
+      ("invalid", num h.Service.invalid);
+      ("cache_hits", num h.Service.cache_hits);
+      ("cache_misses", num h.Service.cache_misses);
+      ("cache_evictions", num h.Service.cache_evictions);
+      ("total_ms", hstats_json h.Service.lat_total);
+      ("queue_wait_ms", hstats_json h.Service.lat_queue);
+      ("solve_ms", hstats_json h.Service.lat_solve);
+      ("slo", slo_json h.Service.slo);
+    ]
+
+let stats_line ~id h = J.to_string (stats_json ~id h)
+
+let log_line ?ts r =
+  let ts = match ts with Some t -> t | None -> Unix.gettimeofday () in
+  match response_json r with
+  | J.Obj fields -> J.to_string (J.Obj (("ts_unix", J.Num ts) :: fields))
+  | j -> J.to_string j
 
 let error_line ~id msg =
   J.to_string

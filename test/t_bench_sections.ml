@@ -8,12 +8,13 @@ module J = Obs.Json
 
 let test_passthrough_pinned () =
   Alcotest.(check (list string))
-    "exactly the service and cache sections pass through"
-    [ "service"; "cache" ] B.passthrough
+    "exactly the service, cache and metrics sections pass through"
+    [ "service"; "cache"; "metrics" ] B.passthrough
 
 let test_is_passthrough () =
   Alcotest.(check bool) "service" true (B.is_passthrough "service");
   Alcotest.(check bool) "cache" true (B.is_passthrough "cache");
+  Alcotest.(check bool) "metrics" true (B.is_passthrough "metrics");
   Alcotest.(check bool) "runs is gated" false (B.is_passthrough "runs");
   Alcotest.(check bool) "unknown" false (B.is_passthrough "nope")
 
@@ -22,13 +23,14 @@ let test_keep () =
     J.Obj
       [
         ("runs", J.Arr []);
+        ("metrics", J.Obj [ ("p99_hist_ms", J.Num 2. ) ]);
         ("cache", J.Obj [ ("hit_rate", J.Num 0.5) ]);
         ("service", J.Obj [ ("p50", J.Num 1.) ]);
       ]
   in
   let kept = B.keep doc in
   Alcotest.(check (list string)) "kept in passthrough order"
-    [ "service"; "cache" ]
+    [ "service"; "cache"; "metrics" ]
     (List.map fst kept);
   Alcotest.(check (list string)) "nothing kept from an empty doc" []
     (List.map fst (B.keep (J.Obj [])))

@@ -192,12 +192,23 @@ let test_profile_invariants () =
 
 let test_disabled_no_alloc () =
   Alcotest.(check bool) "no sink attached" false (Obs.enabled ());
+  (* disabled metrics instruments: one atomic load per record, no alloc *)
+  let module M = Obs.Metrics in
+  let reg = M.create ~enabled:false () in
+  let mc = M.counter reg "x" in
+  let mh = M.histogram reg "y" in
+  let mg = M.gauge reg "z" in
+  let ms = M.slo reg "w" in
   (* warm up so the closures/externals are resolved *)
   Obs.instant "warm";
   Obs.span_begin "warm";
   Obs.span_end "warm";
   Obs.counter "warm" [];
   Obs.complete ~ts_us:0. ~dur_us:0. "warm";
+  M.incr mc;
+  M.observe mh 1.;
+  M.set_gauge mg 1.;
+  M.slo_record ms ~ok:true ~deadline_met:true;
   let w0 = Gc.minor_words () in
   for _ = 1 to 10_000 do
     Obs.instant "x";
@@ -205,10 +216,15 @@ let test_disabled_no_alloc () =
     Obs.span_end "x";
     Obs.counter "x" [];
     Obs.complete ~ts_us:0. ~dur_us:0. "x";
-    Obs.profile_row ~name:"x" ~runs:0 ~wakes:0 ~prunes:0 ~time_ms:0. ()
+    Obs.profile_row ~name:"x" ~runs:0 ~wakes:0 ~prunes:0 ~time_ms:0. ();
+    M.incr mc;
+    M.observe mh 1.;
+    M.set_gauge mg 1.;
+    M.slo_record ms ~ok:true ~deadline_met:true
   done;
   let w1 = Gc.minor_words () in
-  Alcotest.(check (float 0.)) "zero words allocated" 0. (w1 -. w0)
+  Alcotest.(check (float 0.)) "zero words allocated" 0. (w1 -. w0);
+  Alcotest.(check int) "disabled counter untouched" 0 (M.counter_value mc)
 
 (* span is exception-safe: the End event is emitted on raise, so the
    trace stays balanced. *)

@@ -409,6 +409,7 @@ let test_wire_response_roundtrip () =
             failures = 95;
             propagations = 6649;
             solve_ms = 12.5;
+            validate_ms = 0.25;
             crashes = 0;
             cached = false;
           };
@@ -474,6 +475,8 @@ let test_chaos_soak () =
       chaos = Some chaos;
       cache_capacity = 0;
       warm_start = false;
+      metrics = None;
+      trace_sample = 0;
     }
   in
   let fir_xml =
