@@ -719,16 +719,28 @@ let profile ?(path = "BENCH_solver.json") () =
    replacing) the solver regression rows. *)
 
 let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
-    ?(queue = 64) ?(seed = 42) ?(chaos = false) () =
+    ?(queue = 64) ?(seed = 42) ?(chaos = false) ?(trace_sample = 0)
+    ?(tail_keep = 0) ?flight_dir ?(flight_buf = 4096) () =
   header
     (Printf.sprintf
        "Service load: %d open-loop requests (mix qrd/arf/matmul/xml-import), \
-        pool=%d queue=%d seed=%d chaos=%b"
-       requests pool queue seed chaos);
+        pool=%d queue=%d seed=%d chaos=%b%s"
+       requests pool queue seed chaos
+       (match flight_dir with
+       | Some d ->
+         Printf.sprintf " flight-dir=%s buf=%d tail-keep=%d" d flight_buf
+           tail_keep
+       | None -> ""));
+  (* A survivable fault rate: the probabilities are per propagator
+     execution, and a 40 ms attempt runs thousands of them, so even
+     2e-5 crashes a visible minority of requests.  The point is a
+     tail-retention-realistic mix — mostly healthy traffic with a
+     scattering of crashed/retried anomalies — not the saturation soak
+     (that lives in test/t_serve.ml with crash_prob 0.02). *)
   let chaos_t =
     if chaos then
       Some
-        (Fd.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05 ~delay_ms:1. ~seed ())
+        (Fd.Chaos.create ~crash_prob:1e-4 ~delay_prob:0.05 ~delay_ms:1. ~seed ())
     else None
   in
   let config =
@@ -742,6 +754,10 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
       seed;
       chaos = chaos_t;
       metrics = Some (Obs.Metrics.create ());
+      trace_sample;
+      tail_keep;
+      flight_dir;
+      flight_buf;
     }
   in
   let svc = Serve.Service.create ~config () in
@@ -790,6 +806,22 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
   Format.printf "%-24s %10d@." "retries" h.Serve.Service.retries;
   Format.printf "%-24s %10d@." "fallback rescues" h.Serve.Service.fallbacks;
   Format.printf "%-24s %10d@." "workers revived" h.Serve.Service.revived;
+  (* Tail retention: kept + dropped = completed exactly (the winner-only
+     completion chokepoint settles every ring once), and the retained
+     fraction is the number the 10%-volume acceptance bound watches. *)
+  let retained_fraction =
+    if h.Serve.Service.completed = 0 then 0.
+    else
+      float_of_int h.Serve.Service.flight_kept
+      /. float_of_int h.Serve.Service.completed
+  in
+  if Option.is_some flight_dir then begin
+    Format.printf "%-24s %10d kept / %d dropped / %d dumped@." "flight traces"
+      h.Serve.Service.flight_kept h.Serve.Service.flight_dropped
+      h.Serve.Service.flight_dumped;
+    Format.printf "%-24s %10.1f %% of completions@." "retained fraction"
+      (100. *. retained_fraction)
+  end;
   (* Cross-check the live latency histogram against ground truth: the
      exact p99 of the full retained sample, computed with the
      histogram's own rank convention (the ceil(q*n)-th smallest), must
@@ -842,6 +874,12 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
         ("retries", num h.Serve.Service.retries);
         ("fallbacks", num h.Serve.Service.fallbacks);
         ("revived", num h.Serve.Service.revived);
+        ("tail_keep", num tail_keep);
+        ("trace_sample", num trace_sample);
+        ( "flight_dir",
+          match flight_dir with
+          | Some d -> Obs.Json.Str d
+          | None -> Obs.Json.Null );
       ]
   in
   let metrics_json =
@@ -858,6 +896,12 @@ let load ?(path = "BENCH_solver.json") ?(requests = 200) ?(pool = 4)
           Obs.Json.Num h.Serve.Service.slo.Obs.Metrics.error_rate );
         ( "deadline_hit_rate",
           Obs.Json.Num h.Serve.Service.slo.Obs.Metrics.deadline_hit_rate );
+        ("flight_kept", Obs.Json.Num (float_of_int h.Serve.Service.flight_kept));
+        ( "flight_dropped",
+          Obs.Json.Num (float_of_int h.Serve.Service.flight_dropped) );
+        ( "flight_dumped",
+          Obs.Json.Num (float_of_int h.Serve.Service.flight_dumped) );
+        ("retained_fraction", Obs.Json.Num retained_fraction);
       ]
   in
   let doc =
@@ -1496,6 +1540,10 @@ let () =
   let seed, args = extract_opt "--seed" args in
   let lpath, args = extract_opt "--path" args in
   let csv, args = extract_opt "--csv" args in
+  let trace_sample, args = extract_opt "--trace-sample" args in
+  let tail_keep, args = extract_opt "--tail-keep" args in
+  let flight_dir, args = extract_opt "--flight-dir" args in
+  let flight_buf, args = extract_opt "--flight-buf" args in
   let chaos = List.mem "--chaos" args in
   let args = List.filter (fun a -> a <> "--chaos") args in
   let iopt = Option.map int_of_string in
@@ -1524,7 +1572,9 @@ let () =
     | [ "robustness" ] -> robustness (); 0
     | [ "load" ] ->
       load ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
-        ?queue:(iopt lqueue) ?seed:(iopt seed) ~chaos ();
+        ?queue:(iopt lqueue) ?seed:(iopt seed) ~chaos
+        ?trace_sample:(iopt trace_sample) ?tail_keep:(iopt tail_keep)
+        ?flight_dir ?flight_buf:(iopt flight_buf) ();
       0
     | [ "cache" ] ->
       cache_bench ?path:lpath ?requests:(iopt requests) ?pool:(iopt pool)
@@ -1538,7 +1588,8 @@ let () =
          fig6 fig8 utilization dynamic ablations archsweep bechamel perfjson \
          profile compare robustness load cache history; options: --trace \
          FILE, --against PATH, --path FILE, --csv FILE, \
-         --requests/--pool/--queue/--seed N, --chaos)@."
+         --requests/--pool/--queue/--seed N, --chaos, --trace-sample R, \
+         --tail-keep N, --flight-dir DIR, --flight-buf EVENTS)@."
         (String.concat " " other);
       exit 2
   in

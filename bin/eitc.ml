@@ -551,26 +551,47 @@ let run_asm_cmd =
        ~doc:"Assemble, validate and simulate a hand-written program")
     Term.(const run $ path_arg $ print_trace_arg $ trace_file_arg $ metrics_arg)
 
+(* Input-file failures (missing, unreadable, unparseable) exit 2 on
+   every offline reader below, distinct from analysis verdicts (exit
+   1), so scripts can tell "your trace regressed" from "you pointed me
+   at nothing". *)
+let input_error path msg =
+  Format.eprintf "eitc: %s: %s@." path msg;
+  2
+
 let trace_check_cmd =
-  let run path =
-    match Obs.Check.trace_file path with
-    | Ok n ->
-      Format.printf "%s: OK (%d events, spans balanced)@." path n;
-      0
-    | Error e ->
-      Format.printf "%s: INVALID -- %s@." path e;
-      1
+  let run path lenient =
+    if not (Sys.file_exists path) then
+      input_error path "no such file"
+    else
+      match Obs.Check.trace_file ~lenient path with
+      | Ok n ->
+        Format.printf "%s: OK (%d events, spans balanced)@." path n;
+        0
+      | Error e ->
+        Format.printf "%s: INVALID -- %s@." path e;
+        1
   in
   let path_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
          ~doc:"Chrome trace_event JSON file (from --trace) to validate.")
+  in
+  let lenient_arg =
+    Arg.(value & flag
+         & info [ "lenient" ]
+             ~doc:
+               "Tolerate truncation: unmatched End events and spans left \
+                open at the end of the trace pass (a flight-recorder ring \
+                dump is a suffix of the request's stream, so both are \
+                expected there).  Misnested or time-reversed spans still \
+                fail.")
   in
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
          "Validate a trace file emitted by --trace: JSON parses, every event \
           is well-formed, Begin/End spans nest per track")
-    Term.(const run $ path_arg)
+    Term.(const run $ path_arg $ lenient_arg)
 
 let import_cmd =
   let run path sched budget trace metrics =
@@ -608,9 +629,7 @@ let import_cmd =
 let trace_report_cmd =
   let run path flame utilization =
     match Obs.Analyze.of_file path with
-    | Error e ->
-      Format.printf "%s: %s@." path e;
-      1
+    | Error e -> input_error path e
     | Ok s ->
       Obs.Analyze.pp_report ~utilization Format.std_formatter s;
       (match flame with
@@ -621,7 +640,7 @@ let trace_report_cmd =
       0
   in
   let path_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
          ~doc:"Chrome trace_event JSON file (from --trace) to analyze.")
   in
   let flame_arg =
@@ -652,12 +671,8 @@ let trace_report_cmd =
 let trace_diff_cmd =
   let run before after threshold =
     match (Obs.Analyze.of_file before, Obs.Analyze.of_file after) with
-    | Error e, _ ->
-      Format.printf "%s: %s@." before e;
-      1
-    | _, Error e ->
-      Format.printf "%s: %s@." after e;
-      1
+    | Error e, _ -> input_error before e
+    | _, Error e -> input_error after e
     | Ok b, Ok a -> (
       let d = Obs.Analyze.diff b a in
       Obs.Analyze.pp_diff Format.std_formatter d;
@@ -672,11 +687,11 @@ let trace_diff_cmd =
         1)
   in
   let before_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE"
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BEFORE"
          ~doc:"Baseline trace file.")
   in
   let after_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER"
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER"
          ~doc:"Candidate trace file.")
   in
   let threshold_arg =
@@ -705,11 +720,23 @@ let trace_diff_cmd =
    failures. *)
 let serve_cmd =
   let run pool queue budget grace retries backoff seed cache warm trace
-      metrics metrics_file stats_interval logfile trace_sample =
+      metrics metrics_file stats_interval logfile trace_sample tail_keep
+      flight_dir flight_buf chaos_wedge =
     with_obs ~other_data:[ ("mode", Obs.S "serve") ] ~trace ~metrics (fun () ->
         (* One live registry feeds the service instruments, the solver
            distributions and the exporter alike. *)
         let reg = Obs.Metrics.create () in
+        (* `--chaos-wedge SEQ` wedges the first attempt of the SEQ-th
+           admitted request (chaos site id = seq*8 + attempt), so the
+           watchdog -> flight-dump -> postmortem pipeline can be
+           exercised end to end by check.sh without a real hang. *)
+        let chaos =
+          Option.map
+            (fun sq ->
+              Fd.Chaos.create ~wedge_workers:[ (sq * 8) + 1 ] ~wedge_after:1
+                ~seed ())
+            chaos_wedge
+        in
         let config =
           {
             Serve.Service.default_config with
@@ -720,10 +747,14 @@ let serve_cmd =
             max_retries = retries;
             backoff_base_ms = backoff;
             seed;
+            chaos;
             cache_capacity = cache;
             warm_start = warm;
             metrics = Some reg;
             trace_sample;
+            flight_dir;
+            flight_buf;
+            tail_keep;
           }
         in
         let svc = Serve.Service.create ~config () in
@@ -773,7 +804,20 @@ let serve_cmd =
                         log r)));
             loop (n + 1)
         in
-        loop 1;
+        (* The crash black box: if anything is about to take the daemon
+           down, dump every live flight ring first so the postmortem
+           starts from evidence, not from a bare backtrace. *)
+        (try loop 1
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           (match
+              Serve.Service.flight_dump_all svc ~reason:"daemon-fatal"
+            with
+           | Some p ->
+             Format.eprintf "eitc serve: fatal %s -- flight dump %s@."
+               (Printexc.to_string e) p
+           | None -> ());
+           Printexc.raise_with_backtrace e bt);
         Serve.Service.shutdown svc;
         Option.iter Obs.Metrics.exporter_stop exporter;
         Option.iter close_out log_oc;
@@ -863,7 +907,49 @@ let serve_cmd =
                "Head-sample the $(b,--trace) event stream: keep the full \
                 trace of one in $(docv) requests and suppress the rest, so \
                 tracing can stay on under production load.  0 or 1 traces \
-                every request.  Live metrics always cover all requests.")
+                every request.  Live metrics always cover all requests.  \
+                Superseded by $(b,--flight-dir), which records everything \
+                and decides retention at completion instead.")
+  in
+  let flight_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:
+               "Turn on the tail-based flight recorder: every request \
+                records its full event stream into a preallocated \
+                per-worker ring, and the completion path keeps anomalies \
+                (error / expired / wedged / crashed / retried), anything \
+                at or beyond the live p99, and a $(b,--tail-keep) slice \
+                of healthy traffic -- each written as a self-contained \
+                JSONL black box under $(docv), read back with \
+                $(b,eitc postmortem).  Everything else is reset without \
+                serializing a byte.")
+  in
+  let flight_buf_arg =
+    Arg.(value & opt int 4096
+         & info [ "flight-buf" ] ~docv:"EVENTS"
+             ~doc:
+               "Per-worker flight-ring capacity; a dump holds at most \
+                $(docv) events, cut mid-span when the request overflowed \
+                the ring (the dump records how many were overwritten).")
+  in
+  let tail_keep_arg =
+    Arg.(value & opt int 0
+         & info [ "tail-keep" ] ~docv:"N"
+             ~doc:
+               "With $(b,--flight-dir): also keep the trace of one in \
+                $(docv) $(i,healthy) completions as a baseline slice \
+                (deterministic, by admission sequence).  0 (default) \
+                keeps only anomalies and tail-latency outliers.")
+  in
+  let chaos_wedge_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-wedge" ] ~docv:"SEQ"
+             ~doc:
+               "Debug fault injection: wedge the first solve attempt of \
+                the $(docv)-th admitted request (0-based) until the \
+                watchdog catches it -- exercises the wedge verdict, the \
+                flight dump and $(b,eitc postmortem) end to end.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -873,7 +959,8 @@ let serve_cmd =
     Term.(const run $ pool_arg $ queue_arg $ sbudget_arg $ grace_arg
           $ retries_arg $ backoff_arg $ seed_arg $ cache_arg $ warm_arg
           $ trace_file_arg $ metrics_arg $ metrics_file_arg
-          $ stats_interval_arg $ log_arg $ trace_sample_arg)
+          $ stats_interval_arg $ log_arg $ trace_sample_arg $ tail_keep_arg
+          $ flight_dir_arg $ flight_buf_arg $ chaos_wedge_arg)
 
 (* `eitc metrics-report` — render the latest snapshot of a
    `--metrics-file` JSONL stream as the same kind of tables `--metrics`
@@ -894,17 +981,11 @@ let metrics_report_cmd =
   let run path =
     let module J = Obs.Json in
     match read_last_line path with
-    | exception Sys_error m ->
-      Format.eprintf "%s@." m;
-      1
-    | None ->
-      Format.eprintf "%s: no snapshot lines@." path;
-      1
+    | exception Sys_error m -> input_error path m
+    | None -> input_error path "no snapshot lines"
     | Some line -> (
       match J.parse line with
-      | Error e ->
-        Format.eprintf "%s: bad snapshot: %s@." path e;
-        1
+      | Error e -> input_error path ("bad snapshot: " ^ e)
       | Ok j ->
         let obj name =
           match J.member name j with Some (J.Obj kvs) -> kvs | _ -> []
@@ -940,6 +1021,30 @@ let metrics_report_cmd =
               Format.printf "%-24s %8.0f %10.3f %10.3f %10.3f %10.3f %10.3f@."
                 k (f "count") (f "mean") (f "p50") (f "p95") (f "p99")
                 (f "max"))
+            kvs;
+          (* Exemplar trails: "show me a trace behind this bucket" —
+             the flight-recorder dump (or request id) linked to recent
+             retained observations of each histogram. *)
+          List.iter
+            (fun (k, v) ->
+              match J.member "exemplars" v with
+              | Some (J.Arr exs) when exs <> [] ->
+                Format.printf "@.%s exemplars (newest first):@." k;
+                List.iter
+                  (fun ex ->
+                    let value =
+                      match J.member "value" ex with
+                      | Some (J.Num x) -> x
+                      | _ -> 0.
+                    in
+                    let trace =
+                      match J.member "trace" ex with
+                      | Some (J.Str s) -> s
+                      | _ -> "?"
+                    in
+                    Format.printf "  %10.3f  %s@." value trace)
+                  exs
+              | _ -> ())
             kvs);
         (match obj "slo" with
         | [] -> ()
@@ -965,6 +1070,88 @@ let metrics_report_cmd =
   Cmd.v
     (Cmd.info "metrics-report"
        ~doc:"Render the latest snapshot of a metrics JSONL stream")
+    Term.(const run $ path_arg)
+
+(* `eitc postmortem` — read flight-recorder black boxes back.  For each
+   dump: its request metadata heading, then the retained trace
+   reconstructed through the same analyzer as `trace-report`.  Span
+   trees are partial by design — a ring dump is the *suffix* of the
+   request's event stream, cut mid-span on overflow, and the request's
+   own closing span end postdates retention — which is exactly why the
+   analyzer tolerates truncation. *)
+let postmortem_cmd =
+  let run path =
+    let module J = Obs.Json in
+    if not (Sys.file_exists path) then input_error path "no such file or directory"
+    else
+      let files =
+        if Sys.is_directory path then Obs.Flight.dump_files path else [ path ]
+      in
+      match files with
+      | [] ->
+        Format.eprintf "eitc: %s: no flight dumps (flight-*.jsonl)@." path;
+        1
+      | files ->
+        let malformed = ref 0 and failed = ref 0 in
+        List.iteri
+          (fun i f ->
+            if i > 0 then Format.printf "@.";
+            match Obs.Flight.load_dump f with
+            | Error e ->
+              incr malformed;
+              Format.eprintf "eitc: %s: %s@." f e
+            | Ok d ->
+              let meta = d.Obs.Flight.d_meta in
+              let str n =
+                match List.assoc_opt n meta with
+                | Some (J.Str s) -> s
+                | _ -> "?"
+              in
+              let numo n =
+                match List.assoc_opt n meta with
+                | Some (J.Num x) -> Some x
+                | _ -> None
+              in
+              Format.printf "=== %s@." f;
+              Format.printf "request %s: %s (%d events retained%s%s)@."
+                (str "id") (str "reason")
+                (List.length d.Obs.Flight.d_events)
+                (match numo "overflow" with
+                | Some o when o > 0. ->
+                  Printf.sprintf ", %.0f overwritten in the ring" o
+                | _ -> "")
+                (if d.Obs.Flight.d_skipped > 0 then
+                   Printf.sprintf ", %d unreadable lines skipped"
+                     d.Obs.Flight.d_skipped
+                 else "");
+              List.iter
+                (fun (k, v) ->
+                  match k with
+                  | "flight" | "id" | "reason" | "events" | "overflow" -> ()
+                  | _ -> Format.printf "  %-12s %s@." k (J.to_string v))
+                meta;
+              (match Obs.Analyze.of_json (Obs.Flight.trace_of_dump d) with
+              | Error e ->
+                incr failed;
+                Format.printf "analysis failed: %s@." e
+              | Ok s -> Obs.Analyze.pp_report Format.std_formatter s))
+          files;
+        if !malformed > 0 then 2 else if !failed > 0 then 1 else 0
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE|DIR"
+             ~doc:
+               "One flight dump, or a directory of them (a \
+                $(b,--flight-dir)); a directory reports every \
+                $(i,flight-*.jsonl) inside, oldest first.")
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Reconstruct retained request traces from flight-recorder black \
+          boxes: per-dump metadata (verdict, attempts, chaos sites, solver \
+          stats, service config), span trees, critical path")
     Term.(const run $ path_arg)
 
 let export_cmd =
@@ -1000,5 +1187,5 @@ let () =
        (Cmd.group info
           [ info_cmd; schedule_cmd; heuristic_cmd; simulate_cmd; overlap_cmd; modulo_cmd;
             code_cmd; report_cmd; asm_cmd; run_asm_cmd; export_cmd; import_cmd;
-            serve_cmd; metrics_report_cmd; trace_check_cmd; trace_report_cmd;
-            trace_diff_cmd ]))
+            serve_cmd; metrics_report_cmd; postmortem_cmd; trace_check_cmd;
+            trace_report_cmd; trace_diff_cmd ]))

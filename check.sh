@@ -243,3 +243,45 @@ fi
 grep -q '"ts_unix"' "$lfile" || fail_tele "request log lines lack timestamps"
 rm -f "$mfile" "$mfile.prom" "$tfile" "$lfile"
 echo "check.sh: telemetry smoke OK (snapshot + prom + report, stats probe, 2/8 sampled traces, 8 log records)"
+
+# Postmortem smoke: a deterministically wedged request through a
+# flight-recorder-enabled serve — the watchdog's wedge verdict must
+# leave exactly one black box under --flight-dir, named for the
+# request and its retention reason, and `eitc postmortem` must
+# reconstruct it (exit 0) even though a ring dump is a truncated,
+# mid-span suffix of the request's event stream.  A second healthy
+# request must leave no dump: retention is tail-based, not blanket.
+fdir=$(mktemp -d /tmp/eitc-flight.XXXXXX)
+pm_out=$(printf '%s\n' \
+  '{"id":"w0","kernel":"qrd","budget_ms":10000}' \
+  '{"id":"ok1","kernel":"fir"}' \
+  | "$EITC" serve --pool 1 --grace 150 --flight-dir "$fdir" --chaos-wedge 0) || {
+  echo "check.sh: flight-recorder serve exited non-zero" >&2
+  echo "$pm_out" >&2
+  rm -rf "$fdir"
+  exit 1
+}
+fail_pm() {
+  echo "check.sh: $1" >&2
+  echo "$pm_out" >&2
+  rm -rf "$fdir"
+  exit 1
+}
+case "$pm_out" in
+*'"wedged"'*) ;;
+*) fail_pm "chaos-wedged request was not answered wedged" ;;
+esac
+dumps=$(ls "$fdir"/flight-*.jsonl 2>/dev/null | wc -l)
+if [ "$dumps" -ne 1 ]; then
+  fail_pm "expected exactly 1 flight dump for the wedge, found $dumps"
+fi
+ls "$fdir"/flight-*-w0-wedged.jsonl > /dev/null 2>&1 \
+  || fail_pm "flight dump is not named for the wedged request"
+"$EITC" postmortem "$fdir" > /dev/null || fail_pm "eitc postmortem failed on the flight dir"
+"$EITC" postmortem "$fdir"/flight-*-w0-wedged.jsonl > /dev/null \
+  || fail_pm "eitc postmortem failed on a single dump"
+if "$EITC" postmortem "$fdir/no-such-dump.jsonl" > /dev/null 2>&1; then
+  fail_pm "postmortem on a missing file must exit non-zero"
+fi
+rm -rf "$fdir"
+echo "check.sh: postmortem smoke OK (1 wedge black box, healthy request dropped, postmortem renders)"

@@ -82,16 +82,12 @@ let instrument t ~worker store =
     (Some
        (fun s pname ->
          incr execs;
-         if poisoned && !execs = 1 then begin
-           record t worker
-             (Printf.sprintf "solve %d poisoned before %s" solve_no pname);
-           raise (Injected (Printf.sprintf "solve %d poisoned" solve_no))
-         end;
-         if kill && !execs >= t.kill_after then begin
-           record t worker
-             (Printf.sprintf "killed before execution %d of %s" !execs pname);
-           raise (Injected (Printf.sprintf "worker %d killed" worker))
-         end;
+         (* The wedge outranks the Nth-solve poison: wedge sites are
+            named explicitly while the poison counter is global and
+            scheduling-dependent, so when both land on the same
+            execution the caller's named intent must win (otherwise a
+            racing poison can eat a wedge target's first execution and
+            the wedge never fires). *)
          if wedge && !execs = t.wedge_after then begin
            (* The wedge: spin inside this propagator execution without
               reaching any cooperative poll site, exactly what a buggy
@@ -113,6 +109,16 @@ let instrument t ~worker store =
                 (elapsed_ms ())
                 (if t.escape () then "escape" else "ceiling"));
            raise (Injected (Printf.sprintf "worker %d wedged" worker))
+         end;
+         if poisoned && !execs = 1 then begin
+           record t worker
+             (Printf.sprintf "solve %d poisoned before %s" solve_no pname);
+           raise (Injected (Printf.sprintf "solve %d poisoned" solve_no))
+         end;
+         if kill && !execs >= t.kill_after then begin
+           record t worker
+             (Printf.sprintf "killed before execution %d of %s" !execs pname);
+           raise (Injected (Printf.sprintf "worker %d killed" worker))
          end;
          let r = Random.State.float rng 1.0 in
          if r < t.crash_prob then begin

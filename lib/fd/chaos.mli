@@ -27,7 +27,9 @@
     - [fail_solves] poisons the Nth instrumented solve ({!instrument}
       call, counted across the instance): it raises on its first
       propagator execution, the "attempt dies at birth" fault that
-      retry-with-backoff must survive.
+      retry-with-backoff must survive.  A named wedge site outranks
+      the poison when both land on the same execution — the counter is
+      global and scheduling-dependent, the wedge list is explicit.
 
     A single [t] may instrument several stores concurrently (the
     portfolio instruments one per worker domain); the fault log is

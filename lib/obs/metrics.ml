@@ -32,6 +32,9 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float; (* +inf when empty *)
   mutable h_max : float; (* -inf when empty *)
+  mutable h_ex : (float * string) list;
+      (* exemplars: most-recent-first (value, trace ref) pairs linking
+         observations back to retained flight traces; capped short *)
 }
 
 type slo = {
@@ -140,6 +143,7 @@ let histogram ?(sig_bits = default_sig_bits) r name =
           h_sum = 0.;
           h_min = infinity;
           h_max = neg_infinity;
+          h_ex = [];
         })
     (function Histogram h -> Some h | _ -> None)
 
@@ -265,6 +269,31 @@ let hstats h =
   Mutex.unlock h.h_m;
   st
 
+(* ------------------------------------------------------------------ *)
+(* Exemplars: a short trail of (value, trace ref) pairs so a histogram
+   snapshot can answer "show me a trace behind this distribution" —
+   the flight recorder links each retained request's dump in here.
+   Bounded and newest-first; never touched on the observe path. *)
+
+let max_exemplars = 8
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let exemplar h v trace =
+  if Atomic.get h.h_on then begin
+    Mutex.lock h.h_m;
+    h.h_ex <- (v, trace) :: take (max_exemplars - 1) h.h_ex;
+    Mutex.unlock h.h_m
+  end
+
+let exemplars h =
+  Mutex.lock h.h_m;
+  let ex = h.h_ex in
+  Mutex.unlock h.h_m;
+  ex
+
 let merge_into ~into src =
   if into.h_bits <> src.h_bits then
     invalid_arg "Obs.Metrics.merge_into: sig_bits differ";
@@ -275,6 +304,7 @@ let merge_into ~into src =
   let buckets = Hashtbl.fold (fun k c acc -> (k, c) :: acc) src.h_buckets [] in
   let zero = src.h_zero and count = src.h_count and sum = src.h_sum in
   let mn = src.h_min and mx = src.h_max in
+  let ex = src.h_ex in
   Mutex.unlock src.h_m;
   Mutex.lock into.h_m;
   List.iter
@@ -287,6 +317,7 @@ let merge_into ~into src =
   into.h_sum <- into.h_sum +. sum;
   if mn < into.h_min then into.h_min <- mn;
   if mx > into.h_max then into.h_max <- mx;
+  into.h_ex <- take max_exemplars (into.h_ex @ ex);
   Mutex.unlock into.h_m
 
 (* ------------------------------------------------------------------ *)
@@ -373,7 +404,7 @@ let fin f = if Float.is_finite f then f else 0.
 
 let hstats_json h =
   let st = hstats h in
-  J.Obj
+  let base =
     [
       ("count", J.Num (float_of_int st.count));
       ("sum", J.Num (fin st.sum));
@@ -387,6 +418,22 @@ let hstats_json h =
       ("p999", J.Num (fin st.p999));
       ("rel_err", J.Num (relative_error h));
     ]
+  in
+  (* exemplars only when present, so snapshots without a flight
+     recorder are byte-compatible with pre-exemplar readers *)
+  match exemplars h with
+  | [] -> J.Obj base
+  | ex ->
+    J.Obj
+      (base
+      @ [
+          ( "exemplars",
+            J.Arr
+              (List.map
+                 (fun (v, tr) ->
+                   J.Obj [ ("value", J.Num (fin v)); ("trace", J.Str tr) ])
+                 ex) );
+        ])
 
 let slo_json s =
   let st = slo_stats s in

@@ -101,6 +101,16 @@ type hstats = {
 val hstats : histogram -> hstats
 (** One consistent snapshot (single lock acquisition). *)
 
+val exemplar : histogram -> float -> string -> unit
+(** [exemplar h v trace] links an observed value to a trace reference
+    (e.g. a flight-dump file name), so snapshots can answer "show me a
+    trace behind this distribution".  Kept newest-first, capped at 8;
+    a no-op on a disabled registry.  Exemplars annotate — they do not
+    contribute to counts or quantiles; pair with {!observe}. *)
+
+val exemplars : histogram -> (float * string) list
+(** The current exemplar trail, newest first. *)
+
 val merge_into : into:histogram -> histogram -> unit
 (** Add [src]'s buckets, count, sum and min/max into [into] — e.g. to
     combine per-domain histograms.  Both histograms must use the same
@@ -134,8 +144,9 @@ val slo_stats : slo -> slo_stats
 val snapshot_json : ?ts:float -> registry -> Obs_json.t
 (** The whole registry as one JSON object: [ts_unix], then
     [counters] / [gauges] / [histograms] (with quantiles and the
-    relative-error bound) / [slo], each sorted by instrument name.
-    [ts] defaults to [Unix.gettimeofday ()]. *)
+    relative-error bound, plus an ["exemplars"] array when any are
+    linked) / [slo], each sorted by instrument name.  [ts] defaults to
+    [Unix.gettimeofday ()]. *)
 
 val prometheus : registry -> string
 (** Prometheus text exposition: counters and gauges as single samples,

@@ -18,9 +18,13 @@
    (worker id / machine unit) so per-thread tracks survive the
    serialization. *)
 
-type value = I of int | F of float | S of string | B of bool
+(* The event types live in their own unit (Obs_event) so the flight
+   recorder can store raw events without a cycle through this module;
+   the manifest equations keep [Obs.event] and [Obs_event.event]
+   interchangeable. *)
+type value = Obs_event.value = I of int | F of float | S of string | B of bool
 
-type ph =
+type ph = Obs_event.ph =
   | Begin
   | End
   | Instant
@@ -28,7 +32,7 @@ type ph =
   | Complete of float  (* duration in microseconds *)
   | Meta  (* track metadata (Chrome "M"): thread/process names *)
 
-type event = {
+type event = Obs_event.event = {
   name : string;
   cat : string;
   ts_us : float;
@@ -176,17 +180,7 @@ let profile_row ?(tid = 0) ?(entails = 0) ~name ~runs ~wakes ~prunes ~time_ms
 
 module Json = Obs_json
 
-let value_json = function
-  | I i -> string_of_int i
-  | F f -> Json.float_str f
-  | S s -> "\"" ^ Json.escape s ^ "\""
-  | B b -> string_of_bool b
-
-let args_json args =
-  "{"
-  ^ String.concat ","
-      (List.map (fun (k, v) -> "\"" ^ Json.escape k ^ "\":" ^ value_json v) args)
-  ^ "}"
+let args_json = Obs_event.args_json
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event sink                                             *)
@@ -271,27 +265,13 @@ end
 (* JSONL sink: one event object per line, streamed                     *)
 
 module Jsonl = struct
-  let ph_str = function
-    | Begin -> "B"
-    | End -> "E"
-    | Instant -> "i"
-    | Counter -> "C"
-    | Complete _ -> "X"
-    | Meta -> "M"
-
+  (* The line shape is shared with flight dumps (Obs_event.jsonl_line):
+     one event object per line, pid derived from cat by the readers. *)
   let sink ~path =
     let oc = Out_channel.open_bin path in
     let on_event ev =
-      let dur =
-        match ev.ph with
-        | Complete d -> Printf.sprintf ",\"dur\":%s" (Json.float_str d)
-        | _ -> ""
-      in
-      Out_channel.output_string oc
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"tid\":%d%s,\"args\":%s}\n"
-           (Json.escape ev.name) (Json.escape ev.cat) (ph_str ev.ph)
-           (Json.float_str ev.ts_us) ev.tid dur (args_json ev.args))
+      Out_channel.output_string oc (Obs_event.jsonl_line ev);
+      Out_channel.output_char oc '\n'
     in
     make_sink ~close:(fun () -> Out_channel.close oc) on_event
 end
@@ -302,8 +282,17 @@ end
 module Check = struct
   (* A trace is structurally valid when every event is an object with a
      string name and phase, Begin/End pairs nest LIFO per (pid, tid)
-     with non-decreasing timestamps, and no span is left open. *)
-  let trace_json (j : Json.t) : (int, string) result =
+     with non-decreasing timestamps, and no span is left open.
+
+     [lenient] relaxes exactly the two defects a *truncated* trace
+     exhibits — a flight-recorder ring keeps a contiguous suffix of the
+     event stream, so a cut can orphan an end (its begin overwritten)
+     or leave a span open (the dump happened mid-span), but can never
+     manufacture misnesting: any span opened inside the window closes
+     inside it before an outer orphaned end arrives.  Misnesting,
+     backwards timestamps and malformed events therefore stay errors
+     even under [lenient]. *)
+  let trace_json ?(lenient = false) (j : Json.t) : (int, string) result =
     let events =
       match j with
       | Json.Arr evs -> Ok evs
@@ -349,8 +338,10 @@ module Check = struct
           | "E" -> (
             match stack with
             | [] ->
-              Error
-                (Printf.sprintf "event %d: end of %S with no open span" i name)
+              if lenient then Ok ()
+              else
+                Error
+                  (Printf.sprintf "event %d: end of %S with no open span" i name)
             | (open_name, open_ts) :: rest ->
               if open_name <> name then
                 Error
@@ -388,14 +379,43 @@ module Check = struct
             (fun _ stack acc -> acc + List.length stack)
             stacks 0
         in
-        if unclosed > 0 then
+        if unclosed > 0 && not lenient then
           Error (Printf.sprintf "%d span(s) left open" unclosed)
         else Ok (List.length events))
 
-  let trace_file path =
+  (* A [--trace] file is one JSON document; a flight-recorder black
+     box is JSONL — one event object per line behind a metadata first
+     line tagged ["flight": true].  When the whole-file parse fails,
+     retry line-by-line: if every non-blank line is a JSON object the
+     file is JSONL and the event lines are validated (the flight
+     metadata line is skipped — it is not a trace event); otherwise
+     the original parse error stands. *)
+  let trace_file ?lenient path =
     match Json.parse_file path with
-    | Error e -> Error e
-    | Ok j -> trace_json j
+    | Ok j -> trace_json ?lenient j
+    | Error whole_err -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | body ->
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' body)
+        in
+        let rec parse_lines acc i = function
+          | [] -> Ok (List.rev acc)
+          | l :: rest -> (
+            match Json.parse l with
+            | Ok (Json.Obj _ as j) ->
+              let meta =
+                i = 0 && Json.member "flight" j = Some (Json.Bool true)
+              in
+              parse_lines (if meta then acc else j :: acc) (i + 1) rest
+            | Ok _ | Error _ -> Error whole_err)
+        in
+        (match parse_lines [] 0 lines with
+        | Error e -> Error e
+        | Ok events -> trace_json ?lenient (Json.Arr events)))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -543,3 +563,12 @@ module Analyze = Analyze
    always-on counterpart to the sinks above; re-exported like
    [Analyze] so users write [Obs.Metrics.histogram]. *)
 module Metrics = Metrics
+
+(* Tail-based flight recorder (ring-buffer sink + black-box dumps);
+   re-exported with the glue that ties a recorder into the dispatch
+   path, so users write [Obs.attach (Obs.Flight.sink fl)]. *)
+module Flight = struct
+  include Flight
+
+  let sink t = make_sink (record t)
+end

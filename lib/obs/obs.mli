@@ -17,9 +17,9 @@
         Obs.instant ~cat:"search" ~tid ~args:[ ("var", Obs.S name) ] "branch"
     ]} *)
 
-type value = I of int | F of float | S of string | B of bool
+type value = Obs_event.value = I of int | F of float | S of string | B of bool
 
-type ph =
+type ph = Obs_event.ph =
   | Begin      (** span opening (Chrome ["B"]) *)
   | End        (** span closing (Chrome ["E"]) *)
   | Instant    (** point event (Chrome ["i"]) *)
@@ -27,7 +27,7 @@ type ph =
   | Complete of float  (** self-contained span with duration in us (Chrome ["X"]) *)
   | Meta       (** track metadata — thread/process names (Chrome ["M"]) *)
 
-type event = {
+type event = Obs_event.event = {
   name : string;
   cat : string;   (** category: "sched", "search", "store", "machine", ... *)
   ts_us : float;  (** microseconds since the trace epoch (first attach) *)
@@ -131,14 +131,24 @@ module Json : sig
 end
 
 module Check : sig
-  val trace_json : Json.t -> (int, string) result
+  val trace_json : ?lenient:bool -> Json.t -> (int, string) result
   (** Structural validation of a Chrome trace: every event an object
       with string [name]/[ph], Begin/End pairs LIFO-nested per
       [(pid, tid)] with non-decreasing timestamps, no span left open,
       complete events carrying a non-negative [dur].  Returns the event
-      count. *)
+      count.
 
-  val trace_file : string -> (int, string) result
+      [lenient] (default [false]) tolerates the two defects of a
+      {e truncated} trace — ends whose begin fell off the front (a
+      flight-recorder ring overwrote it) and spans still open at the
+      cut — while misnesting, backwards timestamps and malformed
+      events stay errors.  Flight dumps and other ring-cut traces
+      validate under [~lenient:true]. *)
+
+  val trace_file : ?lenient:bool -> string -> (int, string) result
+  (** Validate a trace file: either a single Chrome-JSON document
+      (from [--trace]) or JSONL (a flight-recorder black box — its
+      ["flight": true] metadata first line is skipped). *)
 end
 
 (** {1 Sinks} *)
@@ -331,3 +341,51 @@ end
     above.  See {!Metrics} (metrics.mli) for the full story. *)
 
 module Metrics = Metrics
+
+(** {1 Flight recorder}
+
+    Tail-based trace retention: {!Flight.sink} records every event
+    into preallocated per-track ring buffers; the request-completion
+    path calls {!Flight.retain} (dump the ring as a JSONL black box —
+    errors, wedges, tail-latency outliers) or {!Flight.drop} (reset it
+    without serializing anything).  The read side ({!Flight.load_dump},
+    {!Flight.trace_of_dump}) feeds dumps back through {!Analyze} for
+    [eitc postmortem].  See flight.mli for the full story. *)
+
+module Flight : sig
+  type t
+
+  type stats = Flight.stats = { kept : int; dropped : int; dumped : int }
+
+  val create : ?capacity:int -> ?dir:string -> unit -> t
+  val sink : t -> sink
+  (** The recorder as an ordinary sink: [Obs.attach (Obs.Flight.sink fl)]. *)
+
+  val record : t -> event -> unit
+  val start : t -> tid:int -> unit
+  val drop : t -> tid:int -> unit
+
+  val retain :
+    t ->
+    tid:int ->
+    reason:string ->
+    id:string ->
+    meta:(string * Json.t) list ->
+    string option
+
+  val dump_all :
+    t -> reason:string -> meta:(string * Json.t) list -> string option
+
+  val stats : t -> stats
+
+  type dump = Flight.dump = {
+    d_path : string;
+    d_meta : (string * Json.t) list;
+    d_events : Json.t list;
+    d_skipped : int;
+  }
+
+  val load_dump : string -> (dump, string) result
+  val dump_files : string -> string list
+  val trace_of_dump : dump -> Json.t
+end

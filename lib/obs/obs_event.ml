@@ -1,0 +1,113 @@
+(* The event vocabulary shared by the emit side (Obs), the flight
+   recorder (Flight) and the sinks.
+
+   Lives in its own unit so [Flight] can hold raw events in its ring
+   buffers — deferring all serialization to dump time — without a
+   dependency cycle through the Obs module, which re-exports Flight.
+   [Obs] re-exports these types with manifest equations, so
+   [Obs.event] and [Obs_event.event] are the same type. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type ph =
+  | Begin
+  | End
+  | Instant
+  | Counter
+  | Complete of float  (* duration in microseconds *)
+  | Meta  (* track metadata (Chrome "M"): thread/process names *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  tid : int;
+  ph : ph;
+  args : (string * value) list;
+}
+
+let ph_str = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+  | Complete _ -> "X"
+  | Meta -> "M"
+
+let value_json = function
+  | I i -> string_of_int i
+  | F f -> Obs_json.float_str f
+  | S s -> "\"" ^ Obs_json.escape s ^ "\""
+  | B b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> "\"" ^ Obs_json.escape k ^ "\":" ^ value_json v)
+         args)
+  ^ "}"
+
+(* One event as one JSON line (no trailing newline) — the shape the
+   Jsonl sink streams and flight dumps replay.  [Analyze] derives the
+   pid from [cat], so these events need none. *)
+let jsonl_line ev =
+  let dur =
+    match ev.ph with
+    | Complete d -> Printf.sprintf ",\"dur\":%s" (Obs_json.float_str d)
+    | _ -> ""
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"tid\":%d%s,\"args\":%s}"
+    (Obs_json.escape ev.name) (Obs_json.escape ev.cat) (ph_str ev.ph)
+    (Obs_json.float_str ev.ts_us) ev.tid dur (args_json ev.args)
+
+(* Inverse of {!jsonl_line}, for round-trip checks and dump tooling.
+   JSON numbers carry no int/float tag, so [I] args come back as [F];
+   null/array/object args (never produced by [jsonl_line]) are
+   dropped. *)
+let event_of_json j =
+  let str k =
+    match Obs_json.member k j with Some (Obs_json.Str s) -> Some s | _ -> None
+  in
+  let num k =
+    match Obs_json.member k j with Some (Obs_json.Num f) -> Some f | _ -> None
+  in
+  match (str "name", str "ph") with
+  | Some name, Some p -> (
+    let ph =
+      match p with
+      | "B" -> Some Begin
+      | "E" -> Some End
+      | "i" -> Some Instant
+      | "C" -> Some Counter
+      | "M" -> Some Meta
+      | "X" -> Some (Complete (Option.value ~default:0. (num "dur")))
+      | _ -> None
+    in
+    match ph with
+    | None -> None
+    | Some ph ->
+      let args =
+        match Obs_json.member "args" j with
+        | Some (Obs_json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | Obs_json.Num f -> Some (k, F f)
+              | Obs_json.Str s -> Some (k, S s)
+              | Obs_json.Bool b -> Some (k, B b)
+              | _ -> None)
+            kvs
+        | _ -> []
+      in
+      Some
+        {
+          name;
+          cat = Option.value ~default:"" (str "cat");
+          ts_us = Option.value ~default:0. (num "ts");
+          tid = int_of_float (Option.value ~default:0. (num "tid"));
+          ph;
+          args;
+        })
+  | _ -> None

@@ -60,6 +60,9 @@ type config = {
   warm_start : bool;
   metrics : Obs.Metrics.registry option;
   trace_sample : int;
+  flight_dir : string option;
+  flight_buf : int;
+  tail_keep : int;
 }
 
 let default_config =
@@ -77,6 +80,9 @@ let default_config =
     warm_start = false;
     metrics = None;
     trace_sample = 0;
+    flight_dir = None;
+    flight_buf = 4096;
+    tail_keep = 0;
   }
 
 (* One-shot response cell.  [fulfil] is idempotent and returns whether
@@ -87,8 +93,21 @@ type ticket = {
   tm : Mutex.t;
   tc : Condition.t;
   mutable tr : response option;
+  mutable claimed : bool;
+      (* two-phase completion: the winner is decided by [claim] before
+         any completion side effect (metrics, flight-ring settle) runs,
+         and the response is only published afterwards — so once
+         [await] returns, every counter the completion touched has
+         already been bumped. *)
   mutable cb : (response -> unit) option;
 }
+
+let claim tk =
+  Mutex.lock tk.tm;
+  let won = (not tk.claimed) && tk.tr = None in
+  if won then tk.claimed <- true;
+  Mutex.unlock tk.tm;
+  won
 
 let fulfil tk resp =
   Mutex.lock tk.tm;
@@ -148,6 +167,9 @@ type health = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  flight_kept : int;
+  flight_dropped : int;
+  flight_dumped : int;
   lat_total : Obs.Metrics.hstats;
   lat_queue : Obs.Metrics.hstats;
   lat_solve : Obs.Metrics.hstats;
@@ -201,6 +223,10 @@ type ctx = {
       (* one shared solution cache for the whole service (the Cache
          module locks internally); [None] when [cache_capacity = 0] *)
   mx : instruments;
+  flight : Obs.Flight.t option;
+      (* tail retention: present iff [flight_dir] is set — every
+         request records into a per-worker ring and the completion
+         path decides keep vs. drop ({!retention_reason}) *)
 }
 
 type t = {
@@ -209,6 +235,7 @@ type t = {
   seq : int Atomic.t;
   wd_stop : bool Atomic.t;
   wd : unit Domain.t;
+  fl_h : Obs.handle option; (* the flight recorder's sink registration *)
   shut_m : Mutex.t;
   mutable shut : bool;
 }
@@ -310,12 +337,114 @@ let exit_code r =
   | Wedged _ -> 4
   | Invalid _ -> 7
 
+(* ------------------------------------------------------------------ *)
+(* Tail retention: with a flight recorder attached, the completion
+   path decides which requests keep their in-ring trace.  Always keep
+   anomalies (errors, expiries, wedges, crashes, retried attempts);
+   keep healthy requests slower than the live p99 once the latency
+   histogram has warmed up; keep a deterministic 1-in-[tail_keep]
+   slice of the rest; drop everything else without serializing it. *)
+
+(* Don't trust a p99 computed over a handful of requests. *)
+let min_slow_count = 64
+
+let retention_reason ctx (job : job) resp =
+  match resp.reply with
+  | Overloaded -> None (* shed at admission: nothing ran, nothing recorded *)
+  | Expired -> Some "expired"
+  | Wedged _ -> Some "wedged"
+  | Invalid _ -> Some "error"
+  | Solved s ->
+    if s.st = Sched.Solve.Crashed then Some "crashed"
+    else if resp.attempts > 1 then Some "retried"
+    else if s.crashes > 0 then Some "crashed"
+    else
+      let st = Obs.Metrics.hstats ctx.mx.h_total in
+      if
+        st.Obs.Metrics.count >= min_slow_count
+        && st.Obs.Metrics.p99 > 0.
+        && resp.total_ms >= st.Obs.Metrics.p99
+      then Some "slow"
+      else if ctx.cfg.tail_keep > 0 && job.seq mod ctx.cfg.tail_keep = 0 then
+        Some "sampled"
+      else None
+
+(* The black box's metadata line: everything needed to reproduce the
+   request without the service — status, attempt history, the chaos
+   site ids each attempt ran under (chaos_base = seq*8 + k), the
+   solver's search stats, and the config the daemon was running. *)
+let flight_meta ctx (job : job) resp =
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let ms x = J.Num (Float.round (x *. 1000.) /. 1000.) in
+  let chaos_sites =
+    if Option.is_none ctx.cfg.chaos then []
+    else
+      [
+        ( "chaos_sites",
+          J.Arr
+            (List.init (max 0 resp.attempts) (fun k ->
+                 num ((job.seq * 8) + k + 1))) );
+      ]
+  in
+  let body =
+    match resp.reply with
+    | Solved s ->
+      [
+        ( "engine",
+          J.Str
+            (match s.eng with
+            | Sched.Solve.Cp -> "cp"
+            | Sched.Solve.Fallback -> "fallback") );
+        ("nodes", num s.nodes);
+        ("failures", num s.failures);
+        ("propagations", num s.propagations);
+        ("crashes", num s.crashes);
+        ("solve_ms", ms s.solve_ms);
+        ("cached", J.Bool s.cached);
+      ]
+      @ (match s.makespan with Some m -> [ ("makespan", num m) ] | None -> [])
+    | Wedged m | Invalid m -> [ ("error", J.Str m) ]
+    | Overloaded | Expired -> []
+  in
+  [
+    ("status", J.Str (status_string resp));
+    ("code", num (exit_code resp));
+    ("seq", num job.seq);
+    ("attempts", num resp.attempts);
+    ("worker", num resp.worker);
+    ("wait_ms", ms resp.wait_ms);
+    ("total_ms", ms resp.total_ms);
+  ]
+  @ chaos_sites @ body
+  @ [
+      ( "config",
+        J.Obj
+          [
+            ("pool", num ctx.cfg.pool);
+            ("queue", num ctx.cfg.queue);
+            ("budget_ms", J.Num ctx.cfg.default_budget_ms);
+            ("grace_ms", J.Num ctx.cfg.grace_ms);
+            ("max_retries", num ctx.cfg.max_retries);
+            ("seed", num ctx.cfg.seed);
+            ("tail_keep", num ctx.cfg.tail_keep);
+            ("flight_buf", num ctx.cfg.flight_buf);
+          ] );
+    ]
+
 (* Deliver [resp]; true iff this call won the ticket.  The winner —
    and only the winner — feeds the live-metrics instruments, so every
    histogram holds exactly one observation per completed request and
-   [serve.total_ms]'s count equals [completed] in {!health}. *)
-let complete ctx ?deadline_ms tk resp =
-  let won = fulfil tk resp in
+   [serve.total_ms]'s count equals [completed] in {!health}.  The
+   winner also settles the flight ring: retain (and link the dump as
+   an exemplar on the latency histogram) or drop — so every completed
+   request is counted exactly once as kept or dropped.  The winner is
+   decided by [claim] and the response published by [fulfil] only
+   after every completion side effect has run, so a client returning
+   from [await] observes counters (and dump files) that already
+   include its own request. *)
+let complete ctx job resp =
+  let won = claim job.tk in
   if won then begin
     Atomic.incr ctx.cnt.c_completed;
     let m = ctx.mx in
@@ -335,11 +464,30 @@ let complete ctx ?deadline_ms tk resp =
     let deadline_met =
       ok
       &&
-      match deadline_ms with None -> true | Some d -> resp.total_ms <= d
+      match job.jr.deadline_ms with
+      | None -> true
+      | Some d -> resp.total_ms <= d
     in
     Obs.Metrics.slo_record m.s_slo ~ok ~deadline_met;
     Obs.Metrics.incr
-      (Obs.Metrics.counter m.reg ("serve.status." ^ status_string resp))
+      (Obs.Metrics.counter m.reg ("serve.status." ^ status_string resp));
+    (match ctx.flight with
+    | None -> ()
+    | Some fl -> (
+      (* worker -1 = never ran: no ring, meta-only dump when retained *)
+      let tid = if resp.worker >= 0 then 1000 + resp.worker else -1 in
+      match retention_reason ctx job resp with
+      | None -> Obs.Flight.drop fl ~tid
+      | Some reason ->
+        let path =
+          Obs.Flight.retain fl ~tid ~reason ~id:resp.r_id
+            ~meta:(flight_meta ctx job resp)
+        in
+        let trace =
+          match path with Some p -> Filename.basename p | None -> resp.r_id
+        in
+        Obs.Metrics.exemplar m.h_total resp.total_ms trace));
+    ignore (fulfil job.tk resp)
   end;
   won
 
@@ -388,7 +536,7 @@ let execute ctx ~slot job =
   let wait_ms = ms_since job.t_admit in
   let finish ~attempts reply =
     ignore
-      (complete ctx ?deadline_ms:job.jr.deadline_ms job.tk
+      (complete ctx job
          {
            r_id = job.jr.id;
            reply;
@@ -398,6 +546,13 @@ let execute ctx ~slot job =
            worker = slot;
          })
   in
+  (* Reset this worker's flight ring so a later dump holds only this
+     request's events.  (The previous request's closing span-end —
+     emitted after its [finish] — is wiped here, which is fine: its
+     retention decision already ran.) *)
+  (match ctx.flight with
+  | Some fl -> Obs.Flight.start fl ~tid
+  | None -> ());
   Fd.Deadline.beat job.sw;
   if Fd.Deadline.expired job.dl then begin
     Atomic.incr ctx.cnt.c_expired;
@@ -415,7 +570,12 @@ let execute ctx ~slot job =
          aggregates, not events), so [--trace] plus [--trace-sample N]
          keeps 1-in-N full request traces at production load.  Caveat:
          portfolio domains spawned by the solver do not inherit the
-         suppression. *)
+         suppression.
+
+         A flight recorder supersedes that blind suppression: any
+         request can turn out to be the interesting one, so with
+         tail retention on, every request emits — into the ring —
+         and the completion path decides what survives. *)
       let body () =
       Obs.span ~cat:"serve" ~tid
         ~args:[ ("request_id", Obs.S job.jr.id) ]
@@ -503,7 +663,8 @@ let execute ctx ~slot job =
           finish ~attempts
             (Solved (solved_of_outcome ~solve_ms:(ms_since t0) o)))
       in
-      if job.sampled then body () else Obs.with_suppressed body
+      if job.sampled || Option.is_some ctx.flight then body ()
+      else Obs.with_suppressed body
 
 let worker_body ctx ~slot ~alive ~cell =
   if Obs.enabled () then
@@ -519,7 +680,7 @@ let worker_body ctx ~slot ~alive ~cell =
          (* Isolation of last resort: whatever escaped, the request is
             still answered (as a crash) and the worker keeps serving. *)
          ignore
-           (complete ctx ?deadline_ms:job.jr.deadline_ms job.tk
+           (complete ctx job
               {
                 r_id = job.jr.id;
                 reply =
@@ -559,7 +720,7 @@ let watchdog ctx pool stop =
         Atomic.incr ctx.cnt.c_expired;
         if j.sampled then obs_instant "serve.expire" j.jr.id;
         ignore
-          (complete ctx ?deadline_ms:j.jr.deadline_ms j.tk
+          (complete ctx j
              {
                r_id = j.jr.id;
                reply = Expired;
@@ -594,7 +755,7 @@ let watchdog ctx pool stop =
           (* Revive only if this verdict won the ticket: losing the race
              means the worker just finished on its own — it is not
              wedged, and it will pick the next job up normally. *)
-          if complete ctx ?deadline_ms:j.jr.deadline_ms j.tk resp then begin
+          if complete ctx j resp then begin
             Atomic.incr ctx.cnt.c_wedged;
             Pool.revive pool slot
           end
@@ -621,12 +782,18 @@ let create ?(config = default_config) () =
       c_invalid = Atomic.make 0;
     }
   in
+  let flight =
+    Option.map
+      (fun dir -> Obs.Flight.create ~capacity:config.flight_buf ~dir ())
+      config.flight_dir
+  in
   let ctx =
     {
       cfg = config;
       kernels = compile_kernels ();
       cnt;
       q = Queue.create ~capacity:config.queue;
+      flight;
       cache =
         (if config.cache_capacity > 0 then
            Some (Cache.create ~capacity:config.cache_capacity)
@@ -642,6 +809,10 @@ let create ?(config = default_config) () =
           | None -> Obs.Metrics.create ~enabled:false ());
     }
   in
+  (* The recorder is an ordinary sink: attaching it turns event
+     emission on even without --trace, so rings fill for every
+     request.  Detached at shutdown. *)
+  let fl_h = Option.map (fun fl -> Obs.attach (Obs.Flight.sink fl)) flight in
   let pool = Pool.create ~size:config.pool (worker_body ctx) in
   let wd_stop = Atomic.make false in
   let wd = Domain.spawn (fun () -> watchdog ctx pool wd_stop) in
@@ -651,6 +822,7 @@ let create ?(config = default_config) () =
     seq = Atomic.make 0;
     wd_stop;
     wd;
+    fl_h;
     shut_m = Mutex.create ();
     shut = false;
   }
@@ -658,7 +830,13 @@ let create ?(config = default_config) () =
 let submit ?on_complete t req =
   Atomic.incr t.ctx.cnt.c_submitted;
   let tk =
-    { tm = Mutex.create (); tc = Condition.create (); tr = None; cb = on_complete }
+    {
+      tm = Mutex.create ();
+      tc = Condition.create ();
+      tr = None;
+      claimed = false;
+      cb = on_complete;
+    }
   in
   let sw = Fd.Deadline.switch () in
   let dl =
@@ -680,7 +858,7 @@ let submit ?on_complete t req =
     Atomic.incr t.ctx.cnt.c_shed;
     if sampled then obs_instant "serve.shed" req.id;
     ignore
-      (complete t.ctx ?deadline_ms:req.deadline_ms tk
+      (complete t.ctx job
          {
            r_id = req.id;
            reply = Overloaded;
@@ -696,6 +874,11 @@ let health t =
     match t.ctx.cache with
     | Some c -> Cache.stats c
     | None -> { Cache.hits = 0; misses = 0; evictions = 0; stores = 0 }
+  in
+  let fs =
+    match t.ctx.flight with
+    | Some fl -> Obs.Flight.stats fl
+    | None -> { Obs.Flight.kept = 0; dropped = 0; dumped = 0 }
   in
   {
     alive = Pool.alive_count t.pool;
@@ -713,6 +896,9 @@ let health t =
     cache_hits = cs.Cache.hits;
     cache_misses = cs.Cache.misses;
     cache_evictions = cs.Cache.evictions;
+    flight_kept = fs.Obs.Flight.kept;
+    flight_dropped = fs.Obs.Flight.dropped;
+    flight_dumped = fs.Obs.Flight.dumped;
     lat_total = Obs.Metrics.hstats t.ctx.mx.h_total;
     lat_queue = Obs.Metrics.hstats t.ctx.mx.h_queue;
     lat_solve = Obs.Metrics.hstats t.ctx.mx.h_solve;
@@ -720,6 +906,28 @@ let health t =
   }
 
 let metrics t = t.ctx.mx.reg
+
+(* The daemon-fatal black box: called by the CLI when an exception is
+   about to take the whole process down — every live ring plus the
+   service's counters, so the crash leaves evidence behind. *)
+let flight_dump_all t ~reason =
+  match t.ctx.flight with
+  | None -> None
+  | Some fl ->
+    let module J = Obs.Json in
+    let num a = J.Num (float_of_int (Atomic.get a)) in
+    Obs.Flight.dump_all fl ~reason
+      ~meta:
+        [
+          ("submitted", num t.ctx.cnt.c_submitted);
+          ("completed", num t.ctx.cnt.c_completed);
+          ("shed", num t.ctx.cnt.c_shed);
+          ("expired", num t.ctx.cnt.c_expired);
+          ("wedged", num t.ctx.cnt.c_wedged);
+          ("pool", J.Num (float_of_int t.ctx.cfg.pool));
+          ("queue", J.Num (float_of_int t.ctx.cfg.queue));
+          ("seed", J.Num (float_of_int t.ctx.cfg.seed));
+        ]
 
 let shutdown t =
   Mutex.lock t.shut_m;
@@ -734,7 +942,8 @@ let shutdown t =
     Pool.join t.pool;
     Atomic.set t.wd_stop true;
     Domain.join t.wd;
-    Pool.join_zombies t.pool
+    Pool.join_zombies t.pool;
+    Option.iter Obs.detach t.fl_h
   end
 
 let pp_reply ppf = function

@@ -129,7 +129,29 @@ type config = {
       (** head sampling for [Obs] traces: keep the full event trace of
           1-in-N requests (by admission sequence) and suppress the
           rest; [<= 1] (default [0]) traces every request.  Live
-          metrics are unaffected — they aggregate all requests. *)
+          metrics are unaffected — they aggregate all requests.
+          Superseded by the flight recorder: with [flight_dir] set,
+          every request emits (into the ring) and retention is decided
+          at completion instead — note a [--trace] file will then
+          contain all requests. *)
+  flight_dir : string option;
+      (** tail-based flight recorder: when set, every request records
+          its full event stream into a preallocated per-worker ring
+          ({!Obs.Flight}), and the completion path keeps anomalies
+          (error / expired / wedged / crashed / retried), anything at
+          or beyond the live p99 (once 64 requests have completed),
+          and a 1-in-[tail_keep] slice of healthy traffic — each as a
+          self-contained JSONL black box under this directory, read
+          back by [eitc postmortem].  [None] (default) disables
+          recording entirely. *)
+  flight_buf : int;
+      (** per-worker ring capacity in events (default 4096); a dump
+          holds at most this many, cut mid-span if the request
+          overflowed it. *)
+  tail_keep : int;
+      (** keep 1-in-N {e healthy} completions as a baseline slice
+          (deterministic, by admission sequence); [0] (default) keeps
+          only anomalies and tail-latency outliers. *)
 }
 
 val default_config : config
@@ -167,6 +189,11 @@ type health = {
   cache_hits : int;      (** solution-cache hits (0 when disabled) *)
   cache_misses : int;
   cache_evictions : int;
+  flight_kept : int;     (** completions whose trace was retained
+                             (0 when the flight recorder is off);
+                             [flight_kept + flight_dropped = completed] *)
+  flight_dropped : int;  (** completions reset without serialization *)
+  flight_dumped : int;   (** black-box files written under [flight_dir] *)
   lat_total : Obs.Metrics.hstats;
       (** end-to-end latency distribution (admission -> response, all
           reply kinds) — quantiles carry the histogram's relative-error
@@ -183,6 +210,13 @@ val metrics : t -> Obs.Metrics.registry
 (** The registry this service feeds ([config.metrics], or the private
     one created at {!create}) — for {!Obs.Metrics.exporter_start},
     snapshots, or the [bench load] cross-check. *)
+
+val flight_dump_all : t -> reason:string -> string option
+(** The daemon-fatal black box: dump every live flight ring (plus the
+    service's counters and config) as one file under [flight_dir] —
+    what [eitc serve] writes when an exception is about to take the
+    process down.  [None] when the flight recorder is off or the write
+    failed. *)
 
 val shutdown : t -> unit
 (** Graceful: close admission, drain queued requests, join workers

@@ -175,6 +175,9 @@ let stats_json ~id (h : Service.health) =
       ("cache_hits", num h.Service.cache_hits);
       ("cache_misses", num h.Service.cache_misses);
       ("cache_evictions", num h.Service.cache_evictions);
+      ("flight_kept", num h.Service.flight_kept);
+      ("flight_dropped", num h.Service.flight_dropped);
+      ("flight_dumped", num h.Service.flight_dumped);
       ("total_ms", hstats_json h.Service.lat_total);
       ("queue_wait_ms", hstats_json h.Service.lat_queue);
       ("solve_ms", hstats_json h.Service.lat_solve);

@@ -1,0 +1,301 @@
+(* The tail-based flight recorder (Obs.Flight): ring capacity and
+   overwrite order, retention dumps and their JSONL round-trip, the
+   daemon-fatal merge, and the lenient trace checker that makes
+   truncated ring dumps first-class inputs. *)
+
+module J = Obs.Json
+module F = Obs.Flight
+
+let tmpdir name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "eitc-t-flight-%s-%d" name (Unix.getpid ()))
+
+let cleanup d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Sys.rmdir d
+  end
+
+let with_dir name f =
+  let d = tmpdir name in
+  Fun.protect ~finally:(fun () -> cleanup d) (fun () -> f d)
+
+let ev ?(tid = 5) ?(args = []) ?(ph = Obs.Instant) name ts =
+  { Obs.name; cat = "test"; ts_us = ts; tid; ph; args }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let str_meta k meta =
+  match List.assoc_opt k meta with Some (J.Str s) -> Some s | _ -> None
+
+let num_meta k meta =
+  match List.assoc_opt k meta with Some (J.Num f) -> Some f | _ -> None
+
+(* ------------------- ring + retain + round-trip -------------------- *)
+
+(* 20 events through a capacity-8 ring: retain keeps exactly the last
+   8 (oldest first), records 12 overwritten, and the dump reloads into
+   an analyzable trace. *)
+let test_ring_retain () =
+  with_dir "retain" (fun dir ->
+      let fl = F.create ~capacity:8 ~dir () in
+      F.start fl ~tid:5;
+      for i = 1 to 20 do
+        F.record fl
+          (ev ~args:[ ("i", Obs.I i) ]
+             (Printf.sprintf "e%02d" i)
+             (float_of_int i))
+      done;
+      let path =
+        F.retain fl ~tid:5 ~reason:"wedged" ~id:"req-1"
+          ~meta:[ ("status", J.Str "wedged") ]
+      in
+      let path =
+        match path with
+        | Some p -> p
+        | None -> Alcotest.fail "retain returned no path"
+      in
+      Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+      Alcotest.(check bool) "named for id and reason" true
+        (Filename.check_suffix path ".jsonl"
+        && contains path "-req-1-wedged");
+      let d =
+        match F.load_dump path with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "load_dump: %s" e
+      in
+      Alcotest.(check int) "capacity events retained" 8
+        (List.length d.F.d_events);
+      Alcotest.(check int) "no skipped lines" 0 d.F.d_skipped;
+      Alcotest.(check (option string)) "id" (Some "req-1")
+        (str_meta "id" d.F.d_meta);
+      Alcotest.(check (option string)) "reason" (Some "wedged")
+        (str_meta "reason" d.F.d_meta);
+      Alcotest.(check (option string)) "caller meta kept" (Some "wedged")
+        (str_meta "status" d.F.d_meta);
+      Alcotest.(check (option (float 0.))) "overflow counted" (Some 12.)
+        (num_meta "overflow" d.F.d_meta);
+      (* the survivors are e13..e20, oldest first *)
+      let names =
+        List.map
+          (fun e ->
+            match J.member "name" e with Some (J.Str s) -> s | _ -> "?")
+          d.F.d_events
+      in
+      Alcotest.(check (list string)) "last 8, in order"
+        (List.init 8 (fun i -> Printf.sprintf "e%02d" (i + 13)))
+        names;
+      (* a dump is an analyzable trace *)
+      (match Obs.Analyze.of_json (F.trace_of_dump d) with
+      | Ok s ->
+        Alcotest.(check int) "all events analyzed" 8 s.Obs.Analyze.sm_events
+      | Error e -> Alcotest.failf "analyze: %s" e);
+      let st = F.stats fl in
+      Alcotest.(check int) "kept" 1 st.F.kept;
+      Alcotest.(check int) "dumped" 1 st.F.dumped;
+      Alcotest.(check int) "dropped" 0 st.F.dropped)
+
+(* Obs glue: events emitted through the attached sink land in the
+   recorder; a drop resets the ring without serializing. *)
+let test_sink_and_drop () =
+  with_dir "sink" (fun dir ->
+      let fl = F.create ~capacity:8 ~dir () in
+      let h = Obs.attach (F.sink fl) in
+      Fun.protect ~finally:(fun () -> Obs.detach h) (fun () ->
+          Obs.instant ~cat:"test" ~tid:7 "through-sink";
+          Obs.instant ~cat:"test" ~tid:7 "through-sink-2");
+      F.drop fl ~tid:7;
+      let st = F.stats fl in
+      Alcotest.(check int) "dropped counted" 1 st.F.dropped;
+      Alcotest.(check int) "nothing dumped" 0 st.F.dumped;
+      (* ring was reset: a retain now writes a metadata-only dump *)
+      let d =
+        match F.retain fl ~tid:7 ~reason:"r" ~id:"x" ~meta:[] with
+        | Some p -> (
+          match F.load_dump p with
+          | Ok d -> d
+          | Error e -> Alcotest.failf "load_dump: %s" e)
+        | None -> Alcotest.fail "retain returned no path"
+      in
+      Alcotest.(check int) "ring was reset by drop" 0
+        (List.length d.F.d_events))
+
+(* dump_all merges every live ring in timestamp order under id
+   "daemon" and leaves the rings intact. *)
+let test_dump_all () =
+  with_dir "all" (fun dir ->
+      let fl = F.create ~capacity:8 ~dir () in
+      F.record fl (ev ~tid:1 "a1" 10.);
+      F.record fl (ev ~tid:2 "b1" 5.);
+      F.record fl (ev ~tid:1 "a2" 20.);
+      F.record fl (ev ~tid:2 "b2" 15.);
+      let p =
+        match F.dump_all fl ~reason:"daemon-fatal" ~meta:[] with
+        | Some p -> p
+        | None -> Alcotest.fail "dump_all returned no path"
+      in
+      let d =
+        match F.load_dump p with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "load_dump: %s" e
+      in
+      Alcotest.(check (option string)) "daemon id" (Some "daemon")
+        (str_meta "id" d.F.d_meta);
+      let ts =
+        List.map
+          (fun e ->
+            match J.member "ts" e with Some (J.Num f) -> f | _ -> -1.)
+          d.F.d_events
+      in
+      Alcotest.(check (list (float 0.))) "merged in timestamp order"
+        [ 5.; 10.; 15.; 20. ] ts;
+      (* rings intact: a later retain still sees tid 1's events *)
+      match F.retain fl ~tid:1 ~reason:"r" ~id:"y" ~meta:[] with
+      | Some p2 -> (
+        match F.load_dump p2 with
+        | Ok d2 ->
+          Alcotest.(check int) "ring left intact" 2 (List.length d2.F.d_events)
+        | Error e -> Alcotest.failf "load_dump: %s" e)
+      | None -> Alcotest.fail "retain returned no path")
+
+(* ------------------------- error reporting ------------------------- *)
+
+let test_load_dump_errors () =
+  (match F.load_dump "/no/such/flight-dump.jsonl" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must not load");
+  with_dir "bad" (fun dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let p = Filename.concat dir "flight-0000-x-r.jsonl" in
+      let oc = open_out p in
+      output_string oc "{\"not\":\"a flight meta line\"}\n";
+      close_out oc;
+      (match F.load_dump p with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "non-flight first line must not load");
+      Alcotest.(check (list string)) "dump_files still lists it" [ p ]
+        (F.dump_files dir));
+  Alcotest.(check (list string)) "unreadable dir is empty, not an error" []
+    (F.dump_files "/no/such/dir")
+
+(* --------------------- QCheck: capacity respected ------------------- *)
+
+(* For any capacity and event count, the ring holds exactly the last
+   min(count, capacity) events in order, the overflow count is exact,
+   and the dump round-trips through Obs.Json (args included — integer
+   args come back as numbers). *)
+let gen_cap_count =
+  QCheck2.Gen.(pair (int_range 1 32) (int_range 0 100))
+
+let prop_ring_capacity =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"ring keeps the last min(count,capacity) events"
+       ~count:60 gen_cap_count (fun (capacity, count) ->
+         let dir = tmpdir "qcheck" in
+         Fun.protect ~finally:(fun () -> cleanup dir) (fun () ->
+             let fl = F.create ~capacity ~dir () in
+             for i = 1 to count do
+               F.record fl
+                 (ev
+                    ~args:
+                      [
+                        ("f", Obs.F (float_of_int i /. 3.));
+                        ("s", Obs.S (string_of_int i));
+                        ("b", Obs.B (i mod 2 = 0));
+                      ]
+                    (Printf.sprintf "n%03d" i)
+                    (float_of_int i))
+             done;
+             let d =
+               match F.retain fl ~tid:5 ~reason:"q" ~id:"p" ~meta:[] with
+               | Some p -> (
+                 match F.load_dump p with
+                 | Ok d -> d
+                 | Error e -> Alcotest.failf "load_dump: %s" e)
+               | None -> Alcotest.fail "retain returned no path"
+             in
+             let expect = min count capacity in
+             let first = count - expect + 1 in
+             List.length d.F.d_events = expect
+             && num_meta "overflow" d.F.d_meta
+                = Some (float_of_int (max 0 (count - capacity)))
+             && List.for_all2
+                  (fun e i ->
+                    (match J.member "name" e with
+                    | Some (J.Str s) -> s = Printf.sprintf "n%03d" i
+                    | _ -> false)
+                    && (match J.member "ts" e with
+                       | Some (J.Num t) -> t = float_of_int i
+                       | _ -> false)
+                    &&
+                    match J.member "args" e with
+                    | Some a -> (
+                      J.member "s" a = Some (J.Str (string_of_int i))
+                      && J.member "b" a = Some (J.Bool (i mod 2 = 0))
+                      &&
+                      match J.member "f" a with
+                      | Some (J.Num f) ->
+                        Float.abs (f -. (float_of_int i /. 3.)) < 1e-6
+                      | _ -> false)
+                    | None -> false)
+                  d.F.d_events
+                  (List.init expect (fun k -> first + k)))))
+
+(* --------------------- lenient trace checking ---------------------- *)
+
+let trace evs = J.Obj [ ("traceEvents", J.Arr evs) ]
+
+let jev name ph ts =
+  J.Obj
+    [
+      ("name", J.Str name);
+      ("cat", J.Str "t");
+      ("ph", J.Str ph);
+      ("ts", J.Num ts);
+      ("pid", J.Num 1.);
+      ("tid", J.Num 1.);
+    ]
+
+let test_check_lenient () =
+  (* a ring-truncated stream: the End's Begin was overwritten, and a
+     later span is still open at the cut *)
+  let truncated =
+    trace [ jev "outer" "E" 10.; jev "tail" "B" 20.; jev "i" "i" 21. ]
+  in
+  (match Obs.Check.trace_json truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict must reject a truncated trace");
+  (match Obs.Check.trace_json ~lenient:true truncated with
+  | Ok n -> Alcotest.(check int) "lenient counts all events" 3 n
+  | Error e -> Alcotest.failf "lenient must accept truncation: %s" e);
+  (* misnesting is corruption, not truncation: rejected either way *)
+  let misnested =
+    trace
+      [ jev "a" "B" 1.; jev "b" "B" 2.; jev "a" "E" 3.; jev "b" "E" 4. ]
+  in
+  (match Obs.Check.trace_json ~lenient:true misnested with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lenient must still reject misnesting");
+  (* so is a span that ends before it begins *)
+  let backwards = trace [ jev "a" "B" 10.; jev "a" "E" 5. ] in
+  match Obs.Check.trace_json ~lenient:true backwards with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lenient must still reject backwards timestamps"
+
+let suite =
+  [
+    Alcotest.test_case "ring retain: last capacity events, overflow, \
+                        round-trip" `Quick test_ring_retain;
+    Alcotest.test_case "sink glue and drop reset" `Quick test_sink_and_drop;
+    Alcotest.test_case "dump_all merges rings, leaves them intact" `Quick
+      test_dump_all;
+    Alcotest.test_case "load_dump error reporting" `Quick
+      test_load_dump_errors;
+    prop_ring_capacity;
+    Alcotest.test_case "trace-check --lenient: truncation ok, corruption \
+                        not" `Quick test_check_lenient;
+  ]

@@ -455,12 +455,22 @@ let test_chaos_soak () =
        wedges fire no matter how the random crashes land *)
     Fd.Chaos.create ~crash_prob:0.02 ~delay_prob:0.05 ~delay_ms:1.
       ~wedge_workers:[ (10 * 8) + 1; (100 * 8) + 1 ] (* seq 10 and 100 *)
-      (* the poison counter is global across the pool: on a 1-core box
-         poison #7 can land on wedge target s010's *first* solver entry
-         (its minimum global solve number is 6), crashing the attempt
-         before it reaches the wedge site — so keep every poisoned
-         solve number <= 5, strictly before any wedge target can run *)
+      (* the poison counter is global and scheduling-dependent (attempts
+         that expire inside model build consume no solve number), so a
+         poison can land on a wedge target's first execution — the hook
+         gives named wedge sites precedence, so the wedges fire no
+         matter which solves the poisons hit *)
       ~wedge_after:1 ~wedge_max_ms:20_000. ~fail_solves:[ 3; 5 ] ~seed:42 ()
+  in
+  (* flight recorder on, tail_keep off, metrics off: the only retention
+     triggers left are the anomaly verdicts (error / expired / wedged /
+     crashed / retried) — p99-based "slow" retention needs a live
+     histogram and the healthy slice needs tail_keep > 0 — so the dump
+     set below must equal the anomaly set exactly *)
+  let flight_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eitc-t-serve-flight-%d" (Unix.getpid ()))
   in
   let config =
     {
@@ -477,6 +487,9 @@ let test_chaos_soak () =
       warm_start = false;
       metrics = None;
       trace_sample = 0;
+      flight_dir = Some flight_dir;
+      flight_buf = 512;
+      tail_keep = 0;
     }
   in
   let fir_xml =
@@ -509,9 +522,11 @@ let test_chaos_soak () =
              (List.init n Fun.id))
       in
       let seen = Hashtbl.create n in
+      let resps = ref [] in
       List.iter
         (fun (id, tk) ->
           let r = await_or_fail ~ms:60_000. tk in
+          resps := r :: !resps;
           Alcotest.(check string) "response id matches" id r.S.r_id;
           Alcotest.(check bool) ("duplicate response for " ^ id) false
             (Hashtbl.mem seen id);
@@ -552,7 +567,65 @@ let test_chaos_soak () =
         (Printf.sprintf "faults were actually injected (%d)"
            (List.length (Fd.Chaos.faults chaos)))
         true
-        (List.length (Fd.Chaos.faults chaos) > 0))
+        (List.length (Fd.Chaos.faults chaos) > 0);
+      (* ------------- tail retention: dumps = anomaly set ------------- *)
+      (* every completion settled its ring exactly once *)
+      Alcotest.(check int) "kept + dropped = completed" n
+        (h.S.flight_kept + h.S.flight_dropped);
+      Alcotest.(check int) "every retained trace was dumped" h.S.flight_kept
+        h.S.flight_dumped;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      let dumps = Obs.Flight.dump_files flight_dir in
+      Alcotest.(check int) "one dump file per retained trace"
+        h.S.flight_dumped (List.length dumps);
+      let dumps_for id = List.filter (fun p -> contains p ("-" ^ id ^ "-")) dumps in
+      let anomalies = ref 0 in
+      List.iter
+        (fun (r : S.response) ->
+          (* mirror the service's retention policy: with metrics off and
+             tail_keep 0, exactly the anomalous verdicts retain *)
+          let anomaly =
+            match r.S.reply with
+            | S.Overloaded -> false
+            | S.Expired | S.Wedged _ | S.Invalid _ -> true
+            | S.Solved s ->
+              s.S.st = Sched.Solve.Crashed || r.S.attempts > 1
+              || s.S.crashes > 0
+          in
+          if anomaly then incr anomalies;
+          Alcotest.(check int)
+            (Printf.sprintf "%s (%s): %s" r.S.r_id (S.status_string r)
+               (if anomaly then "exactly one flight dump"
+                else "no flight dump"))
+            (if anomaly then 1 else 0)
+            (List.length (dumps_for r.S.r_id)))
+        !resps;
+      Alcotest.(check int) "anomalies = retained traces" !anomalies
+        h.S.flight_kept;
+      (* retention is selective: the anomaly slice, not the traffic *)
+      Alcotest.(check bool)
+        (Printf.sprintf "most completions dropped (%d kept of %d)"
+           h.S.flight_kept n)
+        true
+        (h.S.flight_kept < n / 2);
+      (* each dump is a loadable, analyzable black box *)
+      List.iter
+        (fun p ->
+          match Obs.Flight.load_dump p with
+          | Error e -> Alcotest.failf "%s: %s" p e
+          | Ok d -> (
+            match Obs.Analyze.of_json (Obs.Flight.trace_of_dump d) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: analyze: %s" p e))
+        dumps;
+      List.iter Sys.remove dumps;
+      if Sys.file_exists flight_dir then Sys.rmdir flight_dir)
 
 (* ------------------------- cached soak ------------------------------- *)
 
